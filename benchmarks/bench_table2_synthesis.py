@@ -1,0 +1,55 @@
+"""Table 2 — Synthesizing baseline uIR accelerators.
+
+Regenerates the paper's Table 2: FPGA frequency/power/resources and
+ASIC frequency/power/area for every baseline accelerator.  Shape
+checks: FP workloads land in the high-300s-to-500 MHz band, Cilk
+accelerators land lower (queueing logic on the critical path), tensor
+blocks clock highest, and ASIC clocks are 1.4-2.5 GHz.
+"""
+
+from repro.bench.reporting import emit, format_table
+from repro.frontend import translate_module
+from repro.rtl import synthesize
+from repro.workloads import WORKLOADS
+
+_TENSOR = ("relu_t", "2mm_t", "conv_t")
+
+
+def _run():
+    rows = []
+    reports = {}
+    for name, w in WORKLOADS.items():
+        variant = "tensor" if name in _TENSOR and \
+            "tensor" in w.variants else "base"
+        circuit = translate_module(w.module(variant))
+        report = synthesize(circuit, name)
+        reports[name] = report
+        r = report.row()
+        rows.append([name, w.category, r["MHz"], r["mW"], r["ALMs"],
+                     r["Reg"], r["DSP"], r["kum2"], r["asic_mW"],
+                     r["GHz"]])
+    return rows, reports
+
+
+def test_table2_synthesis(once):
+    rows, reports = once(_run)
+    emit("table2_synthesis", format_table(
+        ["bench", "suite", "MHz", "mW", "ALMs", "Reg", "DSP",
+         "kum2", "asic_mW", "GHz"], rows,
+        title="Table 2: baseline uIR synthesis "
+              "(FPGA Arria-10-class / ASIC 28nm-class models)"))
+
+    fp = [reports[n].fpga_mhz for n, w in WORKLOADS.items()
+          if w.fp and w.category in ("polybench", "tensorflow")]
+    cilk = [reports[n].fpga_mhz for n, w in WORKLOADS.items()
+            if w.category == "cilk"]
+    tensor = [reports[n].fpga_mhz for n in _TENSOR]
+
+    # Paper: FP 354-425 MHz; Cilk 206-314 MHz; tensor up to ~500 MHz.
+    assert all(330 <= f <= 510 for f in fp), fp
+    assert all(180 <= f <= 360 for f in cilk), cilk
+    assert max(cilk) < min(tensor), (cilk, tensor)
+    # Paper: FPGA power roughly 0.5-1.5 W.
+    for name, rep in reports.items():
+        assert 400 <= rep.fpga_mw <= 1600, (name, rep.fpga_mw)
+        assert 1.3 <= rep.asic_ghz <= 2.55, (name, rep.asic_ghz)

@@ -1,0 +1,17 @@
+"""Shared fixtures for the experiment benchmarks.
+
+Each ``bench_*`` module regenerates one table or figure from the paper
+(see DESIGN.md section 4).  Results print to stdout and persist under
+``benchmarks/results/``.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run the experiment exactly once under pytest-benchmark timing."""
+    def runner(fn):
+        return benchmark.pedantic(fn, rounds=1, iterations=1,
+                                  warmup_rounds=0)
+    return runner

@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Execution tiling of a Cilk-style workload (paper section 6.2).
+
+Translates a parallel stencil, provisions its memory (localization +
+banking), then sweeps execution tiles 1/2/4/8 — the paper's Figure 12
+experiment — reporting both speedup and the area each configuration
+costs on the FPGA.
+
+Run:  python examples/cilk_tiling.py
+"""
+
+from repro.frontend import translate_module
+from repro.opt import (
+    ExecutionTiling,
+    MemoryLocalization,
+    ParameterTuning,
+    PassManager,
+    ScratchpadBanking,
+    TaskPipelining,
+)
+from repro.rtl import synthesize
+from repro.sim import simulate
+from repro.workloads import get_workload
+
+
+def build(workload, tiles):
+    circuit = translate_module(workload.module(),
+                               name=f"stencil_{tiles}T")
+    passes = [MemoryLocalization(), ScratchpadBanking(4),
+              ParameterTuning()]
+    if tiles > 1:
+        passes += [TaskPipelining(), ExecutionTiling(tiles)]
+    PassManager(passes).run(circuit)
+    return circuit
+
+
+def main() -> None:
+    w = get_workload("stencil")
+    rows = []
+    base_time = None
+    for tiles in (1, 2, 4, 8):
+        circuit = build(w, tiles)
+        mem = w.fresh_memory()
+        result = simulate(circuit, mem, list(w.args))
+        w.verify(mem)  # tiling never changes behavior
+        synth = synthesize(circuit)
+        time_us = result.cycles / synth.fpga_mhz
+        if base_time is None:
+            base_time = time_us
+        rows.append((tiles, result.cycles, round(synth.fpga_mhz),
+                     synth.alms, round(base_time / time_us, 2)))
+
+    print(f"{'tiles':>5} {'cycles':>8} {'MHz':>5} {'ALMs':>7} "
+          f"{'speedup':>8}")
+    for row in rows:
+        print(f"{row[0]:>5} {row[1]:>8} {row[2]:>5} {row[3]:>7} "
+              f"{row[4]:>8}")
+    print("\nNote how speedup saturates as the tiles outrun the "
+          "memory system while area keeps growing — the paper's "
+          "core tiling trade-off.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Writing a custom uopt pass (paper section 4.1 / Algorithm 2).
+
+Implements a small analysis + transformation the way the paper's
+Algorithm 2 does: an analysis walks the circuit's memory accesses, the
+transformation rewires the graph, and the pass framework verifies the
+result and accounts the edit size (the currency of Table 4).
+
+The example pass gives every *read-only* array a wider, lower-latency
+scratchpad of its own — a plausible designer experiment that takes a
+dozen lines at uIR level.
+
+Run:  python examples/custom_pass.py
+"""
+
+from repro.core.structures import Junction, Scratchpad
+from repro.frontend import translate_module
+from repro.opt import Pass, PassManager
+from repro.opt.analysis import memory_access_groups
+from repro.rtl import diff_circuits, lower_to_firrtl
+from repro.sim import simulate
+from repro.workloads import get_workload
+
+
+class ReadOnlyScratchpads(Pass):
+    """Home every array that is only ever *read* in a fast local ROM."""
+
+    name = "readonly_scratchpads"
+
+    def apply(self, circuit):
+        # --- Analysis (paper: getMemoryAccess) -----------------------
+        groups = memory_access_groups(circuit)
+        read_only = []
+        for array, clients in groups.items():
+            if array is None:
+                continue
+            if all(node.kind == "load" for _t, node in clients):
+                read_only.append(array)
+
+        # --- Transformation (paper: scratchpadBanking style) ---------
+        for array in sorted(read_only):
+            base, words = circuit.array_layout[array]
+            rom = Scratchpad(f"rom_{array}", size_words=base + words,
+                             banks=2, ports_per_bank=2, latency=1,
+                             arrays=[array])
+            circuit.add_structure(rom)
+            circuit.array_home[array] = rom
+            for task, node in groups[array]:
+                old = task.junction_of(node)
+                old.detach(node)
+                target = next((j for j in task.junctions
+                               if j.structure is rom), None)
+                if target is None:
+                    target = Junction(f"{task.name}_j_{array}", rom,
+                                      issue_width=2)
+                    task.add_junction(target)
+                target.attach(node)
+                task.reindex_junctions()
+        for task in circuit.tasks.values():
+            for junction in list(task.junctions):
+                if not junction.clients:
+                    task.remove_junction(junction)
+        result = self._result(bool(read_only), read_only=read_only)
+        # Account the uIR-level edit: one ROM + one junction per array,
+        # one rerouted connection per memory client (Table 4 currency).
+        result.nodes_added = 2 * len(read_only)
+        result.edges_added = sum(len(groups[a]) for a in read_only)
+        return result
+
+
+def main() -> None:
+    w = get_workload("spmv")  # vals/cols/rowptr/x are read-only
+
+    baseline = translate_module(w.module(), name="spmv")
+    mem = w.fresh_memory()
+    base = simulate(baseline, mem, list(w.args))
+    w.verify(mem)
+
+    custom = translate_module(w.module(), name="spmv_rom")
+    firrtl_before = lower_to_firrtl(custom)
+    log = PassManager([ReadOnlyScratchpads()]).run(custom)
+    firrtl_after = lower_to_firrtl(custom)
+
+    mem = w.fresh_memory()
+    opt = simulate(custom, mem, list(w.args))
+    w.verify(mem)  # the framework re-validated structure; we check behavior
+
+    print("pass result:", log[0].details)
+    print(f"cycles: {base.cycles} -> {opt.cycles} "
+          f"({base.cycles / opt.cycles:.2f}x)")
+    dn, de = diff_circuits(firrtl_before, firrtl_after)
+    print(f"edit size: uIR dN={log[0].delta_nodes} "
+          f"dE={log[0].delta_edges}  vs  FIRRTL dN={dn} dE={de}")
+    print("(the same experiment at RTL level touches "
+          f"{(dn + de) / max(1, log[0].delta_nodes + log[0].delta_edges):.0f}x "
+          "more graph elements — the paper's Table 4 argument)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,30 @@
+"""Reproduction of "uIR: An intermediate representation for transforming
+and optimizing the microarchitecture of application accelerators"
+(Sharifian et al., MICRO-52, 2019).
+
+The package mirrors the paper's toolflow (Figure 3):
+
+* :mod:`repro.frontend` -- MiniC programs -> LLVM-like software IR ->
+  uIR (Stage 1).
+* :mod:`repro.core` -- the uIR data structure: hierarchical structural
+  graph of task blocks, dataflow nodes, structures, and junctions.
+* :mod:`repro.opt` -- uopt pass framework and the paper's optimization
+  passes (Stage 2).
+* :mod:`repro.sim` -- cycle-level simulator of uIR graphs (our stand-in
+  for executing the generated RTL).
+* :mod:`repro.rtl` -- lowering to Chisel/FIRRTL/Verilog plus the
+  analytic synthesis model (Stage 3).
+* :mod:`repro.hls`, :mod:`repro.cpu` -- the HLS and ARM A9 baselines.
+* :mod:`repro.workloads` -- the paper's 19 benchmark programs.
+* :mod:`repro.bench` -- the experiment harness regenerating every table
+  and figure.
+"""
+
+__version__ = "0.1.0"
+
+# Convenience top-level API (the quickstart surface).
+from .frontend import compile_minic, translate_module  # noqa: E402,F401
+from .frontend.interp import Interpreter, Memory  # noqa: E402,F401
+from .sim import SimParams, simulate  # noqa: E402,F401
+from .opt import PASS_REGISTRY, PassManager  # noqa: E402,F401
+from .rtl import emit_chisel, synthesize  # noqa: E402,F401

@@ -1,0 +1,73 @@
+"""Standard uopt pass stacks used by the paper's experiments.
+
+Section 6.5 groups the stacks: Cilk accelerators get
+banking + fusion + tiling; the loop workloads get
+banking + localization + op-fusion; tensor workloads additionally get
+the higher-order tensor units.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..opt import (
+    CacheBanking,
+    ExecutionTiling,
+    MemoryLocalization,
+    OpFusion,
+    ParameterTuning,
+    Pass,
+    ScratchpadBanking,
+    TaskPipelining,
+    TensorOps,
+)
+from ..workloads import get_workload
+
+#: Workloads whose best stack uses execution tiling (the Cilk set).
+CILK_SET = ("fib", "msort", "saxpy", "stencil", "img_scale")
+
+
+def fusion_stack() -> List[Pass]:
+    """Section 6.1: auto-pipelining + op fusion."""
+    return [OpFusion()]
+
+
+def tiling_stack(tiles: int) -> List[Pass]:
+    """Section 6.2: decouple queues, replicate execution units."""
+    return [TaskPipelining(), ExecutionTiling(tiles)]
+
+
+def localization_stack(banks: int = 2) -> List[Pass]:
+    """Section 6.4: per-array scratchpads + banking + tuned widths."""
+    return [MemoryLocalization(), ScratchpadBanking(banks),
+            ParameterTuning()]
+
+
+def banking_stack(banks: int) -> List[Pass]:
+    """Section 6.4: bank the shared L1 cache."""
+    return [CacheBanking(banks), ParameterTuning()]
+
+
+def tensor_stack(rows: int = 2, cols: int = 2) -> List[Pass]:
+    """Section 6.3: introduce Tensor2D higher-order function units."""
+    return [TensorOps(rows=rows, cols=cols)]
+
+
+def all_opts_for(name: str, tiles: int = 4,
+                 banks: int = 4) -> List[Pass]:
+    """The per-workload best stack used for sections 6.5/6.6."""
+    workload = get_workload(name)
+    passes: List[Pass] = []
+    if name in CILK_SET:
+        # Banking, Fusion, Tile (Figure 17, left group).
+        passes.extend([CacheBanking(banks), OpFusion(),
+                       TaskPipelining(), ExecutionTiling(tiles),
+                       ParameterTuning()])
+    else:
+        # Banking, Localization, Op-Fusion (Figure 17, right group).
+        passes.extend([CacheBanking(banks), MemoryLocalization(),
+                       ScratchpadBanking(banks), OpFusion(),
+                       ParameterTuning()])
+    if workload.tensor:
+        passes.insert(0, TensorOps())
+    return passes

@@ -1,0 +1,67 @@
+"""End-to-end experiment runner: workload -> uIR -> passes -> sim ->
+synthesis -> time."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..frontend import translate_module
+from ..opt import Pass, PassManager, PassResult
+from ..rtl import SynthesisReport, synthesize
+from ..sim import SimParams, SimStats, simulate
+from ..workloads import Workload, get_workload
+
+
+@dataclass
+class RunResult:
+    """One accelerator configuration's measured quality."""
+
+    workload: str
+    config: str
+    cycles: int
+    fpga_mhz: float
+    stats: SimStats
+    synth: SynthesisReport
+    pass_log: List[PassResult] = field(default_factory=list)
+    variant: str = "base"
+
+    @property
+    def time_us(self) -> float:
+        """Wall-clock execution estimate on the FPGA backend."""
+        return self.cycles / self.fpga_mhz
+
+    def __repr__(self) -> str:
+        return (f"RunResult({self.workload}/{self.config}: "
+                f"{self.cycles} cyc @ {self.fpga_mhz:.0f} MHz = "
+                f"{self.time_us:.2f} us)")
+
+
+def run_workload(workload, passes: Sequence[Pass] = (),
+                 config: str = "baseline", variant: str = "base",
+                 params: Optional[SimParams] = None,
+                 check: bool = True) -> RunResult:
+    """Build, optimize, simulate, and synthesize one configuration.
+
+    ``workload`` is a name or :class:`Workload`.  The simulated memory
+    image is verified against the reference interpreter unless
+    ``check=False`` (every uopt configuration must preserve behavior —
+    that is the paper's core claim, so we always assert it in anger).
+    """
+    w: Workload = get_workload(workload) if isinstance(workload, str) \
+        else workload
+    circuit = translate_module(w.module(variant),
+                               name=f"{w.name}_{config}")
+    manager = PassManager(list(passes))
+    log = manager.run(circuit)
+    mem = w.fresh_memory(variant)
+    sim_result = simulate(circuit, mem, list(w.args_for(variant)),
+                          params)
+    if check:
+        w.verify(mem, variant)
+    report = synthesize(circuit, name=w.name)
+    return RunResult(workload=w.name, config=config,
+                     cycles=sim_result.cycles,
+                     fpga_mhz=report.fpga_mhz,
+                     stats=sim_result.stats, synth=report,
+                     pass_log=log, variant=variant)

@@ -1,0 +1,217 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+translate   MiniC file -> uIR; print stats, optionally dump JSON/dot/Chisel
+simulate    compile + optimize + cycle-simulate + verify vs interpreter
+synth       report the analytic FPGA/ASIC synthesis estimate
+workloads   list the built-in paper workloads
+bench       run one built-in workload through a pass stack
+
+Pass stacks are comma-separated registry names, e.g.
+``--passes memory_localization,op_fusion`` (see ``repro.opt.PASS_REGISTRY``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+from typing import List, Optional, Sequence
+
+from .errors import ReproError
+from .frontend import compile_minic, translate_module
+from .frontend.interp import Interpreter, Memory
+from .opt import PASS_REGISTRY, PassManager
+from .rtl import emit_chisel, emit_verilog, synthesize
+from .core.serialize import save_circuit, to_dot
+from .sim import SimParams, simulate
+from .types import FloatType
+
+
+def _parse_passes(spec: Optional[str]):
+    if not spec:
+        return []
+    passes = []
+    for name in spec.split(","):
+        name = name.strip()
+        if name not in PASS_REGISTRY:
+            raise ReproError(
+                f"unknown pass {name!r}; known: "
+                f"{', '.join(sorted(PASS_REGISTRY))}")
+        passes.append(PASS_REGISTRY[name]())
+    return passes
+
+
+def _parse_args_values(module, raw: Sequence[str]) -> List:
+    main = module.main
+    if len(raw) != len(main.args):
+        raise ReproError(
+            f"@main takes {len(main.args)} argument(s) "
+            f"({', '.join(f'{a.name}: {a.type}' for a in main.args)}), "
+            f"got {len(raw)}")
+    values: List = []
+    for text, arg in zip(raw, main.args):
+        if isinstance(arg.type, FloatType):
+            values.append(float(text))
+        else:
+            values.append(int(text))
+    return values
+
+
+def _seed_memory(memory: Memory, seed: Optional[int]) -> None:
+    if seed is None:
+        return
+    rng = random.Random(seed)
+    for name, glob in memory.module.globals.items():
+        base = memory.base[name]
+        for w in range(glob.size_words):
+            if glob.elem.is_float or glob.elem.is_tensor:
+                memory.write(base + w, round(rng.uniform(-2, 2), 3))
+            else:
+                memory.write(base + w, rng.randint(-50, 50))
+
+
+def _load_circuit_pipeline(args):
+    with open(args.file) as fh:
+        source = fh.read()
+    module = compile_minic(source)
+    circuit = translate_module(module, name=args.file)
+    log = PassManager(_parse_passes(args.passes)).run(circuit)
+    return module, circuit, log
+
+
+def cmd_translate(args) -> int:
+    module, circuit, log = _load_circuit_pipeline(args)
+    print(circuit)
+    for task in circuit.tasks.values():
+        print(f"  {task.name:<28} kind={task.kind:<5} "
+              f"nodes={len(task.dataflow.nodes):<4} "
+              f"tiles={task.num_tiles}")
+    for result in log:
+        print(f"  pass {result.pass_name}: changed={result.changed} "
+              f"dN={result.delta_nodes} dE={result.delta_edges}")
+    if args.json:
+        save_circuit(circuit, args.json)
+        print(f"wrote {args.json}")
+    if args.dot:
+        with open(args.dot, "w") as fh:
+            fh.write(to_dot(circuit))
+        print(f"wrote {args.dot}")
+    if args.chisel:
+        with open(args.chisel, "w") as fh:
+            fh.write(emit_chisel(circuit))
+        print(f"wrote {args.chisel}")
+    if args.verilog:
+        with open(args.verilog, "w") as fh:
+            fh.write(emit_verilog(circuit))
+        print(f"wrote {args.verilog}")
+    return 0
+
+
+def cmd_simulate(args) -> int:
+    module, circuit, _log = _load_circuit_pipeline(args)
+    values = _parse_args_values(module, args.args)
+
+    golden = Memory(module)
+    _seed_memory(golden, args.seed)
+    Interpreter(module, golden).run(*values)
+
+    mem = Memory(module)
+    _seed_memory(mem, args.seed)
+    result = simulate(circuit, mem, values,
+                      SimParams(max_cycles=args.max_cycles))
+    ok = mem.words == golden.words
+    print(f"cycles: {result.cycles}")
+    if result.results:
+        print(f"returned: {result.results}")
+    print(f"behavior vs interpreter: {'OK' if ok else 'MISMATCH'}")
+    for key, value in sorted(result.stats.summary().items()):
+        print(f"  {key}: {value}")
+    return 0 if ok else 1
+
+
+def cmd_synth(args) -> int:
+    _module, circuit, _log = _load_circuit_pipeline(args)
+    report = synthesize(circuit)
+    for key, value in report.row().items():
+        print(f"  {key}: {value}")
+    return 0
+
+
+def cmd_workloads(_args) -> int:
+    from .workloads import WORKLOADS
+    for name, w in WORKLOADS.items():
+        variants = "+" + ",".join(w.variants) if w.variants else ""
+        print(f"  {name:<10} {w.category:<11} args={w.args} "
+              f"{variants}")
+    return 0
+
+
+def cmd_bench(args) -> int:
+    from .bench import run_workload
+    result = run_workload(args.workload,
+                          _parse_passes(args.passes),
+                          config=args.passes or "baseline",
+                          variant=args.variant)
+    print(f"{result.workload}/{result.config}: {result.cycles} cycles "
+          f"@ {result.fpga_mhz:.0f} MHz = {result.time_us:.2f} us")
+    print("behavior verified against the reference interpreter")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(p):
+        p.add_argument("file", help="MiniC source file")
+        p.add_argument("--passes", default="",
+                       help="comma-separated uopt pass names")
+
+    p = sub.add_parser("translate", help="MiniC -> uIR (+dumps)")
+    add_common(p)
+    p.add_argument("--json", help="write circuit JSON here")
+    p.add_argument("--dot", help="write Graphviz dot here")
+    p.add_argument("--chisel", help="write Chisel text here")
+    p.add_argument("--verilog", help="write Verilog skeleton here")
+    p.set_defaults(fn=cmd_translate)
+
+    p = sub.add_parser("simulate", help="cycle-simulate + verify")
+    add_common(p)
+    p.add_argument("--args", nargs="*", default=[],
+                   help="main() arguments")
+    p.add_argument("--seed", type=int, default=None,
+                   help="seed array contents pseudo-randomly")
+    p.add_argument("--max-cycles", type=int, default=5_000_000)
+    p.set_defaults(fn=cmd_simulate)
+
+    p = sub.add_parser("synth", help="FPGA/ASIC quality estimate")
+    add_common(p)
+    p.set_defaults(fn=cmd_synth)
+
+    p = sub.add_parser("workloads", help="list built-in workloads")
+    p.set_defaults(fn=cmd_workloads)
+
+    p = sub.add_parser("bench", help="run a built-in workload")
+    p.add_argument("workload")
+    p.add_argument("--passes", default="")
+    p.add_argument("--variant", default="base")
+    p.set_defaults(fn=cmd_bench)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.fn(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,32 @@
+"""uIR: the paper's microarchitectural intermediate representation.
+
+An :class:`AcceleratorCircuit` is a hierarchical, latency-insensitive
+structural graph (paper section 3):
+
+* whole-accelerator level: :class:`TaskBlock`s joined by task edges
+  (``<||>`` spawn/call interfaces) and memory edges (``<==>``
+  request/response interfaces) to hardware :class:`Structure`s
+  (scratchpads, caches) through :class:`Junction`s;
+* task level: a pipelined dataflow of typed :class:`Node`s joined by
+  ready/valid :class:`Connection`s.
+"""
+
+from .oplib import OpInfo, op_info  # noqa: F401
+from .graph import Connection, Dataflow, Node, Port  # noqa: F401
+from .nodes import (  # noqa: F401
+    CallNode,
+    ComputeNode,
+    ConstNode,
+    LiveIn,
+    LiveOut,
+    LoadNode,
+    LoopControl,
+    PhiNode,
+    SelectNode,
+    SpawnNode,
+    StoreNode,
+    TensorComputeNode,
+)
+from .structures import Cache, DRAMModel, Junction, Scratchpad, Structure  # noqa: F401
+from .circuit import AcceleratorCircuit, TaskBlock, TaskEdge  # noqa: F401
+from .validate import validate_circuit  # noqa: F401

@@ -1,0 +1,367 @@
+"""Concrete uIR dataflow node kinds (paper section 3.3-3.5).
+
+Every node is a function unit with typed ports.  Side-effecting nodes
+(loads, stores, calls, spawns) carry an optional ``pred`` input for
+dataflow predication: a false predicate bypasses the operation and
+poisons/suppresses the effect.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple, Union
+
+from ..errors import GraphError
+from ..types import BOOL, I32, VOID, TensorType, Type
+from .graph import Node, Port
+from .oplib import OpInfo, op_info
+
+# An operand of a fused expression: external input index or prior expr.
+FusedRef = Tuple[str, int]  # ("in", i) | ("expr", i)
+
+
+class LiveIn(Node):
+    """Task live-in: argument ``index`` of the task invocation."""
+
+    KIND = "livein"
+
+    def __init__(self, index: int, type_: Type, name: str = ""):
+        super().__init__(name or f"livein{index}")
+        self.index = index
+        self.out = self.add_out("out", type_)
+
+    def describe(self) -> str:
+        return f"livein[{self.index}]:{self.out.type}"
+
+
+class LiveOut(Node):
+    """Task live-out: result ``index`` returned to the parent."""
+
+    KIND = "liveout"
+
+    def __init__(self, index: int, type_: Type, name: str = ""):
+        super().__init__(name or f"liveout{index}")
+        self.index = index
+        self.inp = self.add_in("in", type_)
+
+    def describe(self) -> str:
+        return f"liveout[{self.index}]:{self.inp.type}"
+
+
+class ConstNode(Node):
+    """A constant source; emits its value on demand."""
+
+    KIND = "const"
+
+    def __init__(self, value, type_: Type, name: str = ""):
+        super().__init__(name or f"const_{value}")
+        self.value = value
+        self.out = self.add_out("out", type_)
+
+    def describe(self) -> str:
+        return f"const {self.value}:{self.out.type}"
+
+
+class ComputeNode(Node):
+    """A function unit for one scalar (or tensor) operation."""
+
+    KIND = "compute"
+
+    def __init__(self, op: str, type_: Type, arity: int = 2,
+                 name: str = "", operand_types: Sequence[Type] = ()):
+        super().__init__(name or op)
+        self.op = op
+        if operand_types:
+            in_types = list(operand_types)
+        else:
+            in_types = [type_] * arity
+        port_names = ["a", "b", "c"]
+        self.in_ports = [self.add_in(port_names[i], t)
+                         for i, t in enumerate(in_types)]
+        self.out = self.add_out("out", type_)
+        # GEP scale factor (element size in words), used by semantics.
+        self.gep_scale: int = 1
+
+    @property
+    def info(self) -> OpInfo:
+        return op_info(self.op, self.out.type)
+
+    def describe(self) -> str:
+        return f"{self.op}:{self.out.type}"
+
+
+class TensorComputeNode(ComputeNode):
+    """A higher-order tensor function unit (section 6.3, Figure 14)."""
+
+    KIND = "tensor"
+
+    def __init__(self, op: str, type_: TensorType, arity: int = 2,
+                 name: str = "", operand_types: Sequence[Type] = ()):
+        if not isinstance(type_, TensorType):
+            raise GraphError(f"tensor node requires TensorType, got {type_}")
+        super().__init__(op, type_, arity, name,
+                         operand_types=operand_types)
+
+
+class FusedComputeNode(Node):
+    """Several fusable ops retimed into one pipeline stage (section 6.1).
+
+    ``exprs`` is a tiny expression DAG evaluated in one node firing:
+    each entry is ``(op, [refs], result_type, gep_scale)`` with refs
+    pointing at external inputs (``("in", i)``) or earlier entries
+    (``("expr", i)``); the node's output is the last entry's value.
+    """
+
+    KIND = "fused"
+
+    def __init__(self, name: str, in_types: Sequence[Type],
+                 out_type: Type,
+                 exprs: List[Tuple[str, List[FusedRef], Type, int]],
+                 fused_names: Sequence[str] = ()):
+        super().__init__(name)
+        self.in_ports = [self.add_in(f"in{i}", t)
+                         for i, t in enumerate(in_types)]
+        self.out = self.add_out("out", out_type)
+        self.exprs = exprs
+        self.fused_names = list(fused_names)
+        self.latency = 1
+        self.delay_ns = sum(op_info(op, t).delay_ns
+                            for op, _refs, t, _s in exprs)
+
+    def describe(self) -> str:
+        ops = "+".join(op for op, _r, _t, _s in self.exprs)
+        return f"fused({ops}):{self.out.type}"
+
+
+class SelectNode(Node):
+    """2-way multiplexer (dataflow predication merge point)."""
+
+    KIND = "select"
+
+    def __init__(self, type_: Type, name: str = ""):
+        super().__init__(name or "select")
+        self.cond = self.add_in("cond", BOOL)
+        self.a = self.add_in("a", type_)
+        self.b = self.add_in("b", type_)
+        self.out = self.add_out("out", type_)
+
+    def describe(self) -> str:
+        return f"select:{self.out.type}"
+
+
+class PhiNode(Node):
+    """Loop-carried value: iteration 0 takes ``init``, then ``back``.
+
+    ``out`` streams the per-iteration value; ``final`` emits once, at
+    loop completion, carrying the value produced by the last iteration
+    (the loop's live-out).
+    """
+
+    KIND = "phi"
+
+    def __init__(self, type_: Type, name: str = ""):
+        super().__init__(name or "phi")
+        self.init = self.add_in("init", type_)
+        self.back = self.add_in("back", type_)
+        self.out = self.add_out("out", type_)
+        self.final = self.add_out("final", type_)
+
+    def describe(self) -> str:
+        return f"phi:{self.out.type}"
+
+
+class LoopControl(Node):
+    """Iteration sequencer for a loop task (section 3.5).
+
+    Counted mode streams indices ``start, start+step, ...`` while
+    ``index < bound``.  Conditional mode (general loops) additionally
+    consumes a per-iteration ``cont`` token from the body and stops on
+    the first False.
+
+    ``pipeline_stages`` models the control recurrence
+    (buffer -> phi -> increment -> compare -> branch, the paper's Pass 5
+    example): consecutive iterations issue at least that many cycles
+    apart.  The OpFusion pass retimes it down to 1.
+    ``max_in_flight`` bounds concurrent iterations in the body pipeline
+    (1 serializes iterations, e.g. loop-carried memory accumulators).
+    """
+
+    KIND = "loopctl"
+
+    def __init__(self, name: str = "loopctl", conditional: bool = False):
+        super().__init__(name)
+        self.start = self.add_in("start", I32)
+        self.bound = self.add_in("bound", I32)
+        self.step = self.add_in("step", I32)
+        self.index = self.add_out("index", I32)
+        self.active = self.add_out("active", BOOL)   # one True/iteration
+        self.done = self.add_out("done", BOOL)       # once, at loop end
+        self.final = self.add_out("final", I32)      # final index value
+        self.conditional = conditional
+        self.cont: Optional[Port] = (
+            self.add_in("cont", BOOL) if conditional else None)
+        # Baseline control path: buffer -> phi -> i++ -> compare ->
+        # branch (the paper's five-stage Pass-5 example).
+        self.pipeline_stages: int = 5
+        self.max_in_flight: int = 64
+
+    def describe(self) -> str:
+        return "loopctl(cond)" if self.conditional else "loopctl"
+
+
+class LoadNode(Node):
+    """Memory load transit node with an internal databox (section 3.4).
+
+    The databox widens a typed access into ``type.words`` parallel word
+    transactions and coalesces responses.  ``max_outstanding`` bounds
+    in-flight requests (in-order completion per node).
+    """
+
+    KIND = "load"
+
+    def __init__(self, type_: Type, name: str = ""):
+        super().__init__(name or "load")
+        self.addr = self.add_in("addr", I32)
+        self.out = self.add_out("out", type_)
+        self.done = self.add_out("done", BOOL)
+        self.pred: Optional[Port] = None
+        self.order_in: Optional[Port] = None
+        self.max_outstanding = 4
+        self.junction_index: int = -1   # set by task wiring / passes
+        self.array: Optional[str] = None  # points-to result (if known)
+
+    def enable_predicate(self) -> Port:
+        if self.pred is None:
+            self.pred = self.add_in("pred", BOOL)
+        return self.pred
+
+    def enable_order_in(self) -> Port:
+        if self.order_in is None:
+            self.order_in = self.add_in("order", BOOL)
+        return self.order_in
+
+    def describe(self) -> str:
+        return f"load:{self.out.type}"
+
+
+class StoreNode(Node):
+    """Memory store transit node; ``done`` signals write completion."""
+
+    KIND = "store"
+
+    def __init__(self, type_: Type, name: str = ""):
+        super().__init__(name or "store")
+        self.addr = self.add_in("addr", I32)
+        self.data = self.add_in("data", type_)
+        self.done = self.add_out("done", BOOL)
+        self.pred: Optional[Port] = None
+        self.order_in: Optional[Port] = None
+        self.max_outstanding = 4
+        self.junction_index: int = -1
+        self.value_type = type_
+        self.array: Optional[str] = None
+
+    def enable_predicate(self) -> Port:
+        if self.pred is None:
+            self.pred = self.add_in("pred", BOOL)
+        return self.pred
+
+    def enable_order_in(self) -> Port:
+        if self.order_in is None:
+            self.order_in = self.add_in("order", BOOL)
+        return self.order_in
+
+    def describe(self) -> str:
+        return f"store:{self.value_type}"
+
+
+class CallNode(Node):
+    """Request/response interface to a child task block (nested loops,
+    function calls).  A variable-latency non-deterministic node from the
+    parent dataflow's perspective (section 3.3)."""
+
+    KIND = "call"
+
+    def __init__(self, callee: str, arg_types: Sequence[Type],
+                 ret_types: Union[Type, Sequence[Type]], name: str = ""):
+        super().__init__(name or f"call_{callee}")
+        self.callee = callee
+        self.arg_ports = [self.add_in(f"arg{i}", t)
+                          for i, t in enumerate(arg_types)]
+        if isinstance(ret_types, Type):
+            ret_types = [] if ret_types == VOID else [ret_types]
+        self.ret_ports = [self.add_out(f"ret{i}", t)
+                          for i, t in enumerate(ret_types)]
+        self.pred: Optional[Port] = None
+        # Ordering chain for memory dependences between sibling tasks.
+        self.order_in: Optional[Port] = None
+        self.order_out = self.add_out("done", BOOL)
+        # serialize=True -> at most one invocation in flight (self-
+        # conflicting callees, e.g. in-place FFT stages).
+        self.serialize = False
+        self.max_outstanding = 8
+
+    def enable_predicate(self) -> Port:
+        if self.pred is None:
+            self.pred = self.add_in("pred", BOOL)
+        return self.pred
+
+    def enable_order_in(self) -> Port:
+        if self.order_in is None:
+            self.order_in = self.add_in("order", BOOL)
+        return self.order_in
+
+    def describe(self) -> str:
+        return f"call @{self.callee}"
+
+
+class SpawnNode(Node):
+    """Fire-and-forget task creation (<||> interface, Cilk spawn)."""
+
+    KIND = "spawn"
+
+    def __init__(self, callee: str, arg_types: Sequence[Type],
+                 name: str = ""):
+        super().__init__(name or f"spawn_{callee}")
+        self.callee = callee
+        self.arg_ports = [self.add_in(f"arg{i}", t)
+                          for i, t in enumerate(arg_types)]
+        self.issued = self.add_out("issued", BOOL)
+        self.pred: Optional[Port] = None
+        self.order_in: Optional[Port] = None
+
+    def enable_predicate(self) -> Port:
+        if self.pred is None:
+            self.pred = self.add_in("pred", BOOL)
+        return self.pred
+
+    def enable_order_in(self) -> Port:
+        if self.order_in is None:
+            self.order_in = self.add_in("order", BOOL)
+        return self.order_in
+
+    def describe(self) -> str:
+        return f"spawn @{self.callee}"
+
+
+class SyncNode(Node):
+    """Cilk sync: emits ``done`` once every task spawned by this
+    invocation has completed (the join half of the <||> interface)."""
+
+    KIND = "sync"
+
+    def __init__(self, name: str = "sync"):
+        super().__init__(name)
+        self.order_in: Optional[Port] = None
+        self.done = self.add_out("done", BOOL)
+
+    def enable_order_in(self) -> Port:
+        if self.order_in is None:
+            self.order_in = self.add_in("order", BOOL)
+        return self.order_in
+
+    def describe(self) -> str:
+        return "sync"
+
+
+#: Node kinds with memory side effects (clients of junctions).
+MEMORY_NODE_KINDS = ("load", "store")

@@ -1,0 +1,139 @@
+"""Operation library: per-op latency, combinational delay, and cost class.
+
+This is the reproduction's version of the paper's "uIR library of
+microarchitecture components".  Three consumers share it:
+
+* the cycle simulator takes ``latency`` (pipeline depth in cycles),
+* the OpFusion pass packs chains while total ``delay_ns`` fits in the
+  clock period (so fusion never robs frequency, section 6.1),
+* the RTL synthesis model maps ``area_class`` to ALM/Reg/DSP and ASIC
+  area/power (Table 2).
+
+Latencies follow common FPGA IP depths: single-cycle integer ALU ops, a
+3-stage integer multiplier, 4-stage hardfloat add/mul, long iterative
+divide/sqrt/exp, and a reduction-tree Tensor2D unit (Figure 14).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..types import FloatType, TensorType, Type
+
+
+@dataclass(frozen=True)
+class OpInfo:
+    """Hardware characteristics of one operation."""
+
+    latency: int          # pipeline depth, cycles (II = 1 unless noted)
+    delay_ns: float       # combinational delay of one stage
+    area_class: str       # key into the RTL cost library
+    initiation_interval: int = 1
+
+
+_INT_OPS = {
+    "add": OpInfo(1, 0.55, "int_alu"),
+    "sub": OpInfo(1, 0.55, "int_alu"),
+    "and": OpInfo(1, 0.25, "int_logic"),
+    "or": OpInfo(1, 0.25, "int_logic"),
+    "xor": OpInfo(1, 0.25, "int_logic"),
+    "not": OpInfo(1, 0.20, "int_logic"),
+    "neg": OpInfo(1, 0.55, "int_alu"),
+    "abs": OpInfo(1, 0.60, "int_alu"),
+    "shl": OpInfo(1, 0.40, "int_shift"),
+    "lshr": OpInfo(1, 0.40, "int_shift"),
+    "ashr": OpInfo(1, 0.40, "int_shift"),
+    "mul": OpInfo(3, 0.95, "int_mul"),
+    "div": OpInfo(12, 1.10, "int_div", initiation_interval=4),
+    "rem": OpInfo(12, 1.10, "int_div", initiation_interval=4),
+    "eq": OpInfo(1, 0.45, "int_cmp"),
+    "ne": OpInfo(1, 0.45, "int_cmp"),
+    "lt": OpInfo(1, 0.50, "int_cmp"),
+    "le": OpInfo(1, 0.50, "int_cmp"),
+    "gt": OpInfo(1, 0.50, "int_cmp"),
+    "ge": OpInfo(1, 0.50, "int_cmp"),
+}
+
+_FLOAT_OPS = {
+    "fadd": OpInfo(4, 1.30, "fp_add"),
+    "fsub": OpInfo(4, 1.30, "fp_add"),
+    "fneg": OpInfo(1, 0.20, "int_logic"),
+    "fmul": OpInfo(4, 1.40, "fp_mul"),
+    "fdiv": OpInfo(14, 1.60, "fp_div", initiation_interval=6),
+    "exp": OpInfo(18, 1.60, "fp_elem", initiation_interval=4),
+    "sqrt": OpInfo(14, 1.50, "fp_elem", initiation_interval=6),
+    "itof": OpInfo(2, 0.90, "fp_cvt"),
+    "ftoi": OpInfo(2, 0.90, "fp_cvt"),
+    # Float comparisons share the int comparator class cost-wise.
+    "feq": OpInfo(1, 0.60, "int_cmp"),
+    "flt": OpInfo(1, 0.60, "int_cmp"),
+}
+
+_TENSOR_OPS = {
+    # Reduction-tree Tensor2D multiplier (Figure 14): all scalar
+    # products in parallel, log-depth adder tree; pipelined.
+    "tmul": OpInfo(4, 1.50, "tensor_mul"),
+    "tadd": OpInfo(2, 1.30, "tensor_add"),
+    "tsub": OpInfo(2, 1.30, "tensor_add"),
+    "trelu": OpInfo(1, 0.40, "tensor_relu"),
+}
+
+_MISC_OPS = {
+    "select": OpInfo(1, 0.35, "mux"),
+    "phi": OpInfo(1, 0.35, "mux"),
+    "const": OpInfo(0, 0.10, "const"),
+    "gep": OpInfo(1, 0.55, "int_alu"),
+    "livein": OpInfo(0, 0.10, "buffer"),
+    "liveout": OpInfo(0, 0.10, "buffer"),
+    "loopctl": OpInfo(1, 0.70, "loop_control"),
+    "load": OpInfo(1, 0.60, "mem_port"),
+    "store": OpInfo(1, 0.60, "mem_port"),
+    "call": OpInfo(1, 0.70, "task_iface"),
+    "spawn": OpInfo(1, 0.70, "task_iface"),
+    "sync": OpInfo(1, 0.50, "task_iface"),
+}
+
+_ALL_OPS = {**_INT_OPS, **_FLOAT_OPS, **_TENSOR_OPS, **_MISC_OPS}
+
+#: Ops whose dataflow node may be fused with neighbours (section 6.1):
+#: cheap single-stage logic/arithmetic that composes combinationally.
+FUSABLE_OPS = {
+    "add", "sub", "and", "or", "xor", "not", "neg", "shl", "lshr",
+    "ashr", "eq", "ne", "lt", "le", "gt", "ge", "select", "gep", "abs",
+}
+
+
+def op_info(op: str, type_: Type = None) -> OpInfo:
+    """Look up hardware characteristics for ``op`` producing ``type_``.
+
+    Integer opcode names double as float ones when the node type is a
+    float (the translator keeps LLVM-style distinct names, but a few
+    generic sites pass the shared comparison names).
+    """
+    if type_ is not None and isinstance(type_, FloatType):
+        if op in {"eq", "ne"}:
+            return _FLOAT_OPS["feq"]
+        if op in {"lt", "le", "gt", "ge"}:
+            return _FLOAT_OPS["flt"]
+    if type_ is not None and isinstance(type_, TensorType) \
+            and op in {"add", "mul", "sub"}:
+        return _TENSOR_OPS["t" + op]
+    info = _ALL_OPS.get(op)
+    if info is None:
+        raise KeyError(f"unknown operation {op!r}")
+    return info
+
+
+def is_fusable(op: str, type_: Type = None) -> bool:
+    """May a node running ``op`` participate in op-fusion?"""
+    if type_ is not None and (isinstance(type_, FloatType)
+                              or isinstance(type_, TensorType)):
+        # Float/tensor units are deep pipelines; fusing them would
+        # stretch the critical stage (the pass skips them).
+        return op in {"select"}
+    return op in FUSABLE_OPS
+
+
+def known_ops():
+    """All opcodes in the library (for tests and the RTL cost DB)."""
+    return sorted(_ALL_OPS)

@@ -1,0 +1,129 @@
+"""Shared functional semantics of compute operations.
+
+The reference interpreter, the uIR cycle simulator, and fused-node
+evaluation all execute the *same* scalar/tensor operation definitions
+from this module, so "transformations preserve behavior" is checkable
+by construction.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence, Tuple
+
+from ..errors import SimulationError
+from ..types import BoolType, IntType, TensorType, Type
+
+
+def eval_compute(op: str, vals: Sequence, result_type: Type):
+    """Evaluate pure operation ``op`` over concrete values."""
+    if op == "add":
+        return _wrap(int(vals[0]) + int(vals[1]), result_type)
+    if op == "sub":
+        return _wrap(int(vals[0]) - int(vals[1]), result_type)
+    if op == "mul":
+        return _wrap(int(vals[0]) * int(vals[1]), result_type)
+    if op == "div":
+        return _wrap(_int_div(int(vals[0]), int(vals[1])), result_type)
+    if op == "rem":
+        a, b = int(vals[0]), int(vals[1])
+        return _wrap(a - _int_div(a, b) * b, result_type)
+    if op == "and":
+        return _wrap(int(vals[0]) & int(vals[1]), result_type)
+    if op == "or":
+        return _wrap(int(vals[0]) | int(vals[1]), result_type)
+    if op == "xor":
+        return _wrap(int(vals[0]) ^ int(vals[1]), result_type)
+    if op == "shl":
+        return _wrap(int(vals[0]) << (int(vals[1]) & 31), result_type)
+    if op == "lshr":
+        width = result_type.bits or 32
+        return _wrap((int(vals[0]) & ((1 << width) - 1))
+                     >> (int(vals[1]) & 31), result_type)
+    if op == "ashr":
+        return _wrap(int(vals[0]) >> (int(vals[1]) & 31), result_type)
+    if op == "fadd":
+        return float(vals[0]) + float(vals[1])
+    if op == "fsub":
+        return float(vals[0]) - float(vals[1])
+    if op == "fmul":
+        return float(vals[0]) * float(vals[1])
+    if op == "fdiv":
+        if float(vals[1]) == 0.0:
+            raise SimulationError("float division by zero")
+        return float(vals[0]) / float(vals[1])
+    if op in ("eq", "ne", "lt", "le", "gt", "ge"):
+        a, b = vals
+        return {"eq": a == b, "ne": a != b, "lt": a < b,
+                "le": a <= b, "gt": a > b, "ge": a >= b}[op]
+    if op == "select":
+        return vals[1] if vals[0] else vals[2]
+    if op == "neg":
+        return _wrap(-int(vals[0]), result_type)
+    if op == "fneg":
+        return -float(vals[0])
+    if op == "not":
+        return _wrap(~int(vals[0]), result_type)
+    if op == "abs":
+        return abs(vals[0])
+    if op == "exp":
+        return math.exp(float(vals[0]))
+    if op == "sqrt":
+        return math.sqrt(float(vals[0]))
+    if op == "itof":
+        return float(vals[0])
+    if op == "ftoi":
+        return int(vals[0])
+    if op == "gep":
+        # vals: (base_addr, index); scaling handled by the caller, who
+        # passes the element size in words as vals[2].
+        scale = int(vals[2]) if len(vals) > 2 else 1
+        return int(vals[0]) + int(vals[1]) * scale
+    if op == "tadd":
+        return tuple(x + y for x, y in zip(vals[0], vals[1]))
+    if op == "tsub":
+        return tuple(x - y for x, y in zip(vals[0], vals[1]))
+    if op == "tmul":
+        return tensor_matmul(vals[0], vals[1], result_type)
+    if op == "trelu":
+        return tuple(v if v > 0 else 0.0 for v in vals[0])
+    raise SimulationError(f"no semantics for op {op!r}")
+
+
+def tensor_matmul(a: Tuple, b: Tuple, t: TensorType) -> Tuple:
+    """rows x cols tile matrix product (square tiles)."""
+    n, m = t.rows, t.cols
+    out = []
+    for i in range(n):
+        for j in range(m):
+            acc = 0.0
+            for k in range(m):
+                acc += a[i * m + k] * b[k * m + j]
+            out.append(acc)
+    return tuple(out)
+
+
+def _int_div(a: int, b: int) -> int:
+    if b == 0:
+        raise SimulationError("integer division by zero")
+    q = a // b
+    if (a < 0) != (b < 0) and q * b != a:
+        q += 1  # round toward zero, C-style
+    return q
+
+
+def _wrap(value: int, t: Type):
+    if isinstance(t, IntType):
+        return t.wrap(int(value))
+    if isinstance(t, BoolType):
+        return int(value) & 1
+    return int(value)
+
+
+def poison_value(t: Type):
+    """The value a predicated-off node forwards (paper section 3.5)."""
+    if isinstance(t, TensorType):
+        return tuple(0.0 for _ in range(t.elements))
+    if t.is_float:
+        return 0.0
+    return 0

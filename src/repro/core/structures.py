@@ -1,0 +1,165 @@
+"""Hardware structures and junctions (paper sections 3.2 and 3.4).
+
+Structures encapsulate state with no software representation: local
+scratchpads and caches forming the partitioned global address space.
+All structures are *views* over the single coherent global memory image
+(the paper's address spaces are incoherent with each other but coherent
+with DRAM; our workloads never alias one array into two spaces, so a
+shared backing image with per-structure timing is behavior-identical).
+
+A :class:`Junction` is the N:1 time-multiplexed request network between
+a task's memory nodes and one structure; its ``issue_width`` is the
+number of requests it can forward per cycle.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..errors import GraphError
+from .graph import Node
+
+
+class Structure:
+    """Base class for circuit-level hardware structures."""
+
+    KIND = "structure"
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def describe(self) -> str:
+        return self.KIND
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.name})"
+
+
+class Scratchpad(Structure):
+    """Software-managed local RAM (DMA-filled before kernel start).
+
+    ``arrays`` lists the global arrays this scratchpad serves; the
+    memory-localization pass populates it.  ``shape`` optionally records
+    a tensor tile shape so RTL generation can emit wide RAM ports
+    (section 6.3: "uIR autogenerates RTL for the appropriate RAMs").
+    """
+
+    KIND = "scratchpad"
+
+    def __init__(self, name: str, size_words: int = 16384,
+                 banks: int = 1, ports_per_bank: int = 1,
+                 latency: int = 1, arrays: Sequence[str] = (),
+                 shape: Optional[tuple] = None,
+                 write_buffer_entries: int = 0):
+        super().__init__(name)
+        self.size_words = size_words
+        self.banks = banks
+        self.ports_per_bank = ports_per_bank
+        self.latency = latency
+        self.arrays: List[str] = list(arrays)
+        self.shape = shape
+        #: >0 enables a writeback buffer: stores complete on buffer
+        #: entry (with store-to-load forwarding), draining to the
+        #: banks in the background (paper Pass 3's "separate
+        #: writeback buffer" option).
+        self.write_buffer_entries = write_buffer_entries
+
+    @property
+    def total_ports(self) -> int:
+        return self.banks * self.ports_per_bank
+
+    def describe(self) -> str:
+        return (f"scratchpad[{self.size_words}w, {self.banks}b x "
+                f"{self.ports_per_bank}p, lat={self.latency}]")
+
+
+class Cache(Structure):
+    """Hardware-managed cache backed by DRAM (the default global path).
+
+    ``ways`` selects associativity (1 = direct mapped); replacement is
+    LRU within a set.
+    """
+
+    KIND = "cache"
+
+    def __init__(self, name: str, size_words: int = 16384,
+                 banks: int = 1, line_words: int = 4,
+                 hit_latency: int = 2, ports_per_bank: int = 1,
+                 ways: int = 1):
+        super().__init__(name)
+        if ways < 1:
+            raise GraphError(f"cache {name}: bad associativity {ways}")
+        self.size_words = size_words
+        self.banks = banks
+        self.line_words = line_words
+        self.hit_latency = hit_latency
+        self.ports_per_bank = ports_per_bank
+        self.ways = ways
+
+    @property
+    def lines_per_bank(self) -> int:
+        return max(1, self.size_words // (self.line_words * self.banks))
+
+    @property
+    def sets_per_bank(self) -> int:
+        return max(1, self.lines_per_bank // self.ways)
+
+    def describe(self) -> str:
+        return (f"cache[{self.size_words}w, {self.banks}b, "
+                f"{self.ways}way, line={self.line_words}w, "
+                f"hit={self.hit_latency}]")
+
+
+class DRAMModel(Structure):
+    """Off-chip memory behind the AXI port."""
+
+    KIND = "dram"
+
+    def __init__(self, name: str = "dram", latency: int = 24,
+                 requests_per_cycle: int = 2):
+        super().__init__(name)
+        self.latency = latency
+        self.requests_per_cycle = requests_per_cycle
+
+    def describe(self) -> str:
+        return f"dram[lat={self.latency}, bw={self.requests_per_cycle}/cyc]"
+
+
+class Junction:
+    """N:1 (requests) / 1:N (responses) network between memory nodes of
+    one task and one structure (Figure 7)."""
+
+    def __init__(self, name: str, structure: Structure,
+                 issue_width: int = 1):
+        self.name = name
+        self.structure = structure
+        self.issue_width = issue_width
+        self.clients: List[Node] = []
+
+    def attach(self, node: Node) -> None:
+        if node.kind not in ("load", "store"):
+            raise GraphError(
+                f"junction {self.name}: only load/store nodes attach, "
+                f"got {node.kind}")
+        if node in self.clients:
+            return
+        self.clients.append(node)
+        node.junction_index = -1  # fixed up by TaskBlock.reindex
+
+    def detach(self, node: Node) -> None:
+        self.clients.remove(node)
+
+    @property
+    def n_read(self) -> int:
+        return sum(1 for n in self.clients if n.kind == "load")
+
+    @property
+    def n_write(self) -> int:
+        return sum(1 for n in self.clients if n.kind == "store")
+
+    def describe(self) -> str:
+        return (f"junction(R={self.n_read}, W={self.n_write}) "
+                f"-> {self.structure.name}")
+
+    def __repr__(self) -> str:
+        return f"Junction({self.name}, {self.describe()})"

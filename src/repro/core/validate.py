@@ -1,0 +1,160 @@
+"""Structural validation of uIR circuits.
+
+Validation runs after translation and after every uopt pass (the
+latency-insensitive interfaces make pass composition safe only if the
+structure stays well-formed, paper "Composability").
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..errors import GraphError, ValidationError
+from ..types import BoolType
+from .circuit import AcceleratorCircuit, TaskBlock
+from .graph import Node
+
+
+def validate_circuit(circuit: AcceleratorCircuit,
+                     raise_on_error: bool = True) -> List[str]:
+    """Check structural invariants; returns the violation list."""
+    problems: List[str] = []
+    for task in circuit.tasks.values():
+        problems.extend(_validate_task(circuit, task))
+    problems.extend(_validate_task_edges(circuit))
+    for junction_owner in circuit.tasks.values():
+        for junction in junction_owner.junctions:
+            if junction.structure not in circuit.structures:
+                problems.append(
+                    f"{junction_owner.name}: junction {junction.name} "
+                    f"targets structure {junction.structure.name} not in "
+                    f"circuit")
+    if problems and raise_on_error:
+        raise ValidationError(problems)
+    return problems
+
+
+def _validate_task(circuit: AcceleratorCircuit,
+                   task: TaskBlock) -> List[str]:
+    problems: List[str] = []
+    df = task.dataflow
+
+    # Every mandatory input port driven; types agree across connections.
+    for node in df.nodes:
+        for port in node.inputs:
+            if port.incoming is None:
+                if _optional_port(node, port.name):
+                    continue
+                problems.append(
+                    f"{task.name}/{node.name}: input port {port.name} "
+                    f"not driven")
+        for port in node.outputs:
+            for conn in port.outgoing:
+                if not _types_compatible(conn.src.type, conn.dst.type):
+                    problems.append(
+                        f"{task.name}: type mismatch on "
+                        f"{conn.src.label()} ({conn.src.type}) -> "
+                        f"{conn.dst.label()} ({conn.dst.type})")
+
+    # Live-in/out indices match the task signature.
+    liveins = sorted((n for n in df.nodes if n.kind == "livein"),
+                     key=lambda n: n.index)
+    for n in liveins:
+        if n.index >= len(task.live_in_types):
+            problems.append(
+                f"{task.name}: livein index {n.index} out of range")
+        elif n.out.type != task.live_in_types[n.index]:
+            problems.append(
+                f"{task.name}: livein{n.index} type {n.out.type} != "
+                f"signature {task.live_in_types[n.index]}")
+    liveouts = [n for n in df.nodes if n.kind == "liveout"]
+    seen_out = set()
+    for n in liveouts:
+        if n.index in seen_out:
+            problems.append(
+                f"{task.name}: duplicate liveout index {n.index}")
+        seen_out.add(n.index)
+        if n.index >= len(task.live_out_types):
+            problems.append(
+                f"{task.name}: liveout index {n.index} out of range")
+
+    # Memory nodes attach to exactly one junction of this task.
+    junction_members = set()
+    for junction in task.junctions:
+        for client in junction.clients:
+            if id(client) in junction_members:
+                problems.append(
+                    f"{task.name}: {client.name} attached to two "
+                    f"junctions")
+            junction_members.add(id(client))
+    for node in task.memory_nodes():
+        if id(node) not in junction_members:
+            problems.append(
+                f"{task.name}: memory node {node.name} not attached to "
+                f"a junction")
+
+    # Loop tasks need exactly one loop-control node.
+    n_loopctl = len(df.nodes_of_kind("loopctl"))
+    if task.kind == "loop" and n_loopctl != 1:
+        problems.append(
+            f"{task.name}: loop task has {n_loopctl} loop-control nodes")
+    if task.kind != "loop" and n_loopctl:
+        problems.append(
+            f"{task.name}: non-loop task has a loop-control node")
+
+    # No combinational cycles apart from phi back-edges.
+    try:
+        df.topological_order()
+    except GraphError as exc:
+        problems.append(str(exc))
+
+    # Call/spawn targets exist and arities match.
+    for node in task.call_sites():
+        if node.callee not in circuit.tasks:
+            problems.append(
+                f"{task.name}: {node.name} targets unknown task "
+                f"{node.callee!r}")
+            continue
+        callee = circuit.tasks[node.callee]
+        if len(node.arg_ports) != len(callee.live_in_types):
+            problems.append(
+                f"{task.name}: {node.name} passes "
+                f"{len(node.arg_ports)} args, task {callee.name} takes "
+                f"{len(callee.live_in_types)}")
+    return problems
+
+
+def _validate_task_edges(circuit: AcceleratorCircuit) -> List[str]:
+    problems: List[str] = []
+    edge_pairs = {(e.parent, e.child) for e in circuit.task_edges}
+    for task in circuit.tasks.values():
+        for node in task.call_sites():
+            if node.callee in circuit.tasks and \
+                    (task.name, node.callee) not in edge_pairs:
+                problems.append(
+                    f"missing task edge {task.name} -> {node.callee} "
+                    f"for {node.name}")
+    for parent, child in edge_pairs:
+        owner = circuit.tasks[parent]
+        if not any(n.callee == child for n in owner.call_sites()):
+            problems.append(
+                f"task edge {parent} -> {child} has no call/spawn site")
+    return problems
+
+
+def _optional_port(node: Node, port_name: str) -> bool:
+    if port_name in ("pred", "order"):
+        return True
+    if node.kind == "loopctl" and port_name == "cont":
+        return not node.conditional
+    return False
+
+
+def _types_compatible(src, dst) -> bool:
+    if src == dst:
+        return True
+    # A one-bit predicate may feed an integer port and vice versa (the
+    # RTL zero-extends); everything else must match exactly.
+    if isinstance(src, BoolType) or isinstance(dst, BoolType):
+        return not (src.is_tensor or dst.is_tensor)
+    return src.bits == dst.bits and src.is_tensor == dst.is_tensor

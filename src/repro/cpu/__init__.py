@@ -1,0 +1,3 @@
+"""ARM Cortex-A9-like CPU cycle model (paper Figure 18 baseline)."""
+
+from .arm_model import ArmA9Model, CpuResult  # noqa: F401

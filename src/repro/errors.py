@@ -1,0 +1,103 @@
+"""Exception hierarchy for the uIR reproduction.
+
+Every error raised by the library derives from :class:`ReproError`, so
+applications can catch a single type at the top level.  Sub-hierarchies
+mirror the pipeline stages: front-end (parsing / lowering), translation
+(software IR -> uIR), graph construction, optimization passes,
+simulation, and RTL generation.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class FrontendError(ReproError):
+    """Base class for errors in the MiniC front-end."""
+
+
+class LexError(FrontendError):
+    """Raised when the lexer encounters an unrecognized character."""
+
+    def __init__(self, message: str, line: int, column: int):
+        super().__init__(f"{line}:{column}: {message}")
+        self.line = line
+        self.column = column
+
+
+class ParseError(FrontendError):
+    """Raised on a syntax error in a MiniC program."""
+
+    def __init__(self, message: str, line: int = 0, column: int = 0):
+        super().__init__(f"{line}:{column}: {message}" if line else message)
+        self.line = line
+        self.column = column
+
+
+class LoweringError(FrontendError):
+    """Raised when a MiniC AST cannot be lowered to software IR."""
+
+
+class IRError(ReproError):
+    """Raised on malformed software IR (bad operands, missing blocks...)."""
+
+
+class TypeMismatchError(IRError):
+    """Raised when operand types disagree with an operation's signature."""
+
+
+class InterpreterError(ReproError):
+    """Raised when the reference interpreter hits an invalid state."""
+
+
+class TranslationError(ReproError):
+    """Raised when software IR cannot be translated to a uIR graph."""
+
+
+class GraphError(ReproError):
+    """Raised on structurally invalid uIR graphs (dangling ports...)."""
+
+
+class ValidationError(GraphError):
+    """Raised by the uIR validator; carries the list of violations."""
+
+    def __init__(self, violations):
+        self.violations = list(violations)
+        summary = "; ".join(self.violations[:5])
+        extra = len(self.violations) - 5
+        if extra > 0:
+            summary += f" (+{extra} more)"
+        super().__init__(f"uIR validation failed: {summary}")
+
+
+class PassError(ReproError):
+    """Raised when a uopt pass cannot be applied to a circuit."""
+
+
+class SimulationError(ReproError):
+    """Raised on simulator misconfiguration or runtime failure."""
+
+
+class DeadlockError(SimulationError):
+    """Raised when the simulation makes no progress for too long."""
+
+    def __init__(self, cycle: int, detail: str = ""):
+        msg = f"simulation deadlocked at cycle {cycle}"
+        if detail:
+            msg += f": {detail}"
+        super().__init__(msg)
+        self.cycle = cycle
+
+
+class RTLError(ReproError):
+    """Raised when uIR cannot be lowered to Chisel/FIRRTL/Verilog."""
+
+
+class SchedulingError(ReproError):
+    """Raised by the HLS baseline when a schedule cannot be formed."""
+
+
+class WorkloadError(ReproError):
+    """Raised when a workload definition or its golden check fails."""

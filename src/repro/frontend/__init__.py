@@ -1,0 +1,23 @@
+"""Software front-end: MiniC language, LLVM-like IR, CFG analyses,
+reference interpreter, and translation into uIR (paper Algorithm 1)."""
+
+from .ir import (  # noqa: F401
+    Argument,
+    BasicBlock,
+    Constant,
+    Function,
+    GlobalArray,
+    Instruction,
+    Module,
+    Value,
+)
+from .builder import IRBuilder  # noqa: F401
+from .parser import parse_program  # noqa: F401
+from .lower import lower_program  # noqa: F401
+from .interp import Interpreter, Memory  # noqa: F401
+from .translate import translate_module  # noqa: F401
+
+
+def compile_minic(source: str):
+    """Parse MiniC source and lower it to a software-IR module."""
+    return lower_program(parse_program(source))

@@ -1,0 +1,170 @@
+"""Abstract syntax tree for MiniC.
+
+MiniC is the reproduction's stand-in for the paper's C++/Cilk/
+Tensorflow inputs: a small C-like language with ``parallel_for`` /
+``spawn`` / ``sync`` (Cilk semantics via Tapir) and tensor intrinsics
+(``tmul``/``tadd``/``trelu`` over ``tensor<RxCxT>`` arrays).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..types import Type
+
+
+@dataclass
+class Node:
+    """Base AST node; ``line`` is the 1-based source line."""
+    line: int = 0
+
+
+# -- Expressions -----------------------------------------------------------
+
+@dataclass
+class Expr(Node):
+    pass
+
+
+@dataclass
+class IntLit(Expr):
+    value: int = 0
+
+
+@dataclass
+class FloatLit(Expr):
+    value: float = 0.0
+
+
+@dataclass
+class Name(Expr):
+    ident: str = ""
+
+
+@dataclass
+class Index(Expr):
+    base: str = ""
+    index: Optional[Expr] = None
+
+
+@dataclass
+class BinOp(Expr):
+    op: str = ""
+    left: Optional[Expr] = None
+    right: Optional[Expr] = None
+
+
+@dataclass
+class UnOp(Expr):
+    op: str = ""
+    operand: Optional[Expr] = None
+
+
+@dataclass
+class CallExpr(Expr):
+    func: str = ""
+    args: List[Expr] = field(default_factory=list)
+
+
+@dataclass
+class CastExpr(Expr):
+    target: Optional[Type] = None
+    operand: Optional[Expr] = None
+
+
+# -- Statements ------------------------------------------------------------
+
+@dataclass
+class Stmt(Node):
+    pass
+
+
+@dataclass
+class Block(Node):
+    statements: List[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class VarDecl(Stmt):
+    name: str = ""
+    declared_type: Optional[Type] = None
+    init: Optional[Expr] = None
+
+
+@dataclass
+class Assign(Stmt):
+    target: Optional[Expr] = None  # Name or Index
+    value: Optional[Expr] = None
+
+
+@dataclass
+class If(Stmt):
+    cond: Optional[Expr] = None
+    then_block: Optional[Block] = None
+    else_block: Optional[Block] = None
+
+
+@dataclass
+class For(Stmt):
+    var: str = ""
+    init: Optional[Expr] = None
+    cond: Optional[Expr] = None
+    update: Optional[Expr] = None  # value assigned to var each iteration
+    body: Optional[Block] = None
+    parallel: bool = False
+
+
+@dataclass
+class While(Stmt):
+    cond: Optional[Expr] = None
+    body: Optional[Block] = None
+
+
+@dataclass
+class SpawnStmt(Stmt):
+    call: Optional[CallExpr] = None
+
+
+@dataclass
+class SyncStmt(Stmt):
+    pass
+
+
+@dataclass
+class ReturnStmt(Stmt):
+    value: Optional[Expr] = None
+
+
+@dataclass
+class ExprStmt(Stmt):
+    expr: Optional[Expr] = None
+
+
+# -- Top level -------------------------------------------------------------
+
+@dataclass
+class Param(Node):
+    name: str = ""
+    type: Optional[Type] = None
+
+
+@dataclass
+class ArrayDecl(Node):
+    name: str = ""
+    elem: Optional[Type] = None
+    size: int = 0
+
+
+@dataclass
+class FuncDecl(Node):
+    name: str = ""
+    params: List[Param] = field(default_factory=list)
+    return_type: Optional[Type] = None
+    body: Optional[Block] = None
+
+
+@dataclass
+class Program(Node):
+    arrays: List[ArrayDecl] = field(default_factory=list)
+    functions: List[FuncDecl] = field(default_factory=list)

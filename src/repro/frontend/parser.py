@@ -1,0 +1,339 @@
+"""Recursive-descent parser for MiniC.
+
+Grammar sketch (see tests/frontend/test_parser.py for examples)::
+
+    program      := (array_decl | func_decl)*
+    array_decl   := "array" IDENT ":" type "[" INT "]" ";"
+    func_decl    := "func" IDENT "(" params? ")" ("->" type)? block
+    block        := "{" stmt* "}"
+    stmt         := var_decl | assign | if | for | parallel_for | while
+                  | spawn | sync | return | expr ";"
+    for          := ("for"|"parallel_for") "(" IDENT "=" expr ";"
+                     expr ";" IDENT "=" expr ")" block
+    expr         := precedence-climbing over || && | ^ & ==/!= relational
+                     <</>> +- */% with unary -/!/~ and postfix call/index
+
+Types are written ``i32, i64, f32, i1, tensor<RxCxELEM>``; casts look
+like calls: ``f32(x)``, ``i32(y)``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..errors import ParseError
+from ..types import Type, parse_type
+from . import ast
+from .lexer import Token, tokenize
+
+TYPE_NAMES = {"i1", "i8", "i16", "i32", "i64", "u32", "f32", "f64",
+              "bool", "int", "float", "void", "tensor"}
+
+# Binary operator precedence (higher binds tighter).
+PRECEDENCE = {
+    "||": 1, "&&": 2,
+    "|": 3, "^": 4, "&": 5,
+    "==": 6, "!=": 6,
+    "<": 7, "<=": 7, ">": 7, ">=": 7,
+    "<<": 8, ">>": 8,
+    "+": 9, "-": 9,
+    "*": 10, "/": 10, "%": 10,
+}
+
+
+class Parser:
+    def __init__(self, tokens: List[Token]):
+        self.tokens = tokens
+        self.pos = 0
+
+    # -- token plumbing ------------------------------------------------
+    @property
+    def tok(self) -> Token:
+        return self.tokens[self.pos]
+
+    def advance(self) -> Token:
+        t = self.tok
+        self.pos += 1
+        return t
+
+    def check(self, text: str) -> bool:
+        return self.tok.text == text and self.tok.kind in ("punct", "kw")
+
+    def accept(self, text: str) -> bool:
+        if self.check(text):
+            self.advance()
+            return True
+        return False
+
+    def expect(self, text: str) -> Token:
+        if not self.check(text):
+            raise ParseError(f"expected {text!r}, found {self.tok.text!r}",
+                             self.tok.line, self.tok.column)
+        return self.advance()
+
+    def expect_ident(self) -> Token:
+        if self.tok.kind != "ident":
+            raise ParseError(f"expected identifier, found {self.tok.text!r}",
+                             self.tok.line, self.tok.column)
+        return self.advance()
+
+    # -- types -----------------------------------------------------------
+    def parse_type(self) -> Type:
+        t = self.tok
+        if t.kind != "ident" or t.text not in TYPE_NAMES:
+            raise ParseError(f"expected type, found {t.text!r}",
+                             t.line, t.column)
+        self.advance()
+        if t.text == "tensor":
+            # ``tensor<2x2xf32>`` lexes as '<', '2', 'x2xf32', '>' (the
+            # lexer greedily merges alphanumerics), so reassemble the
+            # raw text between the angle brackets.
+            self.expect("<")
+            parts = []
+            while not self.check(">"):
+                tok = self.advance()
+                if tok.kind == "eof":
+                    raise ParseError("unterminated tensor type",
+                                     t.line, t.column)
+                parts.append(tok.text)
+            self.expect(">")
+            return parse_type(f"tensor<{''.join(parts)}>")
+        return parse_type(t.text)
+
+    # -- top level ---------------------------------------------------------
+    def parse_program(self) -> ast.Program:
+        program = ast.Program(line=1)
+        while self.tok.kind != "eof":
+            if self.check("array"):
+                program.arrays.append(self.parse_array_decl())
+            elif self.check("func"):
+                program.functions.append(self.parse_func_decl())
+            else:
+                raise ParseError(
+                    f"expected 'array' or 'func', found {self.tok.text!r}",
+                    self.tok.line, self.tok.column)
+        return program
+
+    def parse_array_decl(self) -> ast.ArrayDecl:
+        line = self.tok.line
+        self.expect("array")
+        name = self.expect_ident().text
+        self.expect(":")
+        elem = self.parse_type()
+        self.expect("[")
+        size_tok = self.advance()
+        if size_tok.kind != "int":
+            raise ParseError("array size must be an integer literal",
+                             size_tok.line, size_tok.column)
+        self.expect("]")
+        self.expect(";")
+        return ast.ArrayDecl(line=line, name=name, elem=elem,
+                             size=int(size_tok.text))
+
+    def parse_func_decl(self) -> ast.FuncDecl:
+        line = self.tok.line
+        self.expect("func")
+        name = self.expect_ident().text
+        self.expect("(")
+        params: List[ast.Param] = []
+        while not self.check(")"):
+            if params:
+                self.expect(",")
+            pname = self.expect_ident().text
+            self.expect(":")
+            ptype = self.parse_type()
+            params.append(ast.Param(name=pname, type=ptype))
+        self.expect(")")
+        return_type: Optional[Type] = None
+        if self.accept("->"):
+            return_type = self.parse_type()
+        body = self.parse_block()
+        return ast.FuncDecl(line=line, name=name, params=params,
+                            return_type=return_type, body=body)
+
+    # -- statements ----------------------------------------------------------
+    def parse_block(self) -> ast.Block:
+        line = self.tok.line
+        self.expect("{")
+        statements: List[ast.Stmt] = []
+        while not self.check("}"):
+            statements.append(self.parse_stmt())
+        self.expect("}")
+        return ast.Block(line=line, statements=statements)
+
+    def parse_stmt(self) -> ast.Stmt:
+        t = self.tok
+        if self.check("var"):
+            return self.parse_var_decl()
+        if self.check("if"):
+            return self.parse_if()
+        if self.check("for") or self.check("parallel_for"):
+            return self.parse_for()
+        if self.check("while"):
+            return self.parse_while()
+        if self.check("spawn"):
+            return self.parse_spawn()
+        if self.check("sync"):
+            self.advance()
+            self.expect(";")
+            return ast.SyncStmt(line=t.line)
+        if self.check("return"):
+            self.advance()
+            value = None if self.check(";") else self.parse_expr()
+            self.expect(";")
+            return ast.ReturnStmt(line=t.line, value=value)
+        # assignment or expression statement
+        expr = self.parse_expr()
+        if self.accept("="):
+            if not isinstance(expr, (ast.Name, ast.Index)):
+                raise ParseError("invalid assignment target",
+                                 t.line, t.column)
+            value = self.parse_expr()
+            self.expect(";")
+            return ast.Assign(line=t.line, target=expr, value=value)
+        self.expect(";")
+        return ast.ExprStmt(line=t.line, expr=expr)
+
+    def parse_var_decl(self) -> ast.VarDecl:
+        line = self.tok.line
+        self.expect("var")
+        name = self.expect_ident().text
+        declared_type: Optional[Type] = None
+        if self.accept(":"):
+            declared_type = self.parse_type()
+        self.expect("=")
+        init = self.parse_expr()
+        self.expect(";")
+        return ast.VarDecl(line=line, name=name,
+                           declared_type=declared_type, init=init)
+
+    def parse_if(self) -> ast.If:
+        line = self.tok.line
+        self.expect("if")
+        self.expect("(")
+        cond = self.parse_expr()
+        self.expect(")")
+        then_block = self.parse_block()
+        else_block: Optional[ast.Block] = None
+        if self.accept("else"):
+            if self.check("if"):
+                nested = self.parse_if()
+                else_block = ast.Block(line=nested.line, statements=[nested])
+            else:
+                else_block = self.parse_block()
+        return ast.If(line=line, cond=cond, then_block=then_block,
+                      else_block=else_block)
+
+    def parse_for(self) -> ast.For:
+        line = self.tok.line
+        parallel = self.tok.text == "parallel_for"
+        self.advance()
+        self.expect("(")
+        var = self.expect_ident().text
+        self.expect("=")
+        init = self.parse_expr()
+        self.expect(";")
+        cond = self.parse_expr()
+        self.expect(";")
+        upd_name = self.expect_ident().text
+        if upd_name != var:
+            raise ParseError(
+                f"for-loop update must assign {var!r}, not {upd_name!r}",
+                self.tok.line, self.tok.column)
+        if self.accept("+="):
+            step = self.parse_expr()
+            update = ast.BinOp(line=line, op="+",
+                               left=ast.Name(line=line, ident=var),
+                               right=step)
+        else:
+            self.expect("=")
+            update = self.parse_expr()
+        self.expect(")")
+        body = self.parse_block()
+        return ast.For(line=line, var=var, init=init, cond=cond,
+                       update=update, body=body, parallel=parallel)
+
+    def parse_while(self) -> ast.While:
+        line = self.tok.line
+        self.expect("while")
+        self.expect("(")
+        cond = self.parse_expr()
+        self.expect(")")
+        body = self.parse_block()
+        return ast.While(line=line, cond=cond, body=body)
+
+    def parse_spawn(self) -> ast.SpawnStmt:
+        line = self.tok.line
+        self.expect("spawn")
+        expr = self.parse_expr()
+        if not isinstance(expr, ast.CallExpr):
+            raise ParseError("spawn requires a function call", line, 0)
+        self.expect(";")
+        return ast.SpawnStmt(line=line, call=expr)
+
+    # -- expressions -----------------------------------------------------------
+    def parse_expr(self, min_prec: int = 1) -> ast.Expr:
+        left = self.parse_unary()
+        while True:
+            op = self.tok.text
+            if self.tok.kind != "punct" or op not in PRECEDENCE \
+                    or PRECEDENCE[op] < min_prec:
+                return left
+            line = self.tok.line
+            self.advance()
+            right = self.parse_expr(PRECEDENCE[op] + 1)
+            left = ast.BinOp(line=line, op=op, left=left, right=right)
+
+    def parse_unary(self) -> ast.Expr:
+        t = self.tok
+        if t.kind == "punct" and t.text in {"-", "!", "~"}:
+            self.advance()
+            operand = self.parse_unary()
+            if t.text == "-" and isinstance(operand, ast.IntLit):
+                return ast.IntLit(line=t.line, value=-operand.value)
+            if t.text == "-" and isinstance(operand, ast.FloatLit):
+                return ast.FloatLit(line=t.line, value=-operand.value)
+            return ast.UnOp(line=t.line, op=t.text, operand=operand)
+        return self.parse_postfix()
+
+    def parse_postfix(self) -> ast.Expr:
+        t = self.tok
+        if t.kind == "int":
+            self.advance()
+            return ast.IntLit(line=t.line, value=int(t.text))
+        if t.kind == "float":
+            self.advance()
+            return ast.FloatLit(line=t.line, value=float(t.text))
+        if t.kind == "punct" and t.text == "(":
+            self.advance()
+            expr = self.parse_expr()
+            self.expect(")")
+            return expr
+        if t.kind == "ident":
+            name = self.advance().text
+            if self.check("(") and name in TYPE_NAMES:
+                self.advance()
+                operand = self.parse_expr()
+                self.expect(")")
+                return ast.CastExpr(line=t.line, target=parse_type(name),
+                                    operand=operand)
+            if self.accept("("):
+                args: List[ast.Expr] = []
+                while not self.check(")"):
+                    if args:
+                        self.expect(",")
+                    args.append(self.parse_expr())
+                self.expect(")")
+                return ast.CallExpr(line=t.line, func=name, args=args)
+            if self.accept("["):
+                index = self.parse_expr()
+                self.expect("]")
+                return ast.Index(line=t.line, base=name, index=index)
+            return ast.Name(line=t.line, ident=name)
+        raise ParseError(f"unexpected token {t.text!r} in expression",
+                         t.line, t.column)
+
+
+def parse_program(source: str) -> ast.Program:
+    """Parse MiniC source text into an AST."""
+    return Parser(tokenize(source)).parse_program()

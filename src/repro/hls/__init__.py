@@ -1,0 +1,3 @@
+"""Statically-scheduled HLS baseline model (paper section 5.2)."""
+
+from .model import HlsModel, HlsReport, estimate_hls  # noqa: F401

@@ -1,0 +1,36 @@
+"""uopt: the paper's microarchitecture-optimization framework.
+
+Passes transform the uIR graph without touching program behavior; the
+pass manager re-validates structural invariants after every pass so
+optimizations compose (paper section 4).
+"""
+
+from .pass_manager import Pass, PassManager, PassResult  # noqa: F401
+from .analysis import (  # noqa: F401
+    critical_path_ns,
+    dataflow_depth,
+    memory_access_groups,
+)
+from .passes.task_pipelining import TaskPipelining  # noqa: F401
+from .passes.execution_tiling import ExecutionTiling  # noqa: F401
+from .passes.memory_localization import MemoryLocalization  # noqa: F401
+from .passes.banking import CacheBanking, ScratchpadBanking  # noqa: F401
+from .passes.op_fusion import OpFusion  # noqa: F401
+from .passes.tensor_ops import TensorOps  # noqa: F401
+from .passes.parameter_tuning import ParameterTuning  # noqa: F401
+from .passes.bitwidth_tuning import BitwidthTuning  # noqa: F401
+from .passes.writeback_buffer import WritebackBuffer  # noqa: F401
+
+#: Pass-name registry for config-driven pipelines (bench harness).
+PASS_REGISTRY = {
+    "task_pipelining": TaskPipelining,
+    "execution_tiling": ExecutionTiling,
+    "memory_localization": MemoryLocalization,
+    "scratchpad_banking": ScratchpadBanking,
+    "cache_banking": CacheBanking,
+    "op_fusion": OpFusion,
+    "tensor_ops": TensorOps,
+    "parameter_tuning": ParameterTuning,
+    "bitwidth_tuning": BitwidthTuning,
+    "writeback_buffer": WritebackBuffer,
+}

@@ -1,0 +1,127 @@
+"""Analyses over uIR circuits used by the optimization passes.
+
+These are the "Analysis" half of the paper's Algorithm 2 style
+(analysis identifies opportunities, transformation rewires the graph).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..core import oplib
+from ..core.circuit import AcceleratorCircuit, TaskBlock
+from ..core.graph import Dataflow, Node
+
+
+def memory_access_groups(
+        circuit: AcceleratorCircuit
+) -> Dict[Optional[str], List[Tuple[TaskBlock, Node]]]:
+    """Group every load/store node by the array it touches.
+
+    This is the paper's ``getMemoryAccess`` analysis (Algorithm 2): the
+    points-to result was recorded on each node at translation time.
+    ``None`` keys collect nodes with unknown targets.
+    """
+    groups: Dict[Optional[str], List[Tuple[TaskBlock, Node]]] = {}
+    for task in circuit.tasks.values():
+        for node in task.memory_nodes():
+            groups.setdefault(node.array, []).append((task, node))
+    return groups
+
+
+def node_latency(node: Node) -> int:
+    """Pipeline latency (cycles) of one node, plus its handshake stage."""
+    if node.kind in ("compute", "tensor", "select"):
+        op = node.op if node.kind != "select" else "select"
+        return max(1, oplib.op_info(op, node.outputs[0].type).latency)
+    if node.kind == "fused":
+        return max(1, node.latency)
+    if node.kind in ("load", "store"):
+        return 3  # databox + junction turnaround (memory time excluded)
+    if node.kind in ("call", "spawn"):
+        return 2
+    return 1
+
+
+def dataflow_depth(task: TaskBlock) -> int:
+    """Length (in cycles) of the longest forward path through a task's
+    dataflow — the pipeline depth the paper quotes (e.g. GEMM ~40)."""
+    depth: Dict[Node, int] = {}
+    for node in task.dataflow.topological_order():
+        best = 0
+        for port in node.inputs:
+            conn = port.incoming
+            if conn is None or Dataflow._is_back_edge(conn):
+                continue
+            best = max(best, depth.get(conn.src.node, 0))
+        depth[node] = best + node_latency(node)
+    return max(depth.values(), default=0)
+
+
+def critical_path_ns(task: TaskBlock) -> float:
+    """Worst single-stage combinational delay in the task (sets fmax)."""
+    worst = 0.0
+    for node in task.dataflow.nodes:
+        if node.kind in ("compute", "tensor"):
+            worst = max(worst, oplib.op_info(
+                node.op, node.outputs[0].type).delay_ns)
+        elif node.kind == "fused":
+            worst = max(worst, node.delay_ns)
+        elif node.kind == "select":
+            worst = max(worst, oplib.op_info("select", None).delay_ns)
+        elif node.kind == "loopctl":
+            worst = max(worst, oplib.op_info("loopctl", None).delay_ns)
+        elif node.kind in ("load", "store"):
+            worst = max(worst, oplib.op_info("load", None).delay_ns)
+    return worst
+
+
+def recurrence_ii(task: TaskBlock) -> int:
+    """Initiation-interval bound from loop-carried recurrences: the
+    longest latency cycle through a phi back-edge, or the loop-control
+    pipeline, whichever is larger."""
+    best = 1
+    for node in task.dataflow.nodes_of_kind("loopctl"):
+        best = max(best, node.pipeline_stages)
+    # Walk back from each phi's back input to the phi's own output.
+    for phi in task.dataflow.nodes_of_kind("phi"):
+        conn = phi.back.incoming
+        if conn is None:
+            continue
+        length = _path_length_to(phi, conn.src.node, set())
+        if length is not None:
+            best = max(best, length + 1)  # + the phi stage itself
+    return best
+
+
+def _path_length_to(target: Node, node: Node, seen) -> Optional[int]:
+    if node is target:
+        return 0
+    if id(node) in seen:
+        return None
+    seen.add(id(node))
+    best: Optional[int] = None
+    for port in node.inputs:
+        conn = port.incoming
+        if conn is None or conn.latched:
+            continue
+        if Dataflow._is_back_edge(conn):
+            continue
+        sub = _path_length_to(target, conn.src.node, seen)
+        if sub is not None:
+            cand = sub + node_latency(node)
+            best = cand if best is None else max(best, cand)
+    return best
+
+
+def spawn_target_tasks(circuit: AcceleratorCircuit) -> List[str]:
+    """Tasks invoked through spawn edges (the Cilk worker blocks) plus
+    recursive call targets — the natural targets for execution tiling."""
+    names = []
+    for edge in circuit.task_edges:
+        if edge.kind == "spawn" and edge.child not in names:
+            names.append(edge.child)
+        if edge.kind == "call" and edge.parent == edge.child \
+                and edge.child not in names:
+            names.append(edge.child)
+    return names

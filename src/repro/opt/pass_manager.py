@@ -1,0 +1,101 @@
+"""Pass infrastructure: base class, results, and the composing manager."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..core.circuit import AcceleratorCircuit
+from ..core.validate import validate_circuit
+from ..errors import PassError
+
+
+@dataclass
+class PassResult:
+    """Outcome of one pass application."""
+
+    pass_name: str
+    changed: bool
+    #: Structural edit counts, the currency of the paper's Table 4.
+    nodes_added: int = 0
+    nodes_removed: int = 0
+    edges_added: int = 0
+    edges_removed: int = 0
+    details: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def delta_nodes(self) -> int:
+        return self.nodes_added + self.nodes_removed
+
+    @property
+    def delta_edges(self) -> int:
+        return self.edges_added + self.edges_removed
+
+    def __repr__(self) -> str:
+        return (f"PassResult({self.pass_name}, changed={self.changed}, "
+                f"dN={self.delta_nodes}, dE={self.delta_edges})")
+
+
+class Pass:
+    """Base class of every uopt transformation."""
+
+    name = "pass"
+
+    def run(self, circuit: AcceleratorCircuit) -> PassResult:
+        before = circuit.stats()
+        result = self.apply(circuit)
+        after = circuit.stats()
+        if result.nodes_added == 0 and result.nodes_removed == 0:
+            delta = after["nodes"] - before["nodes"]
+            if delta > 0:
+                result.nodes_added = delta
+            else:
+                result.nodes_removed = -delta
+        if result.edges_added == 0 and result.edges_removed == 0:
+            delta = after["connections"] - before["connections"]
+            if delta > 0:
+                result.edges_added = delta
+            else:
+                result.edges_removed = -delta
+        return result
+
+    def apply(self, circuit: AcceleratorCircuit) -> PassResult:
+        raise NotImplementedError
+
+    def _result(self, changed: bool, **details) -> PassResult:
+        return PassResult(self.name, changed, details=details)
+
+
+class PassManager:
+    """Runs a pipeline of passes, validating after each (composability)."""
+
+    def __init__(self, passes: Sequence[Pass] = (),
+                 validate: bool = True):
+        self.passes: List[Pass] = list(passes)
+        self.validate = validate
+        self.log: List[PassResult] = []
+
+    def add(self, pass_: Pass) -> "PassManager":
+        self.passes.append(pass_)
+        return self
+
+    def run(self, circuit: AcceleratorCircuit) -> List[PassResult]:
+        self.log = []
+        for pass_ in self.passes:
+            try:
+                result = pass_.run(circuit)
+            except PassError:
+                raise
+            except Exception as exc:
+                raise PassError(
+                    f"pass {pass_.name} failed on {circuit.name}: "
+                    f"{exc}") from exc
+            if self.validate:
+                problems = validate_circuit(circuit,
+                                            raise_on_error=False)
+                if problems:
+                    raise PassError(
+                        f"pass {pass_.name} broke circuit "
+                        f"{circuit.name}: {problems[:3]}")
+            self.log.append(result)
+        return self.log

@@ -1,0 +1,1 @@
+"""The paper's uopt transformation passes (sections 4 and 6)."""

@@ -1,0 +1,223 @@
+"""Operator bit-width and channel-width tuning.
+
+The paper: "During these transformations uopt tunes the parameters of
+uIR components to optimize the generated RTL (e.g., operator
+bit-width, channel width)."  This pass implements that tuner as a
+classic forward value-range analysis over each task's dataflow:
+
+* constants, masks (``x & 15``), comparisons, counted-loop indices with
+  constant bounds, and arithmetic over known ranges all yield intervals;
+* loop-carried phis iterate to a small fixpoint and widen if unstable;
+* every integer node and connection then records the narrowest width
+  that can carry its values (``tuned_width`` / ``tuned_bits``), which
+  the synthesis model turns into ALM/area/power savings.
+
+Functional behavior is untouched: widths only parameterize the RTL
+cost model, exactly like the paper's polymorphic port sizing.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from ...core.circuit import AcceleratorCircuit, TaskBlock
+from ...core.graph import Node, Port
+from ...types import BoolType, IntType
+from ..pass_manager import Pass, PassResult
+
+Interval = Tuple[int, int]
+
+I32_MIN, I32_MAX = -(1 << 31), (1 << 31) - 1
+FULL: Interval = (I32_MIN, I32_MAX)
+_PHI_ITERATIONS = 3
+
+
+def bits_for(interval: Interval) -> int:
+    """Two's-complement width needed to hold every value in range."""
+    lo, hi = interval
+    if lo >= 0:
+        return max(1, hi.bit_length())
+    neg_bits = (-lo - 1).bit_length() + 1
+    pos_bits = hi.bit_length() + 1 if hi > 0 else 1
+    return max(neg_bits, pos_bits)
+
+
+def _clamp(lo: int, hi: int) -> Interval:
+    return (max(lo, I32_MIN), min(hi, I32_MAX))
+
+
+def _arith(op: str, a: Interval, b: Interval) -> Interval:
+    alo, ahi = a
+    blo, bhi = b
+    if op == "add":
+        return _clamp(alo + blo, ahi + bhi)
+    if op == "sub":
+        return _clamp(alo - bhi, ahi - blo)
+    if op == "mul":
+        products = [alo * blo, alo * bhi, ahi * blo, ahi * bhi]
+        return _clamp(min(products), max(products))
+    if op == "and":
+        # Masking with a non-negative range bounds the result into
+        # [0, mask_hi] regardless of the other operand's sign.
+        if alo >= 0 and blo >= 0:
+            return (0, min(ahi, bhi))
+        if blo >= 0:
+            return (0, bhi)
+        if alo >= 0:
+            return (0, ahi)
+        return FULL
+    if op == "or" or op == "xor":
+        if alo >= 0 and blo >= 0:
+            width = max(ahi.bit_length(), bhi.bit_length())
+            return (0, (1 << width) - 1)
+        return FULL
+    if op == "shl":
+        if blo == bhi and 0 <= blo < 31:
+            return _clamp(alo << blo, ahi << blo)
+        return FULL
+    if op in ("lshr", "ashr"):
+        if blo == bhi and 0 <= blo < 32 and alo >= 0:
+            return (alo >> blo, ahi >> blo)
+        return FULL
+    if op == "div":
+        if blo == bhi and blo > 0:
+            return _clamp(min(alo // blo, -(-alo // blo)),
+                          max(ahi // blo, -(-ahi // blo)))
+        return FULL
+    if op == "rem":
+        if blo == bhi and blo > 0:
+            m = blo - 1
+            return (-m if alo < 0 else 0, m)
+        return FULL
+    return FULL
+
+
+def value_ranges(task: TaskBlock) -> Dict[int, Interval]:
+    """Interval per output-port id for one task's dataflow."""
+    df = task.dataflow
+    ranges: Dict[int, Interval] = {}
+
+    def get(port: Optional[Port]) -> Interval:
+        if port is None:
+            return FULL
+        return ranges.get(id(port), FULL)
+
+    def in_rng(node: Node, idx: int) -> Interval:
+        conn = node.inputs[idx].incoming
+        return get(conn.src) if conn is not None else FULL
+
+    def visit(node: Node) -> None:
+        if node.kind == "const":
+            if isinstance(node.value, bool):
+                ranges[id(node.out)] = (int(node.value), int(node.value))
+            elif isinstance(node.value, int):
+                ranges[id(node.out)] = (node.value, node.value)
+            return
+        if node.kind == "loopctl":
+            start = get(node.start.incoming.src
+                        if node.start.incoming else None)
+            bound = get(node.bound.incoming.src
+                        if node.bound.incoming else None)
+            if not node.conditional:
+                lo = min(start[0], bound[0])
+                hi = max(start[1], bound[1])
+                ranges[id(node.index)] = _clamp(lo, hi)
+                ranges[id(node.final)] = _clamp(lo, hi + 1)
+            return
+        if node.kind == "compute":
+            t = node.out.type
+            if isinstance(t, BoolType):
+                ranges[id(node.out)] = (0, 1)
+                return
+            if not isinstance(t, IntType):
+                return
+            if node.op == "gep":
+                base = in_rng(node, 0)
+                idx = _arith("mul", in_rng(node, 1),
+                             (node.gep_scale, node.gep_scale))
+                ranges[id(node.out)] = _arith("add", base, idx)
+                return
+            if len(node.in_ports) == 2:
+                ranges[id(node.out)] = _arith(
+                    node.op, in_rng(node, 0), in_rng(node, 1))
+            elif node.op == "neg":
+                lo, hi = in_rng(node, 0)
+                ranges[id(node.out)] = _clamp(-hi, -lo)
+            return
+        if node.kind == "select" and isinstance(node.out.type, IntType):
+            a = get(node.a.incoming.src if node.a.incoming else None)
+            b = get(node.b.incoming.src if node.b.incoming else None)
+            ranges[id(node.out)] = (min(a[0], b[0]), max(a[1], b[1]))
+            return
+        if node.kind == "phi" and isinstance(node.out.type, IntType):
+            init = get(node.init.incoming.src
+                       if node.init.incoming else None)
+            back = get(node.back.incoming.src
+                       if node.back.incoming else None)
+            merged = (min(init[0], back[0]), max(init[1], back[1]))
+            ranges[id(node.out)] = merged
+            ranges[id(node.final)] = merged
+            return
+        if node.kind == "load" and isinstance(node.out.type, BoolType):
+            ranges[id(node.out)] = (0, 1)
+
+    order = df.topological_order()
+    # Phi back-edges need iteration; widen anything unstable.
+    previous: Dict[int, Interval] = {}
+    for iteration in range(_PHI_ITERATIONS):
+        for node in order:
+            visit(node)
+        if previous == ranges:
+            break
+        if iteration == _PHI_ITERATIONS - 1:
+            for node in df.nodes_of_kind("phi"):
+                if ranges.get(id(node.out)) != previous.get(
+                        id(node.out)):
+                    ranges[id(node.out)] = FULL
+                    ranges[id(node.final)] = FULL
+        previous = dict(ranges)
+    return ranges
+
+
+class BitwidthTuning(Pass):
+    name = "bitwidth_tuning"
+
+    def __init__(self, min_width: int = 4):
+        self.min_width = min_width
+
+    def apply(self, circuit: AcceleratorCircuit) -> PassResult:
+        nodes_tuned = 0
+        conns_tuned = 0
+        for task in circuit.tasks.values():
+            ranges = value_ranges(task)
+            for node in task.dataflow.nodes:
+                if node.kind not in ("compute", "select", "phi"):
+                    continue
+                out = node.outputs[0]
+                if not isinstance(out.type, IntType):
+                    continue
+                interval = ranges.get(id(out))
+                if interval is None or interval == FULL:
+                    continue
+                width = max(self.min_width, bits_for(interval))
+                if width < out.type.bits:
+                    node.tuned_width = width
+                    nodes_tuned += 1
+            for conn in task.dataflow.connections:
+                interval = ranges.get(id(conn.src))
+                if interval is None or interval == FULL:
+                    continue
+                if not isinstance(conn.src.type, IntType):
+                    continue
+                width = max(self.min_width, bits_for(interval))
+                if width < conn.width_bits:
+                    conn.tuned_bits = width
+                    conns_tuned += 1
+        result = self._result(bool(nodes_tuned or conns_tuned),
+                              nodes_tuned=nodes_tuned,
+                              connections_tuned=conns_tuned)
+        result.nodes_added = 0
+        result.nodes_removed = 0
+        result.edges_added = conns_tuned  # attribute edits
+        result.edges_removed = 0
+        return result

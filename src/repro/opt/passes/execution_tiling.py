@@ -1,0 +1,78 @@
+"""Pass 2 — Execution Tiling (paper sections 4 and 6.2).
+
+Replicates a task block's execution unit N times ("multi-core effect"):
+queued invocations dispatch to any free tile; the RTL generation grows
+the task queue into a bus/crossbar (charged by the synthesis model).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Union
+
+from ...core.circuit import AcceleratorCircuit
+from ...errors import PassError
+from ..analysis import spawn_target_tasks
+from ..pass_manager import Pass, PassResult
+
+
+class ExecutionTiling(Pass):
+    """``tiles`` is either one factor applied to every auto-selected
+    task (spawn targets and recursive tasks — the blocks that receive
+    many concurrent invocations) or a ``{task_name: tiles}`` map."""
+
+    name = "execution_tiling"
+
+    def __init__(self, tiles: Union[int, Dict[str, int]] = 2,
+                 tasks: Optional[Sequence[str]] = None):
+        self.tiles = tiles
+        self.tasks = list(tasks) if tasks is not None else None
+
+    def apply(self, circuit: AcceleratorCircuit) -> PassResult:
+        if isinstance(self.tiles, dict):
+            plan = dict(self.tiles)
+        else:
+            targets = self.tasks if self.tasks is not None \
+                else spawn_target_tasks(circuit)
+            # Replicating a worker block without replicating the loop
+            # tasks it calls would just move the queueing point, so the
+            # whole call subtree tiles together.
+            plan = {name: self.tiles
+                    for name in self._with_descendants(circuit, targets)}
+        applied = {}
+        for name, tiles in plan.items():
+            if name not in circuit.tasks:
+                raise PassError(
+                    f"execution_tiling: no task named {name!r}")
+            if tiles < 1:
+                raise PassError(
+                    f"execution_tiling: bad tile count {tiles}")
+            task = circuit.tasks[name]
+            task.num_tiles = tiles
+            # The generated bus/crossbar also widens this block's
+            # memory junctions (more tiles -> more ports).
+            for junction in task.junctions:
+                junction.issue_width = max(junction.issue_width,
+                                           2 * tiles)
+            applied[name] = tiles
+        result = self._result(bool(applied), tiles=applied)
+        # Semantic edit size at uIR level (Table 4): replicating a task
+        # is one structural-node edit plus re-plumbing its <||> and
+        # <==> interfaces (~4 edges), regardless of block size.
+        result.nodes_added = len(applied)
+        result.edges_added = 4 * len(applied)
+        return result
+
+    @staticmethod
+    def _with_descendants(circuit: AcceleratorCircuit, targets):
+        result = []
+        work = list(targets)
+        seen = set()
+        while work:
+            name = work.pop()
+            if name in seen:
+                continue
+            seen.add(name)
+            result.append(name)
+            for edge in circuit.edges_from(name):
+                work.append(edge.child)
+        return result

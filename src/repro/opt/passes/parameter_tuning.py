@@ -1,0 +1,46 @@
+"""Parameter tuning (paper: "During these transformations uopt tunes
+the parameters of uIR components to optimize the generated RTL").
+
+Mechanical knob adjustments that accompany the structural passes:
+junction issue widths sized to their client count, deeper channels on
+memory paths, and more outstanding requests per memory node.
+"""
+
+from __future__ import annotations
+
+from ...core.circuit import AcceleratorCircuit
+from ..pass_manager import Pass, PassResult
+
+
+class ParameterTuning(Pass):
+    name = "parameter_tuning"
+
+    def __init__(self, max_junction_width: int = 4,
+                 memory_channel_depth: int = 4,
+                 max_outstanding: int = 8):
+        self.max_junction_width = max_junction_width
+        self.memory_channel_depth = memory_channel_depth
+        self.max_outstanding = max_outstanding
+
+    def apply(self, circuit: AcceleratorCircuit) -> PassResult:
+        widened = 0
+        deepened = 0
+        for task in circuit.tasks.values():
+            for junction in task.junctions:
+                width = min(self.max_junction_width,
+                            max(1, len(junction.clients)))
+                if width > junction.issue_width:
+                    junction.issue_width = width
+                    widened += 1
+            for node in task.memory_nodes():
+                node.max_outstanding = max(node.max_outstanding,
+                                           self.max_outstanding)
+                for port in node.inputs:
+                    conn = port.incoming
+                    if conn is not None and not conn.latched and \
+                            conn.depth < self.memory_channel_depth:
+                        conn.depth = self.memory_channel_depth
+                        deepened += 1
+        return self._result(bool(widened or deepened),
+                            junctions_widened=widened,
+                            channels_deepened=deepened)

@@ -1,0 +1,275 @@
+"""Pass 6 — Tensor higher-order ops (paper section 6.3).
+
+Recognizes scalar *elementwise tile loops* and rewrites them to operate
+on Tensor2D values with a single higher-order function unit from the
+uIR library (Figure 14): the loop's trip count shrinks by the tile
+size, the loads/stores widen to tensor accesses (the databox moves all
+elements at once), and the scalar op chain collapses into one tensor
+node — exactly the three effects the paper credits for the 4-8x
+(compute density, widened operand network, eliminated handshaking).
+
+Recognized idioms inside a counted loop over ``i`` with step 1:
+
+* ReLU:      ``b[i] = select(a[i] > 0, a[i], 0)``       -> ``trelu``
+* map2:      ``c[i] = a[i] (+|-) b[i]``                  -> ``tadd/tsub``
+
+Matmul-shaped kernels are expressed directly with tensor intrinsics in
+the source program (paper Figure 13 does the same with ``mulTile``);
+this pass handles the mechanical widening cases.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ...core.circuit import AcceleratorCircuit, TaskBlock
+from ...core.graph import Node
+from ...core.nodes import (
+    ComputeNode,
+    ConstNode,
+    LoadNode,
+    StoreNode,
+    TensorComputeNode,
+)
+from ...types import FloatType, TensorType
+from ..pass_manager import Pass, PassResult
+
+
+class _TilePattern:
+    """A matched elementwise tile loop."""
+
+    def __init__(self, loads: List[Node], store: Node,
+                 tensor_op: str, middle: List[Node]):
+        self.loads = loads
+        self.store = store
+        self.tensor_op = tensor_op
+        self.middle = middle  # scalar nodes replaced by the tensor FU
+
+
+class TensorOps(Pass):
+    name = "tensor_ops"
+
+    def __init__(self, rows: int = 2, cols: int = 2,
+                 tasks: Optional[List[str]] = None):
+        self.rows = rows
+        self.cols = cols
+        self.tasks = set(tasks) if tasks is not None else None
+
+    @property
+    def tile_elems(self) -> int:
+        return self.rows * self.cols
+
+    def apply(self, circuit: AcceleratorCircuit) -> PassResult:
+        rewritten = []
+        for task in circuit.tasks.values():
+            if self.tasks is not None and task.name not in self.tasks:
+                continue
+            if task.kind != "loop":
+                continue
+            pattern = self._match(task)
+            if pattern is None:
+                continue
+            self._rewrite(task, pattern)
+            rewritten.append(task.name)
+        return self._result(bool(rewritten), tensorized=rewritten,
+                            shape=(self.rows, self.cols))
+
+    # -- recognition -----------------------------------------------------
+    def _match(self, task: TaskBlock) -> Optional[_TilePattern]:
+        df = task.dataflow
+        ctls = df.nodes_of_kind("loopctl")
+        if len(ctls) != 1 or ctls[0].conditional:
+            return None
+        ctl = ctls[0]
+        if df.nodes_of_kind("phi") or df.nodes_of_kind("call") \
+                or df.nodes_of_kind("spawn"):
+            return None
+        step_src = ctl.step.incoming.src.node
+        if not (isinstance(step_src, ConstNode) and step_src.value == 1):
+            return None
+        loads = df.nodes_of_kind("load")
+        stores = df.nodes_of_kind("store")
+        if len(stores) != 1 or not loads or len(loads) > 2:
+            return None
+        store = stores[0]
+        if not all(self._unit_stride(n, ctl) for n in loads + stores):
+            return None
+        if not all(isinstance(n.outputs[0].type, FloatType)
+                   for n in loads):
+            return None
+        middle = self._match_chain(loads, store)
+        if middle is None:
+            return None
+        tensor_op, chain = middle
+        # Every replaced node's consumers must themselves be replaced
+        # (otherwise removal would strand a live use).
+        replaced = {id(n) for n in chain + loads + [store]}
+        for node in chain + loads:
+            for port in node.outputs:
+                for conn in port.outgoing:
+                    if id(conn.dst.node) not in replaced:
+                        return None
+        return _TilePattern(loads, store, tensor_op, chain)
+
+    @staticmethod
+    def _unit_stride(node: Node, ctl) -> bool:
+        """Address must be ``gep(const_base, loop_index)`` with scale 1."""
+        conn = node.addr.incoming
+        gep = conn.src.node
+        if not (isinstance(gep, ComputeNode) and gep.op == "gep"
+                and gep.gep_scale == 1):
+            return False
+        base = gep.in_ports[0].incoming.src.node
+        idx = gep.in_ports[1].incoming.src
+        return isinstance(base, ConstNode) and idx is ctl.index
+
+    def _match_chain(self, loads, store):
+        data_src = store.data.incoming.src.node
+        if len(loads) == 2:
+            if isinstance(data_src, ComputeNode) and \
+                    data_src.op in ("fadd", "fsub"):
+                srcs = {data_src.in_ports[0].incoming.src.node,
+                        data_src.in_ports[1].incoming.src.node}
+                if srcs == set(loads):
+                    op = "tadd" if data_src.op == "fadd" else "tsub"
+                    return op, [data_src]
+            return None
+        load = loads[0]
+        # ReLU in either polarity:
+        #   select(load > 0, load, 0)
+        #   select(xor(load > 0, 1), 0, load)
+        if data_src.kind != "select":
+            return None
+        cond = data_src.cond.incoming.src.node
+        a = data_src.a.incoming.src.node
+        b = data_src.b.incoming.src.node
+        middle = [data_src]
+        if isinstance(cond, ComputeNode) and cond.op == "xor":
+            inv_src = cond.in_ports[0].incoming.src.node
+            one = cond.in_ports[1].incoming.src.node
+            if not (isinstance(one, ConstNode) and int(one.value) == 1):
+                return None
+            middle.append(cond)
+            cond = inv_src
+            a, b = b, a
+        if not (isinstance(cond, ComputeNode) and cond.op == "gt"):
+            return None
+        if cond.in_ports[0].incoming.src.node is not load:
+            return None
+        zero = cond.in_ports[1].incoming.src.node
+        if not (isinstance(zero, ConstNode) and float(zero.value) == 0.0):
+            return None
+        if a is not load:
+            return None
+        if not (isinstance(b, ConstNode) and float(b.value) == 0.0):
+            return None
+        middle.append(cond)
+        return "trelu", middle
+
+    # -- transformation ------------------------------------------------------
+    def _rewrite(self, task: TaskBlock, pattern: _TilePattern) -> None:
+        df = task.dataflow
+        tt = TensorType(FloatType(32), self.rows, self.cols)
+        k = self.tile_elems
+
+        # Shrink the trip count: bound' = bound >> log2(k) (banked by
+        # an explicit shift node when the bound is not constant).
+        ctl = df.nodes_of_kind("loopctl")[0]
+        bound_conn = ctl.bound.incoming
+        bound_src = bound_conn.src
+        if isinstance(bound_src.node, ConstNode):
+            latched = bound_conn.latched
+            df.disconnect(bound_conn)
+            new_bound = ConstNode(bound_src.node.value // k,
+                                  bound_src.type, name="tile_bound")
+            df.add(new_bound)
+            df.connect(new_bound.out, ctl.bound, latched=latched)
+        else:
+            shift = k.bit_length() - 1
+            latched = bound_conn.latched
+            df.disconnect(bound_conn)
+            shifter = ComputeNode("ashr", bound_src.type, arity=2,
+                                  name="tile_bound_shift")
+            df.add(shifter)
+            df.connect(bound_src, shifter.in_ports[0], latched=latched)
+            amt = df.add(ConstNode(shift, bound_src.type,
+                                   name="tile_shift_amt"))
+            df.connect(amt.out, shifter.in_ports[1],
+                       latched=task.kind == "loop")
+            df.connect(shifter.out, ctl.bound)
+
+        # Scale addresses: gep reuses its element-scale for the tile.
+        for node in pattern.loads + [pattern.store]:
+            gep = node.addr.incoming.src.node
+            gep.gep_scale = k
+
+        # Widen the loads.
+        new_loads = {}
+        for load in pattern.loads:
+            wide = LoadNode(tt, name=f"t{load.name}")
+            df.add(wide)
+            addr_conn = load.addr.incoming
+            df.connect(addr_conn.src, wide.addr,
+                       latched=addr_conn.latched)
+            if load.pred is not None and load.pred.incoming is not None:
+                src = load.pred.incoming
+                df.connect(src.src, wide.enable_predicate(),
+                           latched=src.latched)
+            junction = task.junction_of(load)
+            junction.detach(load)
+            junction.attach(wide)
+            wide.array = load.array
+            new_loads[id(load)] = wide
+
+        # The tensor function unit.
+        fu = TensorComputeNode(pattern.tensor_op, tt,
+                               arity=len(pattern.loads),
+                               name=f"tensor_{pattern.tensor_op}")
+        df.add(fu)
+        if pattern.tensor_op == "trelu":
+            src = new_loads[id(pattern.loads[0])]
+            df.connect(src.out, fu.in_ports[0])
+        else:
+            # Preserve operand order of the original fadd/fsub.
+            mid = pattern.middle[0]
+            for i in range(2):
+                orig = mid.in_ports[i].incoming.src.node
+                df.connect(new_loads[id(orig)].out, fu.in_ports[i])
+
+        # Widen the store.
+        store = pattern.store
+        wide_store = StoreNode(tt, name=f"t{store.name}")
+        df.add(wide_store)
+        addr_conn = store.addr.incoming
+        df.connect(addr_conn.src, wide_store.addr,
+                   latched=addr_conn.latched)
+        df.connect(fu.out, wide_store.data)
+        if store.pred is not None and store.pred.incoming is not None:
+            src = store.pred.incoming
+            df.connect(src.src, wide_store.enable_predicate(),
+                       latched=src.latched)
+        if store.order_in is not None and \
+                store.order_in.incoming is not None:
+            src = store.order_in.incoming
+            src_port = src.src
+            # An ordering edge whose source is a replaced load follows
+            # the replacement.
+            if id(src_port.node) in new_loads:
+                src_port = new_loads[id(src_port.node)].done
+            df.connect(src_port, wide_store.enable_order_in(),
+                       latched=src.latched)
+        junction = task.junction_of(store)
+        junction.detach(store)
+        junction.attach(wide_store)
+        wide_store.array = store.array
+
+        # Remove the scalar nodes.
+        for node in pattern.middle + pattern.loads + [store]:
+            df.remove(node)
+        task.reindex_junctions()
+
+        # Record the tile shape on the scratchpad/cache home (the RTL
+        # generator emits wide RAM ports for it).
+        home = task.junctions[0].structure if task.junctions else None
+        if home is not None and hasattr(home, "shape"):
+            home.shape = (self.rows, self.cols)

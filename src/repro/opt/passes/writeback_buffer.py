@@ -1,0 +1,43 @@
+"""Writeback buffers on scratchpads (paper Pass 3's alternative:
+"Another option would be introducing a separate writeback buffer for
+writing out the data").
+
+Stores complete as soon as they enter the buffer — shortening the
+store-ordering chains that serialize read-modify-write kernels — while
+the buffer drains to the SRAM banks in the background with full
+store-to-load forwarding (modeled in
+:class:`repro.sim.memory.ScratchpadSim`).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ...core.circuit import AcceleratorCircuit
+from ...errors import PassError
+from ..pass_manager import Pass, PassResult
+
+
+class WritebackBuffer(Pass):
+    name = "writeback_buffer"
+
+    def __init__(self, entries: int = 8,
+                 scratchpads: Optional[Sequence[str]] = None):
+        if entries < 1:
+            raise PassError(f"bad writeback buffer size {entries}")
+        self.entries = entries
+        self.scratchpads = set(scratchpads) if scratchpads else None
+
+    def apply(self, circuit: AcceleratorCircuit) -> PassResult:
+        changed = []
+        for spad in circuit.scratchpads():
+            if self.scratchpads is not None and \
+                    spad.name not in self.scratchpads:
+                continue
+            spad.write_buffer_entries = self.entries
+            changed.append(spad.name)
+        result = self._result(bool(changed), buffered=changed,
+                              entries=self.entries)
+        result.nodes_added = len(changed)   # one buffer per RAM
+        result.edges_added = len(changed)
+        return result

@@ -1,0 +1,18 @@
+"""Stage 3: lowering uIR to RTL and estimating implementation quality.
+
+* :mod:`repro.rtl.library` — component cost database (FPGA ALM/Reg/DSP,
+  ASIC area/power, stage delays).
+* :mod:`repro.rtl.synthesis` — analytic Arria-10 / UMC-28nm model
+  (Table 2 substitute; see DESIGN.md).
+* :mod:`repro.rtl.chisel` — Chisel-flavoured structural emitter
+  (paper Figures 4 and 6).
+* :mod:`repro.rtl.firrtl` — FIRRTL-like low-level circuit graph, the
+  comparison target for the paper's section 7 productivity study.
+* :mod:`repro.rtl.verilog` — plain Verilog skeleton emitter.
+"""
+
+from .library import component_cost  # noqa: F401
+from .synthesis import SynthesisReport, synthesize  # noqa: F401
+from .chisel import emit_chisel  # noqa: F401
+from .firrtl import FirrtlCircuit, diff_circuits, lower_to_firrtl  # noqa: F401
+from .verilog import emit_verilog  # noqa: F401

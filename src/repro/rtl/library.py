@@ -1,0 +1,95 @@
+"""Hardware component cost database.
+
+This is the "uIR library of microarchitecture components" the RTL
+generator instantiates.  Costs are per 32-bit operator instance,
+calibrated to the ballpark of Arria-10 synthesis results (ALMs,
+dedicated registers, DSP blocks) and a 28 nm standard-cell flow
+(area in um^2, dynamic power in mW per GHz of toggle rate).
+
+The handshake wrapper (ready/valid + data register) that every
+baseline dataflow edge carries is costed separately per connection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+
+@dataclass(frozen=True)
+class ComponentCost:
+    alms: int          # FPGA adaptive logic modules
+    regs: int          # FPGA dedicated registers
+    dsps: int          # FPGA DSP blocks
+    area_um2: float    # ASIC 28nm cell area
+    power_mw_ghz: float  # ASIC dynamic power at 1 GHz
+
+
+#: Per ``area_class`` (see repro.core.oplib.OpInfo.area_class).
+COMPONENT_COSTS: Dict[str, ComponentCost] = {
+    "int_alu": ComponentCost(18, 34, 0, 210.0, 0.065),
+    "int_logic": ComponentCost(10, 33, 0, 120.0, 0.035),
+    "int_shift": ComponentCost(16, 33, 0, 180.0, 0.045),
+    "int_cmp": ComponentCost(12, 12, 0, 140.0, 0.035),
+    "int_mul": ComponentCost(14, 70, 1, 900.0, 0.30),
+    "int_div": ComponentCost(160, 230, 0, 2600.0, 0.70),
+    "fp_add": ComponentCost(110, 220, 0, 1900.0, 0.55),
+    "fp_mul": ComponentCost(60, 190, 1, 1700.0, 0.60),
+    "fp_div": ComponentCost(330, 610, 0, 6800.0, 1.60),
+    "fp_elem": ComponentCost(420, 760, 2, 8200.0, 1.90),
+    "fp_cvt": ComponentCost(46, 90, 0, 620.0, 0.18),
+    "mux": ComponentCost(9, 33, 0, 110.0, 0.030),
+    "const": ComponentCost(1, 0, 0, 8.0, 0.001),
+    "buffer": ComponentCost(4, 33, 0, 90.0, 0.020),
+    "loop_control": ComponentCost(40, 70, 0, 560.0, 0.14),
+    "mem_port": ComponentCost(30, 64, 0, 480.0, 0.12),
+    "task_iface": ComponentCost(55, 96, 0, 700.0, 0.18),
+    # Tensor2D units (Figure 14): 2x2 reduction-tree multiplier packs
+    # 8 fp-mults + adder tree; elementwise units pack 4 lanes.
+    "tensor_mul": ComponentCost(380, 900, 12, 12500.0, 3.60),
+    "tensor_add": ComponentCost(330, 700, 0, 6400.0, 1.80),
+    "tensor_relu": ComponentCost(40, 140, 0, 420.0, 0.10),
+}
+
+#: Handshake stage per buffered connection (valid/ready + data reg).
+HANDSHAKE_COST_PER_BIT = ComponentCost(0, 1, 0, 2.4, 0.0008)
+HANDSHAKE_BASE = ComponentCost(3, 2, 0, 28.0, 0.006)
+
+#: Junction arbitration per client.
+JUNCTION_PER_CLIENT = ComponentCost(14, 20, 0, 240.0, 0.06)
+
+#: Task queue / crossbar per tile beyond the first.
+TILE_CROSSBAR = ComponentCost(70, 110, 0, 950.0, 0.22)
+TASK_QUEUE_PER_ENTRY = ComponentCost(6, 40, 0, 130.0, 0.03)
+
+#: On-chip RAM control overhead per structure + per bank (the data
+#: arrays map to M20K/SRAM macros, which Table 2 doesn't count in ALMs).
+RAM_CONTROL = ComponentCost(40, 36, 0, 600.0, 0.15)
+RAM_PER_BANK = ComponentCost(24, 24, 0, 360.0, 0.09)
+RAM_PER_KWORD_POWER_MW = 0.8   # ASIC SRAM leakage+dynamic per kword
+
+
+def component_cost(area_class: str) -> ComponentCost:
+    try:
+        return COMPONENT_COSTS[area_class]
+    except KeyError:
+        raise KeyError(f"no cost entry for component class "
+                       f"{area_class!r}")
+
+
+def scale_cost(cost: ComponentCost, factor: float) -> ComponentCost:
+    return ComponentCost(
+        alms=int(round(cost.alms * factor)),
+        regs=int(round(cost.regs * factor)),
+        dsps=int(round(cost.dsps * factor)),
+        area_um2=cost.area_um2 * factor,
+        power_mw_ghz=cost.power_mw_ghz * factor)
+
+
+def add_costs(a: ComponentCost, b: ComponentCost) -> ComponentCost:
+    return ComponentCost(a.alms + b.alms, a.regs + b.regs,
+                         a.dsps + b.dsps, a.area_um2 + b.area_um2,
+                         a.power_mw_ghz + b.power_mw_ghz)
+
+
+ZERO_COST = ComponentCost(0, 0, 0, 0.0, 0.0)

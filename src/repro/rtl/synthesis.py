@@ -1,0 +1,233 @@
+"""Analytic synthesis model: Arria-10 FPGA and UMC 28 nm ASIC.
+
+Substitutes for the paper's Quartus/Design-Compiler runs (Table 2).
+The model aggregates per-component costs from :mod:`repro.rtl.library`
+over the uIR graph (replicated per execution tile), adds handshake,
+junction, queue and RAM-control overheads, and derives:
+
+* **fmax** from the worst single-stage combinational delay plus a
+  routing/congestion term that grows with design size, plus the
+  task-queue penalty that puts Cilk designs in the paper's lower
+  200-314 MHz band;
+* **power** from static + per-resource dynamic coefficients (FPGA) or
+  per-component dynamic power at the achieved clock + SRAM power
+  (ASIC).
+
+Absolute numbers are calibrated to land in Table 2's ranges; the
+trends (FP vs Cilk vs tensor frequency bands, compute-heavy designs
+drawing ~1 W on the FPGA, 4-6x ASIC clock gain on simple-op designs)
+are structural.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..core import oplib
+from ..core.circuit import AcceleratorCircuit, TaskBlock
+from ..core.structures import Cache, Scratchpad
+from ..types import TensorType
+from . import library as lib
+
+#: FPGA power coefficients (mW).
+FPGA_STATIC_MW = 420.0
+FPGA_MW_PER_ALM = 0.075
+FPGA_MW_PER_REG = 0.012
+FPGA_MW_PER_DSP = 2.2
+FPGA_MW_PER_RAM_KWORD = 6.0
+
+#: Timing model (ns).
+FPGA_ROUTING_BASE = 0.70
+FPGA_ROUTING_SCALE = 0.16
+TASK_QUEUE_PENALTY_NS = 1.55
+ASIC_DELAY_SCALE = 0.42
+ASIC_DELAY_BASE = 0.03
+ASIC_TASK_QUEUE_PENALTY_NS = 0.08
+ASIC_MAX_GHZ = 2.5
+ASIC_MW_PER_KUM2 = 0.14
+FPGA_MAX_MHZ = 500.0
+
+
+@dataclass
+class SynthesisReport:
+    """Table 2 row for one accelerator."""
+
+    name: str
+    fpga_mhz: float
+    fpga_mw: float
+    alms: int
+    regs: int
+    dsps: int
+    asic_ghz: float
+    asic_mw: float
+    asic_area_kum2: float
+
+    def row(self) -> Dict[str, object]:
+        return {
+            "bench": self.name,
+            "MHz": round(self.fpga_mhz),
+            "mW": round(self.fpga_mw),
+            "ALMs": self.alms,
+            "Reg": self.regs,
+            "DSP": self.dsps,
+            "kum2": round(self.asic_area_kum2, 1),
+            "asic_mW": round(self.asic_mw),
+            "GHz": round(self.asic_ghz, 2),
+        }
+
+
+def _width_factor(node) -> float:
+    """Bit-width tuning scales integer datapath cost (floor 25%)."""
+    tuned = getattr(node, "tuned_width", None)
+    if tuned is None:
+        return 1.0
+    return max(0.25, tuned / 32.0)
+
+
+def _node_cost(node) -> lib.ComponentCost:
+    kind = node.kind
+    if kind in ("compute",):
+        info = oplib.op_info(node.op, node.out.type)
+        cost = lib.component_cost(info.area_class)
+        if info.area_class.startswith("int_"):
+            cost = lib.scale_cost(cost, _width_factor(node))
+        return cost
+    if kind == "tensor":
+        info = oplib.op_info(node.op, node.out.type)
+        base = lib.component_cost(info.area_class)
+        t = node.out.type
+        scale = (t.elements / 4.0) if isinstance(t, TensorType) else 1.0
+        return lib.scale_cost(base, scale)
+    if kind == "fused":
+        total = lib.ZERO_COST
+        for op, _refs, rtype, _s in node.exprs:
+            info = oplib.op_info(op, rtype)
+            total = lib.add_costs(total,
+                                  lib.component_cost(info.area_class))
+        return total
+    if kind in ("select", "phi"):
+        return lib.component_cost("mux")
+    if kind == "const":
+        return lib.component_cost("const")
+    if kind in ("livein", "liveout"):
+        return lib.component_cost("buffer")
+    if kind == "loopctl":
+        return lib.component_cost("loop_control")
+    if kind in ("load", "store"):
+        base = lib.component_cost("mem_port")
+        t = node.out.type if kind == "load" else node.value_type
+        return lib.scale_cost(base, max(1, t.words))
+    if kind in ("call", "spawn", "sync"):
+        return lib.component_cost("task_iface")
+    return lib.ZERO_COST
+
+
+def _node_delay(node) -> float:
+    kind = node.kind
+    if kind in ("compute", "tensor"):
+        return oplib.op_info(node.op, node.out.type).delay_ns
+    if kind == "fused":
+        return node.delay_ns
+    if kind == "select":
+        return oplib.op_info("select", None).delay_ns
+    if kind == "loopctl":
+        return oplib.op_info("loopctl", None).delay_ns
+    if kind in ("load", "store"):
+        return oplib.op_info("load", None).delay_ns
+    if kind in ("call", "spawn", "sync"):
+        return oplib.op_info("call", None).delay_ns
+    return 0.15
+
+
+def _task_cost(task: TaskBlock) -> lib.ComponentCost:
+    total = lib.ZERO_COST
+    for node in task.dataflow.nodes:
+        total = lib.add_costs(total, _node_cost(node))
+    for conn in task.dataflow.connections:
+        if conn.latched or not conn.buffered:
+            continue  # balanced-away edges carry no handshake stage
+        bits = conn.tuned_bits or conn.width_bits
+        hs = lib.add_costs(
+            lib.HANDSHAKE_BASE,
+            lib.scale_cost(lib.HANDSHAKE_COST_PER_BIT, max(1, bits)))
+        total = lib.add_costs(total, hs)
+    for junction in task.junctions:
+        total = lib.add_costs(
+            total, lib.scale_cost(lib.JUNCTION_PER_CLIENT,
+                                  len(junction.clients)))
+    # Execution tiling replicates the whole block + adds a crossbar.
+    if task.num_tiles > 1:
+        total = lib.scale_cost(total, task.num_tiles)
+        total = lib.add_costs(
+            total, lib.scale_cost(lib.TILE_CROSSBAR, task.num_tiles - 1))
+    return total
+
+
+def _has_task_queues(circuit: AcceleratorCircuit) -> bool:
+    """Cilk-style designs: spawn edges or recursive call edges."""
+    for edge in circuit.task_edges:
+        if edge.kind == "spawn" or edge.parent == edge.child:
+            return True
+    return False
+
+
+def synthesize(circuit: AcceleratorCircuit,
+               name: Optional[str] = None) -> SynthesisReport:
+    """Estimate FPGA and ASIC implementation quality for a circuit."""
+    total = lib.ZERO_COST
+    for task in circuit.tasks.values():
+        total = lib.add_costs(total, _task_cost(task))
+    for edge in circuit.task_edges:
+        total = lib.add_costs(
+            total, lib.scale_cost(lib.TASK_QUEUE_PER_ENTRY,
+                                  edge.queue_depth))
+    ram_kwords = 0.0
+    for structure in circuit.structures:
+        if isinstance(structure, (Scratchpad, Cache)):
+            total = lib.add_costs(total, lib.RAM_CONTROL)
+            banks = structure.banks
+            total = lib.add_costs(
+                total, lib.scale_cost(lib.RAM_PER_BANK, banks))
+            ram_kwords += structure.size_words / 1024.0
+
+    # Critical stage delay.
+    worst_delay = 0.35
+    for node in circuit.all_nodes():
+        worst_delay = max(worst_delay, _node_delay(node))
+    cilk = _has_task_queues(circuit)
+
+    routing = FPGA_ROUTING_BASE + FPGA_ROUTING_SCALE * math.log1p(
+        max(total.alms, 1) / 1000.0)
+    period = worst_delay + routing
+    if cilk:
+        period += TASK_QUEUE_PENALTY_NS
+    fpga_mhz = min(FPGA_MAX_MHZ, 1000.0 / period)
+
+    fpga_mw = (FPGA_STATIC_MW
+               + total.alms * FPGA_MW_PER_ALM
+               + total.regs * FPGA_MW_PER_REG
+               + total.dsps * FPGA_MW_PER_DSP
+               + ram_kwords * FPGA_MW_PER_RAM_KWORD)
+
+    asic_period = worst_delay * ASIC_DELAY_SCALE + ASIC_DELAY_BASE
+    if cilk:
+        asic_period += ASIC_TASK_QUEUE_PENALTY_NS
+    asic_ghz = min(ASIC_MAX_GHZ, 1.0 / asic_period)
+    asic_area_kum2 = total.area_um2 / 1000.0
+    asic_mw = (total.power_mw_ghz * asic_ghz * 1000.0 / 1000.0
+               + asic_area_kum2 * ASIC_MW_PER_KUM2
+               + ram_kwords * lib.RAM_PER_KWORD_POWER_MW)
+
+    return SynthesisReport(
+        name=name or circuit.name,
+        fpga_mhz=fpga_mhz,
+        fpga_mw=fpga_mw,
+        alms=total.alms,
+        regs=total.regs,
+        dsps=total.dsps,
+        asic_ghz=asic_ghz,
+        asic_mw=asic_mw,
+        asic_area_kum2=asic_area_kum2,
+    )

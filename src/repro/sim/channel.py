@@ -1,0 +1,130 @@
+"""Token channels implementing latency-insensitive connections.
+
+A :class:`Channel` is a registered ready/valid FIFO: a value pushed in
+cycle *t* becomes visible to the consumer in cycle *t+1* (the commit
+step).  This charges the baseline uIR graph one pipeline stage per
+edge, which is exactly the paper's "handshaking on all dataflow edges"
+cost that OpFusion removes.
+
+A :class:`LatchedChannel` is a live-in buffer: once set it can be read
+any number of times without being consumed (loop-invariant values
+feeding a loop body).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import List, Optional
+
+
+class Channel:
+    """Bounded registered FIFO.
+
+    ``stages`` is the number of register stages a token crosses before
+    the consumer sees it: 2 for the baseline's full ready/valid
+    handshake buffer (the producer's output register plus the edge's
+    skid register), 1 after the auto-pipelining pass balances the edge
+    away.  Throughput is one token per cycle either way; only latency
+    differs — exactly the paper's fusion effect.
+    """
+
+    __slots__ = ("capacity", "queue", "staged", "pre", "stages")
+
+    def __init__(self, capacity: int = 2, stages: int = 1):
+        self.capacity = max(capacity, stages)
+        self.stages = stages
+        self.queue: deque = deque()
+        self.pre: List = []      # in-flight register (stages == 2)
+        self.staged: List = []
+
+    # -- producer side ----------------------------------------------------
+    def can_push(self) -> bool:
+        return self.occupancy < self.capacity
+
+    def push(self, value) -> None:
+        self.staged.append(value)
+
+    # -- consumer side ----------------------------------------------------
+    def ready(self) -> bool:
+        return bool(self.queue)
+
+    def peek(self):
+        return self.queue[0]
+
+    def pop(self):
+        return self.queue.popleft()
+
+    # -- cycle boundary -----------------------------------------------------
+    def commit(self) -> bool:
+        """Advance register stages; returns True if anything moved."""
+        moved = False
+        if self.pre:
+            self.queue.extend(self.pre)
+            self.pre.clear()
+            moved = True
+        if self.staged:
+            if self.stages >= 2:
+                self.pre.extend(self.staged)
+            else:
+                self.queue.extend(self.staged)
+            self.staged.clear()
+            moved = True
+        return moved
+
+    def clear(self) -> None:
+        self.queue.clear()
+        self.pre.clear()
+        self.staged.clear()
+
+    @property
+    def occupancy(self) -> int:
+        return len(self.queue) + len(self.pre) + len(self.staged)
+
+    def __repr__(self) -> str:
+        return (f"Channel({list(self.queue)!r}+{self.pre!r}"
+                f"+{self.staged!r})")
+
+
+class LatchedChannel:
+    """A set-once value register readable without consumption."""
+
+    __slots__ = ("value", "is_set")
+
+    def __init__(self):
+        self.value = None
+        self.is_set = False
+
+    def latch(self, value) -> None:
+        self.value = value
+        self.is_set = True
+
+    # Consumer-side protocol mirrors Channel (pop does not consume).
+    def ready(self) -> bool:
+        return self.is_set
+
+    def peek(self):
+        return self.value
+
+    def pop(self):
+        return self.value
+
+    # Producer side: latched channels are filled at instance start.
+    def can_push(self) -> bool:
+        return True
+
+    def push(self, value) -> None:
+        self.latch(value)
+
+    def commit(self) -> bool:
+        return False
+
+    def clear(self) -> None:
+        self.value = None
+        self.is_set = False
+
+    @property
+    def occupancy(self) -> int:
+        return 0
+
+    def __repr__(self) -> str:
+        return f"LatchedChannel({self.value!r}, set={self.is_set})"

@@ -1,0 +1,107 @@
+"""Top-level simulation driver."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from ..core.circuit import AcceleratorCircuit
+from ..core.validate import validate_circuit
+from ..errors import DeadlockError, SimulationError
+from .memory import MemorySystem
+from .stats import SimStats
+from .task import SimRuntime
+
+
+@dataclass
+class SimParams:
+    """Knobs of the simulation environment (not of the circuit)."""
+
+    max_cycles: int = 5_000_000
+    deadlock_window: int = 4_000
+    #: Concurrent invocations a loop task pipelines per tile (the
+    #: paper's "multiple concurrent invocations outstanding").
+    loop_invocation_window: int = 2
+    #: Queue depth used for decoupled (<||deep>) task edges.
+    decoupled_queue_depth: int = 64
+    validate: bool = True
+
+
+@dataclass
+class SimResult:
+    cycles: int
+    results: List
+    stats: SimStats
+
+    def __repr__(self) -> str:
+        return f"SimResult(cycles={self.cycles}, results={self.results})"
+
+
+class Simulator:
+    """Cycle-level simulation of a uIR circuit against a memory image.
+
+    ``memory`` is a :class:`repro.frontend.interp.Memory` (or any object
+    with a mutable ``words`` list laid out like ``circuit.array_layout``).
+    The simulation mutates it in place, so callers can diff against the
+    reference interpreter afterwards.
+    """
+
+    def __init__(self, circuit: AcceleratorCircuit, memory,
+                 params: Optional[SimParams] = None):
+        self.circuit = circuit
+        self.memory_obj = memory
+        self.params = params or SimParams()
+        if self.params.validate:
+            validate_circuit(circuit)
+
+    def run(self, args: Sequence = ()) -> SimResult:
+        stats = SimStats()
+        memsys = MemorySystem(self.circuit, self.memory_obj.words, stats)
+        runtime = SimRuntime(self.circuit, memsys, stats, self.params)
+        runtime.start_root(list(args))
+
+        now = 0
+        idle_cycles = 0
+        while not runtime.root_done:
+            active = runtime.tick(now)
+            memsys.tick(now)
+            active |= memsys.commit()
+            now += 1
+            if active:
+                idle_cycles = 0
+            else:
+                idle_cycles += 1
+                if idle_cycles > self.params.deadlock_window:
+                    detail = self._deadlock_report(runtime)
+                    raise DeadlockError(now, detail)
+            if now > self.params.max_cycles:
+                raise SimulationError(
+                    f"exceeded max_cycles={self.params.max_cycles}")
+        stats.cycles = now
+        return SimResult(now, runtime.root_results or [], stats)
+
+    @staticmethod
+    def _deadlock_report(runtime: SimRuntime) -> str:
+        lines = []
+        for name, block in runtime.blocks.items():
+            if block.busy():
+                lines.append(
+                    f"{name}: ready={len(block.ready)} "
+                    f"active={len(block.active)} "
+                    f"parked={len(block.parked)}")
+                for inst in block.active:
+                    busy_nodes = [s.node.name for s in inst.node_sims
+                                  if s.busy()]
+                    lines.append(
+                        f"  active inst liveouts="
+                        f"{len(inst.liveouts)}/"
+                        f"{len(inst.task.live_out_types)} "
+                        f"children={inst.pending_children} "
+                        f"busy={busy_nodes[:6]}")
+        return "; ".join(lines) if lines else "all queues empty"
+
+
+def simulate(circuit: AcceleratorCircuit, memory, args: Sequence = (),
+             params: Optional[SimParams] = None) -> SimResult:
+    """One-shot helper: run the circuit to completion."""
+    return Simulator(circuit, memory, params).run(args)

@@ -1,0 +1,775 @@
+"""Per-node simulation models.
+
+Each uIR node kind gets a small state machine honouring the
+latency-insensitive protocol: fire when every required input channel
+has a token (latched channels always do) and internal capacity allows,
+retire results in order when the output channels have space.  Function
+units are pipelined with the latency / initiation interval from
+:mod:`repro.core.oplib`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import List, Optional
+
+from ..core import oplib
+from ..core.semantics import eval_compute, poison_value
+from ..errors import SimulationError
+from .memory import MemRequest
+
+
+class _ForkBuffer:
+    """Eager fork: delivers one value independently to each consumer.
+
+    A slow consumer (e.g. a store stalled on ordering) no longer
+    blocks its siblings (e.g. a load's address), which would otherwise
+    create circular backpressure through tight fanout — standard eager
+    fork semantics in latency-insensitive design.
+    """
+
+    __slots__ = ("channels", "pending", "value")
+
+    def __init__(self, channels):
+        self.channels = channels
+        self.pending: List = []
+        self.value = None
+
+    def can_accept(self) -> bool:
+        return not self.pending
+
+    def accept(self, value, instance) -> None:
+        self.value = value
+        self.pending = list(self.channels)
+        self.drain(instance)
+
+    def drain(self, instance) -> None:
+        if not self.pending:
+            return
+        still = []
+        for ch in self.pending:
+            if ch.can_push():
+                ch.push(self.value)
+                instance.activity = True
+            else:
+                still.append(ch)
+        self.pending = still
+
+
+class NodeSim:
+    """Base: channel helpers bound to one dataflow instance."""
+
+    is_iter_sink = False
+
+    def __init__(self, node, instance):
+        self.node = node
+        self.instance = instance
+        self.sink_count = 0
+        self._forks = {}
+        for port in node.outputs:
+            if port.outgoing:
+                self._forks[port.name] = _ForkBuffer(
+                    [instance.channels[id(c)] for c in port.outgoing])
+
+    # -- channel helpers ---------------------------------------------------
+    def _chan(self, conn):
+        return self.instance.channels[id(conn)]
+
+    def _in_ready(self, port) -> bool:
+        conn = port.incoming
+        return conn is not None and self._chan(conn).ready()
+
+    def _in_pop(self, port):
+        return self._chan(port.incoming).pop()
+
+    def _out_can(self, port) -> bool:
+        fork = self._forks.get(port.name)
+        return fork is None or fork.can_accept()
+
+    def _out_push(self, port, value) -> None:
+        fork = self._forks.get(port.name)
+        if fork is not None:
+            fork.accept(value, self.instance)
+        self.instance.activity = True
+
+    def drain_forks(self) -> None:
+        for fork in self._forks.values():
+            fork.drain(self.instance)
+
+    def _inputs_ready(self, ports) -> bool:
+        return all(self._in_ready(p) for p in ports)
+
+    # -- protocol -----------------------------------------------------------
+    def tick(self, now: int) -> None:
+        raise NotImplementedError
+
+    def busy(self) -> bool:
+        return False
+
+
+class ConstSim(NodeSim):
+    """Constant source.  In loop tasks its connections are latched (set
+    at instance start); in func tasks it emits one token per consumer
+    per invocation."""
+
+    def __init__(self, node, instance):
+        super().__init__(node, instance)
+        self._pending = [c for c in node.out.outgoing if not c.latched]
+
+    def tick(self, now: int) -> None:
+        if not self._pending:
+            return
+        remaining = []
+        for conn in self._pending:
+            ch = self._chan(conn)
+            if ch.can_push():
+                ch.push(self.node.value)
+                self.instance.activity = True
+            else:
+                remaining.append(conn)
+        self._pending = remaining
+
+
+class LiveInSim(NodeSim):
+    """Invocation argument source (same emission rule as ConstSim)."""
+
+    def __init__(self, node, instance):
+        super().__init__(node, instance)
+        self.value = instance.args[node.index]
+        self._pending = [c for c in node.out.outgoing if not c.latched]
+
+    def tick(self, now: int) -> None:
+        if not self._pending:
+            return
+        remaining = []
+        for conn in self._pending:
+            ch = self._chan(conn)
+            if ch.can_push():
+                ch.push(self.value)
+                self.instance.activity = True
+            else:
+                remaining.append(conn)
+        self._pending = remaining
+
+
+class LiveOutSim(NodeSim):
+    def tick(self, now: int) -> None:
+        if self._in_ready(self.node.inp):
+            value = self._in_pop(self.node.inp)
+            self.instance.record_liveout(self.node.index, value)
+            self.instance.activity = True
+
+
+class ComputeSim(NodeSim):
+    """Pipelined function unit for compute/tensor/gep ops."""
+
+    def __init__(self, node, instance):
+        super().__init__(node, instance)
+        info = oplib.op_info(node.op, node.out.type)
+        self.latency = max(1, info.latency)
+        self.interval = max(1, info.initiation_interval)
+        self.pipe: deque = deque()
+        self.next_fire = 0
+        self.capacity = max(1, self.latency)
+
+    def _retire(self, now: int) -> None:
+        out = self.node.out
+        while self.pipe and self.pipe[0][0] <= now and self._out_can(out):
+            _rc, value = self.pipe.popleft()
+            self._out_push(out, value)
+
+    def tick(self, now: int) -> None:
+        self._retire(now)
+        if now < self.next_fire or len(self.pipe) >= self.capacity:
+            return
+        if not self._inputs_ready(self.node.in_ports):
+            return
+        vals = [self._in_pop(p) for p in self.node.in_ports]
+        if self.node.op == "gep":
+            vals = vals + [self.node.gep_scale]
+        result = eval_compute(self.node.op, vals, self.node.out.type)
+        # The FU's final pipeline register doubles as the edge register:
+        # retiring at now+latency-1 (visible after commit) makes the
+        # value reach the consumer exactly ``latency`` cycles after the
+        # fire.
+        self.pipe.append((now + self.latency - 1, result))
+        self.next_fire = now + self.interval
+        self.instance.activity = True
+        self.instance.stats.node_fires[self.node.kind] += 1
+        self._retire(now)
+
+    def busy(self) -> bool:
+        return bool(self.pipe)
+
+
+class FusedSim(NodeSim):
+    """One-stage evaluation of a fused expression DAG."""
+
+    def __init__(self, node, instance):
+        super().__init__(node, instance)
+        self.latency = max(1, node.latency)
+        self.pipe: deque = deque()
+
+    def _retire(self, now: int) -> None:
+        out = self.node.out
+        while self.pipe and self.pipe[0][0] <= now and self._out_can(out):
+            _rc, value = self.pipe.popleft()
+            self._out_push(out, value)
+
+    def tick(self, now: int) -> None:
+        self._retire(now)
+        if len(self.pipe) >= max(1, self.latency):
+            return
+        if not self._inputs_ready(self.node.in_ports):
+            return
+        ins = [self._in_pop(p) for p in self.node.in_ports]
+        results: List = []
+        for op, refs, rtype, scale in self.node.exprs:
+            vals = [ins[i] if kind == "in" else results[i]
+                    for kind, i in refs]
+            if op == "gep":
+                vals = vals + [scale]
+            results.append(eval_compute(op, vals, rtype))
+        self.pipe.append((now + self.latency - 1, results[-1]))
+        self.instance.activity = True
+        self.instance.stats.node_fires["fused"] += 1
+        self._retire(now)
+
+    def busy(self) -> bool:
+        return bool(self.pipe)
+
+
+class SelectSim(NodeSim):
+    def __init__(self, node, instance):
+        super().__init__(node, instance)
+        self.pipe: deque = deque()
+
+    def _retire(self, now: int) -> None:
+        out = self.node.out
+        while self.pipe and self.pipe[0][0] <= now and self._out_can(out):
+            _rc, value = self.pipe.popleft()
+            self._out_push(out, value)
+
+    def tick(self, now: int) -> None:
+        self._retire(now)
+        ports = [self.node.cond, self.node.a, self.node.b]
+        if len(self.pipe) >= 1 or not self._inputs_ready(ports):
+            return
+        cond = self._in_pop(self.node.cond)
+        a = self._in_pop(self.node.a)
+        b = self._in_pop(self.node.b)
+        self.pipe.append((now, a if cond else b))
+        self.instance.activity = True
+        self._retire(now)
+
+    def busy(self) -> bool:
+        return bool(self.pipe)
+
+
+class PhiSim(NodeSim):
+    """Loop-carried value sequencer (see core.nodes.PhiNode)."""
+
+    is_iter_sink = True
+
+    def __init__(self, node, instance):
+        super().__init__(node, instance)
+        self.inited = False
+        self.init_val = None
+        self.next_val = None
+        self.have_next = False
+        self.emitted = 0
+        self.backs = 0
+        self.last_back = None
+        self.last_emitted = None
+        self.final_pushed = False
+        # Conditional loops may speculatively emit past the failing
+        # check; the live-out is the value at check #trips-1, so keep
+        # the emission history (bounded by trips + channel slack).
+        self.emit_history: List = []
+
+    def tick(self, now: int) -> None:
+        node = self.node
+        if not self.inited:
+            if not self._in_ready(node.init):
+                return
+            self.init_val = self._in_pop(node.init)
+            self.next_val = self.init_val
+            self.have_next = True
+            self.inited = True
+            self.instance.activity = True
+        # Accept the back token before emitting so a value arriving
+        # this cycle forwards without an extra stage (the phi mux is
+        # combinational; only its state register is clocked).
+        trips = self.instance.loop_trips
+        if not self.have_next and self._in_ready(node.back) and \
+                (trips is None or self.backs < trips):
+            value = self._in_pop(node.back)
+            self.backs += 1
+            self.last_back = value
+            self.sink_count = self.backs
+            self.next_val = value
+            self.have_next = True
+            self.instance.activity = True
+        if self.have_next and self._out_can(node.out):
+            self._out_push(node.out, self.next_val)
+            self.last_emitted = self.next_val
+            if self.instance.loop_conditional:
+                self.emit_history.append(self.next_val)
+            self.emitted += 1
+            self.have_next = False
+        self._maybe_push_final(now)
+
+    def _maybe_push_final(self, now: int) -> None:
+        node = self.node
+        if self.final_pushed or not node.final.outgoing:
+            return
+        if not self.instance.loop_finished:
+            return
+        trips = self.instance.loop_trips or 0
+        if self.instance.loop_conditional:
+            # Conditional loops always issue at least one check.
+            if self.emitted < trips:
+                return
+            value = self.emit_history[trips - 1]
+        else:
+            if trips == 0:
+                value = self.init_val
+                if not self.inited:
+                    return
+            elif self.backs >= trips:
+                value = self.last_back
+            else:
+                return
+        if self._out_can(node.final):
+            self._out_push(node.final, value)
+            self.final_pushed = True
+
+    def busy(self) -> bool:
+        # A phi holding state is not "outstanding work"; completion is
+        # gated by loop_finished + liveouts instead.
+        return False
+
+
+class LoopControlSim(NodeSim):
+    """Iteration sequencer."""
+
+    def __init__(self, node, instance):
+        super().__init__(node, instance)
+        self.started = False
+        self.finished = False
+        self.issued = 0
+        self.trips: Optional[int] = None
+        self.next_issue = 0
+        self.start_v = 0
+        self.step_v = 1
+        self.done_pushed = False
+        self.final_pushed = False
+
+    def tick(self, now: int) -> None:
+        node = self.node
+        if not self.started:
+            ports = [node.start, node.bound, node.step]
+            if not self._inputs_ready(ports):
+                return
+            self.start_v = self._in_pop(node.start)
+            bound_v = self._in_pop(node.bound)
+            self.step_v = self._in_pop(node.step)
+            self.started = True
+            self.instance.activity = True
+            if not node.conditional:
+                self.trips = self._count_trips(self.start_v, bound_v,
+                                               self.step_v)
+                self.instance.loop_trips = self.trips
+        if not self.started or self.finished:
+            self._maybe_finish_outputs(now)
+            return
+        if node.conditional:
+            self._tick_conditional(now)
+        else:
+            self._tick_counted(now)
+        self._maybe_finish_outputs(now)
+
+    @staticmethod
+    def _count_trips(start: int, bound: int, step: int) -> int:
+        if step <= 0:
+            raise SimulationError(
+                f"loop with non-positive step {step}")
+        if start >= bound:
+            return 0
+        return (bound - start + step - 1) // step
+
+    def _in_flight(self) -> int:
+        return self.issued - self.instance.completed_iterations()
+
+    def _tick_counted(self, now: int) -> None:
+        node = self.node
+        if self.issued >= self.trips:
+            self._finish(now)
+            return
+        if now < self.next_issue:
+            return
+        if self._in_flight() >= node.max_in_flight:
+            return
+        if not (self._out_can(node.index) and self._out_can(node.active)):
+            return
+        index = self.start_v + self.issued * self.step_v
+        self._out_push(node.index, index)
+        self._out_push(node.active, True)
+        self.issued += 1
+        self.next_issue = now + max(1, node.pipeline_stages)
+        self.instance.stats.iterations[self.instance.task.name] += 1
+
+    def _tick_conditional(self, now: int) -> None:
+        node = self.node
+        if self.issued == 0:
+            if now >= self.next_issue and \
+                    self._out_can(node.index) and \
+                    self._out_can(node.active):
+                self._out_push(node.index, self.start_v)
+                self._out_push(node.active, True)
+                self.issued = 1
+                self.next_issue = now + max(1, node.pipeline_stages)
+                self.instance.stats.iterations[
+                    self.instance.task.name] += 1
+            return
+        # Wait for the continue token of the previous iteration.
+        if not self._in_ready(node.cont):
+            return
+        if now < self.next_issue or \
+                self._in_flight() >= node.max_in_flight:
+            return
+        if not (self._out_can(node.index) and self._out_can(node.active)):
+            return
+        cont = self._in_pop(node.cont)
+        self.instance.activity = True
+        if not cont:
+            self.trips = self.issued
+            self._finish(now)
+            return
+        index = self.start_v + self.issued * self.step_v
+        self._out_push(node.index, index)
+        self._out_push(node.active, True)
+        self.issued += 1
+        self.next_issue = now + max(1, node.pipeline_stages)
+        self.instance.stats.iterations[self.instance.task.name] += 1
+
+    def _finish(self, now: int) -> None:
+        if self.finished:
+            return
+        self.finished = True
+        self.instance.loop_trips = self.issued if self.node.conditional \
+            else self.trips
+        self.instance.loop_finished = True
+        self.instance.activity = True
+
+    def _maybe_finish_outputs(self, now: int) -> None:
+        node = self.node
+        if not self.finished:
+            return
+        if not self.done_pushed and node.done.outgoing and \
+                self._out_can(node.done):
+            self._out_push(node.done, True)
+            self.done_pushed = True
+        if not self.final_pushed and node.final.outgoing and \
+                self._out_can(node.final):
+            final = self.start_v + self.issued * self.step_v
+            self._out_push(node.final, final)
+            self.final_pushed = True
+
+    def busy(self) -> bool:
+        return self.started and not self.finished
+
+
+class _MemRecord:
+    __slots__ = ("remaining", "words", "poison", "value")
+
+    def __init__(self, words: int, poison: bool = False):
+        self.remaining = words
+        self.words: List = [None] * words
+        self.poison = poison
+        self.value = None
+
+
+class LoadSim(NodeSim):
+    """Load transit node with databox widening."""
+
+    is_iter_sink = True
+
+    def __init__(self, node, instance):
+        super().__init__(node, instance)
+        self.records: deque = deque()
+        self.junction_sim = instance.junction_sim_for(node)
+        self.words = node.out.type.words
+
+    def _required_ports(self):
+        ports = [self.node.addr]
+        if self.node.pred is not None:
+            ports.append(self.node.pred)
+        if self.node.order_in is not None:
+            ports.append(self.node.order_in)
+        return ports
+
+    def tick(self, now: int) -> None:
+        node = self.node
+        # Retire in order.
+        while self.records and self.records[0].remaining == 0:
+            if not (self._out_can(node.out) and self._out_can(node.done)):
+                break
+            rec = self.records.popleft()
+            if rec.poison:
+                value = poison_value(node.out.type)
+            elif self.words == 1:
+                value = rec.words[0]
+            else:
+                value = tuple(rec.words)
+            self._out_push(node.out, value)
+            self._out_push(node.done, True)
+            self.sink_count += 1
+        # Fire.
+        if len(self.records) >= node.max_outstanding:
+            return
+        ports = self._required_ports()
+        if not self._inputs_ready(ports):
+            return
+        addr = self._in_pop(node.addr)
+        enabled = True
+        if node.pred is not None:
+            enabled = bool(self._in_pop(node.pred))
+        if node.order_in is not None:
+            self._in_pop(node.order_in)
+        self.instance.activity = True
+        if not enabled:
+            rec = _MemRecord(0, poison=True)
+            self.records.append(rec)
+            return
+        rec = _MemRecord(self.words)
+        self.records.append(rec)
+        self.instance.stats.memory_reads += self.words
+        base = int(addr)
+        for w in range(self.words):
+            def on_done(req, r=rec, i=w):
+                r.words[i] = req.value
+                r.remaining -= 1
+            self.junction_sim.submit(
+                MemRequest(base + w, False, on_done=on_done))
+
+    def busy(self) -> bool:
+        return bool(self.records)
+
+
+class StoreSim(NodeSim):
+    is_iter_sink = True
+
+    def __init__(self, node, instance):
+        super().__init__(node, instance)
+        self.records: deque = deque()
+        self.junction_sim = instance.junction_sim_for(node)
+        self.words = node.value_type.words
+
+    def tick(self, now: int) -> None:
+        node = self.node
+        while self.records and self.records[0].remaining == 0:
+            if not self._out_can(node.done):
+                break
+            self.records.popleft()
+            self._out_push(node.done, True)
+            self.sink_count += 1
+        if len(self.records) >= node.max_outstanding:
+            return
+        ports = [node.addr, node.data]
+        if node.pred is not None:
+            ports.append(node.pred)
+        if node.order_in is not None:
+            ports.append(node.order_in)
+        if not self._inputs_ready(ports):
+            return
+        addr = self._in_pop(node.addr)
+        data = self._in_pop(node.data)
+        enabled = True
+        if node.pred is not None:
+            enabled = bool(self._in_pop(node.pred))
+        if node.order_in is not None:
+            self._in_pop(node.order_in)
+        self.instance.activity = True
+        if not enabled:
+            self.records.append(_MemRecord(0, poison=True))
+            return
+        rec = _MemRecord(self.words)
+        self.records.append(rec)
+        self.instance.stats.memory_writes += self.words
+        base = int(addr)
+        values = data if self.words > 1 else [data]
+        for w in range(self.words):
+            def on_done(req, r=rec):
+                r.remaining -= 1
+            self.junction_sim.submit(
+                MemRequest(base + w, True, value=values[w],
+                           on_done=on_done))
+
+    def busy(self) -> bool:
+        return bool(self.records)
+
+
+class _CallRecord:
+    __slots__ = ("done", "results", "poison")
+
+    def __init__(self, poison: bool = False):
+        self.done = poison
+        self.results: List = []
+        self.poison = poison
+
+
+class CallSim(NodeSim):
+    is_iter_sink = True
+
+    def __init__(self, node, instance):
+        super().__init__(node, instance)
+        self.records: deque = deque()
+
+    def _max_outstanding(self) -> int:
+        return 1 if self.node.serialize else self.node.max_outstanding
+
+    def tick(self, now: int) -> None:
+        node = self.node
+        # Retire in order.
+        while self.records and self.records[0].done:
+            ret_ok = all(self._out_can(p) for p in node.ret_ports)
+            if not (ret_ok and self._out_can(node.order_out)):
+                break
+            rec = self.records.popleft()
+            for i, port in enumerate(node.ret_ports):
+                if rec.poison or i >= len(rec.results):
+                    self._out_push(port, poison_value(port.type))
+                else:
+                    self._out_push(port, rec.results[i])
+            self._out_push(node.order_out, True)
+            self.sink_count += 1
+            self.instance.calls_outstanding -= 1
+        if len(self.records) >= self._max_outstanding():
+            return
+        ports = list(node.arg_ports)
+        if node.pred is not None:
+            ports.append(node.pred)
+        if node.order_in is not None:
+            ports.append(node.order_in)
+        if not self._inputs_ready(ports):
+            return
+        # Peek the predicate before committing to an enqueue.
+        enabled = True
+        if node.pred is not None:
+            enabled = bool(self._chan(node.pred.incoming).peek())
+        if enabled:
+            rec = _CallRecord()
+            args = [self._chan(p.incoming).peek() for p in node.arg_ports]
+            ok = self.instance.runtime.try_enqueue(
+                self.instance.task.name, node.callee, args,
+                reply=rec, parent=self.instance)
+            if not ok:
+                self.instance.enqueue_blocked = True
+                return
+        else:
+            rec = _CallRecord(poison=True)
+        for p in node.arg_ports:
+            self._in_pop(p)
+        if node.pred is not None:
+            self._in_pop(node.pred)
+        if node.order_in is not None:
+            self._in_pop(node.order_in)
+        self.records.append(rec)
+        self.instance.calls_outstanding += 1
+        self.instance.activity = True
+
+    def busy(self) -> bool:
+        return bool(self.records)
+
+
+class SpawnSim(NodeSim):
+    is_iter_sink = True
+
+    def tick(self, now: int) -> None:
+        node = self.node
+        if not self._out_can(node.issued):
+            return
+        ports = list(node.arg_ports)
+        if node.pred is not None:
+            ports.append(node.pred)
+        if node.order_in is not None:
+            ports.append(node.order_in)
+        if not self._inputs_ready(ports):
+            return
+        enabled = True
+        if node.pred is not None:
+            enabled = bool(self._chan(node.pred.incoming).peek())
+        if enabled:
+            args = [self._chan(p.incoming).peek() for p in node.arg_ports]
+            ok = self.instance.runtime.try_enqueue(
+                self.instance.task.name, node.callee, args,
+                reply=None, parent=self.instance)
+            if not ok:
+                self.instance.enqueue_blocked = True
+                return
+            self.instance.pending_children += 1
+        for p in node.arg_ports:
+            self._in_pop(p)
+        if node.pred is not None:
+            self._in_pop(node.pred)
+        if node.order_in is not None:
+            self._in_pop(node.order_in)
+        self._out_push(node.issued, True)
+        self.sink_count += 1
+        self.instance.activity = True
+
+
+class SyncSim(NodeSim):
+    """Barrier: fires once all children spawned so far have completed."""
+
+    is_iter_sink = True
+
+    def __init__(self, node, instance):
+        super().__init__(node, instance)
+        self.fired = False
+
+    def tick(self, now: int) -> None:
+        node = self.node
+        if self.fired:
+            return
+        if node.order_in is not None and not self._in_ready(node.order_in):
+            return
+        if self.instance.pending_children > 0:
+            return
+        if not self._out_can(node.done):
+            return
+        if node.order_in is not None:
+            self._in_pop(node.order_in)
+        self._out_push(node.done, True)
+        self.fired = True
+        self.sink_count = 1
+
+    def busy(self) -> bool:
+        return False
+
+
+SIM_CLASSES = {
+    "const": ConstSim,
+    "livein": LiveInSim,
+    "liveout": LiveOutSim,
+    "compute": ComputeSim,
+    "tensor": ComputeSim,
+    "fused": FusedSim,
+    "select": SelectSim,
+    "phi": PhiSim,
+    "loopctl": LoopControlSim,
+    "load": LoadSim,
+    "store": StoreSim,
+    "call": CallSim,
+    "spawn": SpawnSim,
+    "sync": SyncSim,
+}
+
+
+def make_node_sim(node, instance) -> NodeSim:
+    try:
+        cls = SIM_CLASSES[node.kind]
+    except KeyError:
+        raise SimulationError(f"no simulator for node kind {node.kind!r}")
+    return cls(node, instance)

@@ -1,0 +1,53 @@
+"""Simulation statistics."""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict
+
+
+class SimStats:
+    """Counters accumulated over one simulation run."""
+
+    def __init__(self):
+        self.cycles = 0
+        self.invocations: Counter = Counter()      # per task name
+        self.node_fires: Counter = Counter()       # per node kind
+        self.memory_reads = 0
+        self.memory_writes = 0
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.dram_requests = 0
+        self.bank_conflict_stalls = 0
+        self.junction_stalls = 0
+        self.iterations: Counter = Counter()       # loop iterations/task
+        self.parked = 0
+
+    @property
+    def memory_accesses(self) -> int:
+        return self.memory_reads + self.memory_writes
+
+    @property
+    def cache_hit_rate(self) -> float:
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
+
+    def summary(self) -> Dict[str, object]:
+        return {
+            "cycles": self.cycles,
+            "invocations": dict(self.invocations),
+            "iterations": dict(self.iterations),
+            "memory_reads": self.memory_reads,
+            "memory_writes": self.memory_writes,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "dram_requests": self.dram_requests,
+            "bank_conflict_stalls": self.bank_conflict_stalls,
+            "junction_stalls": self.junction_stalls,
+            "parked": self.parked,
+        }
+
+    def __repr__(self) -> str:
+        return (f"SimStats(cycles={self.cycles}, "
+                f"mem={self.memory_accesses}, "
+                f"hit_rate={self.cache_hit_rate:.2f})")

@@ -1,0 +1,302 @@
+"""Task-block runtime: dataflow instances, execution tiles, queues.
+
+Implements the paper's whole-accelerator execution model (Figure 5):
+task blocks run concurrently, each with a local queue of ready and
+pending invocations and ``num_tiles`` execution tiles.  An invocation
+that is blocked only on child-task responses *parks* — it stays in the
+task queue as a pending task and releases its tile (this is how the
+queue-based runtime expresses the paper's recursion-as-tasks pattern
+without deadlock).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List, Optional
+
+from ..core.circuit import TaskBlock
+from ..errors import SimulationError
+from .channel import Channel, LatchedChannel
+from .nodesim import make_node_sim
+from .stats import SimStats
+
+
+class TaskInvocation:
+    """One dynamic activation of a task block."""
+
+    __slots__ = ("args", "reply", "parent", "edge_key")
+
+    def __init__(self, args, reply, parent, edge_key):
+        self.args = list(args)
+        self.reply = reply          # _CallRecord to fill, or None (spawn)
+        self.parent = parent        # parent DataflowInstance or None
+        self.edge_key = edge_key
+
+
+class DataflowInstance:
+    """Runtime state of one invocation: channels + node state machines."""
+
+    def __init__(self, task: TaskBlock, runtime: "SimRuntime",
+                 invocation: TaskInvocation):
+        self.task = task
+        self.runtime = runtime
+        self.invocation = invocation
+        self.args = invocation.args
+        self.stats: SimStats = runtime.stats
+        self.activity = False
+        self.idle_cycles = 0
+        self.pending_children = 0
+        self.calls_outstanding = 0
+        self.response_arrived = False
+        self.enqueue_blocked = False
+        self.park_cycle = -1
+        self.loop_trips: Optional[int] = None
+        self.loop_finished = task.kind != "loop"
+        self.loop_conditional = False
+        self.liveouts: Dict[int, object] = {}
+
+        self.channels: Dict[int, object] = {}
+        for conn in task.dataflow.connections:
+            if conn.latched:
+                self.channels[id(conn)] = LatchedChannel()
+            else:
+                stages = 2 if conn.buffered else 1
+                self.channels[id(conn)] = Channel(conn.depth, stages)
+        # Pre-latch loop-invariant values (live-in buffers).
+        for node in task.dataflow.nodes:
+            if node.kind == "const":
+                for conn in node.out.outgoing:
+                    if conn.latched:
+                        self.channels[id(conn)].latch(node.value)
+            elif node.kind == "livein":
+                for conn in node.out.outgoing:
+                    if conn.latched:
+                        self.channels[id(conn)].latch(
+                            self.args[node.index])
+        self.node_sims = [make_node_sim(n, self)
+                          for n in task.dataflow.nodes]
+        for node in task.dataflow.nodes:
+            if node.kind == "loopctl" and node.conditional:
+                self.loop_conditional = True
+        self.sinks = [s for s in self.node_sims if s.is_iter_sink]
+        self._effect_sinks = [s for s in self.sinks
+                              if s.node.kind != "phi"]
+
+    # -- wiring ------------------------------------------------------------
+    def junction_sim_for(self, node):
+        junction = self.task.junctions[node.junction_index]
+        return self.runtime.memory.junction_sim(junction)
+
+    # -- protocol callbacks --------------------------------------------------
+    def record_liveout(self, index: int, value) -> None:
+        self.liveouts[index] = value
+
+    def completed_iterations(self) -> int:
+        if not self.sinks:
+            return 1 << 30
+        return min(s.sink_count for s in self.sinks)
+
+    # -- execution -------------------------------------------------------
+    def tick(self, now: int) -> None:
+        self.activity = False
+        self.enqueue_blocked = False
+        for sim in self.node_sims:
+            sim.drain_forks()
+            sim.tick(now)
+        for ch in self.channels.values():
+            if ch.commit():
+                self.activity = True
+        if self.activity:
+            self.idle_cycles = 0
+        else:
+            self.idle_cycles += 1
+
+    def memory_busy(self) -> bool:
+        return any(s.busy() for s in self.node_sims
+                   if s.node.kind in ("load", "store"))
+
+    def is_complete(self) -> bool:
+        if len(self.liveouts) < len(self.task.live_out_types):
+            return False
+        if self.pending_children > 0:
+            return False
+        if not self.loop_finished:
+            return False
+        expected = (self.loop_trips or 0) if self.task.kind == "loop" \
+            else 1
+        for sink in self.sinks:
+            if sink.sink_count < expected:
+                return False
+        # Only effectful nodes gate completion: pure function units may
+        # hold surplus tokens produced by free-running (all-invariant)
+        # sources, which are dead once every sink met its quota.
+        for sim in self.node_sims:
+            if sim.node.kind in ("load", "store", "call", "spawn") and \
+                    sim.busy():
+                return False
+        return True
+
+    def parkable(self) -> bool:
+        waiting_on_children = (self.calls_outstanding > 0
+                               or self.pending_children > 0
+                               or self.enqueue_blocked)
+        return (self.idle_cycles > 8 and waiting_on_children
+                and not self.memory_busy())
+
+    def results(self) -> List:
+        return [self.liveouts[i]
+                for i in range(len(self.task.live_out_types))]
+
+
+class TaskBlockSim:
+    """Queue + tiles for one task block."""
+
+    def __init__(self, task: TaskBlock, runtime: "SimRuntime"):
+        self.task = task
+        self.runtime = runtime
+        self.ready: deque = deque()
+        self.edge_pending: Dict[tuple, int] = {}
+        self.active: List[DataflowInstance] = []
+        self.parked: List[DataflowInstance] = []
+        window = (runtime.params.loop_invocation_window
+                  if task.kind == "loop" else 1)
+        self.capacity = max(1, task.num_tiles) * max(1, window)
+
+    def pending_count(self, edge_key: tuple) -> int:
+        return self.edge_pending.get(edge_key, 0)
+
+    def enqueue(self, invocation: TaskInvocation) -> None:
+        key = invocation.edge_key
+        self.edge_pending[key] = self.edge_pending.get(key, 0) + 1
+        self.ready.append(invocation)
+
+    def tick(self, now: int) -> bool:
+        """Advance one cycle; returns True if anything happened."""
+        active_cycle = False
+        # Wake order matters for recursion: first instances whose child
+        # responses arrived, then fresh ready invocations (the children
+        # everyone is waiting on), and only then enqueue-blocked parks
+        # retrying on leftover capacity.
+        still_parked = []
+        for inst in self.parked:
+            if inst.response_arrived and \
+                    len(self.active) < self.capacity:
+                inst.response_arrived = False
+                inst.idle_cycles = 0
+                self.active.append(inst)
+                active_cycle = True
+            else:
+                still_parked.append(inst)
+        self.parked = still_parked
+        # Start ready invocations on free capacity.
+        while self.ready and len(self.active) < self.capacity:
+            inv = self.ready.popleft()
+            self.edge_pending[inv.edge_key] -= 1
+            inst = DataflowInstance(self.task, self.runtime, inv)
+            self.active.append(inst)
+            self.runtime.stats.invocations[self.task.name] += 1
+            active_cycle = True
+        if not self.ready:
+            still_parked = []
+            for inst in self.parked:
+                retry = inst.enqueue_blocked and \
+                    now - inst.park_cycle >= 16
+                if retry and len(self.active) < self.capacity:
+                    inst.response_arrived = False
+                    inst.idle_cycles = 0
+                    self.active.append(inst)
+                    active_cycle = True
+                else:
+                    still_parked.append(inst)
+            self.parked = still_parked
+        # Tick instances; collect completions and parks.
+        finished: List[DataflowInstance] = []
+        parked: List[DataflowInstance] = []
+        for inst in self.active:
+            inst.tick(now)
+            active_cycle |= inst.activity
+            if inst.is_complete():
+                finished.append(inst)
+            elif inst.parkable():
+                parked.append(inst)
+        for inst in finished:
+            self.active.remove(inst)
+            self.runtime.deliver(inst)
+            active_cycle = True
+        for inst in parked:
+            if inst in self.active:
+                self.active.remove(inst)
+                # Do NOT clear response_arrived here: a response that
+                # landed earlier this cycle must still wake the park
+                # (classic lost-wakeup hazard).
+                inst.park_cycle = now
+                self.parked.append(inst)
+                self.runtime.stats.parked += 1
+        return active_cycle
+
+    def busy(self) -> bool:
+        return bool(self.ready or self.active or self.parked)
+
+
+class SimRuntime:
+    """Owns every TaskBlockSim; routes invocations and completions."""
+
+    ROOT_EDGE = ("__host__", "__root__")
+
+    def __init__(self, circuit, memory_system, stats: SimStats, params):
+        self.circuit = circuit
+        self.memory = memory_system
+        self.stats = stats
+        self.params = params
+        self.blocks: Dict[str, TaskBlockSim] = {
+            name: TaskBlockSim(task, self)
+            for name, task in circuit.tasks.items()}
+        self.edge_depth: Dict[tuple, int] = {}
+        for edge in circuit.task_edges:
+            depth = edge.queue_depth if not edge.decoupled else \
+                max(edge.queue_depth, params.decoupled_queue_depth)
+            self.edge_depth[(edge.parent, edge.child)] = depth
+        self.root_done = False
+        self.root_results: Optional[List] = None
+
+    def try_enqueue(self, parent_name: str, callee: str, args,
+                    reply, parent) -> bool:
+        block = self.blocks.get(callee)
+        if block is None:
+            raise SimulationError(f"call to unknown task {callee!r}")
+        key = (parent_name, callee)
+        depth = self.edge_depth.get(key, 4)
+        if block.pending_count(key) >= depth:
+            return False
+        block.enqueue(TaskInvocation(args, reply, parent, key))
+        return True
+
+    def start_root(self, args) -> None:
+        root = self.circuit.root_task
+        if len(args) != len(root.live_in_types):
+            raise SimulationError(
+                f"root task {root.name} takes "
+                f"{len(root.live_in_types)} args, got {len(args)}")
+        self.edge_depth[self.ROOT_EDGE] = 1
+        self.blocks[root.name].enqueue(
+            TaskInvocation(args, None, None, self.ROOT_EDGE))
+
+    def deliver(self, instance: DataflowInstance) -> None:
+        inv = instance.invocation
+        if inv.reply is not None:
+            inv.reply.results = instance.results()
+            inv.reply.done = True
+            if inv.parent is not None:
+                inv.parent.response_arrived = True
+        elif inv.parent is not None:
+            inv.parent.pending_children -= 1
+            inv.parent.response_arrived = True
+        else:
+            self.root_done = True
+            self.root_results = instance.results()
+
+    def tick(self, now: int) -> bool:
+        active = False
+        for block in self.blocks.values():
+            active |= block.tick(now)
+        return active

@@ -1,0 +1,246 @@
+"""Type system shared by the software IR and the uIR hardware graph.
+
+The paper's polymorphic operations ("the designer only has to specify
+the data types of individual nodes, and during RTL generation uIR
+implicitly infers and sets up the physical wire widths and flit sizes")
+rest on a small, closed type universe:
+
+* scalar integers of a given bit width (``IntType``),
+* IEEE-ish floats (``FloatType``; we model binary32/binary64),
+* booleans (``BoolType``, 1 bit),
+* pointers into a (numbered) address space (``PointerType``),
+* short vectors (``VectorType``),
+* small 2-D tensors (``TensorType``), the paper's ``Tensor2D``.
+
+All types are immutable value objects; equality and hashing are
+structural so they can key dictionaries in analyses and the RTL cost
+library.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .errors import TypeMismatchError
+
+WORD_BITS = 32
+"""Memory word size used by scratchpads, caches, and the databox."""
+
+
+@dataclass(frozen=True)
+class Type:
+    """Base class for all types; concrete subclasses define ``bits``."""
+
+    @property
+    def bits(self) -> int:
+        raise NotImplementedError
+
+    @property
+    def words(self) -> int:
+        """Number of 32-bit memory words this type occupies."""
+        return max(1, (self.bits + WORD_BITS - 1) // WORD_BITS)
+
+    @property
+    def is_float(self) -> bool:
+        return False
+
+    @property
+    def is_tensor(self) -> bool:
+        return False
+
+    @property
+    def is_pointer(self) -> bool:
+        return False
+
+
+@dataclass(frozen=True)
+class VoidType(Type):
+    """The type of instructions producing no value (stores, branches)."""
+
+    @property
+    def bits(self) -> int:
+        return 0
+
+    def __str__(self) -> str:
+        return "void"
+
+
+@dataclass(frozen=True)
+class IntType(Type):
+    """A fixed-width two's-complement integer."""
+
+    width: int = WORD_BITS
+    signed: bool = True
+
+    @property
+    def bits(self) -> int:
+        return self.width
+
+    def __str__(self) -> str:
+        prefix = "i" if self.signed else "u"
+        return f"{prefix}{self.width}"
+
+    def wrap(self, value: int) -> int:
+        """Wrap ``value`` to this type's range (two's complement)."""
+        mask = (1 << self.width) - 1
+        value &= mask
+        if self.signed and value >= (1 << (self.width - 1)):
+            value -= 1 << self.width
+        return value
+
+
+@dataclass(frozen=True)
+class FloatType(Type):
+    """A binary floating point number (32- or 64-bit)."""
+
+    width: int = 32
+
+    @property
+    def bits(self) -> int:
+        return self.width
+
+    @property
+    def is_float(self) -> bool:
+        return True
+
+    def __str__(self) -> str:
+        return f"f{self.width}"
+
+
+@dataclass(frozen=True)
+class BoolType(Type):
+    """A single-bit predicate."""
+
+    @property
+    def bits(self) -> int:
+        return 1
+
+    def __str__(self) -> str:
+        return "i1"
+
+
+@dataclass(frozen=True)
+class PointerType(Type):
+    """A pointer into address space ``space`` (0 = global/DRAM)."""
+
+    pointee: Type = field(default_factory=lambda: IntType())
+    space: int = 0
+
+    @property
+    def bits(self) -> int:
+        return 32
+
+    @property
+    def is_pointer(self) -> bool:
+        return True
+
+    def __str__(self) -> str:
+        suffix = f"@{self.space}" if self.space else ""
+        return f"{self.pointee}*{suffix}"
+
+
+@dataclass(frozen=True)
+class VectorType(Type):
+    """A short SIMD vector of ``lanes`` elements."""
+
+    elem: Type = field(default_factory=lambda: IntType())
+    lanes: int = 4
+
+    @property
+    def bits(self) -> int:
+        return self.elem.bits * self.lanes
+
+    def __str__(self) -> str:
+        return f"<{self.lanes} x {self.elem}>"
+
+
+@dataclass(frozen=True)
+class TensorType(Type):
+    """The paper's ``Tensor2D``: a rows x cols tile of scalars.
+
+    A Tensor2D value moves through the dataflow as a single wide token;
+    the databox widens/narrows it to word-granularity memory accesses.
+    """
+
+    elem: Type = field(default_factory=lambda: FloatType(32))
+    rows: int = 2
+    cols: int = 2
+
+    @property
+    def bits(self) -> int:
+        return self.elem.bits * self.rows * self.cols
+
+    @property
+    def is_tensor(self) -> bool:
+        return True
+
+    @property
+    def elements(self) -> int:
+        return self.rows * self.cols
+
+    def __str__(self) -> str:
+        return f"tensor<{self.rows}x{self.cols}x{self.elem}>"
+
+
+# Canonical singletons used throughout the code base.
+VOID = VoidType()
+BOOL = BoolType()
+I8 = IntType(8)
+I16 = IntType(16)
+I32 = IntType(32)
+I64 = IntType(64)
+U32 = IntType(32, signed=False)
+F32 = FloatType(32)
+F64 = FloatType(64)
+
+
+def pointer(pointee: Type, space: int = 0) -> PointerType:
+    """Convenience constructor for :class:`PointerType`."""
+    return PointerType(pointee, space)
+
+
+def tensor2d(elem: Type = F32, rows: int = 2, cols: int = 2) -> TensorType:
+    """Convenience constructor for :class:`TensorType`."""
+    return TensorType(elem, rows, cols)
+
+
+def common_type(a: Type, b: Type) -> Type:
+    """Return the common arithmetic type of two operands.
+
+    Raises :class:`TypeMismatchError` when the operands cannot appear in
+    the same arithmetic operation (e.g. tensor + scalar).
+    """
+    if a == b:
+        return a
+    if isinstance(a, PointerType) and isinstance(b, IntType):
+        return a
+    if isinstance(b, PointerType) and isinstance(a, IntType):
+        return b
+    if isinstance(a, IntType) and isinstance(b, IntType):
+        return a if a.width >= b.width else b
+    if isinstance(a, FloatType) and isinstance(b, FloatType):
+        return a if a.width >= b.width else b
+    raise TypeMismatchError(f"no common type for {a} and {b}")
+
+
+def parse_type(text: str) -> Type:
+    """Parse a type from its canonical string form (used by MiniC).
+
+    Supports ``i1/i8/i16/i32/i64``, ``u32``, ``f32/f64``,
+    ``tensor<RxCxELEM>``, and pointers written as ``ELEM*``.
+    """
+    text = text.strip()
+    if text.endswith("*"):
+        return PointerType(parse_type(text[:-1]))
+    if text.startswith("tensor<") and text.endswith(">"):
+        inner = text[len("tensor<"):-1]
+        rows_s, cols_s, elem_s = inner.split("x", 2)
+        return TensorType(parse_type(elem_s), int(rows_s), int(cols_s))
+    simple = {
+        "void": VOID, "i1": BOOL, "bool": BOOL,
+        "i8": I8, "i16": I16, "i32": I32, "i64": I64, "u32": U32,
+        "f32": F32, "f64": F64, "int": I32, "float": F32,
+    }
+    if text in simple:
+        return simple[text]
+    raise TypeMismatchError(f"unknown type {text!r}")

@@ -1,0 +1,20 @@
+"""The paper's benchmark suite (Table 2) as MiniC programs.
+
+Four families, mirroring the paper's grouping:
+
+* Polybench/Machsuite (floating point): GEMM, COVAR, FFT, SPMV, 2MM, 3MM
+* Cilk: FIB, M-SORT, SAXPY, STENCIL, IMG-SCALE
+* Tensorflow: CONV, DENSE8, DENSE16, SOFTM8, SOFTM16
+* In-house tensor: RELU[T], 2MM[T], CONV[T]
+
+Every workload carries its inputs, golden check, and metadata; sizes
+are scaled to cycle-accurate-simulation budgets (the paper's trends are
+shape properties, not size properties).
+"""
+
+from .base import Workload, get_workload, workload_names  # noqa: F401
+from . import polybench  # noqa: F401
+from . import cilk_apps  # noqa: F401
+from . import tensorflow_apps  # noqa: F401
+from . import tensor_apps  # noqa: F401
+from .base import WORKLOADS  # noqa: F401

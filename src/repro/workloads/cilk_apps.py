@@ -1,0 +1,203 @@
+"""Cilk workloads (paper Table 2): FIB, M-SORT, SAXPY, STENCIL,
+IMG-SCALE.  These exercise task-level parallelism: recursion through
+the task queue, parallel_for via detach/reattach, and sync barriers."""
+
+from __future__ import annotations
+
+from .base import Workload, register, seeded_floats, seeded_ints
+
+# ---------------------------------------------------------------------------
+# FIB: doubly-recursive Fibonacci (task-queue recursion)
+# ---------------------------------------------------------------------------
+
+FIB_N = 12
+
+FIB_SRC = """
+array res: i32[1];
+
+func fib(n: i32) -> i32 {
+  if (n < 2) { return n; }
+  var a: i32 = fib(n - 1);
+  var b: i32 = fib(n - 2);
+  return a + b;
+}
+
+func main(n: i32) {
+  res[0] = fib(n);
+}
+"""
+
+register(Workload(
+    name="fib", category="cilk", source=FIB_SRC, args=(FIB_N,),
+    check_arrays=["res"],
+    notes="recursive task spawning; both calls issue concurrently "
+          "from the dataflow"))
+
+
+# ---------------------------------------------------------------------------
+# M-SORT: recursive merge sort with spawned halves + sync
+# ---------------------------------------------------------------------------
+
+MSORT_N = 32
+
+MSORT_SRC = f"""
+array arr: i32[{MSORT_N}];
+array tmp: i32[{MSORT_N}];
+
+func msort(lo: i32, n: i32) {{
+  if (n < 2) {{ return; }}
+  var half: i32 = n / 2;
+  spawn msort(lo, half);
+  spawn msort(lo + half, n - half);
+  sync;
+  var i: i32 = lo;
+  var j: i32 = lo + half;
+  for (k = 0; k < n; k = k + 1) {{
+    var takeleft: i32 = 0;
+    if (j >= lo + n) {{
+      takeleft = 1;
+    }} else {{
+      if (i < lo + half) {{
+        if (arr[i] <= arr[j]) {{
+          takeleft = 1;
+        }}
+      }}
+    }}
+    if (takeleft == 1) {{
+      tmp[lo + k] = arr[i];
+      i = i + 1;
+    }} else {{
+      tmp[lo + k] = arr[j];
+      j = j + 1;
+    }}
+  }}
+  for (k2 = 0; k2 < n; k2 = k2 + 1) {{
+    arr[lo + k2] = tmp[lo + k2];
+  }}
+}}
+
+func main(n: i32) {{
+  msort(0, n);
+}}
+"""
+
+
+def _init_msort(mem):
+    mem.set_array("arr", seeded_ints(MSORT_N, 71, 0, 999))
+
+
+register(Workload(
+    name="msort", category="cilk", source=MSORT_SRC, args=(MSORT_N,),
+    init=_init_msort, check_arrays=["arr"],
+    notes="spawned halves + sync barrier + branchy merge loop"))
+
+
+# ---------------------------------------------------------------------------
+# SAXPY: parallel_for y = a*x + y
+# ---------------------------------------------------------------------------
+
+SAXPY_N = 256
+
+SAXPY_SRC = f"""
+array x: f32[{SAXPY_N}];
+array y: f32[{SAXPY_N}];
+
+func main(n: i32, a: f32) {{
+  parallel_for (i = 0; i < n; i = i + 1) {{
+    y[i] = a * x[i] + y[i];
+  }}
+}}
+"""
+
+
+def _init_saxpy(mem):
+    mem.set_array("x", seeded_floats(SAXPY_N, 81))
+    mem.set_array("y", seeded_floats(SAXPY_N, 82))
+
+
+register(Workload(
+    name="saxpy", category="cilk", source=SAXPY_SRC,
+    args=(SAXPY_N, 2.5), init=_init_saxpy, check_arrays=["y"], fp=True,
+    notes="memory-bound parallel loop (tiling saturates quickly)"))
+
+
+# ---------------------------------------------------------------------------
+# STENCIL: 2D 5-point Jacobi step, parallel over rows
+# ---------------------------------------------------------------------------
+
+STENCIL_N = 12
+
+STENCIL_SRC = f"""
+array grid_in: f32[{STENCIL_N * STENCIL_N}];
+array grid_out: f32[{STENCIL_N * STENCIL_N}];
+
+func main(n: i32) {{
+  parallel_for (r = 1; r < n - 1; r = r + 1) {{
+    for (c = 1; c < n - 1; c = c + 1) {{
+      var center: f32 = grid_in[r * n + c];
+      var north: f32 = grid_in[(r - 1) * n + c];
+      var south: f32 = grid_in[(r + 1) * n + c];
+      var west: f32 = grid_in[r * n + c - 1];
+      var east: f32 = grid_in[r * n + c + 1];
+      grid_out[r * n + c] =
+          0.2 * (center + north + south + west + east);
+    }}
+  }}
+}}
+"""
+
+
+def _init_stencil(mem):
+    mem.set_array("grid_in",
+                  seeded_floats(STENCIL_N * STENCIL_N, 91, 0.0, 10.0))
+
+
+register(Workload(
+    name="stencil", category="cilk", source=STENCIL_SRC,
+    args=(STENCIL_N,), init=_init_stencil, check_arrays=["grid_out"],
+    fp=True, notes="compute-dense rows; scales to 8 tiles in the paper"))
+
+
+# ---------------------------------------------------------------------------
+# IMG-SCALE: 2x bilinear image upscale (fixed-point), parallel over rows
+# ---------------------------------------------------------------------------
+
+IMG_W = 8     # input is IMG_W x IMG_W, output 2x
+IMG_OUT = IMG_W * 2
+
+IMG_SRC = f"""
+array src: i32[{IMG_W * IMG_W}];
+array dst: i32[{IMG_OUT * IMG_OUT}];
+
+func main(w: i32, ow: i32) {{
+  parallel_for (y = 0; y < ow; y = y + 1) {{
+    for (x = 0; x < ow; x = x + 1) {{
+      var sy: i32 = y / 2;
+      var sx: i32 = x / 2;
+      var sy1: i32 = sy + 1;
+      var sx1: i32 = sx + 1;
+      if (sy1 >= w) {{ sy1 = w - 1; }}
+      if (sx1 >= w) {{ sx1 = w - 1; }}
+      var p00: i32 = src[sy * w + sx];
+      var p01: i32 = src[sy * w + sx1];
+      var p10: i32 = src[sy1 * w + sx];
+      var p11: i32 = src[sy1 * w + sx1];
+      var fy: i32 = y - sy * 2;
+      var fx: i32 = x - sx * 2;
+      var top: i32 = p00 * (2 - fx) + p01 * fx;
+      var bot: i32 = p10 * (2 - fx) + p11 * fx;
+      dst[y * ow + x] = (top * (2 - fy) + bot * fy) / 4;
+    }}
+  }}
+}}
+"""
+
+
+def _init_img(mem):
+    mem.set_array("src", seeded_ints(IMG_W * IMG_W, 95, 0, 255))
+
+
+register(Workload(
+    name="img_scale", category="cilk", source=IMG_SRC,
+    args=(IMG_W, IMG_OUT), init=_init_img, check_arrays=["dst"],
+    notes="bilinear 2x upscale, integer arithmetic, parallel rows"))

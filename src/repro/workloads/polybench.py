@@ -1,0 +1,287 @@
+"""Polybench / Machsuite floating-point workloads (paper Table 2).
+
+GEMM, COVAR, FFT, SPMV, 2MM, 3MM — sized for cycle-level simulation.
+"""
+
+from __future__ import annotations
+
+import math
+
+from .base import Workload, register, seeded_floats, seeded_ints
+
+# ---------------------------------------------------------------------------
+# GEMM: C = A x B  (N x N, f32)
+# ---------------------------------------------------------------------------
+
+GEMM_N = 8
+
+GEMM_SRC = f"""
+array A: f32[{GEMM_N * GEMM_N}];
+array B: f32[{GEMM_N * GEMM_N}];
+array C: f32[{GEMM_N * GEMM_N}];
+
+func main(n: i32) {{
+  for (i = 0; i < n; i = i + 1) {{
+    for (j = 0; j < n; j = j + 1) {{
+      var sum: f32 = 0.0;
+      for (k = 0; k < n; k = k + 1) {{
+        sum = sum + A[i * n + k] * B[k * n + j];
+      }}
+      C[i * n + j] = sum;
+    }}
+  }}
+}}
+"""
+
+
+def _init_gemm(mem):
+    mem.set_array("A", seeded_floats(GEMM_N * GEMM_N, 11))
+    mem.set_array("B", seeded_floats(GEMM_N * GEMM_N, 12))
+
+
+register(Workload(
+    name="gemm", category="polybench", source=GEMM_SRC,
+    args=(GEMM_N,), init=_init_gemm, check_arrays=["C"], fp=True,
+    notes="dense matrix multiply, triple loop nest"))
+
+
+# ---------------------------------------------------------------------------
+# COVAR: covariance matrix (Polybench 'covariance')
+# ---------------------------------------------------------------------------
+
+COVAR_N = 8   # observations
+COVAR_M = 6   # variables
+
+COVAR_SRC = f"""
+array data: f32[{COVAR_N * COVAR_M}];
+array mean: f32[{COVAR_M}];
+array cov: f32[{COVAR_M * COVAR_M}];
+
+func main(n: i32, m: i32) {{
+  for (j = 0; j < m; j = j + 1) {{
+    var s: f32 = 0.0;
+    for (i = 0; i < n; i = i + 1) {{
+      s = s + data[i * m + j];
+    }}
+    mean[j] = s / f32(n);
+  }}
+  for (i2 = 0; i2 < n; i2 = i2 + 1) {{
+    for (j2 = 0; j2 < m; j2 = j2 + 1) {{
+      data[i2 * m + j2] = data[i2 * m + j2] - mean[j2];
+    }}
+  }}
+  for (j3 = 0; j3 < m; j3 = j3 + 1) {{
+    for (j4 = j3; j4 < m; j4 = j4 + 1) {{
+      var acc: f32 = 0.0;
+      for (i3 = 0; i3 < n; i3 = i3 + 1) {{
+        acc = acc + data[i3 * m + j3] * data[i3 * m + j4];
+      }}
+      acc = acc / (f32(n) - 1.0);
+      cov[j3 * m + j4] = acc;
+      cov[j4 * m + j3] = acc;
+    }}
+  }}
+}}
+"""
+
+
+def _init_covar(mem):
+    mem.set_array("data", seeded_floats(COVAR_N * COVAR_M, 21, 0.0, 4.0))
+
+
+register(Workload(
+    name="covar", category="polybench", source=COVAR_SRC,
+    args=(COVAR_N, COVAR_M), init=_init_covar,
+    check_arrays=["cov", "mean"], fp=True,
+    notes="mean, center, triangular covariance accumulation"))
+
+
+# ---------------------------------------------------------------------------
+# FFT: iterative radix-2, in-place, size 16 (Machsuite 'fft')
+# ---------------------------------------------------------------------------
+
+FFT_N = 64
+FFT_STAGES = 6
+
+FFT_SRC = f"""
+array re: f32[{FFT_N}];
+array im: f32[{FFT_N}];
+array wr: f32[{FFT_N // 2}];
+array wi: f32[{FFT_N // 2}];
+
+func main(n: i32, stages: i32) {{
+  var nhalf: i32 = n / 2;
+  for (s = 1; s < stages + 1; s = s + 1) {{
+    var m: i32 = 1 << s;
+    var half: i32 = m >> 1;
+    var stride: i32 = n / m;
+    // One flat butterfly loop per stage: the group/offset split is
+    // shift/mask arithmetic (long chains of cheap fusable ops).
+    for (idx = 0; idx < nhalf; idx = idx + 1) {{
+      var j: i32 = idx & (half - 1);
+      var base: i32 = (idx >> (s - 1)) << s;
+      var lo: i32 = base + j;
+      var hi: i32 = lo + half;
+      var tw_r: f32 = wr[j * stride];
+      var tw_i: f32 = wi[j * stride];
+      var xr: f32 = re[hi];
+      var xi: f32 = im[hi];
+      var tr: f32 = tw_r * xr - tw_i * xi;
+      var ti: f32 = tw_r * xi + tw_i * xr;
+      var ur: f32 = re[lo];
+      var ui: f32 = im[lo];
+      re[lo] = ur + tr;
+      im[lo] = ui + ti;
+      re[hi] = ur - tr;
+      im[hi] = ui - ti;
+    }}
+  }}
+}}
+"""
+
+
+def _init_fft(mem):
+    # Bit-reversed input order so the DIT butterflies produce the DFT.
+    values = seeded_floats(FFT_N, 31)
+    bits = FFT_STAGES
+
+    def rev(i):
+        out = 0
+        for b in range(bits):
+            out = (out << 1) | ((i >> b) & 1)
+        return out
+
+    mem.set_array("re", [values[rev(i)] for i in range(FFT_N)])
+    mem.set_array("im", [0.0] * FFT_N)
+    mem.set_array("wr", [math.cos(-2 * math.pi * k / FFT_N)
+                         for k in range(FFT_N // 2)])
+    mem.set_array("wi", [math.sin(-2 * math.pi * k / FFT_N)
+                         for k in range(FFT_N // 2)])
+
+
+register(Workload(
+    name="fft", category="polybench", source=FFT_SRC,
+    args=(FFT_N, FFT_STAGES), init=_init_fft,
+    check_arrays=["re", "im"], fp=True,
+    notes="iterative radix-2 DIT, in-place (stages serialize)"))
+
+
+# ---------------------------------------------------------------------------
+# SPMV: CSR sparse matrix x dense vector (Machsuite 'spmv')
+# ---------------------------------------------------------------------------
+
+SPMV_ROWS = 16
+SPMV_NNZ_PER_ROW = 4
+SPMV_NNZ = SPMV_ROWS * SPMV_NNZ_PER_ROW
+
+SPMV_SRC = f"""
+array vals: f32[{SPMV_NNZ}];
+array cols: i32[{SPMV_NNZ}];
+array rowptr: i32[{SPMV_ROWS + 1}];
+array x: f32[{SPMV_ROWS}];
+array y: f32[{SPMV_ROWS}];
+
+func main(rows: i32) {{
+  for (i = 0; i < rows; i = i + 1) {{
+    var lo: i32 = rowptr[i];
+    var hi: i32 = rowptr[i + 1];
+    var sum: f32 = 0.0;
+    for (k = lo; k < hi; k = k + 1) {{
+      sum = sum + vals[k] * x[cols[k]];
+    }}
+    y[i] = sum;
+  }}
+}}
+"""
+
+
+def _init_spmv(mem):
+    mem.set_array("vals", seeded_floats(SPMV_NNZ, 41))
+    cols = []
+    for row in range(SPMV_ROWS):
+        base = seeded_ints(SPMV_NNZ_PER_ROW, 43 + row, 0, SPMV_ROWS - 1)
+        cols.extend(sorted(set(base))[:SPMV_NNZ_PER_ROW]
+                    + [0] * (SPMV_NNZ_PER_ROW - len(set(base))))
+    mem.set_array("cols", cols[:SPMV_NNZ])
+    mem.set_array("rowptr", [r * SPMV_NNZ_PER_ROW
+                             for r in range(SPMV_ROWS + 1)])
+    mem.set_array("x", seeded_floats(SPMV_ROWS, 47))
+
+
+register(Workload(
+    name="spmv", category="polybench", source=SPMV_SRC,
+    args=(SPMV_ROWS,), init=_init_spmv, check_arrays=["y"], fp=True,
+    notes="CSR, data-dependent inner trip counts, gather on x"))
+
+
+# ---------------------------------------------------------------------------
+# 2MM: E = (A x B) x C        3MM: G = (A x B) x (C x D)
+# ---------------------------------------------------------------------------
+
+MM_N = 6
+
+
+def _matmul_loop(dst, a, b, suffix):
+    return f"""
+  for (i{suffix} = 0; i{suffix} < n; i{suffix} = i{suffix} + 1) {{
+    for (j{suffix} = 0; j{suffix} < n; j{suffix} = j{suffix} + 1) {{
+      var sum{suffix}: f32 = 0.0;
+      for (k{suffix} = 0; k{suffix} < n; k{suffix} = k{suffix} + 1) {{
+        sum{suffix} = sum{suffix} +
+            {a}[i{suffix} * n + k{suffix}] * {b}[k{suffix} * n + j{suffix}];
+      }}
+      {dst}[i{suffix} * n + j{suffix}] = sum{suffix};
+    }}
+  }}
+"""
+
+
+MM2_SRC = f"""
+array A: f32[{MM_N * MM_N}];
+array B: f32[{MM_N * MM_N}];
+array C: f32[{MM_N * MM_N}];
+array D: f32[{MM_N * MM_N}];
+array E: f32[{MM_N * MM_N}];
+
+func main(n: i32) {{
+{_matmul_loop("D", "A", "B", "0")}
+{_matmul_loop("E", "D", "C", "1")}
+}}
+"""
+
+MM3_SRC = f"""
+array A: f32[{MM_N * MM_N}];
+array B: f32[{MM_N * MM_N}];
+array C: f32[{MM_N * MM_N}];
+array D: f32[{MM_N * MM_N}];
+array T1: f32[{MM_N * MM_N}];
+array T2: f32[{MM_N * MM_N}];
+array G: f32[{MM_N * MM_N}];
+
+func main(n: i32) {{
+{_matmul_loop("T1", "A", "B", "0")}
+{_matmul_loop("T2", "C", "D", "1")}
+{_matmul_loop("G", "T1", "T2", "2")}
+}}
+"""
+
+
+def _init_2mm(mem):
+    for name, seed in (("A", 51), ("B", 52), ("C", 53)):
+        mem.set_array(name, seeded_floats(MM_N * MM_N, seed))
+
+
+def _init_3mm(mem):
+    for name, seed in (("A", 61), ("B", 62), ("C", 63), ("D", 64)):
+        mem.set_array(name, seeded_floats(MM_N * MM_N, seed))
+
+
+register(Workload(
+    name="2mm", category="polybench", source=MM2_SRC,
+    args=(MM_N,), init=_init_2mm, check_arrays=["E"], fp=True,
+    notes="two dependent matmuls (loop-level pipeline parallelism)"))
+
+register(Workload(
+    name="3mm", category="polybench", source=MM3_SRC,
+    args=(MM_N,), init=_init_3mm, check_arrays=["G"], fp=True,
+    notes="three matmuls; the first two are independent"))

@@ -1,0 +1,198 @@
+"""In-house tensor workloads (paper Table 2): RELU[T], 2MM[T], CONV[T].
+
+Each has a scalar baseline and a Tensor2D implementation computing the
+*same values* over the same tile-major memory layout, so the Figure 15
+comparison (higher-order tensor ops vs scalar pipeline) is apples to
+apples.  RELU[T]'s tensor form is also reachable automatically from the
+scalar form via the TensorOps pass.
+"""
+
+from __future__ import annotations
+
+from .base import Workload, register, seeded_floats
+
+# ---------------------------------------------------------------------------
+# RELU[T]: elementwise ReLU over a tile-sized stream
+# ---------------------------------------------------------------------------
+
+RELU_N = 256  # scalar elements (= 64 2x2 tiles)
+
+RELU_SCALAR_SRC = f"""
+array a: f32[{RELU_N}];
+array b: f32[{RELU_N}];
+
+func main(n: i32) {{
+  for (i = 0; i < n; i = i + 1) {{
+    var v: f32 = a[i];
+    var r: f32 = 0.0;
+    if (v > 0.0) {{ r = v; }}
+    b[i] = r;
+  }}
+}}
+"""
+
+RELU_TENSOR_SRC = f"""
+array a: tensor<2x2xf32>[{RELU_N // 4}];
+array b: tensor<2x2xf32>[{RELU_N // 4}];
+
+func main(nt: i32) {{
+  for (i = 0; i < nt; i = i + 1) {{
+    b[i] = trelu(a[i]);
+  }}
+}}
+"""
+
+
+def _init_relu(mem):
+    values = seeded_floats(RELU_N, 151, -2.0, 2.0)
+    if "a" in mem.module.globals and \
+            mem.module.globals["a"].elem.is_tensor:
+        mem.set_array("a", [tuple(values[i:i + 4])
+                            for i in range(0, RELU_N, 4)])
+    else:
+        mem.set_array("a", values)
+
+
+register(Workload(
+    name="relu_t", category="inhouse", source=RELU_SCALAR_SRC,
+    args=(RELU_N,), init=_init_relu, check_arrays=["b"], fp=True,
+    tensor=True,
+    variants={"tensor": RELU_TENSOR_SRC},
+    variant_args={"tensor": (RELU_N // 4,)},
+    notes="tensor variant takes nt = n/4 as its argument"))
+
+
+# ---------------------------------------------------------------------------
+# 2MM[T]: blocked matrix multiply over 2x2 tiles (paper Figure 13)
+# ---------------------------------------------------------------------------
+
+MMT_T = 3          # T x T tiles = 6x6 elements
+MMT_TILES = MMT_T * MMT_T
+
+MMT_SCALAR_SRC = f"""
+array A: f32[{MMT_TILES * 4}];
+array B: f32[{MMT_TILES * 4}];
+array C: f32[{MMT_TILES * 4}];
+
+func main(t: i32) {{
+  for (i = 0; i < t; i = i + 1) {{
+    for (j = 0; j < t; j = j + 1) {{
+      for (r = 0; r < 2; r = r + 1) {{
+        for (c = 0; c < 2; c = c + 1) {{
+          var acc: f32 = 0.0;
+          for (k = 0; k < t; k = k + 1) {{
+            for (kk = 0; kk < 2; kk = kk + 1) {{
+              acc = acc + A[(i * t + k) * 4 + r * 2 + kk]
+                        * B[(k * t + j) * 4 + kk * 2 + c];
+            }}
+          }}
+          C[(i * t + j) * 4 + r * 2 + c] = acc;
+        }}
+      }}
+    }}
+  }}
+}}
+"""
+
+MMT_TENSOR_SRC = f"""
+array A: tensor<2x2xf32>[{MMT_TILES}];
+array B: tensor<2x2xf32>[{MMT_TILES}];
+array C: tensor<2x2xf32>[{MMT_TILES}];
+
+func main(t: i32) {{
+  for (i = 0; i < t; i = i + 1) {{
+    for (j = 0; j < t; j = j + 1) {{
+      var acc: tensor<2x2xf32> = C[i * t + j];
+      for (k = 0; k < t; k = k + 1) {{
+        acc = acc + A[i * t + k] * B[k * t + j];
+      }}
+      C[i * t + j] = acc;
+    }}
+  }}
+}}
+"""
+
+
+def _init_mmt(mem):
+    a = seeded_floats(MMT_TILES * 4, 161)
+    b = seeded_floats(MMT_TILES * 4, 162)
+    if mem.module.globals["A"].elem.is_tensor:
+        mem.set_array("A", [tuple(a[i:i + 4])
+                            for i in range(0, len(a), 4)])
+        mem.set_array("B", [tuple(b[i:i + 4])
+                            for i in range(0, len(b), 4)])
+    else:
+        mem.set_array("A", a)
+        mem.set_array("B", b)
+
+
+register(Workload(
+    name="2mm_t", category="inhouse", source=MMT_SCALAR_SRC,
+    args=(MMT_T,), init=_init_mmt, check_arrays=["C"], fp=True,
+    tensor=True, variants={"tensor": MMT_TENSOR_SRC},
+    notes="tile-blocked matmul; tensor variant is paper Figure 13"))
+
+
+# ---------------------------------------------------------------------------
+# CONV[T]: 1D convolution over a stream of 2x2 tiles, 3 weight tiles
+# (the paper's introductory 1D-convolution example, tiled)
+# ---------------------------------------------------------------------------
+
+CONVT_N = 16  # tiles
+
+CONVT_SCALAR_SRC = f"""
+array xs: f32[{CONVT_N * 4}];
+array wt: f32[12];
+array ys: f32[{CONVT_N * 4}];
+
+func main(n: i32) {{
+  for (i = 1; i < n - 1; i = i + 1) {{
+    for (r = 0; r < 2; r = r + 1) {{
+      for (c = 0; c < 2; c = c + 1) {{
+        var acc: f32 = 0.0;
+        for (t = 0; t < 3; t = t + 1) {{
+          for (k = 0; k < 2; k = k + 1) {{
+            acc = acc + wt[t * 4 + r * 2 + k]
+                      * xs[(i + t - 1) * 4 + k * 2 + c];
+          }}
+        }}
+        var rr: f32 = 0.0;
+        if (acc > 0.0) {{ rr = acc; }}
+        ys[i * 4 + r * 2 + c] = rr;
+      }}
+    }}
+  }}
+}}
+"""
+
+CONVT_TENSOR_SRC = f"""
+array xs: tensor<2x2xf32>[{CONVT_N}];
+array wt: tensor<2x2xf32>[3];
+array ys: tensor<2x2xf32>[{CONVT_N}];
+
+func main(n: i32) {{
+  for (i = 1; i < n - 1; i = i + 1) {{
+    ys[i] = trelu(wt[0] * xs[i - 1] + wt[1] * xs[i] + wt[2] * xs[i + 1]);
+  }}
+}}
+"""
+
+
+def _init_convt(mem):
+    x = seeded_floats(CONVT_N * 4, 171)
+    w = seeded_floats(12, 172)
+    if mem.module.globals["xs"].elem.is_tensor:
+        mem.set_array("xs", [tuple(x[i:i + 4])
+                             for i in range(0, len(x), 4)])
+        mem.set_array("wt", [tuple(w[i:i + 4])
+                             for i in range(0, len(w), 4)])
+    else:
+        mem.set_array("xs", x)
+        mem.set_array("wt", w)
+
+
+register(Workload(
+    name="conv_t", category="inhouse", source=CONVT_SCALAR_SRC,
+    args=(CONVT_N,), init=_init_convt, check_arrays=["ys"], fp=True,
+    tensor=True, variants={"tensor": CONVT_TENSOR_SRC},
+    notes="1D tile convolution (paper Figure 2's motivating kernel)"))

@@ -1,0 +1,118 @@
+"""Tests for the statically-scheduled HLS baseline model."""
+
+import pytest
+
+from repro.frontend import compile_minic
+from repro.frontend.interp import Memory
+from repro.hls import HlsModel, estimate_hls
+from repro.hls.model import HLS_RELATIVE_CLOCK
+
+STREAM = """
+array a: f32[64];
+array b: f32[64];
+func main(n: i32) {
+  for (i = 0; i < n; i = i + 1) { b[i] = a[i] * 2.0; }
+}
+"""
+
+GATHER = """
+array idx: i32[64];
+array x: f32[64];
+array y: f32[64];
+func main(n: i32) {
+  for (i = 0; i < n; i = i + 1) { y[i] = x[idx[i]]; }
+}
+"""
+
+REDUCE = """
+array a: f32[64];
+array o: f32[1];
+func main(n: i32) {
+  var s: f32 = 0.0;
+  for (i = 0; i < n; i = i + 1) { s = s + a[i]; }
+  o[0] = s;
+}
+"""
+
+NESTED = """
+array a: f32[64];
+func main(n: i32) {
+  for (i = 0; i < n; i = i + 1) {
+    for (j = 0; j < n; j = j + 1) { a[(i * n + j) & 63] = 1.0; }
+  }
+}
+"""
+
+
+def report(src, *args, **kw):
+    module = compile_minic(src)
+    return estimate_hls(module, Memory(module), *args, **kw)
+
+
+class TestScheduling:
+    def test_cycles_scale_with_trip_count(self):
+        assert report(STREAM, 64).cycles > report(STREAM, 16).cycles
+
+    def test_streaming_loop_reaches_ii1(self):
+        r = report(STREAM, 64)
+        info = next(iter(r.loop_info.values()))
+        assert info.pipelined
+        assert info.ii == 1
+        assert info.streaming_ops == 2
+
+    def test_gather_pressures_ports(self):
+        r = report(GATHER, 64)
+        info = next(iter(r.loop_info.values()))
+        # idx[i] streams; x[idx[i]] is a random access.
+        assert info.random_ops >= 1
+
+    def test_streaming_off_increases_ii(self):
+        on = report(STREAM, 64, streaming=True)
+        off = report(STREAM, 64, streaming=False)
+        assert off.cycles >= on.cycles
+
+    def test_reduction_recurrence_ii(self):
+        r = report(REDUCE, 64)
+        info = next(iter(r.loop_info.values()))
+        assert info.ii >= 4  # fadd latency bound
+
+    def test_nested_loop_serialization(self):
+        # Outer loop is not pipelined (contains the inner loop).
+        module = compile_minic(NESTED)
+        model = HlsModel(module)
+        r = model.run(Memory(module), 8)
+        assert len(r.loop_info) == 1  # only the inner is pipelined
+
+    def test_relative_clock(self):
+        r = report(STREAM, 16)
+        assert r.relative_clock == pytest.approx(1 / 1.2)
+        t_400 = r.time_at(400.0)
+        assert t_400 == pytest.approx(r.cycles / (400 / 1.2))
+
+    def test_deterministic(self):
+        assert report(STREAM, 32).cycles == report(STREAM, 32).cycles
+
+    def test_data_dependent_trip_counts(self):
+        # SPMV-style inner bounds come from the dynamic trace.
+        src = """
+array rowptr: i32[5];
+array vals: f32[16];
+array y: f32[4];
+func main(rows: i32) {
+  for (i = 0; i < rows; i = i + 1) {
+    var lo: i32 = rowptr[i];
+    var hi: i32 = rowptr[i + 1];
+    var s: f32 = 0.0;
+    for (k = lo; k < hi; k = k + 1) { s = s + vals[k]; }
+    y[i] = s;
+  }
+}
+"""
+        module = compile_minic(src)
+        mem = Memory(module)
+        mem.set_array("rowptr", [0, 2, 4, 9, 16])
+        sparse = HlsModel(module).run(mem, 4).cycles
+        mem2 = Memory(module)
+        mem2.set_array("rowptr", [0, 0, 0, 0, 0])
+        empty = HlsModel(module).run(mem2, 4).cycles
+        assert sparse > empty

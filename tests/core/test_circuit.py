@@ -1,0 +1,181 @@
+"""Tests for AcceleratorCircuit / TaskBlock / structures / validation."""
+
+import pytest
+
+from repro.core import (
+    AcceleratorCircuit,
+    Cache,
+    Junction,
+    Scratchpad,
+    TaskBlock,
+    TaskEdge,
+    validate_circuit,
+)
+from repro.core.nodes import (
+    CallNode,
+    ComputeNode,
+    ConstNode,
+    LiveIn,
+    LiveOut,
+    LoadNode,
+    LoopControl,
+)
+from repro.errors import GraphError, ValidationError
+from repro.types import F32, I32
+
+
+def minimal_circuit():
+    c = AcceleratorCircuit("t")
+    cache = c.add_structure(Cache("l1"))
+    main = TaskBlock("main", "func")
+    main.live_in_types = [I32]
+    li = main.dataflow.add(LiveIn(0, I32, name="livein_n"))
+    lo = main.dataflow.add(LiveOut(0, I32, name="liveout0"))
+    main.live_out_types = [I32]
+    main.dataflow.connect(li.out, lo.inp)
+    c.add_task(main)
+    return c, main, cache
+
+
+class TestCircuitStructure:
+    def test_root_defaults_to_first(self):
+        c, main, _ = minimal_circuit()
+        assert c.root_task is main
+
+    def test_duplicate_task_rejected(self):
+        c, main, _ = minimal_circuit()
+        with pytest.raises(GraphError):
+            c.add_task(TaskBlock("main"))
+
+    def test_duplicate_structure_rejected(self):
+        c, _, _ = minimal_circuit()
+        with pytest.raises(GraphError):
+            c.add_structure(Cache("l1"))
+
+    def test_edge_requires_known_tasks(self):
+        c, _, _ = minimal_circuit()
+        with pytest.raises(GraphError):
+            c.add_task_edge(TaskEdge("main", "ghost"))
+
+    def test_default_cache(self):
+        c, _, cache = minimal_circuit()
+        assert c.default_cache is cache
+
+    def test_array_home_defaults_to_cache(self):
+        c, _, cache = minimal_circuit()
+        assert c.home_of("whatever") is cache
+
+    def test_bad_task_kind(self):
+        with pytest.raises(GraphError):
+            TaskBlock("x", "banana")
+
+    def test_bad_edge_kind(self):
+        with pytest.raises(GraphError):
+            TaskEdge("a", "b", kind="teleport")
+
+    def test_stats(self):
+        c, _, _ = minimal_circuit()
+        s = c.stats()
+        assert s["tasks"] == 1 and s["nodes"] == 2
+
+
+class TestJunctions:
+    def test_attach_reindex(self):
+        c, main, cache = minimal_circuit()
+        ld = main.dataflow.add(LoadNode(F32, name="ld"))
+        j = main.add_junction(Junction("j", cache))
+        j.attach(ld)
+        main.reindex_junctions()
+        assert ld.junction_index == 0
+        assert main.junction_of(ld) is j
+
+    def test_attach_non_memory_rejected(self):
+        c, main, cache = minimal_circuit()
+        j = Junction("j", cache)
+        with pytest.raises(GraphError):
+            j.attach(ConstNode(1, I32))
+
+    def test_remove_nonempty_junction_rejected(self):
+        c, main, cache = minimal_circuit()
+        ld = main.dataflow.add(LoadNode(F32))
+        j = main.add_junction(Junction("j", cache))
+        j.attach(ld)
+        with pytest.raises(GraphError):
+            main.remove_junction(j)
+
+    def test_read_write_counts(self):
+        from repro.core.nodes import StoreNode
+        c, main, cache = minimal_circuit()
+        j = main.add_junction(Junction("j", cache))
+        j.attach(main.dataflow.add(LoadNode(F32, name="l1")))
+        j.attach(main.dataflow.add(StoreNode(F32, name="s1")))
+        assert j.n_read == 1 and j.n_write == 1
+
+
+class TestValidation:
+    def test_minimal_valid(self):
+        c, _, _ = minimal_circuit()
+        assert validate_circuit(c, raise_on_error=False) == []
+
+    def test_undriven_input_detected(self):
+        c, main, _ = minimal_circuit()
+        add = main.dataflow.add(ComputeNode("add", I32))
+        problems = validate_circuit(c, raise_on_error=False)
+        assert any("not driven" in p for p in problems)
+
+    def test_memory_node_needs_junction(self):
+        c, main, cache = minimal_circuit()
+        ld = main.dataflow.add(LoadNode(F32, name="orphan"))
+        li = main.dataflow.node_named("livein_n")
+        main.dataflow.connect(li.out, ld.addr)
+        problems = validate_circuit(c, raise_on_error=False)
+        assert any("junction" in p for p in problems)
+
+    def test_call_to_unknown_task(self):
+        c, main, _ = minimal_circuit()
+        call = main.dataflow.add(CallNode("ghost", [I32], I32))
+        li = main.dataflow.node_named("livein_n")
+        main.dataflow.connect(li.out, call.arg_ports[0])
+        problems = validate_circuit(c, raise_on_error=False)
+        assert any("unknown task" in p for p in problems)
+
+    def test_missing_task_edge_detected(self):
+        c, main, _ = minimal_circuit()
+        child = TaskBlock("child", "func")
+        child.live_in_types = [I32]
+        cli = child.dataflow.add(LiveIn(0, I32))
+        c.add_task(child)
+        call = main.dataflow.add(CallNode("child", [I32], []))
+        li = main.dataflow.node_named("livein_n")
+        main.dataflow.connect(li.out, call.arg_ports[0])
+        problems = validate_circuit(c, raise_on_error=False)
+        assert any("missing task edge" in p for p in problems)
+
+    def test_loopctl_in_func_task_rejected(self):
+        c, main, _ = minimal_circuit()
+        ctl = main.dataflow.add(LoopControl())
+        for p in (ctl.start, ctl.bound, ctl.step):
+            cn = main.dataflow.add(ConstNode(0, I32))
+            main.dataflow.connect(cn.out, p)
+        problems = validate_circuit(c, raise_on_error=False)
+        assert any("non-loop task" in p for p in problems)
+
+    def test_validation_error_raises(self):
+        c, main, _ = minimal_circuit()
+        main.dataflow.add(ComputeNode("add", I32))
+        with pytest.raises(ValidationError):
+            validate_circuit(c)
+
+
+class TestStructures:
+    def test_scratchpad_ports(self):
+        s = Scratchpad("s", banks=4, ports_per_bank=2)
+        assert s.total_ports == 8
+
+    def test_cache_geometry(self):
+        cache = Cache("c", size_words=1024, banks=2, line_words=4)
+        assert cache.lines_per_bank == 128
+
+    def test_describe_strings(self):
+        assert "scratchpad" in Scratchpad("s").describe()
+        assert "cache" in Cache("c").describe()

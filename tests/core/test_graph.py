@@ -1,0 +1,131 @@
+"""Tests for the base uIR graph machinery."""
+
+import pytest
+
+from repro.core.graph import Dataflow
+from repro.core.nodes import ComputeNode, ConstNode, LiveIn, PhiNode
+from repro.errors import GraphError
+from repro.types import F32, I32
+
+
+def small_df():
+    df = Dataflow("t")
+    a = df.add(LiveIn(0, I32, name="a"))
+    b = df.add(ConstNode(2, I32, name="two"))
+    add = df.add(ComputeNode("add", I32, name="add"))
+    df.connect(a.out, add.in_ports[0])
+    df.connect(b.out, add.in_ports[1])
+    return df, a, b, add
+
+
+class TestConstruction:
+    def test_node_ids_unique(self):
+        df, a, b, add = small_df()
+        assert len({n.id for n in df.nodes}) == 3
+
+    def test_double_ownership_rejected(self):
+        df, a, *_ = small_df()
+        other = Dataflow("o")
+        with pytest.raises(GraphError):
+            other.add(a)
+
+    def test_connect_directions_enforced(self):
+        df, a, b, add = small_df()
+        with pytest.raises(GraphError):
+            df.connect(add.in_ports[0], a.out)
+
+    def test_input_single_driver(self):
+        df, a, b, add = small_df()
+        with pytest.raises(GraphError):
+            df.connect(b.out, add.in_ports[0])
+
+    def test_fanout_allowed(self):
+        df, a, b, add = small_df()
+        mul = df.add(ComputeNode("mul", I32, name="mul"))
+        df.connect(a.out, mul.in_ports[0])
+        df.connect(a.out, mul.in_ports[1])
+        assert len(a.out.outgoing) == 3
+
+    def test_duplicate_port_name_rejected(self):
+        node = ComputeNode("add", I32)
+        with pytest.raises(GraphError):
+            node.add_in("a", I32)
+
+    def test_port_lookup(self):
+        _, a, _, add = small_df()
+        assert add.port("a") is add.in_ports[0]
+        with pytest.raises(GraphError):
+            add.port("zzz")
+
+    def test_connection_width_polymorphism(self):
+        df = Dataflow("t")
+        a = df.add(LiveIn(0, F32))
+        c = df.add(ComputeNode("fadd", F32))
+        conn = df.connect(a.out, c.in_ports[0])
+        assert conn.width_bits == 32
+
+
+class TestMutation:
+    def test_disconnect(self):
+        df, a, b, add = small_df()
+        conn = add.in_ports[0].incoming
+        df.disconnect(conn)
+        assert add.in_ports[0].incoming is None
+        assert conn not in a.out.outgoing
+
+    def test_remove_node_cleans_edges(self):
+        df, a, b, add = small_df()
+        df.remove(add)
+        assert add not in df.nodes
+        assert a.out.outgoing == []
+        assert b.out.outgoing == []
+
+    def test_rewire_output(self):
+        df, a, b, add = small_df()
+        c = df.add(ConstNode(9, I32, name="nine"))
+        sink = df.add(ComputeNode("mul", I32, name="sink"))
+        df.connect(add.out, sink.in_ports[0])
+        df.connect(add.out, sink.in_ports[1])
+        df.rewire_output(add.out, c.out)
+        assert add.out.outgoing == []
+        assert len(c.out.outgoing) == 2
+        assert sink.in_ports[0].incoming.src is c.out
+
+
+class TestTopology:
+    def test_topological_order(self):
+        df, a, b, add = small_df()
+        order = df.topological_order()
+        assert order.index(add) > order.index(a)
+        assert order.index(add) > order.index(b)
+
+    def test_phi_back_edge_not_a_cycle(self):
+        df = Dataflow("t")
+        phi = df.add(PhiNode(I32, name="p"))
+        init = df.add(ConstNode(0, I32))
+        inc = df.add(ComputeNode("add", I32, name="inc"))
+        one = df.add(ConstNode(1, I32, name="one"))
+        df.connect(init.out, phi.init)
+        df.connect(phi.out, inc.in_ports[0])
+        df.connect(one.out, inc.in_ports[1])
+        df.connect(inc.out, phi.back)
+        order = df.topological_order()
+        assert len(order) == 4
+
+    def test_true_cycle_detected(self):
+        df = Dataflow("t")
+        n1 = df.add(ComputeNode("add", I32, name="n1"))
+        n2 = df.add(ComputeNode("add", I32, name="n2"))
+        df.connect(n1.out, n2.in_ports[0])
+        df.connect(n2.out, n1.in_ports[0])
+        with pytest.raises(GraphError):
+            df.topological_order()
+
+    def test_successors_predecessors(self):
+        df, a, b, add = small_df()
+        assert set(add.predecessors()) == {a, b}
+        assert list(a.successors()) == [add]
+
+    def test_stats(self):
+        df, *_ = small_df()
+        assert df.stats() == {"nodes": 3, "connections": 2}

@@ -1,0 +1,151 @@
+"""Tests for uIR node kinds."""
+
+import pytest
+
+from repro.core.nodes import (
+    CallNode,
+    ComputeNode,
+    ConstNode,
+    FusedComputeNode,
+    LiveIn,
+    LiveOut,
+    LoadNode,
+    LoopControl,
+    PhiNode,
+    SelectNode,
+    SpawnNode,
+    StoreNode,
+    SyncNode,
+    TensorComputeNode,
+)
+from repro.errors import GraphError
+from repro.types import BOOL, F32, I32, VOID, TensorType
+
+
+class TestPorts:
+    def test_compute_arity(self):
+        n = ComputeNode("add", I32, arity=2)
+        assert [p.name for p in n.in_ports] == ["a", "b"]
+        assert n.out.type == I32
+
+    def test_compute_unary(self):
+        n = ComputeNode("neg", I32, arity=1)
+        assert len(n.in_ports) == 1
+
+    def test_compute_mixed_operand_types(self):
+        n = ComputeNode("lt", BOOL, operand_types=[I32, I32])
+        assert n.in_ports[0].type == I32
+        assert n.out.type == BOOL
+
+    def test_loopctl_ports(self):
+        ctl = LoopControl()
+        for name in ("start", "bound", "step"):
+            assert ctl.port(name).is_input
+        for name in ("index", "active", "done", "final"):
+            assert not ctl.port(name).is_input
+        assert ctl.cont is None
+
+    def test_conditional_loopctl_has_cont(self):
+        ctl = LoopControl(conditional=True)
+        assert ctl.cont is not None
+
+    def test_loopctl_default_stages(self):
+        # Paper's 5-stage control path (buffer/phi/i++/cmp/branch).
+        assert LoopControl().pipeline_stages == 5
+
+    def test_phi_ports(self):
+        phi = PhiNode(F32)
+        assert phi.init.type == F32 and phi.back.type == F32
+        assert phi.final.type == F32
+
+    def test_load_predication_lazy(self):
+        ld = LoadNode(F32)
+        assert ld.pred is None
+        p = ld.enable_predicate()
+        assert ld.pred is p
+        assert ld.enable_predicate() is p  # idempotent
+
+    def test_store_ports(self):
+        s = StoreNode(F32)
+        assert s.value_type == F32
+        assert s.done.type == BOOL
+
+    def test_call_multi_result(self):
+        c = CallNode("child", [I32, F32], [F32, I32])
+        assert len(c.arg_ports) == 2
+        assert len(c.ret_ports) == 2
+        assert c.ret_ports[0].type == F32
+
+    def test_call_void_result(self):
+        c = CallNode("child", [I32], VOID)
+        assert c.ret_ports == []
+
+    def test_spawn_no_results(self):
+        s = SpawnNode("child", [I32])
+        assert s.outputs == [s.issued]
+
+    def test_sync_ports(self):
+        s = SyncNode()
+        assert s.done.type == BOOL
+        assert s.order_in is None
+        s.enable_order_in()
+        assert s.order_in is not None
+
+    def test_tensor_node_requires_tensor_type(self):
+        with pytest.raises(GraphError):
+            TensorComputeNode("tmul", F32)
+
+    def test_tensor_node_kind(self):
+        t = TensorType(F32, 2, 2)
+        node = TensorComputeNode("tmul", t)
+        assert node.kind == "tensor"
+        assert node.out.type == t
+
+
+class TestFusedNode:
+    def test_fused_delay_is_sum(self):
+        from repro.core import oplib
+        node = FusedComputeNode(
+            "f", [I32, I32], I32,
+            exprs=[("add", [("in", 0), ("in", 1)], I32, 1),
+                   ("shl", [("expr", 0), ("in", 1)], I32, 1)])
+        expected = (oplib.op_info("add", I32).delay_ns
+                    + oplib.op_info("shl", I32).delay_ns)
+        assert abs(node.delay_ns - expected) < 1e-9
+        assert node.latency == 1
+
+    def test_fused_describe(self):
+        node = FusedComputeNode(
+            "f", [I32], I32, exprs=[("neg", [("in", 0)], I32, 1)])
+        assert "neg" in node.describe()
+
+
+class TestOpLib:
+    def test_known_ops_have_costs(self):
+        from repro.core import oplib
+        from repro.rtl.library import COMPONENT_COSTS
+        for op in oplib.known_ops():
+            info = oplib.op_info(op)
+            assert info.area_class in COMPONENT_COSTS, op
+
+    def test_float_comparison_dispatch(self):
+        from repro.core import oplib
+        assert oplib.op_info("lt", F32).delay_ns != \
+            oplib.op_info("lt", I32).delay_ns
+
+    def test_tensor_dispatch(self):
+        from repro.core import oplib
+        t = TensorType(F32, 2, 2)
+        assert oplib.op_info("mul", t).area_class == "tensor_mul"
+
+    def test_fusable_set(self):
+        from repro.core import oplib
+        assert oplib.is_fusable("add", I32)
+        assert not oplib.is_fusable("fadd", F32)
+        assert not oplib.is_fusable("mul", I32)
+        assert oplib.is_fusable("select", F32)
+
+    def test_unknown_op_raises(self):
+        from repro.core import oplib
+        with pytest.raises(KeyError):
+            oplib.op_info("bogus")

@@ -1,0 +1,124 @@
+"""Property tests: core op semantics agree with Python/interpreter."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.semantics import eval_compute, poison_value, tensor_matmul
+from repro.errors import SimulationError
+from repro.types import BOOL, F32, I32, TensorType
+
+ints = st.integers(min_value=-(2 ** 31), max_value=2 ** 31 - 1)
+floats = st.floats(min_value=-1e6, max_value=1e6,
+                   allow_nan=False, allow_infinity=False)
+
+
+class TestIntOps:
+    @given(ints, ints)
+    def test_add_wraps(self, a, b):
+        assert eval_compute("add", [a, b], I32) == I32.wrap(a + b)
+
+    @given(ints, ints)
+    def test_sub(self, a, b):
+        assert eval_compute("sub", [a, b], I32) == I32.wrap(a - b)
+
+    @given(ints, st.integers(min_value=1, max_value=10**6))
+    def test_divmod_identity(self, a, b):
+        q = eval_compute("div", [a, b], I32)
+        r = eval_compute("rem", [a, b], I32)
+        assert q * b + r == a
+
+    @given(st.integers(-1000, 1000))
+    def test_div_truncates_toward_zero(self, a):
+        q = eval_compute("div", [a, 7], I32)
+        assert q == int(a / 7)
+
+    def test_div_zero_raises(self):
+        with pytest.raises(SimulationError):
+            eval_compute("div", [1, 0], I32)
+
+    @given(ints, st.integers(0, 31))
+    def test_shl_matches_python(self, a, s):
+        assert eval_compute("shl", [a, s], I32) == I32.wrap(a << s)
+
+    @given(ints)
+    def test_lshr_nonnegative(self, a):
+        assert eval_compute("lshr", [a, 1], I32) >= 0
+
+    @given(ints, ints)
+    def test_comparisons(self, a, b):
+        assert eval_compute("lt", [a, b], BOOL) == (a < b)
+        assert eval_compute("ge", [a, b], BOOL) == (a >= b)
+        assert eval_compute("eq", [a, b], BOOL) == (a == b)
+
+
+class TestFloatOps:
+    @given(floats, floats)
+    def test_fadd(self, a, b):
+        assert eval_compute("fadd", [a, b], F32) == a + b
+
+    @given(floats)
+    def test_exp_matches_math(self, a):
+        small = max(min(a, 50.0), -50.0)
+        assert eval_compute("exp", [small], F32) == math.exp(small)
+
+    def test_fdiv_zero_raises(self):
+        with pytest.raises(SimulationError):
+            eval_compute("fdiv", [1.0, 0.0], F32)
+
+    @given(st.floats(min_value=0.0, max_value=1e6, allow_nan=False))
+    def test_sqrt(self, a):
+        assert eval_compute("sqrt", [a], F32) == math.sqrt(a)
+
+
+class TestSelectGep:
+    @given(st.booleans(), ints, ints)
+    def test_select(self, c, a, b):
+        assert eval_compute("select", [c, a, b], I32) == (a if c else b)
+
+    @given(st.integers(0, 10**6), st.integers(0, 10**4),
+           st.integers(1, 8))
+    def test_gep_scaling(self, base, idx, scale):
+        assert eval_compute("gep", [base, idx, scale], I32) == \
+            base + idx * scale
+
+
+class TestTensorOps:
+    T = TensorType(F32, 2, 2)
+
+    def test_identity_matmul(self):
+        ident = (1.0, 0.0, 0.0, 1.0)
+        a = (1.0, 2.0, 3.0, 4.0)
+        assert tensor_matmul(a, ident, self.T) == a
+
+    @given(st.tuples(*[floats] * 4), st.tuples(*[floats] * 4))
+    def test_tadd_elementwise(self, a, b):
+        out = eval_compute("tadd", [a, b], self.T)
+        assert out == tuple(x + y for x, y in zip(a, b))
+
+    @given(st.tuples(*[floats] * 4))
+    def test_trelu_nonnegative(self, a):
+        out = eval_compute("trelu", [a], self.T)
+        assert all(v >= 0 for v in out)
+        assert all(o == (v if v > 0 else 0.0) for o, v in zip(out, a))
+
+    @given(st.tuples(*[st.floats(-100, 100)] * 4))
+    def test_tmul_identity_right(self, a):
+        ident = (1.0, 0.0, 0.0, 1.0)
+        out = eval_compute("tmul", [a, ident], self.T)
+        assert all(abs(o - v) < 1e-9 for o, v in zip(out, a))
+
+
+class TestPoison:
+    def test_poison_scalar(self):
+        assert poison_value(I32) == 0
+        assert poison_value(F32) == 0.0
+
+    def test_poison_tensor_shape(self):
+        t = TensorType(F32, 2, 2)
+        assert poison_value(t) == (0.0, 0.0, 0.0, 0.0)
+
+    def test_unknown_op(self):
+        with pytest.raises(SimulationError):
+            eval_compute("zorp", [1], I32)

@@ -1,0 +1,167 @@
+"""Tests for circuit JSON round-trip and dot export."""
+
+import json
+
+import pytest
+
+from repro.core import validate_circuit
+from repro.core.serialize import (
+    circuit_from_dict,
+    circuit_to_dict,
+    load_circuit,
+    save_circuit,
+    to_dot,
+)
+from repro.frontend import compile_minic, translate_module
+from repro.frontend.interp import Memory
+from repro.opt import (
+    ExecutionTiling,
+    MemoryLocalization,
+    OpFusion,
+    PassManager,
+    TensorOps,
+)
+from repro.sim import simulate
+
+SRC = """
+array x: f32[32];
+array y: f32[32];
+func main(n: i32, a: f32) {
+  for (i = 0; i < n; i = i + 1) {
+    if (i % 2 == 0) { y[i] = a * x[i]; } else { y[i] = x[i]; }
+  }
+}
+"""
+
+RECURSIVE = """
+array o: i32[1];
+func fib(n: i32) -> i32 {
+  if (n < 2) { return n; }
+  return fib(n - 1) + fib(n - 2);
+}
+func main(n: i32) { o[0] = fib(n); }
+"""
+
+
+def roundtrip(circuit):
+    data = json.loads(json.dumps(circuit_to_dict(circuit)))
+    return circuit_from_dict(data)
+
+
+def build(src=SRC, passes=()):
+    c = translate_module(compile_minic(src))
+    if passes:
+        PassManager(list(passes)).run(c)
+    return c
+
+
+class TestRoundTrip:
+    def test_structure_preserved(self):
+        c = build()
+        c2 = roundtrip(c)
+        assert c2.stats() == c.stats()
+        assert validate_circuit(c2, raise_on_error=False) == []
+
+    def test_node_kinds_preserved(self):
+        c = build()
+        c2 = roundtrip(c)
+        for name, task in c.tasks.items():
+            kinds = sorted(n.kind for n in task.dataflow.nodes)
+            kinds2 = sorted(n.kind
+                            for n in c2.tasks[name].dataflow.nodes)
+            assert kinds == kinds2
+
+    def test_connection_attrs_preserved(self):
+        c = build(passes=[OpFusion()])
+        c2 = roundtrip(c)
+        def attr_multiset(circ):
+            out = []
+            for t in circ.tasks.values():
+                for conn in t.dataflow.connections:
+                    out.append((t.name, conn.src.node.name,
+                                conn.dst.node.name, conn.buffered,
+                                conn.latched, conn.depth))
+            return sorted(out)
+        assert attr_multiset(c) == attr_multiset(c2)
+
+    def test_roundtrip_after_every_pass_stack(self):
+        for passes in ([], [OpFusion()], [MemoryLocalization()],
+                       [ExecutionTiling(2)]):
+            c = build(passes=passes)
+            c2 = roundtrip(c)
+            assert c2.stats() == c.stats()
+
+    def test_simulation_identical_after_roundtrip(self):
+        module = compile_minic(SRC)
+        c = translate_module(module)
+        c2 = roundtrip(c)
+        def run(circuit):
+            mem = Memory(module)
+            mem.set_array("x", [float(i) for i in range(32)])
+            r = simulate(circuit, mem, [32, 3.0])
+            return r.cycles, mem.words
+        assert run(c) == run(c2)
+
+    def test_recursive_circuit_roundtrip(self):
+        module = compile_minic(RECURSIVE)
+        c = translate_module(module)
+        c2 = roundtrip(c)
+        mem = Memory(module)
+        r = simulate(c2, mem, [9])
+        assert mem.get_array("o") == [34]
+
+    def test_tensor_nodes_roundtrip(self):
+        src = """
+array a: tensor<2x2xf32>[4];
+array b: tensor<2x2xf32>[4];
+func main(n: i32) {
+  for (i = 0; i < n; i = i + 1) { b[i] = trelu(a[i]); }
+}
+"""
+        c = build(src)
+        c2 = roundtrip(c)
+        tn = [n for n in c2.all_nodes() if n.kind == "tensor"]
+        assert tn and tn[0].op == "trelu"
+
+    def test_fused_nodes_roundtrip(self):
+        src = """
+array a: i32[32];
+func main(n: i32) {
+  for (i = 0; i < n; i = i + 1) { a[(i * 2 + 1) & 31] = i; }
+}
+"""
+        c = build(src, passes=[OpFusion()])
+        c2 = roundtrip(c)
+        fused = [n for n in c2.all_nodes() if n.kind == "fused"]
+        assert fused
+        assert fused[0].exprs == [
+            n for n in c.all_nodes() if n.kind == "fused"][0].exprs
+
+    def test_save_load_file(self, tmp_path):
+        c = build()
+        path = str(tmp_path / "circ.json")
+        save_circuit(c, path)
+        c2 = load_circuit(path)
+        assert c2.name == c.name
+        assert c2.stats() == c.stats()
+
+    def test_bad_format_rejected(self):
+        from repro.errors import GraphError
+        with pytest.raises(GraphError):
+            circuit_from_dict({"format": 999})
+
+
+class TestDot:
+    def test_dot_contains_tasks_and_edges(self):
+        c = build()
+        dot = to_dot(c)
+        assert dot.startswith("digraph")
+        for task in c.tasks.values():
+            assert task.name in dot
+        assert "->" in dot
+        assert dot.rstrip().endswith("}")
+
+    def test_dot_marks_latched_edges(self):
+        dot = to_dot(build())
+        assert "style=dashed" in dot       # latched live-ins
+        assert "style=dotted" in dot       # task edges

@@ -1,0 +1,145 @@
+"""Tests for the IR builder's structured helpers."""
+
+import pytest
+
+from repro.errors import IRError
+from repro.frontend.builder import IRBuilder
+from repro.frontend.interp import Interpreter, Memory
+from repro.frontend.ir import Detach, Phi, verify_module
+from repro.types import BOOL, F32, I32
+
+
+class TestBasics:
+    def test_const_inference(self):
+        b = IRBuilder()
+        assert b.const(3).type == I32
+        assert b.const(2.5).type == F32
+        assert b.const(True).type == BOOL
+
+    def test_unknown_arg(self):
+        b = IRBuilder()
+        b.new_function("f", [("x", I32)])
+        with pytest.raises(IRError):
+            b.arg("y")
+
+    def test_emit_names_are_fresh(self):
+        b = IRBuilder()
+        b.new_function("f", [("x", I32)])
+        v1 = b.add(b.arg("x"), 1)
+        v2 = b.add(b.arg("x"), 2)
+        assert v1.name != v2.name
+
+
+class TestForRange:
+    def build_sum(self, bound):
+        b = IRBuilder()
+        b.global_array("out", I32, 1)
+        b.new_function("main", [("n", I32)])
+        with b.for_range("i", 0, b.arg("n")) as loop:
+            acc = loop.carry(0, I32, "acc")
+            nxt = b.add(acc, loop.var)
+            loop.set_carry(acc, nxt)
+        b.store(acc, b.index(b.module.globals["out"], 0))
+        b.ret()
+        return b.module
+
+    def test_loop_structure_verifies(self):
+        module = self.build_sum(5)
+        assert verify_module(module) == []
+
+    def test_loop_executes(self):
+        module = self.build_sum(5)
+        mem = Memory(module)
+        Interpreter(module, mem).run(5)
+        assert mem.get_array("out") == [10]
+
+    def test_zero_trip_loop(self):
+        module = self.build_sum(0)
+        mem = Memory(module)
+        Interpreter(module, mem).run(0)
+        assert mem.get_array("out") == [0]
+
+    def test_missing_carry_update_raises(self):
+        b = IRBuilder()
+        b.new_function("main", [("n", I32)])
+        with pytest.raises(IRError):
+            with b.for_range("i", 0, b.arg("n")) as loop:
+                loop.carry(0, I32)
+
+    def test_carry_phi_in_header(self):
+        b = IRBuilder()
+        b.new_function("main", [("n", I32)])
+        with b.for_range("i", 0, b.arg("n")) as loop:
+            acc = loop.carry(0, I32)
+            loop.set_carry(acc, b.add(acc, 1))
+        b.ret()
+        assert isinstance(acc, Phi)
+        assert acc.block is loop.header
+
+
+class TestParallelFor:
+    def test_detach_structure(self):
+        b = IRBuilder()
+        b.global_array("a", I32, 8)
+        b.new_function("main", [("n", I32)])
+        with b.parallel_for("i", 0, b.arg("n")) as i:
+            b.store(i, b.index(b.module.globals["a"], i))
+        b.ret()
+        assert verify_module(b.module) == []
+        detaches = [instr for instr in b.function.instructions()
+                    if isinstance(instr, Detach)]
+        assert len(detaches) == 1
+
+    def test_parallel_for_serial_semantics(self):
+        b = IRBuilder()
+        b.global_array("a", I32, 8)
+        b.new_function("main", [("n", I32)])
+        with b.parallel_for("i", 0, b.arg("n")) as i:
+            b.store(b.mul(i, i), b.index(b.module.globals["a"], i))
+        b.ret()
+        mem = Memory(b.module)
+        Interpreter(b.module, mem).run(8)
+        assert mem.get_array("a") == [i * i for i in range(8)]
+
+
+class TestIfHelpers:
+    def test_if_then(self):
+        b = IRBuilder()
+        b.global_array("out", I32, 1)
+        b.new_function("main", [("n", I32)])
+        cond = b.cmp("gt", b.arg("n"), 3)
+        with b.if_then(cond):
+            b.store(1, b.index(b.module.globals["out"], 0))
+        b.ret()
+        assert verify_module(b.module) == []
+        mem = Memory(b.module)
+        Interpreter(b.module, mem).run(5)
+        assert mem.get_array("out") == [1]
+
+    def test_if_else_with_values(self):
+        b = IRBuilder()
+        b.new_function("main", [("n", I32)], I32)
+        cond = b.cmp("lt", b.arg("n"), 0)
+        with b.if_else(cond) as ie:
+            with ie.then():
+                ie.then_value(b.const(-1))
+            with ie.otherwise():
+                ie.else_value(b.const(1))
+        b.ret(ie.phi)
+        assert verify_module(b.module) == []
+        assert Interpreter(b.module).run(-5) == -1
+        assert Interpreter(b.module).run(5) == 1
+
+
+class TestMemoryHelpers:
+    def test_load_store_elem_tensor(self):
+        from repro.types import TensorType
+        b = IRBuilder()
+        t = TensorType(F32, 2, 2)
+        arr = b.global_array("tiles", t, 2)
+        b.new_function("main", [])
+        v = b.load_elem(arr, 0)
+        b.store_elem(arr, 1, v)
+        b.ret()
+        opcodes = [i.opcode for i in b.function.instructions()]
+        assert "tload" in opcodes and "tstore" in opcodes

@@ -1,0 +1,170 @@
+"""Tests for the reference interpreter."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import InterpreterError
+from repro.frontend import compile_minic
+from repro.frontend.interp import Interpreter, Memory
+
+
+def interp(source, *args, init=None):
+    module = compile_minic(source)
+    mem = Memory(module)
+    if init:
+        init(mem)
+    it = Interpreter(module, mem)
+    result = it.run(*args)
+    return mem, result, it
+
+
+class TestMemory:
+    def test_layout_sequential(self):
+        module = compile_minic(
+            "array a: i32[4]; array b: f32[2]; func main() { }")
+        mem = Memory(module)
+        assert mem.base["a"] == 0
+        assert mem.base["b"] == 4
+        assert len(mem.words) == 6
+
+    def test_tensor_layout(self):
+        module = compile_minic(
+            "array t: tensor<2x2xf32>[2]; func main() { }")
+        mem = Memory(module)
+        mem.set_array("t", [(1.0, 2.0, 3.0, 4.0), (5.0, 6.0, 7.0, 8.0)])
+        assert mem.words == [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0]
+        assert mem.get_array("t")[1] == (5.0, 6.0, 7.0, 8.0)
+
+    def test_out_of_range_read(self):
+        module = compile_minic("array a: i32[2]; func main() { }")
+        mem = Memory(module)
+        with pytest.raises(InterpreterError):
+            mem.read(2)
+
+    def test_wrong_tensor_width_rejected(self):
+        module = compile_minic(
+            "array t: tensor<2x2xf32>[1]; func main() { }")
+        mem = Memory(module)
+        with pytest.raises(InterpreterError):
+            mem.set_array("t", [(1.0, 2.0)])
+
+
+class TestArithmetic:
+    def test_division_truncates_toward_zero(self):
+        mem, _, _ = interp("""
+array out: i32[2];
+func main(n: i32) {
+  out[0] = (0 - 7) / 2;
+  out[1] = 7 / 2;
+}
+""", 0)
+        assert mem.get_array("out") == [-3, 3]
+
+    def test_rem_sign(self):
+        mem, _, _ = interp("""
+array out: i32[2];
+func main(n: i32) {
+  out[0] = (0 - 7) % 3;
+  out[1] = 7 % 3;
+}
+""", 0)
+        assert mem.get_array("out") == [-1, 1]
+
+    def test_division_by_zero(self):
+        with pytest.raises(InterpreterError):
+            interp("array o: i32[1]; func main(n: i32) { o[0] = 1 / n; }",
+                   0)
+
+    def test_shifts(self):
+        mem, _, _ = interp("""
+array out: i32[3];
+func main(n: i32) {
+  out[0] = 1 << 4;
+  out[1] = 256 >> 3;
+  out[2] = n & 12;
+}
+""", 13)
+        assert mem.get_array("out") == [16, 32, 12]
+
+    def test_exp_and_sqrt(self):
+        mem, _, _ = interp("""
+array out: f32[2];
+func main() { out[0] = exp(1.0); out[1] = sqrt(2.0); }
+""")
+        assert abs(mem.get_array("out")[0] - math.e) < 1e-9
+        assert abs(mem.get_array("out")[1] - math.sqrt(2)) < 1e-9
+
+    def test_tensor_matmul_semantics(self):
+        mem, _, _ = interp("""
+array a: tensor<2x2xf32>[1];
+array b: tensor<2x2xf32>[1];
+array c: tensor<2x2xf32>[1];
+func main() { c[0] = a[0] * b[0]; }
+""", init=lambda m: (m.set_array("a", [(1.0, 2.0, 3.0, 4.0)]),
+                     m.set_array("b", [(5.0, 6.0, 7.0, 8.0)])))
+        # [[1,2],[3,4]] x [[5,6],[7,8]] = [[19,22],[43,50]]
+        assert mem.get_array("c")[0] == (19.0, 22.0, 43.0, 50.0)
+
+    @given(st.integers(-1000, 1000), st.integers(-1000, 1000))
+    def test_add_matches_python(self, a, b):
+        module = compile_minic("""
+array out: i32[1];
+func main(a: i32, b: i32) { out[0] = a + b; }
+""")
+        mem = Memory(module)
+        Interpreter(module, mem).run(a, b)
+        assert mem.get_array("out") == [a + b]
+
+
+class TestControlAndCalls:
+    def test_recursion(self):
+        _, result, _ = interp("""
+array o: i32[1];
+func fact(n: i32) -> i32 {
+  if (n < 2) { return 1; }
+  return n * fact(n - 1);
+}
+func main(n: i32) -> i32 { return fact(n); }
+""", 6)
+        assert result == 720
+
+    def test_serial_elision_of_spawn(self):
+        mem, _, it = interp("""
+array a: i32[4];
+func w(i: i32) { a[i] = i + 10; }
+func main(n: i32) {
+  parallel_for (i = 0; i < n; i = i + 1) { w(i); }
+}
+""", 4)
+        assert mem.get_array("a") == [10, 11, 12, 13]
+        assert it.stats.spawned_tasks == 4
+
+    def test_stats_counters(self):
+        _, _, it = interp("""
+array a: i32[4];
+func main(n: i32) {
+  for (i = 0; i < n; i = i + 1) { a[i] = a[i] + 1; }
+}
+""", 4)
+        assert it.stats.memory_accesses == 8
+        assert it.stats.opcode_counts["add"] >= 4
+
+    def test_block_hook_sees_trace(self):
+        module = compile_minic("""
+array a: i32[4];
+func main(n: i32) {
+  for (i = 0; i < n; i = i + 1) { a[i] = i; }
+}
+""")
+        trace = []
+        Interpreter(module, Memory(module),
+                    block_hook=lambda b: trace.append(b.name)).run(3)
+        assert trace[0] == "entry"
+        assert trace.count("i.body") == 3
+
+    def test_wrong_arity(self):
+        module = compile_minic("func main(n: i32) { }")
+        with pytest.raises(InterpreterError):
+            Interpreter(module).run()

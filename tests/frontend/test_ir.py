@@ -1,0 +1,184 @@
+"""Tests for the software IR structures and verification."""
+
+import pytest
+
+from repro.errors import IRError, TypeMismatchError
+from repro.frontend.builder import IRBuilder
+from repro.frontend.ir import (
+    BasicBlock,
+    Branch,
+    Constant,
+    Function,
+    Module,
+    Phi,
+    Return,
+    result_type,
+    users_of,
+    verify_function,
+    verify_module,
+)
+from repro.types import BOOL, F32, I32, VOID, PointerType, TensorType
+
+
+def c(v, t=I32):
+    return Constant(v, t)
+
+
+class TestResultType:
+    def test_int_binop(self):
+        assert result_type("add", [c(1), c(2)]) == I32
+
+    def test_float_binop(self):
+        assert result_type("fadd", [c(1.0, F32), c(2.0, F32)]) == F32
+
+    def test_cmp_returns_bool(self):
+        assert result_type("lt", [c(1), c(2)]) == BOOL
+
+    def test_select(self):
+        assert result_type(
+            "select", [c(1, BOOL), c(1.0, F32), c(2.0, F32)]) == F32
+
+    def test_load(self):
+        ptr = Constant(0, PointerType(F32))
+        assert result_type("load", [ptr]) == F32
+
+    def test_load_non_pointer_rejected(self):
+        with pytest.raises(TypeMismatchError):
+            result_type("load", [c(0)])
+
+    def test_store_void(self):
+        ptr = Constant(0, PointerType(I32))
+        assert result_type("store", [c(1), ptr]) == VOID
+
+    def test_gep_preserves_pointer(self):
+        ptr = Constant(0, PointerType(F32))
+        assert result_type("gep", [ptr, c(3)]) == PointerType(F32)
+
+    def test_gep_non_pointer_rejected(self):
+        with pytest.raises(TypeMismatchError):
+            result_type("gep", [c(0), c(1)])
+
+    def test_tensor_ops(self):
+        t = TensorType(F32, 2, 2)
+        a = Constant((1.0,) * 4, t)
+        assert result_type("tmul", [a, a]) == t
+        assert result_type("trelu", [a]) == t
+
+    def test_tmul_scalar_rejected(self):
+        with pytest.raises(TypeMismatchError):
+            result_type("tmul", [c(1.0, F32), c(2.0, F32)])
+
+    def test_fadd_on_ints_rejected(self):
+        with pytest.raises(TypeMismatchError):
+            result_type("fadd", [c(1), c(2)])
+
+    def test_unknown_opcode(self):
+        with pytest.raises(IRError):
+            result_type("frobnicate", [c(1)])
+
+
+class TestModuleStructure:
+    def test_duplicate_function_rejected(self):
+        m = Module()
+        m.add_function(Function("f", []))
+        with pytest.raises(IRError):
+            m.add_function(Function("f", []))
+
+    def test_duplicate_global_rejected(self):
+        m = Module()
+        m.add_global("a", I32, 4)
+        with pytest.raises(IRError):
+            m.add_global("a", I32, 4)
+
+    def test_main_required(self):
+        with pytest.raises(IRError):
+            Module().main
+
+    def test_global_size_words(self):
+        m = Module()
+        g = m.add_global("t", TensorType(F32, 2, 2), 3)
+        assert g.size_words == 12
+
+    def test_unique_block_names(self):
+        f = Function("f", [])
+        b1 = f.new_block("x")
+        b2 = f.new_block("x")
+        assert b1.name != b2.name
+
+    def test_append_after_terminator_rejected(self):
+        f = Function("f", [])
+        block = f.new_block("entry")
+        block.append(Return())
+        with pytest.raises(IRError):
+            block.append(Return())
+
+
+class TestVerify:
+    def make_module(self):
+        b = IRBuilder()
+        b.global_array("a", I32, 8)
+        b.new_function("main", [("n", I32)])
+        return b
+
+    def test_valid_module(self):
+        b = self.make_module()
+        v = b.add(b.arg("n"), 1)
+        b.store(v, b.index(b.module.globals["a"], 0))
+        b.ret()
+        assert verify_module(b.module) == []
+
+    def test_missing_terminator(self):
+        b = self.make_module()
+        b.add(b.arg("n"), 1)
+        problems = verify_module(b.module)
+        assert any("terminator" in p for p in problems)
+
+    def test_foreign_operand_detected(self):
+        b = self.make_module()
+        other = Function("other", [("x", I32)])
+        b.current.append(
+            __import__("repro.frontend.ir", fromlist=["Instruction"])
+            .Instruction("add", [other.args[0], Constant(1, I32)], I32,
+                         "bad"))
+        b.ret()
+        problems = verify_module(b.module)
+        assert any("not defined" in p for p in problems)
+
+    def test_phi_foreign_block(self):
+        b = self.make_module()
+        foreign = BasicBlock("foreign")
+        phi = Phi(I32, "p")
+        phi.add_incoming(foreign, Constant(0, I32))
+        b.current.append(phi)
+        b.ret()
+        problems = verify_module(b.module)
+        assert any("foreign block" in p for p in problems)
+
+    def test_branch_to_foreign_block(self):
+        b = self.make_module()
+        b.current.append(Branch(BasicBlock("nowhere")))
+        problems = verify_module(b.module)
+        assert any("foreign block" in p for p in problems)
+
+
+class TestUsers:
+    def test_users_of(self):
+        b = IRBuilder()
+        b.new_function("main", [("n", I32)])
+        v = b.add(b.arg("n"), 1)
+        w = b.mul(v, v)
+        b.ret(w)
+        uses = users_of(b.function)
+        # v is used twice by w (both mul operands).
+        assert uses[v] == [w, w]
+        assert len(uses[b.arg("n")]) == 1
+
+
+class TestDump:
+    def test_dump_contains_structure(self, saxpy_source=None):
+        b = IRBuilder()
+        b.new_function("main", [("n", I32)])
+        b.ret()
+        text = b.module.dump()
+        assert "func @main" in text
+        assert "entry:" in text

@@ -1,0 +1,104 @@
+"""Tests for the MiniC lexer."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import LexError
+from repro.frontend.lexer import KEYWORDS, Token, tokenize
+
+
+def kinds(source):
+    return [t.kind for t in tokenize(source)]
+
+
+def texts(source):
+    return [t.text for t in tokenize(source) if t.kind != "eof"]
+
+
+class TestBasics:
+    def test_empty(self):
+        toks = tokenize("")
+        assert len(toks) == 1 and toks[0].kind == "eof"
+
+    def test_identifier(self):
+        assert texts("hello _x x1") == ["hello", "_x", "x1"]
+
+    def test_keywords_classified(self):
+        for kw in KEYWORDS:
+            assert tokenize(kw)[0].kind == "kw"
+
+    def test_ident_containing_keyword(self):
+        assert tokenize("format")[0].kind == "ident"
+
+    def test_integers(self):
+        toks = tokenize("0 42 1000000")
+        assert all(t.kind == "int" for t in toks[:-1])
+
+    def test_floats(self):
+        assert tokenize("3.14")[0].kind == "float"
+        assert tokenize("1e5")[0].kind == "float"
+        assert tokenize("2.5e-3")[0].kind == "float"
+
+    def test_int_vs_float(self):
+        assert tokenize("3")[0].kind == "int"
+        assert tokenize("3.0")[0].kind == "float"
+
+    def test_two_char_operators(self):
+        assert texts("== != <= >= << >> && || += ->") == \
+            ["==", "!=", "<=", ">=", "<<", ">>", "&&", "||", "+=", "->"]
+
+    def test_single_char_operators(self):
+        assert texts("+ - * / % < > = ! & | ^ ( ) { } [ ] , ; :") == \
+            list("+-*/%<>=!&|^(){}[],;:")
+
+    def test_greedy_two_char(self):
+        # '<<' lexes as one token, not two '<'.
+        assert texts("a<<b") == ["a", "<<", "b"]
+
+
+class TestCommentsAndWhitespace:
+    def test_line_comment(self):
+        assert texts("a // comment\n b") == ["a", "b"]
+
+    def test_block_comment(self):
+        assert texts("a /* x\ny */ b") == ["a", "b"]
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(LexError):
+            tokenize("/* never ends")
+
+    def test_newlines_update_line_numbers(self):
+        toks = tokenize("a\nb\n\nc")
+        assert [t.line for t in toks[:-1]] == [1, 2, 4]
+
+    def test_column_tracking(self):
+        toks = tokenize("ab cd")
+        assert toks[0].column == 1
+        assert toks[1].column == 4
+
+
+class TestErrors:
+    def test_unexpected_char(self):
+        with pytest.raises(LexError) as err:
+            tokenize("a $ b")
+        assert err.value.line == 1
+
+    def test_error_position(self):
+        with pytest.raises(LexError) as err:
+            tokenize("ok\n  @")
+        assert err.value.line == 2
+
+
+class TestProperties:
+    @given(st.lists(st.sampled_from(
+        ["foo", "42", "3.5", "+", "(", ")", "if", "while", "<<",
+         "x_1", ";", "=="]), max_size=30))
+    def test_token_count_stable_under_spacing(self, parts):
+        tight = " ".join(parts)
+        loose = "   ".join(parts)
+        assert len(tokenize(tight)) == len(tokenize(loose))
+
+    @given(st.integers(min_value=0, max_value=10**9))
+    def test_integer_roundtrip(self, value):
+        tok = tokenize(str(value))[0]
+        assert tok.kind == "int" and int(tok.text) == value

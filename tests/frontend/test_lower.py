@@ -1,0 +1,216 @@
+"""Tests for MiniC lowering and SSA construction."""
+
+import pytest
+
+from repro.errors import LoweringError
+from repro.frontend import compile_minic
+from repro.frontend.interp import Interpreter, Memory
+from repro.frontend.ir import Phi, verify_module
+
+
+def run(source, *args, init=None):
+    module = compile_minic(source)
+    assert verify_module(module) == [], verify_module(module)
+    mem = Memory(module)
+    if init:
+        init(mem)
+    result = Interpreter(module, mem).run(*args)
+    return module, mem, result
+
+
+class TestSSAConstruction:
+    def test_variable_reassignment(self):
+        _, mem, _ = run("""
+array out: i32[1];
+func main(n: i32) {
+  var x: i32 = 1;
+  x = x + n;
+  x = x * 2;
+  out[0] = x;
+}
+""", 4)
+        assert mem.get_array("out") == [10]
+
+    def test_if_merge_creates_phi_or_value(self):
+        module, mem, _ = run("""
+array out: i32[1];
+func main(n: i32) {
+  var x: i32 = 0;
+  if (n > 2) { x = 10; } else { x = 20; }
+  out[0] = x;
+}
+""", 5)
+        assert mem.get_array("out") == [10]
+        phis = [i for i in module.main.instructions()
+                if isinstance(i, Phi)]
+        assert len(phis) == 1
+
+    def test_loop_carried_variable(self):
+        _, mem, _ = run("""
+array out: i32[1];
+func main(n: i32) {
+  var s: i32 = 0;
+  for (i = 0; i < n; i = i + 1) { s = s + i; }
+  out[0] = s;
+}
+""", 6)
+        assert mem.get_array("out") == [15]
+
+    def test_trivial_phis_removed(self):
+        module, _, _ = run("""
+array out: i32[1];
+func main(n: i32) {
+  var x: i32 = 7;
+  if (n > 0) { out[0] = x; }
+  out[0] = x;
+}
+""", 1)
+        # x is never reassigned: no phi should survive for it.
+        phis = [i for i in module.main.instructions()
+                if isinstance(i, Phi) and i.name.startswith("x")]
+        assert phis == []
+
+    def test_nested_loops_ssa(self):
+        _, mem, _ = run("""
+array out: i32[1];
+func main(n: i32) {
+  var s: i32 = 0;
+  for (i = 0; i < n; i = i + 1) {
+    for (j = 0; j < n; j = j + 1) { s = s + 1; }
+  }
+  out[0] = s;
+}
+""", 4)
+        assert mem.get_array("out") == [16]
+
+    def test_read_before_assignment_rejected(self):
+        with pytest.raises(LoweringError):
+            compile_minic(
+                "func main(n: i32) { var x: i32 = y + 1; }")
+
+    def test_assign_undeclared_rejected(self):
+        with pytest.raises(LoweringError):
+            compile_minic("func main(n: i32) { x = 1; }")
+
+    def test_phi_type_matches_variable(self):
+        module, _, _ = run("""
+array out: f32[1];
+func main(n: i32) {
+  var s: f32 = 0.0;
+  for (i = 0; i < n; i = i + 1) { s = s + 1.5; }
+  out[0] = s;
+}
+""", 2)
+        # No spurious itof from a mistyped placeholder phi.
+        opcodes = [i.opcode for i in module.main.instructions()]
+        assert "itof" not in opcodes
+
+
+class TestCoercion:
+    def test_int_literal_in_float_expr(self):
+        _, mem, _ = run("""
+array out: f32[1];
+func main(n: i32) { out[0] = 2 * 1.5; }
+""", 0)
+        assert mem.get_array("out") == [3.0]
+
+    def test_int_value_promoted_via_itof(self):
+        _, mem, _ = run("""
+array out: f32[1];
+func main(n: i32) { out[0] = f32(n) / 2.0; }
+""", 5)
+        assert mem.get_array("out") == [2.5]
+
+    def test_implicit_narrowing_rejected(self):
+        with pytest.raises(LoweringError):
+            compile_minic("""
+array out: i32[1];
+func main(n: i32) { out[0] = 1.5; }
+""")
+
+    def test_explicit_narrowing_allowed(self):
+        _, mem, _ = run("""
+array out: i32[1];
+func main(n: i32) { out[0] = i32(3.9); }
+""", 0)
+        assert mem.get_array("out") == [3]
+
+    def test_condition_coerced_to_bool(self):
+        _, mem, _ = run("""
+array out: i32[1];
+func main(n: i32) {
+  if (n) { out[0] = 1; } else { out[0] = 2; }
+}
+""", 3)
+        assert mem.get_array("out") == [1]
+
+
+class TestParallelLowering:
+    def test_parallel_for_outer_scalar_write_rejected(self):
+        with pytest.raises(LoweringError):
+            compile_minic("""
+func main(n: i32) {
+  var s: i32 = 0;
+  parallel_for (i = 0; i < n; i = i + 1) { s = s + 1; }
+}
+""")
+
+    def test_parallel_for_local_scalar_ok(self):
+        module = compile_minic("""
+array a: i32[8];
+func main(n: i32) {
+  parallel_for (i = 0; i < n; i = i + 1) {
+    var t: i32 = i * 2;
+    a[i] = t;
+  }
+}
+""")
+        assert verify_module(module) == []
+
+    def test_spawn_unknown_function_rejected(self):
+        with pytest.raises(LoweringError):
+            compile_minic("func main(n: i32) { spawn nope(n); }")
+
+    def test_call_arity_checked(self):
+        with pytest.raises(LoweringError):
+            compile_minic("""
+func f(a: i32, b: i32) -> i32 { return a + b; }
+func main(n: i32) { var x: i32 = f(n); }
+""")
+
+
+class TestControlLowering:
+    def test_dead_code_after_return_skipped(self):
+        module, _, result = run("""
+func main(n: i32) -> i32 {
+  return n;
+  return 0;
+}
+""", 9)
+        assert result == 9
+
+    def test_missing_return_defaults(self):
+        module, _, result = run(
+            "func main(n: i32) -> i32 { var x: i32 = n; }", 3)
+        assert result == 0
+
+    def test_while_with_complex_condition(self):
+        _, mem, _ = run("""
+array out: i32[1];
+func main(n: i32) {
+  var k: i32 = 1;
+  while (k * k <= n) { k = k + 1; }
+  out[0] = k - 1;
+}
+""", 17)
+        assert mem.get_array("out") == [4]
+
+    def test_builtin_math(self):
+        _, mem, _ = run("""
+array out: f32[2];
+func main(n: i32) {
+  out[0] = sqrt(16.0);
+  out[1] = exp(0.0);
+}
+""", 0)
+        assert mem.get_array("out") == [4.0, 1.0]

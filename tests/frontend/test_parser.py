@@ -1,0 +1,205 @@
+"""Tests for the MiniC parser."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.frontend import ast
+from repro.frontend.parser import parse_program
+from repro.types import F32, I32, TensorType
+
+
+def parse_one_func(body, params="n: i32"):
+    prog = parse_program(f"func main({params}) {{ {body} }}")
+    return prog.functions[0]
+
+
+class TestTopLevel:
+    def test_empty_program(self):
+        prog = parse_program("")
+        assert prog.arrays == [] and prog.functions == []
+
+    def test_array_decl(self):
+        prog = parse_program("array a: f32[16];")
+        decl = prog.arrays[0]
+        assert decl.name == "a" and decl.elem == F32 and decl.size == 16
+
+    def test_tensor_array_decl(self):
+        prog = parse_program("array t: tensor<2x2xf32>[8];")
+        assert prog.arrays[0].elem == TensorType(F32, 2, 2)
+
+    def test_func_signature(self):
+        prog = parse_program("func f(a: i32, b: f32) -> i32 { }")
+        fn = prog.functions[0]
+        assert [p.type for p in fn.params] == [I32, F32]
+        assert fn.return_type == I32
+
+    def test_func_no_return_type(self):
+        prog = parse_program("func f() { }")
+        assert prog.functions[0].return_type is None
+
+    def test_junk_at_top_level(self):
+        with pytest.raises(ParseError):
+            parse_program("banana")
+
+    def test_array_size_must_be_literal(self):
+        with pytest.raises(ParseError):
+            parse_program("array a: i32[n];")
+
+
+class TestStatements:
+    def test_var_decl(self):
+        fn = parse_one_func("var x: i32 = 1;")
+        stmt = fn.body.statements[0]
+        assert isinstance(stmt, ast.VarDecl)
+        assert stmt.declared_type == I32
+
+    def test_var_decl_inferred(self):
+        fn = parse_one_func("var x = 2.5;")
+        assert fn.body.statements[0].declared_type is None
+
+    def test_assign_scalar(self):
+        fn = parse_one_func("var x = 0; x = 3;")
+        assert isinstance(fn.body.statements[1].target, ast.Name)
+
+    def test_assign_array(self):
+        prog = parse_program(
+            "array a: i32[4]; func main() { a[2] = 7; }")
+        stmt = prog.functions[0].body.statements[0]
+        assert isinstance(stmt.target, ast.Index)
+
+    def test_invalid_assign_target(self):
+        with pytest.raises(ParseError):
+            parse_one_func("1 + 2 = 3;")
+
+    def test_if_else(self):
+        fn = parse_one_func("if (n > 0) { n = 1; } else { n = 2; }",
+                            params="n: i32")
+        stmt = fn.body.statements[0]
+        assert isinstance(stmt, ast.If)
+        assert stmt.else_block is not None
+
+    def test_else_if_chain(self):
+        fn = parse_one_func(
+            "if (n > 1) { } else if (n > 0) { } else { }")
+        inner = fn.body.statements[0].else_block.statements[0]
+        assert isinstance(inner, ast.If)
+
+    def test_for_loop(self):
+        fn = parse_one_func("for (i = 0; i < n; i = i + 1) { }")
+        loop = fn.body.statements[0]
+        assert isinstance(loop, ast.For)
+        assert not loop.parallel
+        assert loop.var == "i"
+
+    def test_for_plus_equals(self):
+        fn = parse_one_func("for (i = 0; i < n; i += 2) { }")
+        update = fn.body.statements[0].update
+        assert isinstance(update, ast.BinOp) and update.op == "+"
+
+    def test_for_update_wrong_var(self):
+        with pytest.raises(ParseError):
+            parse_one_func("for (i = 0; i < n; j = j + 1) { }")
+
+    def test_parallel_for(self):
+        fn = parse_one_func("parallel_for (i = 0; i < n; i = i + 1) { }")
+        assert fn.body.statements[0].parallel
+
+    def test_while(self):
+        fn = parse_one_func("while (n > 0) { n = n - 1; }")
+        assert isinstance(fn.body.statements[0], ast.While)
+
+    def test_spawn(self):
+        prog = parse_program(
+            "func worker(i: i32) { } "
+            "func main() { spawn worker(3); }")
+        stmt = prog.functions[1].body.statements[0]
+        assert isinstance(stmt, ast.SpawnStmt)
+        assert stmt.call.func == "worker"
+
+    def test_spawn_requires_call(self):
+        with pytest.raises(ParseError):
+            parse_program("func main() { spawn 42; }")
+
+    def test_sync(self):
+        fn = parse_one_func("sync;")
+        assert isinstance(fn.body.statements[0], ast.SyncStmt)
+
+    def test_return_value(self):
+        fn = parse_one_func("return n + 1;")
+        assert isinstance(fn.body.statements[0], ast.ReturnStmt)
+
+    def test_return_void(self):
+        fn = parse_one_func("return;")
+        assert fn.body.statements[0].value is None
+
+
+class TestExpressions:
+    def expr(self, text):
+        fn = parse_one_func(f"var x = {text};")
+        return fn.body.statements[0].init
+
+    def test_precedence_mul_over_add(self):
+        e = self.expr("1 + 2 * 3")
+        assert e.op == "+" and e.right.op == "*"
+
+    def test_precedence_shift_vs_add(self):
+        e = self.expr("1 << 2 + 3")
+        # '+' binds tighter than '<<'.
+        assert e.op == "<<" and e.right.op == "+"
+
+    def test_parentheses(self):
+        e = self.expr("(1 + 2) * 3")
+        assert e.op == "*" and e.left.op == "+"
+
+    def test_comparison(self):
+        e = self.expr("n <= 4")
+        assert e.op == "<="
+
+    def test_logical(self):
+        e = self.expr("n > 0 && n < 9")
+        assert e.op == "&&"
+
+    def test_unary_minus_folds_literal(self):
+        e = self.expr("-5")
+        assert isinstance(e, ast.IntLit) and e.value == -5
+
+    def test_unary_minus_on_expr(self):
+        e = self.expr("-(n)")
+        assert isinstance(e, ast.UnOp) and e.op == "-"
+
+    def test_unary_not(self):
+        assert self.expr("!n").op == "!"
+
+    def test_index_expr(self):
+        prog = parse_program(
+            "array a: i32[4]; func main() { var x = a[3]; }")
+        e = prog.functions[0].body.statements[0].init
+        assert isinstance(e, ast.Index) and e.base == "a"
+
+    def test_call_expr(self):
+        prog = parse_program(
+            "func f(x: i32) -> i32 { return x; } "
+            "func main() { var y = f(1); }")
+        e = prog.functions[1].body.statements[0].init
+        assert isinstance(e, ast.CallExpr)
+
+    def test_cast(self):
+        e = self.expr("f32(n)")
+        assert isinstance(e, ast.CastExpr) and e.target == F32
+
+    def test_builtin_call(self):
+        e = self.expr("exp(1.0)")
+        assert isinstance(e, ast.CallExpr) and e.func == "exp"
+
+    def test_nested_precedence_deep(self):
+        e = self.expr("1 | 2 ^ 3 & 4")
+        assert e.op == "|" and e.right.op == "^" and \
+            e.right.right.op == "&"
+
+    def test_missing_semicolon(self):
+        with pytest.raises(ParseError):
+            parse_one_func("var x = 1")
+
+    def test_unbalanced_paren(self):
+        with pytest.raises(ParseError):
+            parse_one_func("var x = (1 + 2;")

@@ -1,0 +1,348 @@
+"""Tests for software IR -> uIR translation (paper Algorithm 1)."""
+
+import pytest
+
+from repro.errors import TranslationError
+from repro.frontend import compile_minic, translate_module
+from repro.core import validate_circuit
+
+
+def translate(source):
+    circuit = translate_module(compile_minic(source))
+    assert validate_circuit(circuit, raise_on_error=False) == []
+    return circuit
+
+
+SAXPY = """
+array x: f32[16];
+array y: f32[16];
+func main(n: i32, a: f32) {
+  for (i = 0; i < n; i = i + 1) { y[i] = a * x[i] + y[i]; }
+}
+"""
+
+
+class TestStage1Regions:
+    def test_loop_becomes_task(self):
+        c = translate(SAXPY)
+        kinds = {t.name: t.kind for t in c.tasks.values()}
+        assert kinds["main"] == "func"
+        assert any(k == "loop" for k in kinds.values())
+
+    def test_root_is_main(self):
+        c = translate(SAXPY)
+        assert c.root == "main"
+
+    def test_nested_loops_nest_as_tasks(self):
+        c = translate("""
+array a: f32[64];
+func main(n: i32) {
+  for (i = 0; i < n; i = i + 1) {
+    for (j = 0; j < n; j = j + 1) { a[i * n + j] = 1.0; }
+  }
+}
+""")
+        loops = [t for t in c.tasks.values() if t.kind == "loop"]
+        assert len(loops) == 2
+        # Call chain main -> outer -> inner.
+        parents = {e.child: e.parent for e in c.task_edges}
+        inner = [t.name for t in loops
+                 if parents[t.name] != "main"][0]
+        assert parents[parents[inner]] == "main"
+
+    def test_detach_becomes_spawned_task(self):
+        c = translate("""
+array a: i32[8];
+func main(n: i32) {
+  parallel_for (i = 0; i < n; i = i + 1) { a[i] = i; }
+}
+""")
+        spawn_edges = [e for e in c.task_edges if e.kind == "spawn"]
+        assert len(spawn_edges) == 1
+
+    def test_recursive_function_self_edge(self):
+        c = translate("""
+array o: i32[1];
+func fib(n: i32) -> i32 {
+  if (n < 2) { return n; }
+  return fib(n - 1) + fib(n - 2);
+}
+func main(n: i32) { o[0] = fib(n); }
+""")
+        assert any(e.parent == e.child == "fib" for e in c.task_edges)
+
+    def test_function_abi_order(self):
+        # Live-ins of a func task are the declared args, in order,
+        # even when the body uses them in reverse.
+        c = translate("""
+array o: i32[1];
+func main(a: i32, b: i32) { o[0] = b * 10 + a; }
+""")
+        task = c.tasks["main"]
+        liveins = sorted((n for n in task.dataflow.nodes
+                          if n.kind == "livein"),
+                         key=lambda n: n.index)
+        assert [n.name for n in liveins] == ["livein_a", "livein_b"]
+
+
+class TestStage2Dataflow:
+    def test_loop_has_single_loopctl(self):
+        c = translate(SAXPY)
+        loop = next(t for t in c.tasks.values() if t.kind == "loop")
+        assert len(loop.dataflow.nodes_of_kind("loopctl")) == 1
+
+    def test_memory_nodes_on_junction(self):
+        c = translate(SAXPY)
+        loop = next(t for t in c.tasks.values() if t.kind == "loop")
+        assert len(loop.junctions) == 1
+        assert len(loop.junctions[0].clients) == 3  # 2 loads + 1 store
+
+    def test_load_points_to_array(self):
+        c = translate(SAXPY)
+        loop = next(t for t in c.tasks.values() if t.kind == "loop")
+        arrays = {n.array for n in loop.memory_nodes()}
+        assert arrays == {"x", "y"}
+
+    def test_reduction_phi(self):
+        c = translate("""
+array o: f32[1];
+func main(n: i32) {
+  var s: f32 = 0.0;
+  for (i = 0; i < n; i = i + 1) { s = s + 1.0; }
+  o[0] = s;
+}
+""")
+        loop = next(t for t in c.tasks.values() if t.kind == "loop")
+        phis = loop.dataflow.nodes_of_kind("phi")
+        assert len(phis) == 1
+        assert phis[0].back.incoming is not None
+        # The reduction result is the loop's live-out.
+        assert len(loop.live_out_types) == 1
+
+    def test_predication_of_branches(self):
+        c = translate("""
+array a: i32[8];
+func main(n: i32) {
+  for (i = 0; i < n; i = i + 1) {
+    if (i % 2 == 0) { a[i] = 1; } else { a[i] = 2; }
+  }
+}
+""")
+        loop = next(t for t in c.tasks.values() if t.kind == "loop")
+        stores = [n for n in loop.dataflow.nodes if n.kind == "store"]
+        assert len(stores) == 2
+        assert all(s.pred is not None and s.pred.incoming is not None
+                   for s in stores)
+
+    def test_if_merge_becomes_select(self):
+        c = translate("""
+array o: i32[4];
+func main(n: i32) {
+  for (i = 0; i < n; i = i + 1) {
+    var v: i32 = 0;
+    if (i > 2) { v = 5; }
+    o[i] = v;
+  }
+}
+""")
+        loop = next(t for t in c.tasks.values() if t.kind == "loop")
+        assert loop.dataflow.nodes_of_kind("select")
+
+    def test_memory_ordering_edges(self):
+        # Store then load of the same array in one iteration must be
+        # ordered.
+        c = translate("""
+array a: i32[8];
+array b: i32[8];
+func main(n: i32) {
+  for (i = 0; i < n; i = i + 1) {
+    a[i] = i;
+    b[i] = a[i] + 1;
+  }
+}
+""")
+        loop = next(t for t in c.tasks.values() if t.kind == "loop")
+        loads = [n for n in loop.dataflow.nodes if n.kind == "load"]
+        assert any(ld.order_in is not None and
+                   ld.order_in.incoming is not None for ld in loads)
+
+    def test_sequential_sibling_loops_ordered(self):
+        c = translate("""
+array a: f32[8];
+func main(n: i32) {
+  for (i = 0; i < n; i = i + 1) { a[i] = 1.0; }
+  for (j = 0; j < n; j = j + 1) { a[j] = a[j] + 1.0; }
+}
+""")
+        main = c.tasks["main"]
+        calls = main.dataflow.nodes_of_kind("call")
+        assert len(calls) == 2
+        ordered = [cl for cl in calls
+                   if cl.order_in is not None and
+                   cl.order_in.incoming is not None]
+        assert len(ordered) == 1  # second waits for first
+
+    def test_independent_sibling_loops_not_ordered(self):
+        c = translate("""
+array a: f32[8];
+array b: f32[8];
+func main(n: i32) {
+  for (i = 0; i < n; i = i + 1) { a[i] = 1.0; }
+  for (j = 0; j < n; j = j + 1) { b[j] = 2.0; }
+}
+""")
+        main = c.tasks["main"]
+        calls = main.dataflow.nodes_of_kind("call")
+        assert all(cl.order_in is None for cl in calls)
+
+    def test_self_conflicting_callee_serialized(self):
+        # An in-place loop called repeatedly must not overlap itself.
+        c = translate("""
+array a: f32[16];
+func main(n: i32) {
+  for (s = 0; s < n; s = s + 1) {
+    for (i = 0; i < 16; i = i + 1) { a[i] = a[i] * 2.0; }
+  }
+}
+""")
+        outer = next(t for t in c.tasks.values()
+                     if t.kind == "loop" and
+                     t.dataflow.nodes_of_kind("call"))
+        call = outer.dataflow.nodes_of_kind("call")[0]
+        assert call.serialize
+
+    def test_carried_memory_accumulator_serializes_loop(self):
+        # output[j] += ... through the same address value each
+        # iteration -> iterations must not overlap.
+        c = translate("""
+array o: f32[4];
+array w: f32[8];
+func main(n: i32, j: i32) {
+  for (i = 0; i < n; i = i + 1) {
+    var p: i32 = j;
+    o[p] = o[p] + w[i];
+  }
+}
+""")
+        loop = next(t for t in c.tasks.values() if t.kind == "loop")
+        ctl = loop.dataflow.nodes_of_kind("loopctl")[0]
+        assert ctl.max_in_flight == 1
+
+    def test_canonical_while_is_counted(self):
+        # while (k < n) { k = k + 1 } matches the counted-loop shape.
+        c = translate("""
+array o: i32[1];
+func main(n: i32) {
+  var k: i32 = 0;
+  while (k < n) { k = k + 1; }
+  o[0] = k;
+}
+""")
+        loop = next(t for t in c.tasks.values() if t.kind == "loop")
+        assert not loop.dataflow.nodes_of_kind("loopctl")[0].conditional
+
+    def test_while_loop_conditional_control(self):
+        # A data-dependent exit (k*k < n) cannot be counted.
+        c = translate("""
+array o: i32[1];
+func main(n: i32) {
+  var k: i32 = 0;
+  while (k * k < n) { k = k + 1; }
+  o[0] = k;
+}
+""")
+        loop = next(t for t in c.tasks.values() if t.kind == "loop")
+        ctl = loop.dataflow.nodes_of_kind("loopctl")[0]
+        assert ctl.conditional
+        assert ctl.cont.incoming is not None
+
+    def test_sync_node_emitted(self):
+        c = translate("""
+array a: i32[4];
+func w(i: i32) { a[i] = i; }
+func main(n: i32) {
+  spawn w(0);
+  sync;
+  a[1] = a[0];
+}
+""")
+        main = c.tasks["main"]
+        syncs = main.dataflow.nodes_of_kind("sync")
+        assert len(syncs) == 1
+        # Later memory traffic is ordered after the sync barrier.
+        stores = [n for n in main.dataflow.nodes if n.kind == "store"]
+        assert any(s.order_in is not None for s in stores)
+
+    def test_return_in_loop_rejected(self):
+        # A conditional early return from inside a real loop (the back
+        # edge survives) is not supported.
+        with pytest.raises(TranslationError):
+            translate("""
+array a: i32[16];
+func main(n: i32) -> i32 {
+  for (i = 0; i < n; i = i + 1) {
+    if (a[i] > 5) { return i; }
+  }
+  return 0 - 1;
+}
+""")
+
+    def test_unconditional_return_degenerates_loop(self):
+        # 'return' as the whole body removes the back edge: this is an
+        # if, not a loop, and translates fine.
+        c = translate("""
+func main(n: i32) -> i32 {
+  for (i = 0; i < n; i = i + 1) { return i; }
+  return 0 - 1;
+}
+""")
+        assert all(t.kind != "loop" for t in c.tasks.values())
+
+    def test_constants_deduplicated(self):
+        c = translate("""
+array a: i32[8];
+func main(n: i32) {
+  for (i = 0; i < n; i = i + 1) { a[i] = i * 3 + 3; }
+}
+""")
+        loop = next(t for t in c.tasks.values() if t.kind == "loop")
+        threes = [n for n in loop.dataflow.nodes_of_kind("const")
+                  if n.value == 3]
+        assert len(threes) == 1
+
+    def test_dead_predicate_nodes_pruned(self):
+        # A balanced if/else merge needs no block predicate; the
+        # inverter must not survive unused.
+        c = translate("""
+array o: i32[4];
+func main(n: i32) {
+  for (i = 0; i < n; i = i + 1) {
+    var v: i32 = 1;
+    if (i > 2) { v = 5; } else { v = 6; }
+    o[i] = v;
+  }
+}
+""")
+        loop = next(t for t in c.tasks.values() if t.kind == "loop")
+        for node in loop.dataflow.nodes:
+            if node.kind in ("compute", "select", "const"):
+                assert any(p.outgoing for p in node.outputs), \
+                    f"dead node {node.name} survived"
+
+
+class TestLatching:
+    def test_loop_invariant_inputs_latched(self):
+        c = translate(SAXPY)
+        loop = next(t for t in c.tasks.values() if t.kind == "loop")
+        for node in loop.dataflow.nodes:
+            if node.kind in ("livein", "const"):
+                for conn in node.outputs[0].outgoing:
+                    assert conn.latched
+
+    def test_func_task_inputs_streamed(self):
+        c = translate(SAXPY)
+        main = c.tasks["main"]
+        for node in main.dataflow.nodes:
+            if node.kind == "livein":
+                for conn in node.out.outgoing:
+                    assert not conn.latched

@@ -1,0 +1,167 @@
+"""Tests for the shared type system."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import TypeMismatchError
+from repro.types import (
+    BOOL,
+    F32,
+    F64,
+    I8,
+    I32,
+    I64,
+    VOID,
+    FloatType,
+    IntType,
+    PointerType,
+    TensorType,
+    VectorType,
+    common_type,
+    parse_type,
+    pointer,
+    tensor2d,
+)
+
+
+class TestScalarTypes:
+    def test_int_bits(self):
+        assert I32.bits == 32
+        assert I8.bits == 8
+        assert I64.bits == 64
+
+    def test_int_words(self):
+        assert I32.words == 1
+        assert I64.words == 2
+        assert I8.words == 1
+
+    def test_void(self):
+        assert VOID.bits == 0
+        assert str(VOID) == "void"
+
+    def test_bool_is_one_bit(self):
+        assert BOOL.bits == 1
+        assert BOOL.words == 1
+
+    def test_float_flags(self):
+        assert F32.is_float
+        assert not I32.is_float
+        assert F64.bits == 64
+
+    def test_str_forms(self):
+        assert str(I32) == "i32"
+        assert str(F32) == "f32"
+        assert str(IntType(32, signed=False)) == "u32"
+
+    def test_equality_is_structural(self):
+        assert IntType(32) == I32
+        assert IntType(16) != I32
+        assert FloatType(32) == F32
+
+    def test_hashable(self):
+        assert len({I32, IntType(32), F32}) == 2
+
+
+class TestIntWrap:
+    def test_wrap_positive_overflow(self):
+        assert I8.wrap(130) == -126
+
+    def test_wrap_negative(self):
+        assert I8.wrap(-129) == 127
+
+    def test_wrap_identity(self):
+        assert I32.wrap(12345) == 12345
+
+    def test_wrap_unsigned(self):
+        u8 = IntType(8, signed=False)
+        assert u8.wrap(300) == 44
+        assert u8.wrap(-1) == 255
+
+    @given(st.integers(min_value=-10**12, max_value=10**12))
+    def test_wrap_is_idempotent(self, value):
+        once = I32.wrap(value)
+        assert I32.wrap(once) == once
+
+    @given(st.integers(min_value=-10**12, max_value=10**12))
+    def test_wrap_in_range(self, value):
+        wrapped = I32.wrap(value)
+        assert -(1 << 31) <= wrapped < (1 << 31)
+
+
+class TestCompositeTypes:
+    def test_pointer_bits(self):
+        assert pointer(F32).bits == 32
+        assert pointer(F32).is_pointer
+
+    def test_pointer_str(self):
+        assert str(pointer(F32)) == "f32*"
+        assert str(PointerType(I32, space=2)) == "i32*@2"
+
+    def test_tensor_geometry(self):
+        t = tensor2d(F32, 2, 2)
+        assert t.elements == 4
+        assert t.bits == 128
+        assert t.words == 4
+        assert t.is_tensor
+
+    def test_tensor_str(self):
+        assert str(tensor2d(F32, 2, 2)) == "tensor<2x2xf32>"
+
+    def test_vector_bits(self):
+        assert VectorType(I32, 4).bits == 128
+
+    def test_tensor_nonsquare(self):
+        t = TensorType(F32, 1, 4)
+        assert t.elements == 4
+        assert t.rows == 1
+
+
+class TestCommonType:
+    def test_same(self):
+        assert common_type(I32, I32) == I32
+
+    def test_int_widening(self):
+        assert common_type(I8, I32) == I32
+        assert common_type(I64, I32) == I64
+
+    def test_float_widening(self):
+        assert common_type(F32, F64) == F64
+
+    def test_pointer_plus_int(self):
+        p = pointer(F32)
+        assert common_type(p, I32) == p
+        assert common_type(I32, p) == p
+
+    def test_tensor_scalar_mismatch(self):
+        with pytest.raises(TypeMismatchError):
+            common_type(tensor2d(), F32)
+
+    def test_int_float_mismatch(self):
+        with pytest.raises(TypeMismatchError):
+            common_type(I32, F32)
+
+
+class TestParseType:
+    @pytest.mark.parametrize("text,expected", [
+        ("i32", I32), ("i64", I64), ("f32", F32), ("i1", BOOL),
+        ("bool", BOOL), ("int", I32), ("float", F32), ("void", VOID),
+    ])
+    def test_simple(self, text, expected):
+        assert parse_type(text) == expected
+
+    def test_tensor(self):
+        assert parse_type("tensor<2x2xf32>") == tensor2d(F32, 2, 2)
+
+    def test_tensor_rect(self):
+        assert parse_type("tensor<1x4xi32>") == TensorType(I32, 1, 4)
+
+    def test_pointer(self):
+        assert parse_type("f32*") == pointer(F32)
+
+    def test_unknown_raises(self):
+        with pytest.raises(TypeMismatchError):
+            parse_type("quux")
+
+    @pytest.mark.parametrize("t", [I32, F32, BOOL, I64])
+    def test_roundtrip(self, t):
+        assert parse_type(str(t)) == t

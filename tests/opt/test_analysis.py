@@ -1,0 +1,134 @@
+"""Tests for the uopt analyses."""
+
+import pytest
+
+from repro.frontend import compile_minic, translate_module
+from repro.opt import OpFusion, PassManager
+from repro.opt.analysis import (
+    critical_path_ns,
+    dataflow_depth,
+    memory_access_groups,
+    recurrence_ii,
+    spawn_target_tasks,
+)
+
+SAXPY = """
+array x: f32[32];
+array y: f32[32];
+func main(n: i32, a: f32) {
+  for (i = 0; i < n; i = i + 1) { y[i] = a * x[i] + y[i]; }
+}
+"""
+
+REDUCE = """
+array a: f32[32];
+array o: f32[1];
+func main(n: i32) {
+  var s: f32 = 0.0;
+  for (i = 0; i < n; i = i + 1) { s = s + a[i]; }
+  o[0] = s;
+}
+"""
+
+
+def circ(src):
+    return translate_module(compile_minic(src))
+
+
+def loop_of(circuit):
+    return next(t for t in circuit.tasks.values() if t.kind == "loop")
+
+
+class TestMemoryAccessGroups:
+    def test_groups_by_array(self):
+        groups = memory_access_groups(circ(SAXPY))
+        assert set(groups) == {"x", "y"}
+        assert len(groups["x"]) == 1
+        assert len(groups["y"]) == 2  # load + store
+
+    def test_nodes_paired_with_tasks(self):
+        groups = memory_access_groups(circ(SAXPY))
+        for array, items in groups.items():
+            for task, node in items:
+                assert node in task.dataflow.nodes
+                assert node.array == array
+
+
+class TestDepthAndDelay:
+    def test_depth_positive_and_fp_deep(self):
+        loop = loop_of(circ(SAXPY))
+        depth = dataflow_depth(loop)
+        # addr chain + load + fmul(4) + fadd(4) + store at least.
+        assert depth >= 10
+
+    def test_fusion_reduces_depth(self):
+        c1 = circ("""
+array a: i32[32];
+func main(n: i32) {
+  for (i = 0; i < n; i = i + 1) { a[(i * 2 + 3) & 31] = i; }
+}
+""")
+        c2 = circ("""
+array a: i32[32];
+func main(n: i32) {
+  for (i = 0; i < n; i = i + 1) { a[(i * 2 + 3) & 31] = i; }
+}
+""")
+        PassManager([OpFusion()]).run(c2)
+        assert dataflow_depth(loop_of(c2)) <= dataflow_depth(loop_of(c1))
+
+    def test_critical_path_fp_dominated(self):
+        loop = loop_of(circ(SAXPY))
+        from repro.core import oplib
+        assert critical_path_ns(loop) == pytest.approx(
+            oplib.op_info("fmul", None).delay_ns)
+
+    def test_critical_path_grows_after_fusion(self):
+        c = circ("""
+array a: i32[32];
+func main(n: i32) {
+  for (i = 0; i < n; i = i + 1) { a[(i * 2 + 3) & 31] = i; }
+}
+""")
+        before = critical_path_ns(loop_of(c))
+        PassManager([OpFusion()]).run(c)
+        after = critical_path_ns(loop_of(c))
+        assert after >= before
+
+
+class TestRecurrence:
+    def test_reduction_recurrence(self):
+        loop = loop_of(circ(REDUCE))
+        # fadd (latency 4) through the phi back edge, plus the phi.
+        assert recurrence_ii(loop) >= 5
+
+    def test_independent_loop_bound_by_control(self):
+        loop = loop_of(circ(SAXPY))
+        assert recurrence_ii(loop) == \
+            loop.dataflow.nodes_of_kind("loopctl")[0].pipeline_stages
+
+
+class TestSpawnTargets:
+    def test_parallel_for_target(self):
+        c = circ("""
+array a: i32[8];
+func main(n: i32) {
+  parallel_for (i = 0; i < n; i = i + 1) { a[i] = i; }
+}
+""")
+        targets = spawn_target_tasks(c)
+        assert targets == ["main_task0"]
+
+    def test_recursive_target(self):
+        c = circ("""
+array o: i32[1];
+func fib(n: i32) -> i32 {
+  if (n < 2) { return n; }
+  return fib(n - 1) + fib(n - 2);
+}
+func main(n: i32) { o[0] = fib(n); }
+""")
+        assert "fib" in spawn_target_tasks(c)
+
+    def test_plain_loops_not_targets(self):
+        assert spawn_target_tasks(circ(SAXPY)) == []

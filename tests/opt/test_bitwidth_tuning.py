@@ -1,0 +1,147 @@
+"""Tests for value-range analysis and bit-width tuning."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.frontend import compile_minic, translate_module
+from repro.opt import BitwidthTuning, PassManager
+from repro.opt.passes.bitwidth_tuning import (
+    FULL,
+    bits_for,
+    value_ranges,
+)
+from repro.rtl import synthesize
+
+from tests.conftest import assert_equivalent
+
+MASKY = """
+array a: i32[64];
+array b: i32[64];
+func main(n: i32) {
+  for (i = 0; i < 64; i = i + 1) {
+    var v: i32 = a[i] & 255;
+    b[i] = (v * 3 + 7) & 1023;
+  }
+}
+"""
+
+
+def loop_task(src):
+    c = translate_module(compile_minic(src))
+    task = next(t for t in c.tasks.values() if t.kind == "loop")
+    return c, task
+
+
+class TestBitsFor:
+    @pytest.mark.parametrize("interval,bits", [
+        ((0, 1), 1), ((0, 255), 8), ((0, 256), 9),
+        ((-1, 0), 1), ((-128, 127), 8), ((-129, 0), 9),
+        ((-2, 1), 2), ((0, 0), 1),
+    ])
+    def test_cases(self, interval, bits):
+        assert bits_for(interval) == bits
+
+    @given(st.integers(-10**6, 10**6), st.integers(-10**6, 10**6))
+    def test_interval_fits(self, a, b):
+        lo, hi = min(a, b), max(a, b)
+        width = bits_for((lo, hi))
+        if lo >= 0:
+            assert hi < (1 << width)
+        else:
+            assert -(1 << (width - 1)) <= lo and \
+                hi < (1 << (width - 1))
+
+
+class TestValueRanges:
+    def test_const_range(self):
+        _, task = loop_task(MASKY)
+        ranges = value_ranges(task)
+        consts = [n for n in task.dataflow.nodes if n.kind == "const"
+                  and n.value == 255]
+        assert ranges[id(consts[0].out)] == (255, 255)
+
+    def test_mask_bounds_range(self):
+        _, task = loop_task(MASKY)
+        ranges = value_ranges(task)
+        ands = [n for n in task.dataflow.nodes
+                if n.kind == "compute" and n.op == "and"]
+        for node in ands:
+            lo, hi = ranges[id(node.out)]
+            assert lo >= 0 and hi <= 1023
+
+    def test_counted_index_range(self):
+        _, task = loop_task(MASKY)
+        ranges = value_ranges(task)
+        ctl = task.dataflow.nodes_of_kind("loopctl")[0]
+        assert ranges[id(ctl.index)] == (0, 64)
+
+    def test_unknown_livein_is_full(self):
+        _, task = loop_task("""
+array b: i32[64];
+func main(n: i32) {
+  for (i = 0; i < n; i = i + 1) { b[i & 63] = n; }
+}
+""")
+        ranges = value_ranges(task)
+        liveins = [x for x in task.dataflow.nodes
+                   if x.kind == "livein"]
+        for li in liveins:
+            assert ranges.get(id(li.out), FULL) == FULL
+
+    def test_unstable_phi_widens(self):
+        _, task = loop_task("""
+array o: i32[1];
+func main(n: i32) {
+  var s: i32 = 1;
+  for (i = 0; i < n; i = i + 1) { s = s * 3; }
+  o[0] = s;
+}
+""")
+        ranges = value_ranges(task)
+        phi = task.dataflow.nodes_of_kind("phi")[0]
+        assert ranges[id(phi.out)] == FULL
+
+
+class TestPass:
+    def test_tunes_nodes_and_connections(self):
+        c = translate_module(compile_minic(MASKY))
+        log = PassManager([BitwidthTuning()]).run(c)
+        assert log[0].details["nodes_tuned"] >= 1
+        assert log[0].details["connections_tuned"] >= 1
+
+    def test_reduces_area(self):
+        c1 = translate_module(compile_minic(MASKY))
+        c2 = translate_module(compile_minic(MASKY))
+        PassManager([BitwidthTuning()]).run(c2)
+        assert synthesize(c2).alms < synthesize(c1).alms
+        assert synthesize(c2).regs < synthesize(c1).regs
+
+    def test_preserves_behavior(self):
+        assert_equivalent(
+            MASKY, [0],
+            init=lambda m: m.set_array(
+                "a", [(i * 37) % 1024 for i in range(64)]),
+            passes=[BitwidthTuning()])
+
+    def test_never_widens(self):
+        c = translate_module(compile_minic(MASKY))
+        PassManager([BitwidthTuning()]).run(c)
+        for node in c.all_nodes():
+            tuned = getattr(node, "tuned_width", None)
+            if tuned is not None:
+                assert tuned < node.outputs[0].type.bits
+
+    def test_float_workload_untouched(self):
+        src = """
+array x: f32[16];
+func main(n: i32) {
+  for (i = 0; i < 16; i = i + 1) { x[i] = x[i] * 2.0; }
+}
+"""
+        c = translate_module(compile_minic(src))
+        log = PassManager([BitwidthTuning()]).run(c)
+        # Only address arithmetic can tune; no float node may carry
+        # a tuned width.
+        for node in c.all_nodes():
+            if getattr(node, "tuned_width", None) is not None:
+                assert not node.outputs[0].type.is_float

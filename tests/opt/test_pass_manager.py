@@ -1,0 +1,102 @@
+"""Tests for the pass framework."""
+
+import pytest
+
+from repro.errors import PassError
+from repro.frontend import compile_minic, translate_module
+from repro.opt import Pass, PassManager, PassResult
+from repro.opt.pass_manager import PassResult as PR
+
+SRC = """
+array a: f32[16];
+func main(n: i32) {
+  for (i = 0; i < n; i = i + 1) { a[i] = a[i] * 2.0; }
+}
+"""
+
+
+def circuit():
+    return translate_module(compile_minic(SRC))
+
+
+class AddNodePass(Pass):
+    name = "add_node"
+
+    def apply(self, c):
+        from repro.core.nodes import ConstNode
+        from repro.types import I32
+        task = c.root_task
+        task.dataflow.add(ConstNode(0, I32, name="extra"))
+        # Dangling consts are allowed; validation passes.
+        return self._result(True)
+
+
+class BreakingPass(Pass):
+    name = "breaker"
+
+    def apply(self, c):
+        from repro.core.nodes import ComputeNode
+        from repro.types import I32
+        c.root_task.dataflow.add(ComputeNode("add", I32))
+        return self._result(True)
+
+
+class CrashingPass(Pass):
+    name = "boom"
+
+    def apply(self, c):
+        raise ValueError("kaboom")
+
+
+class TestPassManager:
+    def test_runs_in_order(self):
+        order = []
+
+        class P(Pass):
+            def __init__(self, tag):
+                self.name = tag
+                self.tag = tag
+                self.order = order
+
+            def apply(self, c):
+                self.order.append(self.tag)
+                return self._result(False)
+
+        PassManager([P("a"), P("b"), P("c")]).run(circuit())
+        assert order == ["a", "b", "c"]
+
+    def test_delta_accounting_automatic(self):
+        log = PassManager([AddNodePass()]).run(circuit())
+        assert log[0].nodes_added == 1
+        assert log[0].delta_nodes == 1
+
+    def test_validation_catches_broken_pass(self):
+        with pytest.raises(PassError) as err:
+            PassManager([BreakingPass()]).run(circuit())
+        assert "breaker" in str(err.value)
+
+    def test_validation_can_be_disabled(self):
+        PassManager([BreakingPass()], validate=False).run(circuit())
+
+    def test_crash_wrapped_as_pass_error(self):
+        with pytest.raises(PassError) as err:
+            PassManager([CrashingPass()]).run(circuit())
+        assert "boom" in str(err.value)
+
+    def test_log_kept(self):
+        pm = PassManager([AddNodePass()])
+        pm.run(circuit())
+        assert len(pm.log) == 1
+        assert pm.log[0].pass_name == "add_node"
+
+    def test_registry_covers_all_passes(self):
+        from repro.opt import PASS_REGISTRY
+        assert set(PASS_REGISTRY) == {
+            "task_pipelining", "execution_tiling",
+            "memory_localization", "scratchpad_banking",
+            "cache_banking", "op_fusion", "tensor_ops",
+            "parameter_tuning", "bitwidth_tuning",
+            "writeback_buffer"}
+        for cls in PASS_REGISTRY.values():
+            assert issubclass(cls, Pass)
+            assert cls().name  # constructible with defaults

@@ -1,0 +1,332 @@
+"""Behavioral tests for each uopt pass: structure changes + preserved
+semantics + intended performance direction."""
+
+import pytest
+
+from repro.core.structures import Scratchpad
+from repro.errors import PassError
+from repro.frontend import compile_minic, translate_module
+from repro.frontend.interp import Memory
+from repro.opt import (
+    CacheBanking,
+    ExecutionTiling,
+    MemoryLocalization,
+    OpFusion,
+    ParameterTuning,
+    PassManager,
+    ScratchpadBanking,
+    TaskPipelining,
+    TensorOps,
+)
+from repro.sim import simulate
+
+from tests.conftest import assert_equivalent, run_both
+
+SAXPY = """
+array x: f32[64];
+array y: f32[64];
+func main(n: i32, a: f32) {
+  for (i = 0; i < n; i = i + 1) { y[i] = a * x[i] + y[i]; }
+}
+"""
+
+PARLOOP = """
+array a: i32[64];
+func main(n: i32) {
+  parallel_for (i = 0; i < n; i = i + 1) { a[i] = i * i; }
+}
+"""
+
+
+def saxpy_init(mem):
+    mem.set_array("x", [float(i % 9) for i in range(64)])
+    mem.set_array("y", [0.5] * 64)
+
+
+class TestTaskPipelining:
+    def test_decouples_edges(self):
+        c = translate_module(compile_minic(SAXPY))
+        log = PassManager([TaskPipelining(queue_depth=32)]).run(c)
+        assert log[0].changed
+        assert all(e.decoupled and e.queue_depth == 32
+                   for e in c.task_edges)
+
+    def test_scoped_to_children(self):
+        c = translate_module(compile_minic(PARLOOP))
+        child = [e.child for e in c.task_edges
+                 if e.kind == "spawn"][0]
+        PassManager([TaskPipelining(children=[child])]).run(c)
+        for e in c.task_edges:
+            assert e.decoupled == (e.child == child)
+
+    def test_preserves_behavior(self):
+        assert_equivalent(SAXPY, [64, 2.0], init=saxpy_init,
+                          passes=[TaskPipelining()])
+
+
+class TestExecutionTiling:
+    def test_targets_spawned_subtree(self):
+        c = translate_module(compile_minic("""
+array a: f32[32];
+func main(n: i32) {
+  parallel_for (i = 0; i < n; i = i + 1) {
+    for (j = 0; j < 2; j = j + 1) { a[i * 2 + j] = 1.0; }
+  }
+}
+"""))
+        PassManager([ExecutionTiling(4)]).run(c)
+        tiled = [t.name for t in c.tasks.values() if t.num_tiles == 4]
+        # The detach task AND its nested loop both replicate.
+        assert len(tiled) == 2
+        assert "main" not in tiled
+
+    def test_explicit_map(self):
+        c = translate_module(compile_minic(PARLOOP))
+        target = [e.child for e in c.task_edges
+                  if e.kind == "spawn"][0]
+        PassManager([ExecutionTiling({target: 8})]).run(c)
+        assert c.tasks[target].num_tiles == 8
+
+    def test_unknown_task_rejected(self):
+        c = translate_module(compile_minic(PARLOOP))
+        with pytest.raises(PassError):
+            PassManager([ExecutionTiling({"nope": 2})]).run(c)
+
+    def test_bad_count_rejected(self):
+        c = translate_module(compile_minic(PARLOOP))
+        with pytest.raises(PassError):
+            PassManager([ExecutionTiling({"main": 0})]).run(c)
+
+    def test_preserves_behavior_and_speeds_up(self):
+        golden, mem1, base = run_both(PARLOOP, [64])
+        golden2, mem2, tiled = run_both(
+            PARLOOP, [64], passes=[TaskPipelining(),
+                                   ExecutionTiling(4)])
+        assert mem2.words == golden2.words
+        assert tiled.cycles < base.cycles
+
+
+class TestMemoryLocalization:
+    def test_creates_scratchpads(self):
+        c = translate_module(compile_minic(SAXPY))
+        log = PassManager([MemoryLocalization()]).run(c)
+        spads = c.scratchpads()
+        assert {s.name for s in spads} == {"spad_x", "spad_y"}
+        assert c.home_of("x").name == "spad_x"
+
+    def test_junctions_rerouted(self):
+        c = translate_module(compile_minic(SAXPY))
+        PassManager([MemoryLocalization()]).run(c)
+        loop = next(t for t in c.tasks.values() if t.kind == "loop")
+        targets = {j.structure.name for j in loop.junctions
+                   if j.clients}
+        assert targets == {"spad_x", "spad_y"}
+
+    def test_grouped_scratchpad(self):
+        c = translate_module(compile_minic(SAXPY))
+        PassManager([MemoryLocalization(
+            groups={"spad_all": ["x", "y"]})]).run(c)
+        assert len(c.scratchpads()) == 1
+        assert c.home_of("x") is c.home_of("y")
+
+    def test_unknown_array_rejected(self):
+        c = translate_module(compile_minic(SAXPY))
+        with pytest.raises(PassError):
+            PassManager([MemoryLocalization(arrays=["zz"])]).run(c)
+
+    def test_preserves_behavior_and_speeds_up(self):
+        golden, mem, base = run_both(SAXPY, [64, 2.0], saxpy_init)
+        golden2, mem2, local = run_both(
+            SAXPY, [64, 2.0], saxpy_init,
+            passes=[MemoryLocalization()])
+        assert mem2.words == golden2.words
+        assert local.cycles < base.cycles
+
+
+class TestBanking:
+    def test_scratchpad_banking(self):
+        c = translate_module(compile_minic(SAXPY))
+        PassManager([MemoryLocalization(),
+                     ScratchpadBanking(4)]).run(c)
+        assert all(s.banks == 4 for s in c.scratchpads())
+
+    def test_banking_widens_junctions(self):
+        c = translate_module(compile_minic(SAXPY))
+        PassManager([MemoryLocalization(),
+                     ScratchpadBanking(4)]).run(c)
+        loop = next(t for t in c.tasks.values() if t.kind == "loop")
+        assert all(j.issue_width >= 4 for j in loop.junctions
+                   if j.clients)
+
+    def test_cache_banking(self):
+        c = translate_module(compile_minic(SAXPY))
+        PassManager([CacheBanking(2)]).run(c)
+        assert c.default_cache.banks == 2
+
+    def test_bad_bank_count(self):
+        with pytest.raises(PassError):
+            ScratchpadBanking(0)
+
+    def test_preserves_behavior(self):
+        assert_equivalent(
+            SAXPY, [64, 2.0], init=saxpy_init,
+            passes=[MemoryLocalization(), ScratchpadBanking(4),
+                    CacheBanking(4), ParameterTuning()])
+
+
+class TestOpFusion:
+    ADDRY = """
+array a: i32[64];
+array b: i32[64];
+func main(n: i32) {
+  for (i = 0; i < n; i = i + 1) {
+    b[(i * 2 + 1) & 63] = a[(i + 3) & 63] + 7;
+  }
+}
+"""
+
+    def test_chains_fused(self):
+        c = translate_module(compile_minic(self.ADDRY))
+        log = PassManager([OpFusion()]).run(c)
+        assert log[0].details["chains"] >= 1
+        fused = [n for n in c.all_nodes() if n.kind == "fused"]
+        assert fused
+        assert all(len(n.exprs) >= 2 for n in fused)
+
+    def test_loop_control_retimed(self):
+        c = translate_module(compile_minic(self.ADDRY))
+        PassManager([OpFusion()]).run(c)
+        loop = next(t for t in c.tasks.values() if t.kind == "loop")
+        ctl = loop.dataflow.nodes_of_kind("loopctl")[0]
+        assert ctl.pipeline_stages == OpFusion.RETIMED_STAGES
+
+    def test_edges_debuffered(self):
+        c = translate_module(compile_minic(self.ADDRY))
+        log = PassManager([OpFusion()]).run(c)
+        assert log[0].details["edges_debuffered"] > 0
+
+    def test_fused_delay_within_budget(self):
+        c = translate_module(compile_minic(self.ADDRY))
+        fusion = OpFusion()
+        PassManager([fusion]).run(c)
+        from repro.opt.passes.op_fusion import _any_node_delay
+        budget = fusion.min_budget_ns
+        for n in c.all_nodes():
+            if n.kind == "fused":
+                assert n.delay_ns <= budget + 1e-9
+
+    def test_preserves_behavior_and_speeds_up(self):
+        init = lambda m: m.set_array("a", list(range(64)))
+        golden, mem, base = run_both(self.ADDRY, [48], init)
+        golden2, mem2, fused = run_both(self.ADDRY, [48], init,
+                                        passes=[OpFusion()])
+        assert mem2.words == golden2.words
+        assert fused.cycles < base.cycles
+
+    def test_float_ops_not_fused(self):
+        c = translate_module(compile_minic(SAXPY))
+        PassManager([OpFusion()]).run(c)
+        for n in c.all_nodes():
+            if n.kind == "fused":
+                assert not any(op.startswith("f")
+                               for op, *_ in n.exprs)
+
+
+class TestTensorOps:
+    RELU = """
+array a: f32[64];
+array b: f32[64];
+func main(n: i32) {
+  for (i = 0; i < n; i = i + 1) {
+    var v: f32 = a[i];
+    var r: f32 = 0.0;
+    if (v > 0.0) { r = v; }
+    b[i] = r;
+  }
+}
+"""
+    MAP2 = """
+array a: f32[64];
+array b: f32[64];
+array c: f32[64];
+func main(n: i32) {
+  for (i = 0; i < n; i = i + 1) { c[i] = a[i] + b[i]; }
+}
+"""
+
+    def init(self, mem):
+        for name in mem.module.globals:
+            if name in ("a", "b"):
+                mem.set_array(name,
+                              [float(i - 30) / 3 for i in range(64)])
+
+    def test_relu_tensorized(self):
+        c = translate_module(compile_minic(self.RELU))
+        log = PassManager([TensorOps(2, 2)]).run(c)
+        assert log[0].details["tensorized"]
+        tnodes = [n for n in c.all_nodes() if n.kind == "tensor"]
+        assert len(tnodes) == 1 and tnodes[0].op == "trelu"
+
+    def test_map2_tensorized_as_tadd(self):
+        c = translate_module(compile_minic(self.MAP2))
+        log = PassManager([TensorOps(2, 2)]).run(c)
+        assert log[0].details["tensorized"]
+        tnodes = [n for n in c.all_nodes() if n.kind == "tensor"]
+        assert tnodes[0].op == "tadd"
+
+    def test_trip_count_shrinks(self):
+        golden, mem, base = run_both(self.RELU, [64], self.init)
+        g2, m2, opt = run_both(self.RELU, [64], self.init,
+                               passes=[TensorOps(2, 2)])
+        assert m2.words == g2.words
+        base_iters = sum(base.stats.iterations.values())
+        opt_iters = sum(opt.stats.iterations.values())
+        assert opt_iters * 4 == base_iters
+
+    def test_speedup(self):
+        _, _, base = run_both(self.RELU, [64], self.init)
+        _, _, opt = run_both(self.RELU, [64], self.init,
+                             passes=[TensorOps(2, 2)])
+        assert opt.cycles < base.cycles / 1.5
+
+    def test_non_matching_loop_untouched(self):
+        c = translate_module(compile_minic(SAXPY))
+        log = PassManager([TensorOps(2, 2)]).run(c)
+        assert not log[0].changed
+
+    def test_4x4_shape(self):
+        _, m2, _ = run_both(self.RELU, [64], self.init,
+                            passes=[TensorOps(4, 4)])
+        g = run_both(self.RELU, [64], self.init)[0]
+        assert m2.words == g.words
+
+
+class TestParameterTuning:
+    def test_widens_and_deepens(self):
+        c = translate_module(compile_minic(SAXPY))
+        log = PassManager([ParameterTuning()]).run(c)
+        assert log[0].details["junctions_widened"] >= 1
+        loop = next(t for t in c.tasks.values() if t.kind == "loop")
+        for node in loop.memory_nodes():
+            assert node.max_outstanding >= 8
+
+    def test_preserves_behavior(self):
+        assert_equivalent(SAXPY, [64, 2.0], init=saxpy_init,
+                          passes=[ParameterTuning()])
+
+
+class TestStackedComposition:
+    def test_full_stack_equivalent(self):
+        assert_equivalent(
+            SAXPY, [64, 2.0], init=saxpy_init,
+            passes=[CacheBanking(4), MemoryLocalization(),
+                    ScratchpadBanking(4), OpFusion(),
+                    TaskPipelining(), ParameterTuning()])
+
+    def test_stack_order_independent_for_behavior(self):
+        p1 = [OpFusion(), MemoryLocalization(), ScratchpadBanking(2)]
+        p2 = [MemoryLocalization(), ScratchpadBanking(2), OpFusion()]
+        g1, m1, _ = run_both(SAXPY, [64, 2.0], saxpy_init, passes=p1)
+        g2, m2, _ = run_both(SAXPY, [64, 2.0], saxpy_init, passes=p2)
+        assert m1.words == g1.words
+        assert m2.words == g2.words

@@ -1,0 +1,197 @@
+"""Tests for the RTL backends: synthesis model, Chisel/Verilog
+emitters, FIRRTL lowering and diffing."""
+
+import pytest
+
+from repro.frontend import compile_minic, translate_module
+from repro.opt import ExecutionTiling, MemoryLocalization, OpFusion, PassManager
+from repro.rtl import (
+    diff_circuits,
+    emit_chisel,
+    emit_verilog,
+    lower_to_firrtl,
+    synthesize,
+)
+from repro.rtl.library import COMPONENT_COSTS, add_costs, scale_cost
+
+SRC = """
+array x: f32[32];
+array y: f32[32];
+func main(n: i32, a: f32) {
+  for (i = 0; i < n; i = i + 1) { y[i] = a * x[i] + y[i]; }
+}
+"""
+
+CILK_SRC = """
+array a: i32[16];
+func main(n: i32) {
+  parallel_for (i = 0; i < n; i = i + 1) { a[i] = i; }
+}
+"""
+
+INT_SRC = """
+array a: i32[32];
+func main(n: i32) {
+  for (i = 0; i < n; i = i + 1) { a[i] = (i << 2) + 1; }
+}
+"""
+
+
+def circ(src=SRC):
+    return translate_module(compile_minic(src))
+
+
+class TestCostLibrary:
+    def test_costs_nonnegative(self):
+        for name, cost in COMPONENT_COSTS.items():
+            assert cost.alms >= 0 and cost.area_um2 >= 0, name
+
+    def test_scale_cost(self):
+        c = COMPONENT_COSTS["fp_add"]
+        doubled = scale_cost(c, 2.0)
+        assert doubled.alms == 2 * c.alms
+        assert doubled.area_um2 == pytest.approx(2 * c.area_um2)
+
+    def test_add_costs(self):
+        a = COMPONENT_COSTS["int_alu"]
+        b = COMPONENT_COSTS["mux"]
+        s = add_costs(a, b)
+        assert s.alms == a.alms + b.alms
+
+    def test_fp_heavier_than_int(self):
+        assert COMPONENT_COSTS["fp_add"].alms > \
+            COMPONENT_COSTS["int_alu"].alms
+
+
+class TestSynthesis:
+    def test_report_fields(self):
+        r = synthesize(circ(), "saxpy")
+        assert r.name == "saxpy"
+        assert 100 < r.fpga_mhz <= 500
+        assert r.alms > 0 and r.regs > 0
+        assert r.fpga_mw > 400
+        assert 1.0 < r.asic_ghz <= 2.5
+        assert r.asic_area_kum2 > 0
+
+    def test_cilk_clocks_lower(self):
+        fp = synthesize(circ(SRC)).fpga_mhz
+        cilk = synthesize(circ(CILK_SRC)).fpga_mhz
+        assert cilk < fp
+
+    def test_int_design_clocks_higher_than_fp(self):
+        assert synthesize(circ(INT_SRC)).fpga_mhz >= \
+            synthesize(circ(SRC)).fpga_mhz
+
+    def test_tiling_multiplies_area(self):
+        c1, c2 = circ(CILK_SRC), circ(CILK_SRC)
+        PassManager([ExecutionTiling(4)]).run(c2)
+        assert synthesize(c2).alms > 2 * synthesize(c1).alms
+
+    def test_fusion_reduces_registers(self):
+        c1, c2 = circ(INT_SRC), circ(INT_SRC)
+        PassManager([OpFusion()]).run(c2)
+        assert synthesize(c2).regs < synthesize(c1).regs
+
+    def test_localization_adds_ram_control(self):
+        c1, c2 = circ(SRC), circ(SRC)
+        PassManager([MemoryLocalization()]).run(c2)
+        assert synthesize(c2).alms > synthesize(c1).alms
+
+    def test_asic_faster_than_fpga(self):
+        r = synthesize(circ())
+        assert r.asic_ghz * 1000 > 2 * r.fpga_mhz
+
+    def test_row_shape(self):
+        row = synthesize(circ(), "x").row()
+        assert set(row) == {"bench", "MHz", "mW", "ALMs", "Reg",
+                            "DSP", "kum2", "asic_mW", "GHz"}
+
+
+class TestChiselEmitter:
+    def test_emits_all_tasks(self):
+        c = circ()
+        text = emit_chisel(c)
+        for task in c.tasks.values():
+            camel = "".join(p.capitalize()
+                            for p in task.name.replace(".", "_")
+                            .split("_"))
+            assert camel in text
+
+    def test_paper_listing_style(self):
+        text = emit_chisel(circ())
+        assert "extends TaskModule" in text
+        assert "<||>" in text
+        assert "<==>" in text
+        assert "new LoopControl" in text
+        assert "new Junction" in text
+
+    def test_tensor_node_emitted(self):
+        text = emit_chisel(circ("""
+array a: tensor<2x2xf32>[4];
+array b: tensor<2x2xf32>[4];
+func main(n: i32) {
+  for (i = 0; i < n; i = i + 1) { b[i] = trelu(a[i]); }
+}
+"""))
+        assert "TensorComputeNode" in text
+
+    def test_deterministic(self):
+        assert emit_chisel(circ()) == emit_chisel(circ())
+
+
+class TestVerilogEmitter:
+    def test_module_per_task(self):
+        c = circ()
+        text = emit_verilog(c)
+        for task in c.tasks.values():
+            assert f"module task_{task.name}" in text
+        assert "module accelerator_top" in text
+        assert text.count("endmodule") == len(c.tasks) + 1
+
+    def test_tiles_instantiated(self):
+        c = circ(CILK_SRC)
+        PassManager([ExecutionTiling(3)]).run(c)
+        text = emit_verilog(c)
+        tiled = [t for t in c.tasks.values() if t.num_tiles == 3][0]
+        assert f"u_{tiled.name}_t2" in text
+
+
+class TestFirrtl:
+    def test_expansion_ratio_in_band(self):
+        c = circ()
+        fc = lower_to_firrtl(c)
+        ratio = fc.stats()["nodes"] / c.stats()["nodes"]
+        assert 5.0 <= ratio <= 14.0
+
+    def test_deterministic_names(self):
+        a = lower_to_firrtl(circ())
+        b = lower_to_firrtl(circ())
+        assert a.nodes == b.nodes
+        assert a.edges == b.edges
+
+    def test_diff_zero_for_same(self):
+        a, b = lower_to_firrtl(circ()), lower_to_firrtl(circ())
+        assert diff_circuits(a, b) == (0, 0)
+
+    def test_diff_detects_tiling(self):
+        before = lower_to_firrtl(circ(CILK_SRC))
+        c2 = circ(CILK_SRC)
+        PassManager([ExecutionTiling(2)]).run(c2)
+        after = lower_to_firrtl(c2)
+        dn, de = diff_circuits(before, after)
+        assert dn > 20 and de > 20
+
+    def test_diff_detects_debuffering(self):
+        before = lower_to_firrtl(circ(INT_SRC))
+        c2 = circ(INT_SRC)
+        PassManager([OpFusion()]).run(c2)
+        after = lower_to_firrtl(c2)
+        dn, de = diff_circuits(before, after)
+        assert dn > 0 and de > 0
+
+    def test_memory_structures_lowered(self):
+        c = circ()
+        PassManager([MemoryLocalization()]).run(c)
+        fc = lower_to_firrtl(c)
+        assert any(".mem" in n for n in fc.nodes)
+        assert any("spad_x" in n for n in fc.nodes)

@@ -1,0 +1,114 @@
+"""Tests for ready/valid channels."""
+
+from hypothesis import given, strategies as st
+
+from repro.sim.channel import Channel, LatchedChannel
+
+
+class TestChannel:
+    def test_push_invisible_until_commit(self):
+        ch = Channel(2)
+        ch.push(1)
+        assert not ch.ready()
+        ch.commit()
+        assert ch.ready() and ch.peek() == 1
+
+    def test_two_stage_latency(self):
+        ch = Channel(2, stages=2)
+        ch.push("x")
+        ch.commit()
+        assert not ch.ready()       # still in the in-flight register
+        ch.commit()
+        assert ch.ready()
+
+    def test_single_stage_latency(self):
+        ch = Channel(2, stages=1)
+        ch.push("x")
+        ch.commit()
+        assert ch.ready()
+
+    def test_capacity_backpressure(self):
+        ch = Channel(2)
+        ch.push(1)
+        ch.push(2)
+        assert not ch.can_push()
+        ch.commit()
+        assert not ch.can_push()
+        ch.pop()
+        assert ch.can_push()
+
+    def test_capacity_at_least_stages(self):
+        ch = Channel(1, stages=2)
+        assert ch.capacity == 2
+
+    def test_fifo_order(self):
+        ch = Channel(8)
+        for v in (1, 2, 3):
+            ch.push(v)
+        ch.commit()
+        assert [ch.pop() for _ in range(3)] == [1, 2, 3]
+
+    def test_two_stage_sustains_full_throughput(self):
+        # One token per cycle in, one per cycle out, never stalls.
+        ch = Channel(2, stages=2)
+        delivered = []
+        pushed = 0
+        for cycle in range(20):
+            if ch.ready():
+                delivered.append(ch.pop())
+            if ch.can_push():
+                ch.push(pushed)
+                pushed += 1
+            ch.commit()
+        assert delivered == list(range(len(delivered)))
+        assert len(delivered) >= 17
+
+    def test_commit_reports_movement(self):
+        ch = Channel(4)
+        assert not ch.commit()
+        ch.push(1)
+        assert ch.commit()
+
+    def test_clear(self):
+        ch = Channel(4, stages=2)
+        ch.push(1)
+        ch.commit()
+        ch.clear()
+        assert ch.occupancy == 0
+        ch.commit()
+        assert not ch.ready()
+
+    @given(st.lists(st.integers(), max_size=40))
+    def test_fifo_property(self, values):
+        ch = Channel(capacity=1000)
+        for v in values:
+            ch.push(v)
+        ch.commit()
+        out = []
+        while ch.ready():
+            out.append(ch.pop())
+        assert out == values
+
+
+class TestLatchedChannel:
+    def test_unset_not_ready(self):
+        ch = LatchedChannel()
+        assert not ch.ready()
+
+    def test_latch_then_repeated_reads(self):
+        ch = LatchedChannel()
+        ch.latch(42)
+        assert ch.ready()
+        assert ch.pop() == 42
+        assert ch.pop() == 42   # non-consuming
+
+    def test_push_is_latch(self):
+        ch = LatchedChannel()
+        assert ch.can_push()
+        ch.push(7)
+        assert ch.peek() == 7
+
+    def test_commit_is_noop(self):
+        ch = LatchedChannel()
+        ch.latch(1)
+        assert not ch.commit()

@@ -1,0 +1,228 @@
+"""Tests for the memory-system models."""
+
+import pytest
+
+from repro.core.structures import Cache, DRAMModel, Scratchpad
+from repro.sim.memory import CacheSim, DRAMSim, MemRequest, ScratchpadSim
+from repro.sim.stats import SimStats
+
+
+def drive(sim, cycles, start=0):
+    for now in range(start, start + cycles):
+        sim.tick(now)
+        sim.commit()
+
+
+class TestDRAM:
+    def test_fixed_latency(self):
+        image = [10, 20, 30]
+        dram = DRAMSim(DRAMModel(latency=5, requests_per_cycle=2),
+                       image, SimStats())
+        req = MemRequest(1, False)
+        dram.submit(req)
+        drive(dram, 5)
+        assert not req.done
+        drive(dram, 3, start=5)
+        assert req.done and req.value == 20
+
+    def test_bandwidth_limit(self):
+        image = [0] * 8
+        stats = SimStats()
+        dram = DRAMSim(DRAMModel(latency=1, requests_per_cycle=1),
+                       image, stats)
+        reqs = [MemRequest(i, False) for i in range(4)]
+        for r in reqs:
+            dram.submit(r)
+        drive(dram, 3)
+        # 1 per cycle: after 3 ticks only ~2 can be complete.
+        assert sum(r.done for r in reqs) <= 2
+
+    def test_write_performs(self):
+        image = [0, 0]
+        dram = DRAMSim(DRAMModel(latency=1), image, SimStats())
+        dram.submit(MemRequest(1, True, value=99))
+        drive(dram, 4)
+        assert image[1] == 99
+
+
+class TestScratchpad:
+    def make(self, banks=2, ports=1, latency=1, words=16):
+        image = list(range(words))
+        spad = Scratchpad("s", size_words=words, banks=banks,
+                          ports_per_bank=ports, latency=latency)
+        return ScratchpadSim(spad, image, SimStats()), image
+
+    def test_read_roundtrip(self):
+        sim, image = self.make()
+        req = MemRequest(5, False)
+        sim.submit(req)
+        drive(sim, 4)
+        assert req.done and req.value == 5
+
+    def test_write_then_read(self):
+        sim, image = self.make()
+        w = MemRequest(3, True, value=77)
+        sim.submit(w)
+        drive(sim, 4)
+        assert image[3] == 77
+
+    def test_bank_conflicts_serialize(self):
+        sim, _ = self.make(banks=1, ports=1, latency=1)
+        reqs = [MemRequest(i, False) for i in range(4)]
+        for r in reqs:
+            sim.submit(r)
+        drive(sim, 3)
+        assert sum(r.done for r in reqs) < 4
+        drive(sim, 4, start=3)
+        assert all(r.done for r in reqs)
+
+    def test_banking_parallelizes(self):
+        # Same 4 requests over 4 banks finish sooner than over 1 bank.
+        def time_to_done(banks):
+            sim, _ = self.make(banks=banks)
+            reqs = [MemRequest(i, False) for i in range(4)]
+            for r in reqs:
+                sim.submit(r)
+            for now in range(32):
+                sim.tick(now)
+                sim.commit()
+                if all(r.done for r in reqs):
+                    return now
+            return 99
+        assert time_to_done(4) < time_to_done(1)
+
+    def test_dual_port_reads_and_writes_dont_compete(self):
+        sim, _ = self.make(banks=1, ports=1)
+        r = MemRequest(0, False)
+        w = MemRequest(1, True, value=5)
+        sim.submit(r)
+        sim.submit(w)
+        drive(sim, 4)
+        # 1R1W SRAM: both complete as fast as a lone request would.
+        assert r.done and w.done
+
+
+class TestCache:
+    def make(self, banks=1, size=64):
+        image = [i * 10 for i in range(256)]
+        stats = SimStats()
+        dram = DRAMSim(DRAMModel(latency=6, requests_per_cycle=2),
+                       image, stats)
+        cache = Cache("c", size_words=size, banks=banks, line_words=4,
+                      hit_latency=1)
+        return CacheSim(cache, image, stats, dram), dram, stats
+
+    def drive_both(self, csim, dram, cycles, start=0):
+        for now in range(start, start + cycles):
+            csim.tick(now)
+            dram.tick(now)
+            csim.commit()
+            dram.commit()
+
+    def test_miss_then_hit(self):
+        csim, dram, stats = self.make()
+        miss = MemRequest(8, False)
+        csim.submit(miss)
+        self.drive_both(csim, dram, 15)
+        assert miss.done and miss.value == 80
+        assert stats.cache_misses == 1
+        hit = MemRequest(9, False)  # same line
+        csim.submit(hit)
+        self.drive_both(csim, dram, 6, start=15)
+        assert hit.done and stats.cache_hits == 1
+
+    def test_mshr_coalesces_same_line(self):
+        csim, dram, stats = self.make()
+        reqs = [MemRequest(4 + i, False) for i in range(4)]
+        for r in reqs:
+            csim.submit(r)
+        self.drive_both(csim, dram, 20)
+        assert all(r.done for r in reqs)
+        # Only one DRAM fill despite 4 misses to the line.
+        assert stats.dram_requests == 1
+
+    def test_write_through(self):
+        csim, dram, stats = self.make()
+        w = MemRequest(0, True, value=123)
+        csim.submit(w)
+        self.drive_both(csim, dram, 20)
+        assert w.done
+        assert csim.image[0] == 123
+        # The write-through also reached the DRAM queue.
+        assert stats.dram_requests >= 1
+
+    def test_conflict_eviction(self):
+        csim, dram, stats = self.make(size=16)  # 4 lines
+        a = MemRequest(0, False)
+        csim.submit(a)
+        self.drive_both(csim, dram, 15)
+        # Address 16 lines maps onto the same set (4 sets, 1 bank).
+        b = MemRequest(16, False)
+        csim.submit(b)
+        self.drive_both(csim, dram, 15, start=15)
+        c = MemRequest(0, False)   # evicted: miss again
+        csim.submit(c)
+        self.drive_both(csim, dram, 15, start=30)
+        assert stats.cache_misses == 3
+
+
+class TestAssociativity:
+    def make(self, ways, size=16):
+        from repro.core.structures import Cache, DRAMModel
+        from repro.sim.memory import CacheSim, DRAMSim, MemRequest
+        from repro.sim.stats import SimStats
+        image = [i for i in range(256)]
+        stats = SimStats()
+        dram = DRAMSim(DRAMModel(latency=4, requests_per_cycle=2),
+                       image, stats)
+        cache = Cache("c", size_words=size, banks=1, line_words=4,
+                      hit_latency=1, ways=ways)
+        return CacheSim(cache, image, stats, dram), dram, stats
+
+    def drive(self, csim, dram, cycles, start=0):
+        for now in range(start, start + cycles):
+            csim.tick(now)
+            dram.tick(now)
+            csim.commit()
+            dram.commit()
+
+    def access(self, csim, dram, addr, start):
+        from repro.sim.memory import MemRequest
+        req = MemRequest(addr, False)
+        csim.submit(req)
+        self.drive(csim, dram, 12, start)
+        assert req.done
+        return req
+
+    def test_two_way_keeps_conflicting_pair(self):
+        # 16-word cache, 4 lines. Direct mapped: addr 0 and addr 16
+        # conflict; 2-way keeps both.
+        csim, dram, stats = self.make(ways=2)
+        self.access(csim, dram, 0, 0)
+        self.access(csim, dram, 16, 20)
+        self.access(csim, dram, 0, 40)   # hit under 2-way
+        assert stats.cache_misses == 2
+        assert stats.cache_hits == 1
+
+    def test_direct_mapped_thrashes(self):
+        csim, dram, stats = self.make(ways=1)
+        self.access(csim, dram, 0, 0)
+        self.access(csim, dram, 16, 20)
+        self.access(csim, dram, 0, 40)   # evicted: miss again
+        assert stats.cache_misses == 3
+
+    def test_lru_eviction_order(self):
+        csim, dram, stats = self.make(ways=2)
+        self.access(csim, dram, 0, 0)    # set 0: {0}
+        self.access(csim, dram, 16, 20)  # set 0: {0,16}
+        self.access(csim, dram, 0, 40)   # touch 0 -> LRU is 16
+        self.access(csim, dram, 32, 60)  # evicts 16
+        self.access(csim, dram, 0, 80)   # still resident
+        assert stats.cache_hits == 2
+
+    def test_bad_ways_rejected(self):
+        import pytest
+        from repro.core.structures import Cache
+        from repro.errors import GraphError
+        with pytest.raises(GraphError):
+            Cache("c", ways=0)

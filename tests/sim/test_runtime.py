@@ -1,0 +1,125 @@
+"""Tests for the task runtime: queues, tiles, parking, sync."""
+
+import pytest
+
+from repro.frontend import compile_minic, translate_module
+from repro.frontend.interp import Memory
+from repro.sim import SimParams, simulate
+
+from tests.conftest import assert_equivalent, run_both
+
+FIB = """
+array o: i32[1];
+func fib(n: i32) -> i32 {
+  if (n < 2) { return n; }
+  var a: i32 = fib(n - 1);
+  var b: i32 = fib(n - 2);
+  return a + b;
+}
+func main(n: i32) { o[0] = fib(n); }
+"""
+
+
+class TestRecursion:
+    def test_fib_correct(self):
+        golden, mem, result = run_both(FIB, [10])
+        assert mem.get_array("o") == [55]
+
+    def test_parking_happens(self):
+        _, _, result = run_both(FIB, [9])
+        assert result.stats.parked > 0
+
+    def test_invocation_count(self):
+        # fib(n) makes fib(n-1)+fib(n-2)+1 invocations (classic).
+        _, _, result = run_both(FIB, [8])
+        # fib calls: 2*fib(9)... for n=8: invocations of 'fib' = 67.
+        assert result.stats.invocations["fib"] == 67
+
+    def test_tiles_speed_up_recursion(self):
+        def cycles(tiles):
+            module = compile_minic(FIB)
+            circuit = translate_module(module)
+            circuit.tasks["fib"].num_tiles = tiles
+            mem = Memory(module)
+            return simulate(circuit, mem, [10]).cycles
+        assert cycles(4) < cycles(1) * 0.6
+
+
+class TestSpawnAndSync:
+    def test_spawned_results_visible_after_sync(self):
+        assert_equivalent("""
+array a: i32[8];
+array o: i32[1];
+func w(i: i32) { a[i] = i * i; }
+func main(n: i32) {
+  spawn w(1);
+  spawn w(2);
+  sync;
+  o[0] = a[1] + a[2];
+}
+""", [0])
+
+    def test_parallel_for_full(self):
+        golden, mem, result = run_both("""
+array a: i32[32];
+func main(n: i32) {
+  parallel_for (i = 0; i < n; i = i + 1) { a[i] = i * 3; }
+}
+""", [32])
+        assert mem.get_array("a") == [i * 3 for i in range(32)]
+        assert result.stats.invocations["main_task0"] == 32
+
+    def test_msort_pattern(self):
+        assert_equivalent("""
+array arr: i32[16];
+array tmp: i32[16];
+func msort(lo: i32, n: i32) {
+  if (n < 2) { return; }
+  var half: i32 = n / 2;
+  spawn msort(lo, half);
+  spawn msort(lo + half, n - half);
+  sync;
+  var i: i32 = lo;
+  var j: i32 = lo + half;
+  for (k = 0; k < n; k = k + 1) {
+    var takeleft: i32 = 0;
+    if (j >= lo + n) { takeleft = 1; }
+    else {
+      if (i < lo + half) {
+        if (arr[i] <= arr[j]) { takeleft = 1; }
+      }
+    }
+    if (takeleft == 1) { tmp[lo + k] = arr[i]; i = i + 1; }
+    else { tmp[lo + k] = arr[j]; j = j + 1; }
+  }
+  for (k2 = 0; k2 < n; k2 = k2 + 1) { arr[lo + k2] = tmp[lo + k2]; }
+}
+func main(n: i32) { msort(0, n); }
+""", [16], init=lambda m: m.set_array(
+            "arr", [9, 3, 7, 1, 8, 2, 6, 4, 15, 11, 13, 10, 14, 12,
+                    5, 0]))
+
+
+class TestWindows:
+    def test_loop_invocation_window_helps(self):
+        source = """
+array a: f32[64];
+array b: f32[64];
+func main(n: i32) {
+  for (i = 0; i < n; i = i + 1) {
+    for (j = 0; j < 4; j = j + 1) {
+      b[i * 4 + j] = a[i * 4 + j] * 2.0;
+    }
+  }
+}
+"""
+        module = compile_minic(source)
+
+        def cycles(window):
+            circuit = translate_module(module)
+            mem = Memory(module)
+            mem.set_array("a", [1.0] * 64)
+            return simulate(circuit, mem, [16],
+                            SimParams(loop_invocation_window=window)
+                            ).cycles
+        assert cycles(4) < cycles(1)

@@ -1,0 +1,94 @@
+"""Tests for the command-line interface."""
+
+import json
+import os
+
+import pytest
+
+from repro.cli import main
+
+SRC = """
+array x: f32[16];
+array y: f32[16];
+func main(n: i32, a: f32) {
+  for (i = 0; i < n; i = i + 1) { y[i] = a * x[i]; }
+}
+"""
+
+
+@pytest.fixture
+def src_file(tmp_path):
+    path = tmp_path / "saxpy.mc"
+    path.write_text(SRC)
+    return str(path)
+
+
+class TestTranslate:
+    def test_basic(self, src_file, capsys):
+        assert main(["translate", src_file]) == 0
+        out = capsys.readouterr().out
+        assert "AcceleratorCircuit" in out
+        assert "kind=loop" in out
+
+    def test_with_passes(self, src_file, capsys):
+        assert main(["translate", src_file,
+                     "--passes", "memory_localization,op_fusion"]) == 0
+        out = capsys.readouterr().out
+        assert "pass memory_localization" in out
+
+    def test_unknown_pass(self, src_file, capsys):
+        assert main(["translate", src_file, "--passes", "warp"]) == 2
+        assert "unknown pass" in capsys.readouterr().err
+
+    def test_dumps(self, src_file, tmp_path, capsys):
+        jsonp = str(tmp_path / "c.json")
+        dotp = str(tmp_path / "c.dot")
+        chiselp = str(tmp_path / "c.scala")
+        vp = str(tmp_path / "c.v")
+        assert main(["translate", src_file, "--json", jsonp,
+                     "--dot", dotp, "--chisel", chiselp,
+                     "--verilog", vp]) == 0
+        data = json.load(open(jsonp))
+        assert data["format"] == 1
+        assert open(dotp).read().startswith("digraph")
+        assert "TaskModule" in open(chiselp).read()
+        assert "module" in open(vp).read()
+
+
+class TestSimulate:
+    def test_verifies(self, src_file, capsys):
+        assert main(["simulate", src_file, "--args", "16", "2.0",
+                     "--seed", "7"]) == 0
+        out = capsys.readouterr().out
+        assert "behavior vs interpreter: OK" in out
+        assert "cycles:" in out
+
+    def test_with_passes(self, src_file, capsys):
+        assert main(["simulate", src_file, "--args", "16", "2.0",
+                     "--seed", "3", "--passes",
+                     "memory_localization,scratchpad_banking"]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_wrong_arity(self, src_file, capsys):
+        assert main(["simulate", src_file, "--args", "16"]) == 2
+        assert "argument" in capsys.readouterr().err
+
+
+class TestOthers:
+    def test_synth(self, src_file, capsys):
+        assert main(["synth", src_file]) == 0
+        out = capsys.readouterr().out
+        assert "MHz" in out and "ALMs" in out
+
+    def test_workloads_list(self, capsys):
+        assert main(["workloads"]) == 0
+        out = capsys.readouterr().out
+        assert "gemm" in out and "relu_t" in out
+
+    def test_bench(self, capsys):
+        assert main(["bench", "spmv", "--passes", "op_fusion"]) == 0
+        out = capsys.readouterr().out
+        assert "cycles" in out and "verified" in out
+
+    def test_bench_tensor_variant(self, capsys):
+        assert main(["bench", "relu_t", "--variant", "tensor"]) == 0

@@ -1,0 +1,56 @@
+"""Tests for the exception hierarchy (single catchable root, rich
+messages)."""
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for name in dir(errors):
+            obj = getattr(errors, name)
+            if isinstance(obj, type) and issubclass(obj, Exception):
+                assert issubclass(obj, errors.ReproError) or \
+                    obj is errors.ReproError, name
+
+    def test_frontend_family(self):
+        assert issubclass(errors.LexError, errors.FrontendError)
+        assert issubclass(errors.ParseError, errors.FrontendError)
+        assert issubclass(errors.LoweringError, errors.FrontendError)
+
+    def test_graph_family(self):
+        assert issubclass(errors.ValidationError, errors.GraphError)
+
+    def test_type_mismatch_is_ir_error(self):
+        assert issubclass(errors.TypeMismatchError, errors.IRError)
+
+
+class TestMessages:
+    def test_lex_error_position(self):
+        err = errors.LexError("bad char", 3, 7)
+        assert "3:7" in str(err)
+        assert err.line == 3 and err.column == 7
+
+    def test_parse_error_without_position(self):
+        assert str(errors.ParseError("oops")) == "oops"
+
+    def test_validation_error_truncates(self):
+        violations = [f"problem {i}" for i in range(10)]
+        err = errors.ValidationError(violations)
+        assert "+5 more" in str(err)
+        assert err.violations == violations
+
+    def test_deadlock_error_cycle(self):
+        err = errors.DeadlockError(1234, "stuck here")
+        assert err.cycle == 1234
+        assert "1234" in str(err) and "stuck here" in str(err)
+
+
+class TestCatchability:
+    def test_single_root_catch(self):
+        from repro.frontend import compile_minic
+        with pytest.raises(errors.ReproError):
+            compile_minic("func main( {")  # syntax error
+        with pytest.raises(errors.ReproError):
+            compile_minic("func main(n: i32) { x = 1; }")  # lowering

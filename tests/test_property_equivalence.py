@@ -1,0 +1,155 @@
+"""Property-based equivalence: random MiniC programs behave identically
+under the reference interpreter and the cycle-level uIR simulation,
+with and without optimization passes.
+
+This is the repository's strongest invariant — the paper's claim that
+microarchitecture transformations are decoupled from behavior.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.frontend import compile_minic, translate_module
+from repro.frontend.interp import Interpreter, Memory
+from repro.opt import (
+    CacheBanking,
+    MemoryLocalization,
+    OpFusion,
+    ParameterTuning,
+    PassManager,
+    ScratchpadBanking,
+    TaskPipelining,
+)
+from repro.sim import simulate
+
+# ---------------------------------------------------------------------------
+# Random program generator (always well-formed by construction)
+# ---------------------------------------------------------------------------
+
+_BINOPS = ["+", "-", "*", "&", "|", "^"]
+
+
+@st.composite
+def expressions(draw, names, depth=0):
+    """An integer expression over ``names`` (safe: no division)."""
+    if depth >= 2 or draw(st.booleans()):
+        choice = draw(st.integers(0, 2))
+        if choice == 0 or not names:
+            return str(draw(st.integers(-20, 20)))
+        if choice == 1:
+            return draw(st.sampled_from(names))
+        return f"inp[({draw(st.sampled_from(names))}) & 15]"
+    op = draw(st.sampled_from(_BINOPS))
+    left = draw(expressions(names, depth + 1))
+    right = draw(expressions(names, depth + 1))
+    return f"({left} {op} {right})"
+
+
+@st.composite
+def loop_bodies(draw, names):
+    """Loop bodies whose stores are race-free by construction: each
+    store site s writes ``out[i*4 + s]`` (iteration-disjoint), matching
+    the Cilk-style race-freedom the execution model assumes (see
+    DESIGN.md).  Data and condition expressions stay fully random."""
+    lines = []
+    local_names = list(names)
+    slot = 0
+    n_stmts = draw(st.integers(1, 3))
+    for _ in range(n_stmts):
+        kind = draw(st.integers(0, 2))
+        if kind == 0:
+            var = f"t{len(local_names)}"
+            lines.append(
+                f"var {var}: i32 = {draw(expressions(local_names))};")
+            local_names.append(var)
+        elif kind == 1:
+            lines.append(
+                f"out[i * 4 + {slot}] = "
+                f"{draw(expressions(local_names))};")
+            slot += 1
+        else:
+            cond = draw(expressions(local_names))
+            body = (f"out[i * 4 + {slot}] = "
+                    f"{draw(expressions(local_names))};")
+            slot += 1
+            lines.append(f"if (({cond}) > 0) {{ {body} }}")
+    if slot == 0:
+        lines.append(f"out[i * 4] = {draw(expressions(local_names))};")
+    return "\n    ".join(lines)
+
+
+@st.composite
+def programs(draw):
+    trip = draw(st.integers(1, 12))
+    body = draw(loop_bodies(["i", "n"]))
+    reduction = draw(st.booleans())
+    red_decl, red_update, red_store = "", "", ""
+    if reduction:
+        red_decl = "var acc: i32 = 0;"
+        red_update = f"acc = acc + ({draw(expressions(['i', 'acc']))});"
+        red_store = "out[60] = acc;"
+    source = f"""
+array inp: i32[16];
+array out: i32[64];
+func main(n: i32) {{
+  {red_decl}
+  for (i = 0; i < n; i = i + 1) {{
+    {body}
+    {red_update}
+  }}
+  {red_store}
+}}
+"""
+    return source, trip
+
+
+_SLOW = settings(max_examples=25, deadline=None,
+                 suppress_health_check=[HealthCheck.too_slow,
+                                        HealthCheck.data_too_large,
+                                        HealthCheck.filter_too_much])
+
+
+def _check(source, trip, passes=()):
+    module = compile_minic(source)
+    golden = Memory(module)
+    golden.set_array("inp", [(i * 13 + 5) % 97 - 40 for i in range(16)])
+    Interpreter(module, golden).run(trip)
+
+    circuit = translate_module(module)
+    if passes:
+        PassManager(list(passes)).run(circuit)
+    mem = Memory(module)
+    mem.set_array("inp", [(i * 13 + 5) % 97 - 40 for i in range(16)])
+    simulate(circuit, mem, [trip])
+    assert mem.words == golden.words, source
+
+
+class TestRandomPrograms:
+    @_SLOW
+    @given(programs())
+    def test_baseline_equivalence(self, prog):
+        source, trip = prog
+        _check(source, trip)
+
+    @_SLOW
+    @given(programs())
+    def test_fusion_preserves_behavior(self, prog):
+        source, trip = prog
+        _check(source, trip, [OpFusion()])
+
+    @_SLOW
+    @given(programs())
+    def test_memory_passes_preserve_behavior(self, prog):
+        source, trip = prog
+        _check(source, trip,
+               [MemoryLocalization(), ScratchpadBanking(2),
+                ParameterTuning()])
+
+    @_SLOW
+    @given(programs())
+    def test_full_stack_preserves_behavior(self, prog):
+        source, trip = prog
+        _check(source, trip,
+               [CacheBanking(2), MemoryLocalization(),
+                ScratchpadBanking(4), OpFusion(), TaskPipelining(),
+                ParameterTuning()])
