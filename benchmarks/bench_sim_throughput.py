@@ -1,0 +1,101 @@
+#!/usr/bin/env python
+"""Simulation-kernel throughput benchmark.
+
+Runs selected workloads under both simulation kernels (the dense
+reference sweep and the event-driven wakeup kernel) and reports
+simulated cycles per wall-second plus the event/dense speedup.
+Wall times are best-of-N to suppress scheduler noise; both kernels
+run in the same process on the same circuits, so the ratio is
+machine-independent.
+
+Usage:
+    PYTHONPATH=src python benchmarks/bench_sim_throughput.py \
+        [--workloads gemm,fft,saxpy,stencil] [--config baseline] \
+        [--repeat 3] [--min-speedup 1.0] [--json FILE]
+
+Exits non-zero if any workload's event/dense speedup falls below
+``--min-speedup`` (used by CI as a regression gate).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+from repro.workloads import WORKLOADS
+from repro.bench.configs import all_opts_for
+from repro.frontend.translate import translate_module
+from repro.opt.pass_manager import PassManager
+from repro.sim.engine import SimParams, simulate
+
+DEFAULT_WORKLOADS = "gemm,fft,saxpy,stencil"
+
+
+def bench_one(name: str, config: str, kernel: str, repeat: int):
+    w = WORKLOADS[name]
+    passes = [] if config == "baseline" else all_opts_for(name)
+    best = None
+    cycles = None
+    for _ in range(repeat):
+        circuit = translate_module(w.module(), name=f"{name}_{config}")
+        PassManager(list(passes)).run(circuit)
+        mem = w.fresh_memory()
+        params = SimParams(kernel=kernel, observe="off")
+        t0 = time.perf_counter()
+        res = simulate(circuit, mem, list(w.args_for()), params)
+        wall = time.perf_counter() - t0
+        cycles = res.cycles
+        best = wall if best is None else min(best, wall)
+    return cycles, best
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--workloads", default=DEFAULT_WORKLOADS)
+    ap.add_argument("--config", default="baseline",
+                    choices=("baseline", "allopts"))
+    ap.add_argument("--repeat", type=int, default=3)
+    ap.add_argument("--min-speedup", type=float, default=0.0,
+                    help="fail if any event/dense speedup is below this")
+    ap.add_argument("--json", default=None,
+                    help="write results to FILE as JSON")
+    args = ap.parse_args(argv)
+
+    rows = []
+    failed = False
+    for name in args.workloads.split(","):
+        name = name.strip()
+        cycles, dense_wall = bench_one(name, args.config, "dense",
+                                       args.repeat)
+        _, event_wall = bench_one(name, args.config, "event",
+                                  args.repeat)
+        speedup = dense_wall / event_wall
+        rows.append({
+            "workload": name,
+            "config": args.config,
+            "cycles": cycles,
+            "dense_wall_s": round(dense_wall, 4),
+            "event_wall_s": round(event_wall, 4),
+            "dense_cps": round(cycles / dense_wall),
+            "event_cps": round(cycles / event_wall),
+            "speedup": round(speedup, 2),
+        })
+        flag = ""
+        if args.min_speedup and speedup < args.min_speedup:
+            failed = True
+            flag = f"  << below {args.min_speedup}x"
+        print(f"{name}/{args.config}: {cycles} cycles | "
+              f"dense {dense_wall:.3f}s ({cycles/dense_wall:,.0f} cyc/s) | "
+              f"event {event_wall:.3f}s ({cycles/event_wall:,.0f} cyc/s) | "
+              f"speedup {speedup:.2f}x{flag}")
+
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(rows, fh, indent=2)
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -110,7 +110,21 @@ def cmd_translate(args) -> int:
 
 
 def cmd_simulate(args) -> int:
-    module, circuit, _log = _load_circuit_pipeline(args)
+    import time
+
+    if args.trace_out and args.kernel != "event":
+        raise ReproError(
+            "--trace-out requires the event kernel "
+            "(rerun without --kernel dense)")
+    with open(args.file) as fh:
+        source = fh.read()
+    module = compile_minic(source)
+    circuit = translate_module(module, name=args.file)
+    manager = PassManager(_parse_passes(args.passes),
+                          validate_each=args.validate_each)
+    t_passes = time.perf_counter()
+    manager.run(circuit)
+    t_passes = time.perf_counter() - t_passes
     values = _parse_args_values(module, args.args)
 
     golden = Memory(module)
@@ -119,8 +133,12 @@ def cmd_simulate(args) -> int:
 
     mem = Memory(module)
     _seed_memory(mem, args.seed)
-    result = simulate(circuit, mem, values,
-                      SimParams(max_cycles=args.max_cycles))
+    observe = "trace" if args.trace_out else "counters"
+    params = SimParams(max_cycles=args.max_cycles, kernel=args.kernel,
+                       observe=observe)
+    t_sim = time.perf_counter()
+    result = simulate(circuit, mem, values, params)
+    t_sim = time.perf_counter() - t_sim
     ok = mem.words == golden.words
     print(f"cycles: {result.cycles}")
     if result.results:
@@ -128,6 +146,33 @@ def cmd_simulate(args) -> int:
     print(f"behavior vs interpreter: {'OK' if ok else 'MISMATCH'}")
     for key, value in sorted(result.stats.summary().items()):
         print(f"  {key}: {value}")
+    if args.profile:
+        print(f"\nthroughput: {result.cycles / t_sim:,.0f} simulated "
+              f"cycles/s ({args.kernel} kernel, {t_sim:.3f}s wall)")
+        if manager.log:
+            print(f"\npass pipeline ({t_passes * 1e3:.1f}ms):")
+            print(manager.timing_report())
+        stalls = result.stats.stall_cycles
+        if stalls:
+            total = sum(stalls.values())
+            print("\nstall attribution (instance-cycles):")
+            for cause, cyc in stalls.most_common():
+                print(f"  {cause:<16} {cyc:>8}  "
+                      f"({100.0 * cyc / total:.1f}%)")
+            print("top stalled nodes:")
+            for label, cause, cyc in result.stats.top_stalled_nodes(8):
+                print(f"  {label:<32} {cause:<16} {cyc:>8}")
+    if args.stats_json:
+        result.stats.dump_json(args.stats_json)
+        print(f"wrote {args.stats_json}")
+    if args.trace_out:
+        if result.observer is None:
+            raise ReproError(
+                "--trace-out requires the event kernel "
+                "(rerun without --kernel dense)")
+        result.observer.write_chrome_trace(args.trace_out)
+        print(f"wrote {args.trace_out} "
+              f"(load in chrome://tracing or Perfetto)")
     return 0 if ok else 1
 
 
@@ -186,6 +231,18 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=None,
                    help="seed array contents pseudo-randomly")
     p.add_argument("--max-cycles", type=int, default=5_000_000)
+    p.add_argument("--kernel", default="event",
+                   choices=("event", "dense"),
+                   help="simulation kernel (default: event)")
+    p.add_argument("--profile", action="store_true",
+                   help="print throughput, per-pass timing and "
+                        "stall attribution")
+    p.add_argument("--trace-out", default=None, metavar="FILE",
+                   help="write a Chrome-trace JSON of sim events")
+    p.add_argument("--stats-json", default=None, metavar="FILE",
+                   help="dump SimStats (schema repro.simstats/v2)")
+    p.add_argument("--validate-each", action="store_true",
+                   help="validate the circuit after every pass")
     p.set_defaults(fn=cmd_simulate)
 
     p = sub.add_parser("synth", help="FPGA/ASIC quality estimate")

@@ -81,14 +81,23 @@ class SimulationError(ReproError):
 
 
 class DeadlockError(SimulationError):
-    """Raised when the simulation makes no progress for too long."""
+    """Raised when the simulation makes no progress for too long.
 
-    def __init__(self, cycle: int, detail: str = ""):
+    ``diagnostics`` carries the stall-attributed view of the blocked
+    state: a list of dicts, one per live task block, each naming the
+    blocked nodes and the *cause* each one is waiting on (taxonomy in
+    :mod:`repro.sim.observe`) plus queue/park occupancy — so the
+    report says *why* nothing can move, not just that nothing did.
+    """
+
+    def __init__(self, cycle: int, detail: str = "",
+                 diagnostics=None):
         msg = f"simulation deadlocked at cycle {cycle}"
         if detail:
             msg += f": {detail}"
         super().__init__(msg)
         self.cycle = cycle
+        self.diagnostics = list(diagnostics or [])
 
 
 class RTLError(ReproError):

@@ -2,12 +2,16 @@
 
 from __future__ import annotations
 
+import logging
+import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Sequence
 
 from ..core.circuit import AcceleratorCircuit
 from ..core.validate import validate_circuit
 from ..errors import PassError
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass
@@ -21,6 +25,8 @@ class PassResult:
     nodes_removed: int = 0
     edges_added: int = 0
     edges_removed: int = 0
+    #: Wall-clock time the pass took, filled in by the manager.
+    wall_ms: float = 0.0
     details: Dict[str, object] = field(default_factory=dict)
 
     @property
@@ -33,7 +39,8 @@ class PassResult:
 
     def __repr__(self) -> str:
         return (f"PassResult({self.pass_name}, changed={self.changed}, "
-                f"dN={self.delta_nodes}, dE={self.delta_edges})")
+                f"dN={self.delta_nodes}, dE={self.delta_edges}, "
+                f"{self.wall_ms:.1f}ms)")
 
 
 class Pass:
@@ -67,12 +74,25 @@ class Pass:
 
 
 class PassManager:
-    """Runs a pipeline of passes, validating after each (composability)."""
+    """Runs a pipeline of passes with timing and delta logging.
+
+    Every pass application is timed (``PassResult.wall_ms``) and its
+    graph delta logged on the ``repro.opt`` logger.  Validation between
+    passes names the offending pass on failure:
+
+    * ``validate=True`` (default) — validate the circuit after every
+      pass, the composability contract of the pass ecosystem;
+    * ``validate_each=True`` — same per-pass validation even when
+      ``validate=False`` was requested (debugging aid to bisect which
+      pass of a long pipeline corrupts the graph).
+    """
 
     def __init__(self, passes: Sequence[Pass] = (),
-                 validate: bool = True):
+                 validate: bool = True,
+                 validate_each: bool = False):
         self.passes: List[Pass] = list(passes)
         self.validate = validate
+        self.validate_each = validate_each
         self.log: List[PassResult] = []
 
     def add(self, pass_: Pass) -> "PassManager":
@@ -82,6 +102,7 @@ class PassManager:
     def run(self, circuit: AcceleratorCircuit) -> List[PassResult]:
         self.log = []
         for pass_ in self.passes:
+            t0 = time.perf_counter()
             try:
                 result = pass_.run(circuit)
             except PassError:
@@ -90,12 +111,31 @@ class PassManager:
                 raise PassError(
                     f"pass {pass_.name} failed on {circuit.name}: "
                     f"{exc}") from exc
-            if self.validate:
+            result.wall_ms = (time.perf_counter() - t0) * 1e3
+            if self.validate or self.validate_each:
                 problems = validate_circuit(circuit,
                                             raise_on_error=False)
                 if problems:
                     raise PassError(
                         f"pass {pass_.name} broke circuit "
                         f"{circuit.name}: {problems[:3]}")
+            logger.debug(
+                "%s: %s %.1fms dN=+%d/-%d dE=+%d/-%d%s",
+                circuit.name, pass_.name, result.wall_ms,
+                result.nodes_added, result.nodes_removed,
+                result.edges_added, result.edges_removed,
+                "" if result.changed else " (no change)")
             self.log.append(result)
         return self.log
+
+    def timing_report(self) -> str:
+        """Human-readable per-pass wall-time / graph-delta table."""
+        lines = ["pass                      wall_ms   dN      dE"]
+        for r in self.log:
+            dn = r.nodes_added - r.nodes_removed
+            de = r.edges_added - r.edges_removed
+            lines.append(f"{r.pass_name:<25} {r.wall_ms:>7.1f} "
+                         f"{dn:>+5d}   {de:>+5d}")
+        total = sum(r.wall_ms for r in self.log)
+        lines.append(f"{'total':<25} {total:>7.1f}")
+        return "\n".join(lines)

@@ -28,7 +28,7 @@ class Channel:
     differs — exactly the paper's fusion effect.
     """
 
-    __slots__ = ("capacity", "queue", "staged", "pre", "stages")
+    __slots__ = ("capacity", "queue", "staged", "pre", "stages", "occ")
 
     def __init__(self, capacity: int = 2, stages: int = 1):
         self.capacity = max(capacity, stages)
@@ -36,13 +36,15 @@ class Channel:
         self.queue: deque = deque()
         self.pre: List = []      # in-flight register (stages == 2)
         self.staged: List = []
+        self.occ = 0             # len(queue) + len(pre) + len(staged)
 
     # -- producer side ----------------------------------------------------
     def can_push(self) -> bool:
-        return self.occupancy < self.capacity
+        return self.occ < self.capacity
 
     def push(self, value) -> None:
         self.staged.append(value)
+        self.occ += 1
 
     # -- consumer side ----------------------------------------------------
     def ready(self) -> bool:
@@ -52,6 +54,7 @@ class Channel:
         return self.queue[0]
 
     def pop(self):
+        self.occ -= 1
         return self.queue.popleft()
 
     # -- cycle boundary -----------------------------------------------------
@@ -75,14 +78,55 @@ class Channel:
         self.queue.clear()
         self.pre.clear()
         self.staged.clear()
+        self.occ = 0
 
     @property
     def occupancy(self) -> int:
-        return len(self.queue) + len(self.pre) + len(self.staged)
+        return self.occ
 
     def __repr__(self) -> str:
         return (f"Channel({list(self.queue)!r}+{self.pre!r}"
                 f"+{self.staged!r})")
+
+
+class EventChannel(Channel):
+    """A :class:`Channel` that reports events to the wakeup kernel.
+
+    Two hooks implement the latency-insensitive protocol's wake
+    conditions without any polling:
+
+    * ``push`` marks the channel *dirty* on its owning instance so
+      the end-of-cycle commit only walks channels that can move
+      (token-arrival wakes for the consumer are issued by the
+      instance when the commit actually lands tokens in ``queue``);
+    * ``pop`` is a credit return — the producer node may now have
+      space, so it is woken under the dense engine's visibility rule
+      (same cycle if its sweep slot is still ahead, else next cycle).
+
+    ``owner``/``producer_idx``/``consumer_idx`` are wired by
+    :class:`repro.sim.task.DataflowInstance` at instance start.
+    """
+
+    __slots__ = ("owner", "producer_idx", "consumer_idx", "dirty")
+
+    def __init__(self, capacity: int = 2, stages: int = 1):
+        super().__init__(capacity, stages)
+        self.owner = None
+        self.producer_idx = -1
+        self.consumer_idx = -1
+        self.dirty = False
+
+    def push(self, value) -> None:
+        self.staged.append(value)
+        self.occ += 1
+        if not self.dirty:
+            self.dirty = True
+            self.owner._dirty.append(self)
+
+    def pop(self):
+        self.occ -= 1
+        self.owner.wake_node(self.producer_idx)
+        return self.queue.popleft()
 
 
 class LatchedChannel:

@@ -1,14 +1,33 @@
-"""Top-level simulation driver."""
+"""Top-level simulation driver.
+
+Two kernels produce bit-identical results (same ``SimResult.cycles``,
+same memory image, same outputs):
+
+* ``kernel="event"`` (default) — wakeup-driven: only components with a
+  pending wake are touched each cycle (see :mod:`repro.sim.events` and
+  the instance-level machinery in :mod:`repro.sim.task`), and the
+  memory system is skipped entirely while idle.  Typically several
+  times faster than the dense sweep on memory-bound circuits.
+* ``kernel="dense"`` — the original reference loop that sweeps every
+  node of every active instance every cycle.  Kept as the equivalence
+  oracle and for debugging the event kernel itself.
+
+The event kernel also powers the observability layer
+(:mod:`repro.sim.observe`): stall attribution per node/cause and an
+optional ring-buffer trace, surfaced through ``SimResult.observer``.
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
 from ..core.circuit import AcceleratorCircuit
 from ..core.validate import validate_circuit
 from ..errors import DeadlockError, SimulationError
+from .events import EventScheduler
 from .memory import MemorySystem
+from .observe import Observability, classify_node
 from .stats import SimStats
 from .task import SimRuntime
 
@@ -25,6 +44,12 @@ class SimParams:
     #: Queue depth used for decoupled (<||deep>) task edges.
     decoupled_queue_depth: int = 64
     validate: bool = True
+    #: "event" (wakeup-driven, default) or "dense" (reference sweep).
+    kernel: str = "event"
+    #: Observability level: "off", "counters" (default) or "trace".
+    observe: str = "counters"
+    #: Ring-buffer capacity for observe="trace".
+    trace_capacity: int = 65536
 
 
 @dataclass
@@ -32,6 +57,8 @@ class SimResult:
     cycles: int
     results: List
     stats: SimStats
+    #: Observability layer of the run (None under the dense kernel).
+    observer: Optional[Observability] = None
 
     def __repr__(self) -> str:
         return f"SimResult(cycles={self.cycles}, results={self.results})"
@@ -51,11 +78,62 @@ class Simulator:
         self.circuit = circuit
         self.memory_obj = memory
         self.params = params or SimParams()
+        if self.params.kernel not in ("event", "dense"):
+            raise SimulationError(
+                f"unknown simulation kernel {self.params.kernel!r}")
         if self.params.validate:
             validate_circuit(circuit)
 
     def run(self, args: Sequence = ()) -> SimResult:
+        if self.params.kernel == "dense":
+            return self._run_dense(args)
+        return self._run_event(args)
+
+    # -- event kernel ------------------------------------------------------
+    def _run_event(self, args: Sequence) -> SimResult:
+        params = self.params
         stats = SimStats()
+        stats.kernel = "event"
+        sched = EventScheduler()
+        observer = Observability(stats, params.observe,
+                                 params.trace_capacity)
+        memsys = MemorySystem(self.circuit, self.memory_obj.words, stats)
+        runtime = SimRuntime(self.circuit, memsys, stats, params,
+                             sched=sched, observer=observer)
+        runtime.start_root(list(args))
+
+        now = 0
+        idle_cycles = 0
+        deadlock_window = params.deadlock_window
+        max_cycles = params.max_cycles
+        wheel = sched.wheel
+        while not runtime.root_done:
+            sched.now = now
+            if wheel:
+                sched.dispatch(now)
+            active = runtime.tick_event(now)
+            active |= memsys.tick_active(now)
+            now += 1
+            if active:
+                idle_cycles = 0
+            else:
+                idle_cycles += 1
+                stats.idle_engine_cycles += 1
+                if idle_cycles > deadlock_window:
+                    raise DeadlockError(
+                        now, self._deadlock_report(runtime),
+                        self._deadlock_diagnostics(runtime))
+            if now > max_cycles:
+                raise SimulationError(
+                    f"exceeded max_cycles={max_cycles}")
+        stats.cycles = now
+        return SimResult(now, runtime.root_results or [], stats,
+                         observer=observer)
+
+    # -- dense kernel (reference) -----------------------------------------
+    def _run_dense(self, args: Sequence) -> SimResult:
+        stats = SimStats()
+        stats.kernel = "dense"
         memsys = MemorySystem(self.circuit, self.memory_obj.words, stats)
         runtime = SimRuntime(self.circuit, memsys, stats, self.params)
         runtime.start_root(list(args))
@@ -71,33 +149,66 @@ class Simulator:
                 idle_cycles = 0
             else:
                 idle_cycles += 1
+                stats.idle_engine_cycles += 1
                 if idle_cycles > self.params.deadlock_window:
-                    detail = self._deadlock_report(runtime)
-                    raise DeadlockError(now, detail)
+                    raise DeadlockError(
+                        now, self._deadlock_report(runtime),
+                        self._deadlock_diagnostics(runtime))
             if now > self.params.max_cycles:
                 raise SimulationError(
                     f"exceeded max_cycles={self.params.max_cycles}")
         stats.cycles = now
         return SimResult(now, runtime.root_results or [], stats)
 
+    # -- deadlock diagnostics ----------------------------------------------
     @staticmethod
-    def _deadlock_report(runtime: SimRuntime) -> str:
-        lines = []
+    def _deadlock_diagnostics(runtime: SimRuntime) -> List[dict]:
+        """Stall-attributed snapshot of every live task block."""
+        report = []
         for name, block in runtime.blocks.items():
-            if block.busy():
+            if not block.busy():
+                continue
+            entry = {
+                "task": name,
+                "ready": len(block.ready),
+                "active": len(block.active),
+                "parked": len(block.parked),
+                "instances": [],
+            }
+            for inst in block.active:
+                nodes = []
+                for sim in inst.node_sims:
+                    cause = classify_node(sim)
+                    if cause is not None:
+                        nodes.append({"node": sim.node.name,
+                                      "kind": sim.node.kind,
+                                      "cause": cause})
+                entry["instances"].append({
+                    "liveouts": f"{len(inst.liveouts)}"
+                                f"/{len(inst.task.live_out_types)}",
+                    "pending_children": inst.pending_children,
+                    "calls_outstanding": inst.calls_outstanding,
+                    "enqueue_blocked": inst.enqueue_blocked,
+                    "blocked_nodes": nodes,
+                })
+            report.append(entry)
+        return report
+
+    @classmethod
+    def _deadlock_report(cls, runtime: SimRuntime) -> str:
+        lines = []
+        for entry in cls._deadlock_diagnostics(runtime):
+            lines.append(
+                f"{entry['task']}: ready={entry['ready']} "
+                f"active={entry['active']} parked={entry['parked']}")
+            for inst in entry["instances"]:
+                blocked = ", ".join(
+                    f"{n['node']}[{n['cause']}]"
+                    for n in inst["blocked_nodes"][:6])
                 lines.append(
-                    f"{name}: ready={len(block.ready)} "
-                    f"active={len(block.active)} "
-                    f"parked={len(block.parked)}")
-                for inst in block.active:
-                    busy_nodes = [s.node.name for s in inst.node_sims
-                                  if s.busy()]
-                    lines.append(
-                        f"  active inst liveouts="
-                        f"{len(inst.liveouts)}/"
-                        f"{len(inst.task.live_out_types)} "
-                        f"children={inst.pending_children} "
-                        f"busy={busy_nodes[:6]}")
+                    f"  inst liveouts={inst['liveouts']} "
+                    f"children={inst['pending_children']} "
+                    f"blocked: {blocked or '(none)'}")
         return "; ".join(lines) if lines else "all queues empty"
 
 

@@ -55,6 +55,8 @@ class DRAMSim:
         self._staged.append(request)
 
     def tick(self, now: int) -> None:
+        if self.pending:
+            self.stats.dram_busy_cycles += 1
         for _ in range(self.model.requests_per_cycle):
             if not self.queue:
                 break
@@ -157,6 +159,8 @@ class ScratchpadSim(StructureSim):
                         (now + self.spad.latency, self._seq, req))
                 if queue:
                     self.stats.bank_conflict_stalls += len(queue)
+                    self.stats.site_stalls[
+                        f"structure:{self.spad.name}"] += len(queue)
         while self.pending and self.pending[0][0] <= now:
             _rc, _s, req = heapq.heappop(self.pending)
             req.complete(req.value)
@@ -231,6 +235,8 @@ class CacheSim(StructureSim):
                 self._access(req, bank, now)
             if queue:
                 self.stats.bank_conflict_stalls += len(queue)
+                self.stats.site_stalls[
+                    f"structure:{self.cache.name}"] += len(queue)
         while self.pending and self.pending[0][0] <= now:
             _rc, _s, req = heapq.heappop(self.pending)
             req.complete(req.value)
@@ -319,6 +325,8 @@ class JunctionSim:
             self.structure_sim.submit(self.queue.popleft())
         if self.queue:
             self.stats.junction_stalls += len(self.queue)
+            self.stats.site_stalls[
+                f"junction:{self.junction.name}"] += len(self.queue)
 
     def commit(self) -> bool:
         moved = bool(self._staged)
@@ -356,6 +364,8 @@ class MemorySystem:
                         f"with no simulator")
                 self.junction_sims[id(junction)] = JunctionSim(
                     junction, target, stats)
+        self._jsims = list(self.junction_sims.values())
+        self._ssims = list(self.structure_sims.values())
 
     def junction_sim(self, junction: Junction) -> JunctionSim:
         return self.junction_sims[id(junction)]
@@ -381,3 +391,29 @@ class MemorySystem:
             any(s.busy() for s in self.structure_sims.values()) or \
             bool(self.dram.queue) or bool(self.dram.pending) or \
             bool(self.dram._staged)
+
+    def tick_active(self, now: int) -> bool:
+        """One-pass tick + commit that skips idle components.
+
+        Equivalent to ``tick(now)`` followed by ``commit()``: an idle
+        component's tick and commit are both no-ops, and the staged
+        buffers between junction -> structure -> DRAM decouple the
+        component pairs, so per-component tick+commit in the dense
+        visit order is indistinguishable from the two-phase sweep.
+        Returns the combined commit activity (the event kernel's
+        progress signal).
+        """
+        active = False
+        for jsim in self._jsims:
+            if jsim.queue or jsim._staged:
+                jsim.tick(now)
+                active |= jsim.commit()
+        for ssim in self._ssims:
+            if ssim.busy():
+                ssim.tick(now)
+                active |= ssim.commit()
+        dram = self.dram
+        if dram.queue or dram.pending or dram._staged:
+            dram.tick(now)
+            active |= dram.commit()
+        return active

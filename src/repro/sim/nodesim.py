@@ -40,26 +40,52 @@ class _ForkBuffer:
 
     def accept(self, value, instance) -> None:
         self.value = value
-        self.pending = list(self.channels)
-        self.drain(instance)
+        still = None
+        for ch in self.channels:
+            if ch.can_push():
+                ch.push(value)
+                instance._act += 1
+            else:
+                if still is None:
+                    still = []
+                still.append(ch)
+        self.pending = still if still is not None else []
 
     def drain(self, instance) -> None:
         if not self.pending:
             return
-        still = []
+        still = None
+        value = self.value
         for ch in self.pending:
             if ch.can_push():
-                ch.push(self.value)
-                instance.activity = True
+                ch.push(value)
+                instance._act += 1
             else:
+                if still is None:
+                    still = []
                 still.append(ch)
-        self.pending = still
+        self.pending = still if still is not None else []
 
 
 class NodeSim:
-    """Base: channel helpers bound to one dataflow instance."""
+    """Base: channel helpers bound to one dataflow instance.
+
+    Event-kernel contract: ``tick`` must be a strict no-op whenever
+    its guards fail, so being woken spuriously is always safe.  In
+    exchange, every ``now``-dependent guard a sim introduces must
+    self-schedule a wakeup (``instance.schedule_node``) when it
+    arms the timer — the kernel has no polling to fall back on.
+    """
 
     is_iter_sink = False
+    #: Position in the instance's node list (set at instance start);
+    #: doubles as the sweep-order key for the wakeup heap.
+    idx = -1
+    #: Sims that issue their own next-cycle wakes from ``tick`` opt out
+    #: of the kernel's blanket acted-so-look-again rearm.  Opting out is
+    #: only sound if every way the sim could act next cycle is covered
+    #: by another wake source (channel commit, credit return, timer).
+    precise_wakes = False
 
     def __init__(self, node, instance):
         self.node = node
@@ -70,6 +96,18 @@ class NodeSim:
             if port.outgoing:
                 self._forks[port.name] = _ForkBuffer(
                     [instance.channels[id(c)] for c in port.outgoing])
+        self._fork_list = list(self._forks.values())
+
+    def _in_chans(self, ports):
+        """Input channels for ``ports``; None if any port is unwired
+        (such a node can never fire — matches _inputs_ready)."""
+        chans = []
+        for p in ports:
+            conn = p.incoming
+            if conn is None:
+                return None
+            chans.append(self.instance.channels[id(conn)])
+        return chans
 
     # -- channel helpers ---------------------------------------------------
     def _chan(self, conn):
@@ -90,11 +128,12 @@ class NodeSim:
         fork = self._forks.get(port.name)
         if fork is not None:
             fork.accept(value, self.instance)
-        self.instance.activity = True
+        self.instance._act += 1
 
     def drain_forks(self) -> None:
-        for fork in self._forks.values():
-            fork.drain(self.instance)
+        for fork in self._fork_list:
+            if fork.pending:
+                fork.drain(self.instance)
 
     def _inputs_ready(self, ports) -> bool:
         return all(self._in_ready(p) for p in ports)
@@ -124,7 +163,7 @@ class ConstSim(NodeSim):
             ch = self._chan(conn)
             if ch.can_push():
                 ch.push(self.node.value)
-                self.instance.activity = True
+                self.instance._act += 1
             else:
                 remaining.append(conn)
         self._pending = remaining
@@ -146,7 +185,7 @@ class LiveInSim(NodeSim):
             ch = self._chan(conn)
             if ch.can_push():
                 ch.push(self.value)
-                self.instance.activity = True
+                self.instance._act += 1
             else:
                 remaining.append(conn)
         self._pending = remaining
@@ -157,11 +196,21 @@ class LiveOutSim(NodeSim):
         if self._in_ready(self.node.inp):
             value = self._in_pop(self.node.inp)
             self.instance.record_liveout(self.node.index, value)
-            self.instance.activity = True
+            self.instance._act += 1
 
 
 class ComputeSim(NodeSim):
-    """Pipelined function unit for compute/tensor/gep ops."""
+    """Pipelined function unit for compute/tensor/gep ops.
+
+    Opted out of the kernel's blanket rearm: after a fire the only
+    un-signalled way to act next cycle is an immediate back-to-back
+    fire (interval 1, pipe space, inputs still ready), which ``tick``
+    wakes explicitly.  Everything else is covered — token arrivals by
+    the commit wake, blocked retires/forks by the consumer's credit
+    return, future retires and initiation gaps by per-fire timers.
+    """
+
+    precise_wakes = True
 
     def __init__(self, node, instance):
         super().__init__(node, instance)
@@ -171,20 +220,33 @@ class ComputeSim(NodeSim):
         self.pipe: deque = deque()
         self.next_fire = 0
         self.capacity = max(1, self.latency)
+        self.in_chans = self._in_chans(node.in_ports)
+        self.out_fork = self._forks.get(node.out.name)
 
     def _retire(self, now: int) -> None:
-        out = self.node.out
-        while self.pipe and self.pipe[0][0] <= now and self._out_can(out):
-            _rc, value = self.pipe.popleft()
-            self._out_push(out, value)
+        pipe = self.pipe
+        fork = self.out_fork
+        instance = self.instance
+        while pipe and pipe[0][0] <= now:
+            if fork is not None:
+                if not fork.can_accept():
+                    return
+                fork.accept(pipe[0][1], instance)
+            pipe.popleft()
+            instance._act += 1
 
     def tick(self, now: int) -> None:
-        self._retire(now)
+        if self.pipe:
+            self._retire(now)
         if now < self.next_fire or len(self.pipe) >= self.capacity:
             return
-        if not self._inputs_ready(self.node.in_ports):
+        chans = self.in_chans
+        if chans is None:
             return
-        vals = [self._in_pop(p) for p in self.node.in_ports]
+        for ch in chans:
+            if not ch.ready():
+                return
+        vals = [ch.pop() for ch in chans]
         if self.node.op == "gep":
             vals = vals + [self.node.gep_scale]
         result = eval_compute(self.node.op, vals, self.node.out.type)
@@ -194,35 +256,63 @@ class ComputeSim(NodeSim):
         # fire.
         self.pipe.append((now + self.latency - 1, result))
         self.next_fire = now + self.interval
-        self.instance.activity = True
+        if self.latency > 1:
+            self.instance.schedule_node(self.idx, now + self.latency - 1)
+        if self.interval > 1:
+            self.instance.schedule_node(self.idx, self.next_fire)
+        self.instance._act += 1
         self.instance.stats.node_fires[self.node.kind] += 1
         self._retire(now)
+        if self.interval == 1 and len(self.pipe) < self.capacity:
+            for ch in chans:
+                if not ch.ready():
+                    break
+            else:
+                self.instance.wake_node(self.idx)
 
     def busy(self) -> bool:
         return bool(self.pipe)
 
 
 class FusedSim(NodeSim):
-    """One-stage evaluation of a fused expression DAG."""
+    """One-stage evaluation of a fused expression DAG.
+
+    Same precise-wake contract as :class:`ComputeSim` (implicit
+    initiation interval of 1)."""
+
+    precise_wakes = True
 
     def __init__(self, node, instance):
         super().__init__(node, instance)
         self.latency = max(1, node.latency)
         self.pipe: deque = deque()
+        self.in_chans = self._in_chans(node.in_ports)
+        self.out_fork = self._forks.get(node.out.name)
 
     def _retire(self, now: int) -> None:
-        out = self.node.out
-        while self.pipe and self.pipe[0][0] <= now and self._out_can(out):
-            _rc, value = self.pipe.popleft()
-            self._out_push(out, value)
+        pipe = self.pipe
+        fork = self.out_fork
+        instance = self.instance
+        while pipe and pipe[0][0] <= now:
+            if fork is not None:
+                if not fork.can_accept():
+                    return
+                fork.accept(pipe[0][1], instance)
+            pipe.popleft()
+            instance._act += 1
 
     def tick(self, now: int) -> None:
-        self._retire(now)
-        if len(self.pipe) >= max(1, self.latency):
+        if self.pipe:
+            self._retire(now)
+        if len(self.pipe) >= self.latency:
             return
-        if not self._inputs_ready(self.node.in_ports):
+        chans = self.in_chans
+        if chans is None:
             return
-        ins = [self._in_pop(p) for p in self.node.in_ports]
+        for ch in chans:
+            if not ch.ready():
+                return
+        ins = [ch.pop() for ch in chans]
         results: List = []
         for op, refs, rtype, scale in self.node.exprs:
             vals = [ins[i] if kind == "in" else results[i]
@@ -231,9 +321,17 @@ class FusedSim(NodeSim):
                 vals = vals + [scale]
             results.append(eval_compute(op, vals, rtype))
         self.pipe.append((now + self.latency - 1, results[-1]))
-        self.instance.activity = True
+        if self.latency > 1:
+            self.instance.schedule_node(self.idx, now + self.latency - 1)
+        self.instance._act += 1
         self.instance.stats.node_fires["fused"] += 1
         self._retire(now)
+        if len(self.pipe) < self.latency:
+            for ch in chans:
+                if not ch.ready():
+                    break
+            else:
+                self.instance.wake_node(self.idx)
 
     def busy(self) -> bool:
         return bool(self.pipe)
@@ -243,23 +341,35 @@ class SelectSim(NodeSim):
     def __init__(self, node, instance):
         super().__init__(node, instance)
         self.pipe: deque = deque()
+        self.in_chans = self._in_chans([node.cond, node.a, node.b])
+        self.out_fork = self._forks.get(node.out.name)
 
     def _retire(self, now: int) -> None:
-        out = self.node.out
-        while self.pipe and self.pipe[0][0] <= now and self._out_can(out):
-            _rc, value = self.pipe.popleft()
-            self._out_push(out, value)
+        pipe = self.pipe
+        fork = self.out_fork
+        instance = self.instance
+        while pipe and pipe[0][0] <= now:
+            if fork is not None:
+                if not fork.can_accept():
+                    return
+                fork.accept(pipe[0][1], instance)
+            pipe.popleft()
+            instance._act += 1
 
     def tick(self, now: int) -> None:
-        self._retire(now)
-        ports = [self.node.cond, self.node.a, self.node.b]
-        if len(self.pipe) >= 1 or not self._inputs_ready(ports):
+        if self.pipe:
+            self._retire(now)
+        chans = self.in_chans
+        if self.pipe or chans is None:
             return
-        cond = self._in_pop(self.node.cond)
-        a = self._in_pop(self.node.a)
-        b = self._in_pop(self.node.b)
+        for ch in chans:
+            if not ch.ready():
+                return
+        cond = chans[0].pop()
+        a = chans[1].pop()
+        b = chans[2].pop()
         self.pipe.append((now, a if cond else b))
-        self.instance.activity = True
+        self.instance._act += 1
         self._retire(now)
 
     def busy(self) -> bool:
@@ -286,37 +396,50 @@ class PhiSim(NodeSim):
         # check; the live-out is the value at check #trips-1, so keep
         # the emission history (bounded by trips + channel slack).
         self.emit_history: List = []
+        conn = node.init.incoming
+        self.init_chan = instance.channels[id(conn)] if conn else None
+        conn = node.back.incoming
+        self.back_chan = instance.channels[id(conn)] if conn else None
+        self.out_fork = self._forks.get(node.out.name)
 
     def tick(self, now: int) -> None:
-        node = self.node
+        instance = self.instance
         if not self.inited:
-            if not self._in_ready(node.init):
+            ch = self.init_chan
+            if ch is None or not ch.ready():
                 return
-            self.init_val = self._in_pop(node.init)
+            self.init_val = ch.pop()
             self.next_val = self.init_val
             self.have_next = True
             self.inited = True
-            self.instance.activity = True
+            instance._act += 1
         # Accept the back token before emitting so a value arriving
         # this cycle forwards without an extra stage (the phi mux is
         # combinational; only its state register is clocked).
-        trips = self.instance.loop_trips
-        if not self.have_next and self._in_ready(node.back) and \
-                (trips is None or self.backs < trips):
-            value = self._in_pop(node.back)
-            self.backs += 1
-            self.last_back = value
-            self.sink_count = self.backs
-            self.next_val = value
-            self.have_next = True
-            self.instance.activity = True
-        if self.have_next and self._out_can(node.out):
-            self._out_push(node.out, self.next_val)
-            self.last_emitted = self.next_val
-            if self.instance.loop_conditional:
-                self.emit_history.append(self.next_val)
-            self.emitted += 1
-            self.have_next = False
+        if not self.have_next:
+            trips = instance.loop_trips
+            ch = self.back_chan
+            if ch is not None and ch.ready() and \
+                    (trips is None or self.backs < trips):
+                value = ch.pop()
+                self.backs += 1
+                self.last_back = value
+                self.sink_count = self.backs
+                self.next_val = value
+                self.have_next = True
+                instance._act += 1
+                instance.on_sink_progress()
+        if self.have_next:
+            fork = self.out_fork
+            if fork is None or fork.can_accept():
+                if fork is not None:
+                    fork.accept(self.next_val, instance)
+                instance._act += 1
+                self.last_emitted = self.next_val
+                if instance.loop_conditional:
+                    self.emit_history.append(self.next_val)
+                self.emitted += 1
+                self.have_next = False
         self._maybe_push_final(now)
 
     def _maybe_push_final(self, now: int) -> None:
@@ -364,18 +487,26 @@ class LoopControlSim(NodeSim):
         self.step_v = 1
         self.done_pushed = False
         self.final_pushed = False
+        self.start_chans = self._in_chans([node.start, node.bound,
+                                           node.step])
+        cont = getattr(node, "cont", None)
+        conn = cont.incoming if cont is not None else None
+        self.cont_chan = instance.channels[id(conn)] if conn else None
 
     def tick(self, now: int) -> None:
         node = self.node
         if not self.started:
-            ports = [node.start, node.bound, node.step]
-            if not self._inputs_ready(ports):
+            chans = self.start_chans
+            if chans is None:
                 return
-            self.start_v = self._in_pop(node.start)
-            bound_v = self._in_pop(node.bound)
-            self.step_v = self._in_pop(node.step)
+            for ch in chans:
+                if not ch.ready():
+                    return
+            self.start_v = chans[0].pop()
+            bound_v = chans[1].pop()
+            self.step_v = chans[2].pop()
             self.started = True
-            self.instance.activity = True
+            self.instance._act += 1
             if not node.conditional:
                 self.trips = self._count_trips(self.start_v, bound_v,
                                                self.step_v)
@@ -417,6 +548,7 @@ class LoopControlSim(NodeSim):
         self._out_push(node.active, True)
         self.issued += 1
         self.next_issue = now + max(1, node.pipeline_stages)
+        self.instance.schedule_node(self.idx, self.next_issue)
         self.instance.stats.iterations[self.instance.task.name] += 1
 
     def _tick_conditional(self, now: int) -> None:
@@ -429,19 +561,21 @@ class LoopControlSim(NodeSim):
                 self._out_push(node.active, True)
                 self.issued = 1
                 self.next_issue = now + max(1, node.pipeline_stages)
+                self.instance.schedule_node(self.idx, self.next_issue)
                 self.instance.stats.iterations[
                     self.instance.task.name] += 1
             return
         # Wait for the continue token of the previous iteration.
-        if not self._in_ready(node.cont):
+        ch = self.cont_chan
+        if ch is None or not ch.ready():
             return
         if now < self.next_issue or \
                 self._in_flight() >= node.max_in_flight:
             return
         if not (self._out_can(node.index) and self._out_can(node.active)):
             return
-        cont = self._in_pop(node.cont)
-        self.instance.activity = True
+        cont = ch.pop()
+        self.instance._act += 1
         if not cont:
             self.trips = self.issued
             self._finish(now)
@@ -451,6 +585,7 @@ class LoopControlSim(NodeSim):
         self._out_push(node.active, True)
         self.issued += 1
         self.next_issue = now + max(1, node.pipeline_stages)
+        self.instance.schedule_node(self.idx, self.next_issue)
         self.instance.stats.iterations[self.instance.task.name] += 1
 
     def _finish(self, now: int) -> None:
@@ -460,7 +595,8 @@ class LoopControlSim(NodeSim):
         self.instance.loop_trips = self.issued if self.node.conditional \
             else self.trips
         self.instance.loop_finished = True
-        self.instance.activity = True
+        self.instance._act += 1
+        self.instance.on_loop_finished()
 
     def _maybe_finish_outputs(self, now: int) -> None:
         node = self.node
@@ -500,14 +636,14 @@ class LoadSim(NodeSim):
         self.records: deque = deque()
         self.junction_sim = instance.junction_sim_for(node)
         self.words = node.out.type.words
-
-    def _required_ports(self):
-        ports = [self.node.addr]
-        if self.node.pred is not None:
-            ports.append(self.node.pred)
-        if self.node.order_in is not None:
-            ports.append(self.node.order_in)
-        return ports
+        ports = [node.addr]
+        if node.pred is not None:
+            ports.append(node.pred)
+        if node.order_in is not None:
+            ports.append(node.order_in)
+        self.req_chans = self._in_chans(ports)
+        self.has_pred = node.pred is not None
+        self.has_order = node.order_in is not None
 
     def tick(self, now: int) -> None:
         node = self.node
@@ -525,31 +661,41 @@ class LoadSim(NodeSim):
             self._out_push(node.out, value)
             self._out_push(node.done, True)
             self.sink_count += 1
+            self.instance.on_sink_progress()
         # Fire.
         if len(self.records) >= node.max_outstanding:
             return
-        ports = self._required_ports()
-        if not self._inputs_ready(ports):
+        chans = self.req_chans
+        if chans is None:
             return
-        addr = self._in_pop(node.addr)
+        for ch in chans:
+            if not ch.ready():
+                return
+        addr = chans[0].pop()
         enabled = True
-        if node.pred is not None:
-            enabled = bool(self._in_pop(node.pred))
-        if node.order_in is not None:
-            self._in_pop(node.order_in)
-        self.instance.activity = True
+        pos = 1
+        if self.has_pred:
+            enabled = bool(chans[1].pop())
+            pos = 2
+        if self.has_order:
+            chans[pos].pop()
+        self.instance._act += 1
         if not enabled:
             rec = _MemRecord(0, poison=True)
             self.records.append(rec)
+            # Nothing outstanding: self-wake to retire next cycle.
+            self.instance.wake_node(self.idx)
             return
         rec = _MemRecord(self.words)
         self.records.append(rec)
         self.instance.stats.memory_reads += self.words
         base = int(addr)
         for w in range(self.words):
-            def on_done(req, r=rec, i=w):
+            def on_done(req, r=rec, i=w, s=self):
                 r.words[i] = req.value
                 r.remaining -= 1
+                if r.remaining == 0:
+                    s.instance.wake_node(s.idx)
             self.junction_sim.submit(
                 MemRequest(base + w, False, on_done=on_done))
 
@@ -565,6 +711,14 @@ class StoreSim(NodeSim):
         self.records: deque = deque()
         self.junction_sim = instance.junction_sim_for(node)
         self.words = node.value_type.words
+        ports = [node.addr, node.data]
+        if node.pred is not None:
+            ports.append(node.pred)
+        if node.order_in is not None:
+            ports.append(node.order_in)
+        self.req_chans = self._in_chans(ports)
+        self.has_pred = node.pred is not None
+        self.has_order = node.order_in is not None
 
     def tick(self, now: int) -> None:
         node = self.node
@@ -574,25 +728,28 @@ class StoreSim(NodeSim):
             self.records.popleft()
             self._out_push(node.done, True)
             self.sink_count += 1
+            self.instance.on_sink_progress()
         if len(self.records) >= node.max_outstanding:
             return
-        ports = [node.addr, node.data]
-        if node.pred is not None:
-            ports.append(node.pred)
-        if node.order_in is not None:
-            ports.append(node.order_in)
-        if not self._inputs_ready(ports):
+        chans = self.req_chans
+        if chans is None:
             return
-        addr = self._in_pop(node.addr)
-        data = self._in_pop(node.data)
+        for ch in chans:
+            if not ch.ready():
+                return
+        addr = chans[0].pop()
+        data = chans[1].pop()
         enabled = True
-        if node.pred is not None:
-            enabled = bool(self._in_pop(node.pred))
-        if node.order_in is not None:
-            self._in_pop(node.order_in)
-        self.instance.activity = True
+        pos = 2
+        if self.has_pred:
+            enabled = bool(chans[2].pop())
+            pos = 3
+        if self.has_order:
+            chans[pos].pop()
+        self.instance._act += 1
         if not enabled:
             self.records.append(_MemRecord(0, poison=True))
+            self.instance.wake_node(self.idx)
             return
         rec = _MemRecord(self.words)
         self.records.append(rec)
@@ -600,8 +757,10 @@ class StoreSim(NodeSim):
         base = int(addr)
         values = data if self.words > 1 else [data]
         for w in range(self.words):
-            def on_done(req, r=rec):
+            def on_done(req, r=rec, s=self):
                 r.remaining -= 1
+                if r.remaining == 0:
+                    s.instance.wake_node(s.idx)
             self.junction_sim.submit(
                 MemRequest(base + w, True, value=values[w],
                            on_done=on_done))
@@ -622,9 +781,22 @@ class _CallRecord:
 class CallSim(NodeSim):
     is_iter_sink = True
 
+    #: Sticky enqueue-blocked state for the event kernel (see
+    #: DataflowInstance.note_enqueue_blocked).
+    _eq_blocked = False
+    _eq_registered = False
+
     def __init__(self, node, instance):
         super().__init__(node, instance)
         self.records: deque = deque()
+        ports = list(node.arg_ports)
+        if node.pred is not None:
+            ports.append(node.pred)
+        if node.order_in is not None:
+            ports.append(node.order_in)
+        self.req_chans = self._in_chans(ports)
+        self.n_args = len(node.arg_ports)
+        self.has_pred = node.pred is not None
 
     def _max_outstanding(self) -> int:
         return 1 if self.node.serialize else self.node.max_outstanding
@@ -644,40 +816,39 @@ class CallSim(NodeSim):
                     self._out_push(port, rec.results[i])
             self._out_push(node.order_out, True)
             self.sink_count += 1
+            self.instance.on_sink_progress()
             self.instance.calls_outstanding -= 1
         if len(self.records) >= self._max_outstanding():
             return
-        ports = list(node.arg_ports)
-        if node.pred is not None:
-            ports.append(node.pred)
-        if node.order_in is not None:
-            ports.append(node.order_in)
-        if not self._inputs_ready(ports):
+        chans = self.req_chans
+        if chans is None:
             return
+        for ch in chans:
+            if not ch.ready():
+                return
         # Peek the predicate before committing to an enqueue.
         enabled = True
-        if node.pred is not None:
-            enabled = bool(self._chan(node.pred.incoming).peek())
+        if self.has_pred:
+            enabled = bool(chans[self.n_args].peek())
         if enabled:
             rec = _CallRecord()
-            args = [self._chan(p.incoming).peek() for p in node.arg_ports]
+            args = [chans[i].peek() for i in range(self.n_args)]
             ok = self.instance.runtime.try_enqueue(
                 self.instance.task.name, node.callee, args,
                 reply=rec, parent=self.instance)
             if not ok:
-                self.instance.enqueue_blocked = True
+                self.instance.note_enqueue_blocked(self)
                 return
         else:
             rec = _CallRecord(poison=True)
-        for p in node.arg_ports:
-            self._in_pop(p)
-        if node.pred is not None:
-            self._in_pop(node.pred)
-        if node.order_in is not None:
-            self._in_pop(node.order_in)
+            # Poison completes instantly: self-wake to retire.
+            self.instance.wake_node(self.idx)
+        for ch in chans:
+            ch.pop()
         self.records.append(rec)
+        self.instance.note_enqueue_ok(self)
         self.instance.calls_outstanding += 1
-        self.instance.activity = True
+        self.instance._act += 1
 
     def busy(self) -> bool:
         return bool(self.records)
@@ -686,38 +857,49 @@ class CallSim(NodeSim):
 class SpawnSim(NodeSim):
     is_iter_sink = True
 
-    def tick(self, now: int) -> None:
-        node = self.node
-        if not self._out_can(node.issued):
-            return
+    _eq_blocked = False
+    _eq_registered = False
+
+    def __init__(self, node, instance):
+        super().__init__(node, instance)
         ports = list(node.arg_ports)
         if node.pred is not None:
             ports.append(node.pred)
         if node.order_in is not None:
             ports.append(node.order_in)
-        if not self._inputs_ready(ports):
+        self.req_chans = self._in_chans(ports)
+        self.n_args = len(node.arg_ports)
+        self.has_pred = node.pred is not None
+
+    def tick(self, now: int) -> None:
+        node = self.node
+        if not self._out_can(node.issued):
             return
+        chans = self.req_chans
+        if chans is None:
+            return
+        for ch in chans:
+            if not ch.ready():
+                return
         enabled = True
-        if node.pred is not None:
-            enabled = bool(self._chan(node.pred.incoming).peek())
+        if self.has_pred:
+            enabled = bool(chans[self.n_args].peek())
         if enabled:
-            args = [self._chan(p.incoming).peek() for p in node.arg_ports]
+            args = [chans[i].peek() for i in range(self.n_args)]
             ok = self.instance.runtime.try_enqueue(
                 self.instance.task.name, node.callee, args,
                 reply=None, parent=self.instance)
             if not ok:
-                self.instance.enqueue_blocked = True
+                self.instance.note_enqueue_blocked(self)
                 return
             self.instance.pending_children += 1
-        for p in node.arg_ports:
-            self._in_pop(p)
-        if node.pred is not None:
-            self._in_pop(node.pred)
-        if node.order_in is not None:
-            self._in_pop(node.order_in)
+        for ch in chans:
+            ch.pop()
         self._out_push(node.issued, True)
         self.sink_count += 1
-        self.instance.activity = True
+        self.instance.on_sink_progress()
+        self.instance.note_enqueue_ok(self)
+        self.instance._act += 1
 
 
 class SyncSim(NodeSim):
@@ -744,6 +926,7 @@ class SyncSim(NodeSim):
         self._out_push(node.done, True)
         self.fired = True
         self.sink_count = 1
+        self.instance.on_sink_progress()
 
     def busy(self) -> bool:
         return False

@@ -1,0 +1,206 @@
+"""Unified observability layer: stall attribution + event tracing.
+
+Every stall in the simulator gets an *attributed cause* from the
+taxonomy below, accumulated per node (and per memory site) in
+:class:`repro.sim.stats.SimStats`.  The event kernel makes this nearly
+free: a stall is exactly a sleep episode, so attribution happens once
+per episode (classify on falling asleep, charge the slept cycles on
+wakeup) instead of once per idle cycle.
+
+An optional bounded ring buffer records stall episodes and task
+lifecycle events; it exports either plain JSON or the Chrome
+``chrome://tracing`` / Perfetto ``traceEvents`` format so stalls can
+be inspected on a real timeline viewer.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from typing import Dict, List, Optional, Tuple
+
+# -- stall taxonomy ---------------------------------------------------------
+#: No token available on at least one required input edge.
+UPSTREAM_EMPTY = "upstream_empty"
+#: All inputs present but an output edge (fork branch) has no space.
+DOWNSTREAM_FULL = "downstream_full"
+#: Request serialized behind others on the same SRAM bank port.
+BANK_CONFLICT = "bank_conflict"
+#: Request waiting for the junction arbiter's issue slots.
+JUNCTION_ARB = "junction_arb"
+#: Load/store waiting on an outstanding memory transaction.
+DRAM_INFLIGHT = "dram_inflight"
+#: call/spawn blocked because the callee's task queue is at depth.
+TASK_QUEUE_FULL = "task_queue_full"
+#: Parent waiting for a child task invocation to complete.
+CHILD_WAIT = "child_wait"
+#: Loop controller at its in-flight iteration window.
+ITER_WINDOW = "iter_window"
+#: Instance idle with no attributable blocked node (pure latency).
+IDLE = "idle"
+
+STALL_CAUSES = (
+    UPSTREAM_EMPTY, DOWNSTREAM_FULL, BANK_CONFLICT, JUNCTION_ARB,
+    DRAM_INFLIGHT, TASK_QUEUE_FULL, CHILD_WAIT, ITER_WINDOW, IDLE,
+)
+
+
+def classify_node(sim) -> Optional[str]:
+    """Name why one node simulator cannot act right now, or None.
+
+    Used for sleep-episode attribution and for deadlock diagnostics;
+    inspects only the sim's own state so it is safe at any point of
+    the cycle.
+    """
+    kind = sim.node.kind
+    if kind in ("load", "store"):
+        if sim.records:
+            head = sim.records[0]
+            if head.remaining > 0:
+                return DRAM_INFLIGHT
+            return DOWNSTREAM_FULL      # retired value has nowhere to go
+        return _port_cause(sim)
+    if kind in ("call", "spawn"):
+        if getattr(sim, "_eq_blocked", False):
+            return TASK_QUEUE_FULL
+        if kind == "call" and sim.records and not sim.records[0].done:
+            return CHILD_WAIT
+        return _port_cause(sim)
+    if kind == "loopctl":
+        if sim.started and not sim.finished:
+            try:
+                if sim._in_flight() >= sim.node.max_in_flight:
+                    return ITER_WINDOW
+            except Exception:
+                pass
+        return _port_cause(sim)
+    if kind == "sync":
+        if sim.instance.pending_children > 0:
+            return CHILD_WAIT
+        return _port_cause(sim)
+    return _port_cause(sim)
+
+
+def _port_cause(sim) -> Optional[str]:
+    """Generic edge-level classification: starved vs backpressured."""
+    missing = False
+    unwired = False
+    for port in sim.node.inputs:
+        conn = port.incoming
+        if conn is None:
+            unwired = True
+            continue
+        if not sim.instance.channels[id(conn)].ready():
+            missing = True
+            break
+    if missing:
+        return UPSTREAM_EMPTY
+    for fork in sim._forks.values():
+        if fork.pending:
+            return DOWNSTREAM_FULL
+    if unwired:
+        # An existing-but-unwired input can never produce a token:
+        # the node is starved forever (classic miswiring deadlock).
+        return UPSTREAM_EMPTY
+    return None
+
+
+class Observability:
+    """Per-run stall accounting and (optional) event trace.
+
+    ``level``:
+      * ``"off"``      — no attribution at all (raw speed runs)
+      * ``"counters"`` — per-node stall cause counters (the default;
+        one classification scan per sleep episode)
+      * ``"trace"``    — counters plus a bounded ring buffer of stall
+        and task-lifecycle events for timeline export
+    """
+
+    def __init__(self, stats, level: str = "counters",
+                 trace_capacity: int = 65536):
+        if level not in ("off", "counters", "trace"):
+            raise ValueError(f"bad observability level {level!r}")
+        self.stats = stats
+        self.level = level
+        self.enabled = level != "off"
+        self.tracing = level == "trace"
+        self.ring: deque = deque(maxlen=max(1, trace_capacity))
+        self.dropped = 0
+
+    # -- stall episodes ---------------------------------------------------
+    def classify_instance(self, inst) -> List[Tuple[str, str]]:
+        """Snapshot of (node_label, cause) pairs as an instance sleeps."""
+        task = inst.task.name
+        out: List[Tuple[str, str]] = []
+        for sim in inst._mem_sims:
+            cause = classify_node(sim)
+            if cause is not None:
+                out.append((f"{task}.{sim.node.name}", cause))
+        for sim in inst._call_sims:
+            cause = classify_node(sim)
+            if cause is not None:
+                out.append((f"{task}.{sim.node.name}", cause))
+        if not out and inst.pending_children > 0:
+            out.append((task, CHILD_WAIT))
+        if not out:
+            out.append((task, IDLE))
+        return out
+
+    def charge(self, attrs: List[Tuple[str, str]], cycles: int,
+               start: int) -> None:
+        """Charge a finished sleep episode to its recorded causes."""
+        if cycles <= 0 or not attrs:
+            return
+        stats = self.stats
+        for label, cause in attrs:
+            stats.stall_cycles[cause] += cycles
+            stats.node_stalls[label][cause] = \
+                stats.node_stalls[label].get(cause, 0) + cycles
+        if self.tracing:
+            for label, cause in attrs:
+                self.emit("stall", label, start, dur=cycles,
+                          args={"cause": cause})
+
+    def charge_park(self, inst, cycles: int, start: int) -> None:
+        """A parked instance was waiting on children or queue space."""
+        cause = TASK_QUEUE_FULL if inst.enqueue_blocked else CHILD_WAIT
+        self.charge([(inst.task.name, cause)], cycles, start)
+
+    # -- ring-buffer trace ------------------------------------------------
+    def emit(self, cat: str, name: str, cycle: int, dur: int = 0,
+             args: Optional[Dict] = None) -> None:
+        if not self.tracing:
+            return
+        if len(self.ring) == self.ring.maxlen:
+            self.dropped += 1
+        self.ring.append((cycle, dur, cat, name, args))
+
+    # -- exports ----------------------------------------------------------
+    def events(self) -> List[Dict]:
+        return [{"cycle": c, "dur": d, "cat": cat, "name": name,
+                 "args": args or {}}
+                for c, d, cat, name, args in self.ring]
+
+    def chrome_trace(self) -> Dict:
+        """Chrome/Perfetto ``traceEvents`` JSON (1 cycle = 1 us)."""
+        events = []
+        for cycle, dur, cat, name, args in self.ring:
+            pid = name.split(".", 1)[0]
+            ev = {"name": (args or {}).get("cause", name), "cat": cat,
+                  "pid": pid, "tid": name, "ts": cycle,
+                  "args": args or {}}
+            if dur > 0:
+                ev["ph"] = "X"
+                ev["dur"] = dur
+            else:
+                ev["ph"] = "i"
+                ev["s"] = "t"
+            events.append(ev)
+        return {"traceEvents": events,
+                "displayTimeUnit": "ms",
+                "otherData": {"dropped_events": self.dropped,
+                              "unit": "1 ts = 1 cycle"}}
+
+    def write_chrome_trace(self, path: str) -> None:
+        with open(path, "w") as fh:
+            json.dump(self.chrome_trace(), fh)

@@ -1,9 +1,22 @@
-"""Simulation statistics."""
+"""Simulation statistics.
+
+Extended by the observability layer with attributed stall counters:
+``stall_cycles`` aggregates slept cycles by cause (see
+:mod:`repro.sim.observe` for the taxonomy) and ``node_stalls`` breaks
+the same cycles down per node label (``task.node``).  ``site_stalls``
+carries the memory-side view (per junction / structure).  The whole
+object serializes to a versioned JSON document via :meth:`to_json`
+for the CLI's ``--stats-json`` and the benchmark harness.
+"""
 
 from __future__ import annotations
 
+import json
 from collections import Counter
 from typing import Dict
+
+#: Version tag of the JSON stats document; bump on breaking changes.
+STATS_SCHEMA = "repro.simstats/v2"
 
 
 class SimStats:
@@ -22,6 +35,21 @@ class SimStats:
         self.junction_stalls = 0
         self.iterations: Counter = Counter()       # loop iterations/task
         self.parked = 0
+        # -- observability extensions (event kernel) ----------------------
+        #: Cycles a DRAM transaction was in flight (tick granularity).
+        self.dram_busy_cycles = 0
+        #: Attributed stall cycles by cause (taxonomy in sim.observe).
+        self.stall_cycles: Counter = Counter()
+        #: Per-node stall breakdown: ``{"task.node": {cause: cycles}}``.
+        self.node_stalls: Dict[str, Dict[str, int]] = \
+            _CounterDict()
+        #: Memory-side arbitration stalls per site
+        #: (``junction:<name>`` / ``structure:<name>``).
+        self.site_stalls: Counter = Counter()
+        #: Engine-level accounting: cycles with no activity anywhere.
+        self.idle_engine_cycles = 0
+        #: Kernel that produced this run ("event" or "dense").
+        self.kernel = "event"
 
     @property
     def memory_accesses(self) -> int:
@@ -31,6 +59,10 @@ class SimStats:
     def cache_hit_rate(self) -> float:
         total = self.cache_hits + self.cache_misses
         return self.cache_hits / total if total else 0.0
+
+    @property
+    def total_stall_cycles(self) -> int:
+        return sum(self.stall_cycles.values())
 
     def summary(self) -> Dict[str, object]:
         return {
@@ -47,7 +79,41 @@ class SimStats:
             "parked": self.parked,
         }
 
+    def to_json(self) -> Dict[str, object]:
+        """Full versioned stats document (superset of summary())."""
+        doc = {"schema": STATS_SCHEMA, "kernel": self.kernel}
+        doc.update(self.summary())
+        doc["node_fires"] = dict(self.node_fires)
+        doc["dram_busy_cycles"] = self.dram_busy_cycles
+        doc["idle_engine_cycles"] = self.idle_engine_cycles
+        doc["stall_cycles"] = dict(self.stall_cycles)
+        doc["node_stalls"] = {k: dict(v)
+                              for k, v in self.node_stalls.items()}
+        doc["site_stalls"] = dict(self.site_stalls)
+        return doc
+
+    def dump_json(self, path: str) -> None:
+        with open(path, "w") as fh:
+            json.dump(self.to_json(), fh, indent=1, sort_keys=True)
+
+    def top_stalled_nodes(self, n: int = 10):
+        """``[(label, cause, cycles)]`` ranked by stalled cycles."""
+        rows = [(label, cause, cyc)
+                for label, causes in self.node_stalls.items()
+                for cause, cyc in causes.items()]
+        rows.sort(key=lambda r: r[2], reverse=True)
+        return rows[:n]
+
     def __repr__(self) -> str:
         return (f"SimStats(cycles={self.cycles}, "
                 f"mem={self.memory_accesses}, "
                 f"hit_rate={self.cache_hit_rate:.2f})")
+
+
+class _CounterDict(dict):
+    """dict that materializes an inner Counter on first access."""
+
+    def __missing__(self, key):
+        value = Counter()
+        self[key] = value
+        return value

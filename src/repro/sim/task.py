@@ -7,18 +7,42 @@ that is blocked only on child-task responses *parks* — it stays in the
 task queue as a pending task and releases its tile (this is how the
 queue-based runtime expresses the paper's recursion-as-tasks pattern
 without deadlock).
+
+Two execution kernels share this state:
+
+* the **dense** kernel (:meth:`DataflowInstance.tick`,
+  :meth:`TaskBlockSim.tick`) sweeps every node of every instance every
+  cycle — the original reference semantics;
+* the **event** kernel (:meth:`DataflowInstance.process`,
+  :meth:`TaskBlockSim.tick_event`) only touches components with a
+  pending wakeup.  Its correctness argument: a node sim's ``tick`` is
+  a strict no-op when its guards fail, so processing any *superset*
+  of the acting nodes in dense sweep order is bit-identical; the wake
+  plumbing below only has to guarantee no acting node is ever missed.
+
+Event visibility rule (matches the dense sweep order): an event
+produced at cycle *t* is delivered at *t* if its target would still be
+swept later this cycle (block earlier in dict order not yet ticked,
+node index ahead of the sweep cursor), else at *t + 1*.
 """
 
 from __future__ import annotations
 
+import heapq
 from collections import deque
 from typing import Dict, List, Optional
 
 from ..core.circuit import TaskBlock
 from ..errors import SimulationError
-from .channel import Channel, LatchedChannel
+from .channel import Channel, EventChannel, LatchedChannel
+from .events import WAKE_CHECK, WAKE_FULL
 from .nodesim import make_node_sim
 from .stats import SimStats
+
+#: Dense parks an instance when its idle streak exceeds this.
+PARK_IDLE_THRESHOLD = 8
+#: Dense retries an enqueue-blocked park after this many cycles.
+PARK_RETRY_CYCLES = 16
 
 
 class TaskInvocation:
@@ -33,6 +57,60 @@ class TaskInvocation:
         self.edge_key = edge_key
 
 
+class _TaskStatic:
+    """Invocation-invariant wiring of one task block, computed once.
+
+    Instance construction is on the hot path for spawn-heavy
+    workloads (one instance per child task), so everything derivable
+    from the static dataflow graph — channel parameters, latch sites,
+    node-kind index lists — is precomputed here and shared by every
+    instance of the task.
+    """
+
+    __slots__ = ("conns", "latched", "const_latches", "livein_latches",
+                 "loop_conditional", "sink_idxs", "effect_sink_idxs",
+                 "mem_idxs", "call_idxs", "loopctl_idxs")
+
+    def __init__(self, task: TaskBlock):
+        nodes = task.dataflow.nodes
+        order = {id(n): i for i, n in enumerate(nodes)}
+        self.conns = []
+        self.latched = []
+        for conn in task.dataflow.connections:
+            if conn.latched:
+                self.latched.append(id(conn))
+            else:
+                self.conns.append(
+                    (id(conn), conn.depth, 2 if conn.buffered else 1,
+                     order[id(conn.src.node)], order[id(conn.dst.node)]))
+        self.const_latches = []
+        self.livein_latches = []
+        for node in nodes:
+            if node.kind == "const":
+                for conn in node.out.outgoing:
+                    if conn.latched:
+                        self.const_latches.append((id(conn), node.value))
+            elif node.kind == "livein":
+                for conn in node.out.outgoing:
+                    if conn.latched:
+                        self.livein_latches.append((id(conn), node.index))
+        self.loop_conditional = any(
+            n.kind == "loopctl" and n.conditional for n in nodes)
+        from .nodesim import SIM_CLASSES
+        sink_kinds = {k for k, cls in SIM_CLASSES.items()
+                      if cls.is_iter_sink}
+        self.sink_idxs = [i for i, n in enumerate(nodes)
+                          if n.kind in sink_kinds]
+        self.effect_sink_idxs = [i for i in self.sink_idxs
+                                 if nodes[i].kind != "phi"]
+        self.mem_idxs = [i for i, n in enumerate(nodes)
+                         if n.kind in ("load", "store")]
+        self.call_idxs = [i for i, n in enumerate(nodes)
+                          if n.kind in ("call", "spawn")]
+        self.loopctl_idxs = [i for i, n in enumerate(nodes)
+                             if n.kind == "loopctl"]
+
+
 class DataflowInstance:
     """Runtime state of one invocation: channels + node state machines."""
 
@@ -43,7 +121,7 @@ class DataflowInstance:
         self.invocation = invocation
         self.args = invocation.args
         self.stats: SimStats = runtime.stats
-        self.activity = False
+        self._act = 0
         self.idle_cycles = 0
         self.pending_children = 0
         self.calls_outstanding = 0
@@ -54,33 +132,77 @@ class DataflowInstance:
         self.loop_finished = task.kind != "loop"
         self.loop_conditional = False
         self.liveouts: Dict[int, object] = {}
+        self.block: Optional["TaskBlockSim"] = None
 
-        self.channels: Dict[int, object] = {}
-        for conn in task.dataflow.connections:
-            if conn.latched:
-                self.channels[id(conn)] = LatchedChannel()
-            else:
-                stages = 2 if conn.buffered else 1
-                self.channels[id(conn)] = Channel(conn.depth, stages)
+        sched = runtime.sched
+        self.sched = sched
+        static = runtime.task_static(task)
+        channels: Dict[int, object] = {}
+        self.channels = channels
+        if sched is not None:
+            for cid, depth, stages, p_idx, c_idx in static.conns:
+                ch = EventChannel(depth, stages)
+                ch.owner = self
+                ch.producer_idx = p_idx
+                ch.consumer_idx = c_idx
+                channels[cid] = ch
+        else:
+            for cid, depth, stages, _p, _c in static.conns:
+                channels[cid] = Channel(depth, stages)
         # Pre-latch loop-invariant values (live-in buffers).
-        for node in task.dataflow.nodes:
-            if node.kind == "const":
-                for conn in node.out.outgoing:
-                    if conn.latched:
-                        self.channels[id(conn)].latch(node.value)
-            elif node.kind == "livein":
-                for conn in node.out.outgoing:
-                    if conn.latched:
-                        self.channels[id(conn)].latch(
-                            self.args[node.index])
-        self.node_sims = [make_node_sim(n, self)
-                          for n in task.dataflow.nodes]
-        for node in task.dataflow.nodes:
-            if node.kind == "loopctl" and node.conditional:
-                self.loop_conditional = True
-        self.sinks = [s for s in self.node_sims if s.is_iter_sink]
-        self._effect_sinks = [s for s in self.sinks
-                              if s.node.kind != "phi"]
+        for cid in static.latched:
+            channels[cid] = LatchedChannel()
+        for cid, value in static.const_latches:
+            channels[cid].latch(value)
+        for cid, arg_idx in static.livein_latches:
+            channels[cid].latch(self.args[arg_idx])
+        self.node_sims = sims = [make_node_sim(n, self)
+                                 for n in task.dataflow.nodes]
+        for i, sim in enumerate(sims):
+            sim.idx = i
+        self.loop_conditional = static.loop_conditional
+        self.sinks = [sims[i] for i in static.sink_idxs]
+        self._effect_sinks = [sims[i] for i in static.effect_sink_idxs]
+        self._mem_sims = [sims[i] for i in static.mem_idxs]
+        self._call_sims = [sims[i] for i in static.call_idxs]
+        self._loopctl_idxs = static.loopctl_idxs
+
+        # -- event-kernel wake state --------------------------------------
+        n = len(self.node_sims)
+        self._ready: List[int] = []       # heap of wakeable node indices
+        self._in_ready = bytearray(n)
+        self._defer: List[int] = []       # wakes targeted at next cycle
+        self._in_defer = bytearray(n)
+        self._defer_from = -1
+        self.full_wake = True             # first sweep visits every node
+        self._full_next = False
+        self._full_from = -1
+        self.force_check = False          # park-check / bookkeeping wake
+        self._carry = False               # a channel still holds `pre`
+        self._dirty: List[EventChannel] = []
+        self._sweeping = False
+        self._in_full = False
+        self._cursor = -1
+        self.checked_cycle = -1
+        self.last_processed = -1
+        self._eqb_count = 0               # sims stuck on try_enqueue
+        self._check_at = -1               # pending park-check cycle
+        self._sleep_attr = None           # stall causes of current sleep
+
+    # ``activity`` counts sets so the event sweep can tell whether one
+    # particular node acted (token moved / state advanced) during its
+    # tick — the trigger for the self-rearm wake that keeps a node
+    # firing back-to-back exactly like the dense sweep would.
+    @property
+    def activity(self) -> bool:
+        return self._act != 0
+
+    @activity.setter
+    def activity(self, value: bool) -> None:
+        if value:
+            self._act += 1
+        else:
+            self._act = 0
 
     # -- wiring ------------------------------------------------------------
     def junction_sim_for(self, node):
@@ -96,24 +218,253 @@ class DataflowInstance:
             return 1 << 30
         return min(s.sink_count for s in self.sinks)
 
-    # -- execution -------------------------------------------------------
+    # -- wakeup plumbing (event kernel; all no-ops under dense) -----------
+    def _wake_now(self, idx: int) -> None:
+        if not self._in_ready[idx]:
+            self._in_ready[idx] = 1
+            heapq.heappush(self._ready, idx)
+
+    def _wake_next(self, idx: int) -> None:
+        if self._defer and self._defer_from != self.sched.now:
+            self._promote()
+        if not self._in_defer[idx]:
+            self._in_defer[idx] = 1
+            self._defer.append(idx)
+        self._defer_from = self.sched.now
+
+    def _promote(self) -> None:
+        """Move wakes deferred in an earlier cycle into the ready heap."""
+        now = self.sched.now
+        if self._defer and self._defer_from < now:
+            for idx in self._defer:
+                self._in_defer[idx] = 0
+                self._wake_now(idx)
+            self._defer.clear()
+        if self._full_next and self._full_from < now:
+            self._full_next = False
+            self.full_wake = True
+
+    def wake_node(self, idx: int) -> None:
+        """Deliver a wake to one node under the visibility rule."""
+        if self.sched is None:
+            return
+        if self._sweeping:
+            if idx > self._cursor:
+                if not self._in_full:
+                    self._wake_now(idx)
+            else:
+                self._wake_next(idx)
+        elif self.block.sweep_cycle == self.sched.now or \
+                self.checked_cycle == self.sched.now:
+            self._wake_next(idx)
+        else:
+            self._wake_now(idx)
+
+    def wake_full(self) -> None:
+        """Wake every node (child delivered, unpark, ...)."""
+        if self.sched is None:
+            return
+        if self.block.sweep_cycle == self.sched.now:
+            self._full_next = True
+            self._full_from = self.sched.now
+        else:
+            self.full_wake = True
+
+    def schedule_node(self, idx: int, cycle: int) -> None:
+        """Timer: wake ``idx`` at the top of ``cycle``."""
+        if self.sched is None:
+            return
+        self.sched.wheel.schedule(cycle, self, idx)
+
+    def timer_wake(self, idx: int) -> None:
+        """Wheel dispatch (top of cycle, before any sweep)."""
+        if idx == WAKE_FULL:
+            self.full_wake = True
+        elif idx == WAKE_CHECK:
+            self.force_check = True
+        else:
+            self._wake_now(idx)
+
+    def on_sink_progress(self) -> None:
+        """An iteration sink advanced: loop control's window may open."""
+        if self.sched is None:
+            return
+        for idx in self._loopctl_idxs:
+            self.wake_node(idx)
+
+    def on_loop_finished(self) -> None:
+        """Loop control finished: final-value pushes unblock everywhere."""
+        if self.sched is None:
+            return
+        if self._sweeping and not self._in_full:
+            for idx in range(self._cursor + 1, len(self.node_sims)):
+                self._wake_now(idx)
+        self._full_next = True
+        self._full_from = self.sched.now
+
+    def note_enqueue_blocked(self, sim) -> None:
+        """A call/spawn failed try_enqueue (callee queue at depth)."""
+        self.enqueue_blocked = True
+        if self.sched is None:
+            return
+        if not sim._eq_blocked:
+            sim._eq_blocked = True
+            self._eqb_count += 1
+        if not sim._eq_registered:
+            sim._eq_registered = True
+            self.runtime.register_edge_waiter(
+                (self.task.name, sim.node.callee), self, sim)
+
+    def note_enqueue_ok(self, sim) -> None:
+        if sim._eq_blocked:
+            sim._eq_blocked = False
+            self._eqb_count -= 1
+
+    def needs_tick(self) -> bool:
+        if self._defer or self._full_next:
+            self._promote()
+        return bool(self._ready) or self.full_wake or \
+            self.force_check or self._carry
+
+    # -- execution (event kernel) -----------------------------------------
+    def process(self, now: int) -> None:
+        """Sweep the woken nodes in dense order; commit dirty channels."""
+        self._promote()
+        gap = now - self.last_processed - 1
+        if gap > 0:
+            # Asleep cycles are provably activity-free: account them
+            # in one step and charge the recorded stall causes.
+            self.idle_cycles += gap
+            obs = self.runtime.observer
+            if obs is not None and obs.enabled and self._sleep_attr:
+                obs.charge(self._sleep_attr, gap,
+                           self.last_processed + 1)
+        self._sleep_attr = None
+        self.last_processed = now
+        self.checked_cycle = now
+        self._act = 0
+        self.force_check = False
+        sims = self.node_sims
+        self._sweeping = True
+        # _promote() above emptied _defer (nothing can defer-wake this
+        # instance earlier in its own cycle), so the self-rearm pushes
+        # below can skip _wake_next's promote check.
+        defer = self._defer
+        in_defer = self._in_defer
+        self._defer_from = now
+        heappop = heapq.heappop
+        # When most nodes are awake anyway, the indexed sweep only adds
+        # heap overhead — fall back to the plain dense-order sweep
+        # (processing a superset of the woken nodes is bit-identical).
+        if self.full_wake or 2 * len(self._ready) >= len(sims):
+            self.full_wake = False
+            self._in_full = True
+            for idx in self._ready:
+                self._in_ready[idx] = 0
+            self._ready.clear()
+            for i, sim in enumerate(sims):
+                self._cursor = i
+                a0 = self._act
+                for fork in sim._fork_list:
+                    if fork.pending:
+                        fork.drain(self)
+                sim.tick(now)
+                if self._act != a0 and not in_defer[i] \
+                        and not sim.precise_wakes:
+                    in_defer[i] = 1
+                    defer.append(i)
+            self._in_full = False
+        else:
+            heap = self._ready
+            in_ready = self._in_ready
+            while heap:
+                idx = heappop(heap)
+                in_ready[idx] = 0
+                self._cursor = idx
+                sim = sims[idx]
+                a0 = self._act
+                for fork in sim._fork_list:
+                    if fork.pending:
+                        fork.drain(self)
+                sim.tick(now)
+                if self._act != a0 and not in_defer[idx] \
+                        and not sim.precise_wakes:
+                    # The node acted; like the dense sweep it gets
+                    # another look next cycle (it may act again).
+                    in_defer[idx] = 1
+                    defer.append(idx)
+        self._sweeping = False
+        self._cursor = -1
+        if self._dirty:
+            dirty = self._dirty
+            self._dirty = []
+            carry = False
+            for ch in dirty:
+                depth = len(ch.queue)
+                if ch.commit():
+                    self._act += 1
+                if len(ch.queue) > depth:
+                    idx = ch.consumer_idx
+                    if not in_defer[idx]:
+                        in_defer[idx] = 1
+                        defer.append(idx)
+                if ch.pre:
+                    # Two-stage edge still holds an in-flight token:
+                    # it must commit again next cycle.
+                    self._dirty.append(ch)
+                    carry = True
+                else:
+                    ch.dirty = False
+            self._carry = carry
+        else:
+            self._carry = False
+        self.enqueue_blocked = bool(self._eqb_count)
+        if self._act:
+            self.idle_cycles = 0
+        else:
+            self.idle_cycles += 1
+
+    def maybe_sleep(self, now: int) -> None:
+        """Bookkeeping before the instance goes quiet.
+
+        If dense would park it while we are asleep (idle streak hits
+        the threshold with children outstanding and memory idle),
+        schedule a check wake for exactly that cycle; and snapshot the
+        stall causes so the slept cycles can be attributed on wakeup.
+        """
+        if self._ready or self._defer or self.full_wake or \
+                self._full_next or self._carry:
+            # A wake is already queued: we process again next cycle,
+            # so there is no sleep episode to arm or attribute.
+            return
+        if (self.enqueue_blocked or self.calls_outstanding > 0
+                or self.pending_children > 0) and \
+                self.idle_cycles <= PARK_IDLE_THRESHOLD and \
+                self._check_at <= now and not self.memory_busy():
+            target = now + PARK_IDLE_THRESHOLD + 1 - self.idle_cycles
+            self._check_at = target
+            self.sched.wheel.schedule(target, self, WAKE_CHECK)
+        obs = self.runtime.observer
+        if obs is not None and obs.enabled:
+            self._sleep_attr = obs.classify_instance(self)
+
+    # -- execution (dense kernel) -----------------------------------------
     def tick(self, now: int) -> None:
-        self.activity = False
+        self._act = 0
         self.enqueue_blocked = False
         for sim in self.node_sims:
             sim.drain_forks()
             sim.tick(now)
         for ch in self.channels.values():
             if ch.commit():
-                self.activity = True
-        if self.activity:
+                self._act += 1
+        if self._act:
             self.idle_cycles = 0
         else:
             self.idle_cycles += 1
 
     def memory_busy(self) -> bool:
-        return any(s.busy() for s in self.node_sims
-                   if s.node.kind in ("load", "store"))
+        return any(s.busy() for s in self._mem_sims)
 
     def is_complete(self) -> bool:
         if len(self.liveouts) < len(self.task.live_out_types):
@@ -130,9 +481,11 @@ class DataflowInstance:
         # Only effectful nodes gate completion: pure function units may
         # hold surplus tokens produced by free-running (all-invariant)
         # sources, which are dead once every sink met its quota.
-        for sim in self.node_sims:
-            if sim.node.kind in ("load", "store", "call", "spawn") and \
-                    sim.busy():
+        for sim in self._mem_sims:
+            if sim.busy():
+                return False
+        for sim in self._call_sims:
+            if sim.busy():
                 return False
         return True
 
@@ -140,8 +493,8 @@ class DataflowInstance:
         waiting_on_children = (self.calls_outstanding > 0
                                or self.pending_children > 0
                                or self.enqueue_blocked)
-        return (self.idle_cycles > 8 and waiting_on_children
-                and not self.memory_busy())
+        return (self.idle_cycles > PARK_IDLE_THRESHOLD
+                and waiting_on_children and not self.memory_busy())
 
     def results(self) -> List:
         return [self.liveouts[i]
@@ -161,6 +514,9 @@ class TaskBlockSim:
         window = (runtime.params.loop_invocation_window
                   if task.kind == "loop" else 1)
         self.capacity = max(1, task.num_tiles) * max(1, window)
+        #: Cycle whose instance sweep has started (visibility marker
+        #: for the event kernel's wake routing).
+        self.sweep_cycle = -1
 
     def pending_count(self, edge_key: tuple) -> int:
         return self.edge_pending.get(edge_key, 0)
@@ -170,6 +526,7 @@ class TaskBlockSim:
         self.edge_pending[key] = self.edge_pending.get(key, 0) + 1
         self.ready.append(invocation)
 
+    # -- dense kernel ------------------------------------------------------
     def tick(self, now: int) -> bool:
         """Advance one cycle; returns True if anything happened."""
         active_cycle = False
@@ -193,6 +550,7 @@ class TaskBlockSim:
             inv = self.ready.popleft()
             self.edge_pending[inv.edge_key] -= 1
             inst = DataflowInstance(self.task, self.runtime, inv)
+            inst.block = self
             self.active.append(inst)
             self.runtime.stats.invocations[self.task.name] += 1
             active_cycle = True
@@ -200,7 +558,7 @@ class TaskBlockSim:
             still_parked = []
             for inst in self.parked:
                 retry = inst.enqueue_blocked and \
-                    now - inst.park_cycle >= 16
+                    now - inst.park_cycle >= PARK_RETRY_CYCLES
                 if retry and len(self.active) < self.capacity:
                     inst.response_arrived = False
                     inst.idle_cycles = 0
@@ -234,6 +592,92 @@ class TaskBlockSim:
                 self.runtime.stats.parked += 1
         return active_cycle
 
+    # -- event kernel ------------------------------------------------------
+    def _unpark(self, inst: DataflowInstance, now: int) -> None:
+        inst.idle_cycles = 0
+        inst.full_wake = True
+        inst.last_processed = now - 1
+        inst._sleep_attr = None
+        self.active.append(inst)
+        obs = self.runtime.observer
+        if obs is not None and obs.enabled and inst.park_cycle >= 0:
+            obs.charge_park(inst, now - inst.park_cycle,
+                            inst.park_cycle)
+
+    def tick_event(self, now: int) -> bool:
+        """Event-kernel cycle: same phases as :meth:`tick`, but only
+        instances with a pending wake are swept."""
+        if not (self.ready or self.active or self.parked):
+            return False
+        active_cycle = False
+        if self.parked:
+            still_parked = []
+            for inst in self.parked:
+                if inst.response_arrived and \
+                        len(self.active) < self.capacity:
+                    inst.response_arrived = False
+                    self._unpark(inst, now)
+                    active_cycle = True
+                else:
+                    still_parked.append(inst)
+            self.parked = still_parked
+        while self.ready and len(self.active) < self.capacity:
+            inv = self.ready.popleft()
+            self.edge_pending[inv.edge_key] -= 1
+            self.runtime.credit_edge(inv.edge_key)
+            inst = DataflowInstance(self.task, self.runtime, inv)
+            inst.block = self
+            inst.last_processed = now - 1
+            self.active.append(inst)
+            self.runtime.stats.invocations[self.task.name] += 1
+            active_cycle = True
+        if not self.ready and self.parked:
+            still_parked = []
+            for inst in self.parked:
+                retry = inst.enqueue_blocked and \
+                    now - inst.park_cycle >= PARK_RETRY_CYCLES
+                if retry and len(self.active) < self.capacity:
+                    inst.response_arrived = False
+                    self._unpark(inst, now)
+                    active_cycle = True
+                else:
+                    still_parked.append(inst)
+            self.parked = still_parked
+        self.sweep_cycle = now
+        finished: List[DataflowInstance] = []
+        parked: List[DataflowInstance] = []
+        for inst in self.active:
+            # Inlined inst.needs_tick() — this is the hottest guard in
+            # the kernel (every active instance, every cycle).
+            if inst._defer or inst._full_next:
+                inst._promote()
+            if not (inst._ready or inst.full_wake or inst.force_check
+                    or inst._carry):
+                continue            # asleep: provably activity-free
+            inst.process(now)
+            if inst._act:
+                active_cycle = True
+            if inst.is_complete():
+                finished.append(inst)
+            elif inst.parkable():
+                parked.append(inst)
+            else:
+                inst.maybe_sleep(now)
+        for inst in finished:
+            self.active.remove(inst)
+            self.runtime.deliver(inst)
+            active_cycle = True
+        for inst in parked:
+            if inst in self.active:
+                self.active.remove(inst)
+                inst.park_cycle = now
+                self.parked.append(inst)
+                self.runtime.stats.parked += 1
+                obs = self.runtime.observer
+                if obs is not None and obs.tracing:
+                    obs.emit("park", inst.task.name, now)
+        return active_cycle
+
     def busy(self) -> bool:
         return bool(self.ready or self.active or self.parked)
 
@@ -243,21 +687,35 @@ class SimRuntime:
 
     ROOT_EDGE = ("__host__", "__root__")
 
-    def __init__(self, circuit, memory_system, stats: SimStats, params):
+    def __init__(self, circuit, memory_system, stats: SimStats, params,
+                 sched=None, observer=None):
         self.circuit = circuit
         self.memory = memory_system
         self.stats = stats
         self.params = params
+        #: Event scheduler (None selects the dense kernel).
+        self.sched = sched
+        self.observer = observer
         self.blocks: Dict[str, TaskBlockSim] = {
             name: TaskBlockSim(task, self)
             for name, task in circuit.tasks.items()}
+        self.block_list = list(self.blocks.values())
         self.edge_depth: Dict[tuple, int] = {}
         for edge in circuit.task_edges:
             depth = edge.queue_depth if not edge.decoupled else \
                 max(edge.queue_depth, params.decoupled_queue_depth)
             self.edge_depth[(edge.parent, edge.child)] = depth
+        #: Event kernel: call/spawn sims blocked per task edge.
+        self.edge_waiters: Dict[tuple, List] = {}
+        self._static: Dict[str, _TaskStatic] = {}
         self.root_done = False
         self.root_results: Optional[List] = None
+
+    def task_static(self, task: TaskBlock) -> _TaskStatic:
+        static = self._static.get(task.name)
+        if static is None:
+            static = self._static[task.name] = _TaskStatic(task)
+        return static
 
     def try_enqueue(self, parent_name: str, callee: str, args,
                     reply, parent) -> bool:
@@ -270,6 +728,19 @@ class SimRuntime:
             return False
         block.enqueue(TaskInvocation(args, reply, parent, key))
         return True
+
+    def register_edge_waiter(self, key: tuple, instance, sim) -> None:
+        self.edge_waiters.setdefault(key, []).append((instance, sim))
+
+    def credit_edge(self, key: tuple) -> None:
+        """A queue slot freed: retry every blocked caller on the edge."""
+        waiters = self.edge_waiters.get(key)
+        if not waiters:
+            return
+        self.edge_waiters[key] = []
+        for instance, sim in waiters:
+            sim._eq_registered = False
+            instance.wake_node(sim.idx)
 
     def start_root(self, args) -> None:
         root = self.circuit.root_task
@@ -288,15 +759,27 @@ class SimRuntime:
             inv.reply.done = True
             if inv.parent is not None:
                 inv.parent.response_arrived = True
+                inv.parent.wake_full()
         elif inv.parent is not None:
             inv.parent.pending_children -= 1
             inv.parent.response_arrived = True
+            inv.parent.wake_full()
         else:
             self.root_done = True
             self.root_results = instance.results()
+        obs = self.observer
+        if obs is not None and obs.tracing:
+            obs.emit("task_done", instance.task.name,
+                     self.sched.now if self.sched else 0)
 
     def tick(self, now: int) -> bool:
         active = False
-        for block in self.blocks.values():
+        for block in self.block_list:
             active |= block.tick(now)
+        return active
+
+    def tick_event(self, now: int) -> bool:
+        active = False
+        for block in self.block_list:
+            active |= block.tick_event(now)
         return active
