@@ -25,6 +25,8 @@ class RunResult:
     synth: SynthesisReport
     pass_log: List[PassResult] = field(default_factory=list)
     variant: str = "base"
+    #: The optimized circuit itself (for counter readout / reporting).
+    circuit: Optional[object] = None
 
     @property
     def time_us(self) -> float:
@@ -64,4 +66,5 @@ def run_workload(workload, passes: Sequence[Pass] = (),
                      cycles=sim_result.cycles,
                      fpga_mhz=report.fpga_mhz,
                      stats=sim_result.stats, synth=report,
-                     pass_log=log, variant=variant)
+                     pass_log=log, variant=variant,
+                     circuit=circuit)

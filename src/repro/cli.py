@@ -7,6 +7,7 @@ simulate    compile + optimize + cycle-simulate + verify vs interpreter
 synth       report the analytic FPGA/ASIC synthesis estimate
 workloads   list the built-in paper workloads
 bench       run one built-in workload through a pass stack
+report      cross-layer bottleneck report (sim + opt + synth)
 
 Pass stacks are comma-separated registry names, e.g.
 ``--passes memory_localization,op_fusion`` (see ``repro.opt.PASS_REGISTRY``).
@@ -75,10 +76,21 @@ def _seed_memory(memory: Memory, seed: Optional[int]) -> None:
 def _load_circuit_pipeline(args):
     with open(args.file) as fh:
         source = fh.read()
-    module = compile_minic(source)
+    module = compile_minic(source, filename=args.file)
     circuit = translate_module(module, name=args.file)
     log = PassManager(_parse_passes(args.passes)).run(circuit)
     return module, circuit, log
+
+
+def _resolve_observe(args) -> str:
+    """--obs-level wins; --trace-out implies "trace"."""
+    level = getattr(args, "obs_level", None)
+    if getattr(args, "trace_out", None):
+        if level == "off":
+            raise ReproError(
+                "--trace-out needs tracing; drop --obs-level off")
+        return "trace"
+    return level or "counters"
 
 
 def cmd_translate(args) -> int:
@@ -118,7 +130,7 @@ def cmd_simulate(args) -> int:
             "(rerun without --kernel dense)")
     with open(args.file) as fh:
         source = fh.read()
-    module = compile_minic(source)
+    module = compile_minic(source, filename=args.file)
     circuit = translate_module(module, name=args.file)
     manager = PassManager(_parse_passes(args.passes),
                           validate_each=args.validate_each)
@@ -133,9 +145,10 @@ def cmd_simulate(args) -> int:
 
     mem = Memory(module)
     _seed_memory(mem, args.seed)
-    observe = "trace" if args.trace_out else "counters"
+    observe = _resolve_observe(args)
     params = SimParams(max_cycles=args.max_cycles, kernel=args.kernel,
-                       observe=observe)
+                       observe=observe,
+                       trace_capacity=args.trace_capacity)
     t_sim = time.perf_counter()
     result = simulate(circuit, mem, values, params)
     t_sim = time.perf_counter() - t_sim
@@ -162,6 +175,11 @@ def cmd_simulate(args) -> int:
             print("top stalled nodes:")
             for label, cause, cyc in result.stats.top_stalled_nodes(8):
                 print(f"  {label:<32} {cause:<16} {cyc:>8}")
+        sources = result.stats.top_stalled_sources(8)
+        if sources:
+            print("top stalled source lines:")
+            for loc, cause, cyc in sources:
+                print(f"  {loc:<36} {cause:<16} {cyc:>8}")
     if args.stats_json:
         result.stats.dump_json(args.stats_json)
         print(f"wrote {args.stats_json}")
@@ -195,13 +213,37 @@ def cmd_workloads(_args) -> int:
 
 def cmd_bench(args) -> int:
     from .bench import run_workload
+    params = SimParams(observe=_resolve_observe(args),
+                       trace_capacity=args.trace_capacity)
     result = run_workload(args.workload,
                           _parse_passes(args.passes),
                           config=args.passes or "baseline",
-                          variant=args.variant)
+                          variant=args.variant,
+                          params=params)
     print(f"{result.workload}/{result.config}: {result.cycles} cycles "
           f"@ {result.fpga_mhz:.0f} MHz = {result.time_us:.2f} us")
     print("behavior verified against the reference interpreter")
+    return 0
+
+
+def cmd_report(args) -> int:
+    from .bench import run_workload
+    from .report import build_report, dump_report, render_markdown
+    passes = _parse_passes(args.passes)
+    result = run_workload(args.workload, passes,
+                          config=args.passes or "baseline",
+                          variant=args.variant)
+    report = build_report(result, top_n=args.top)
+    if args.json or args.md:
+        dump_report(report, json_path=args.json, md_path=args.md)
+        for path in (args.json, args.md):
+            if path:
+                print(f"wrote {path}")
+    else:
+        print(render_markdown(report))
+    if args.stats_json:
+        result.stats.dump_json(args.stats_json)
+        print(f"wrote {args.stats_json}")
     return 0
 
 
@@ -224,6 +266,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--verilog", help="write Verilog skeleton here")
     p.set_defaults(fn=cmd_translate)
 
+    def add_observe(p):
+        p.add_argument("--obs-level", default=None,
+                       choices=("off", "counters", "trace"),
+                       help="observability level (default: counters; "
+                            "--trace-out implies trace)")
+        p.add_argument("--trace-capacity", type=int, default=65536,
+                       metavar="N",
+                       help="trace ring-buffer capacity in events")
+
     p = sub.add_parser("simulate", help="cycle-simulate + verify")
     add_common(p)
     p.add_argument("--args", nargs="*", default=[],
@@ -240,9 +291,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--trace-out", default=None, metavar="FILE",
                    help="write a Chrome-trace JSON of sim events")
     p.add_argument("--stats-json", default=None, metavar="FILE",
-                   help="dump SimStats (schema repro.simstats/v2)")
+                   help="dump SimStats (schema repro.simstats/v3)")
     p.add_argument("--validate-each", action="store_true",
                    help="validate the circuit after every pass")
+    add_observe(p)
     p.set_defaults(fn=cmd_simulate)
 
     p = sub.add_parser("synth", help="FPGA/ASIC quality estimate")
@@ -256,7 +308,25 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("workload")
     p.add_argument("--passes", default="")
     p.add_argument("--variant", default="base")
+    add_observe(p)
     p.set_defaults(fn=cmd_bench)
+
+    p = sub.add_parser(
+        "report", help="cross-layer bottleneck report for a workload")
+    p.add_argument("workload")
+    p.add_argument("--passes", default="",
+                   help="comma-separated uopt pass names "
+                        "(add perf_counters for hardware counters)")
+    p.add_argument("--variant", default="base")
+    p.add_argument("--top", type=int, default=10,
+                   help="rows in the top-stalled-sources table")
+    p.add_argument("--json", default=None, metavar="FILE",
+                   help="write the report JSON here")
+    p.add_argument("--md", default=None, metavar="FILE",
+                   help="write the markdown report here")
+    p.add_argument("--stats-json", default=None, metavar="FILE",
+                   help="also dump the raw SimStats document")
+    p.set_defaults(fn=cmd_report)
     return parser
 
 

@@ -27,6 +27,19 @@ from .nodes import (  # noqa: F401
     StoreNode,
     TensorComputeNode,
 )
-from .structures import Cache, DRAMModel, Junction, Scratchpad, Structure  # noqa: F401
+from .provenance import (  # noqa: F401
+    SourceLoc,
+    merge_provenance,
+    provenance_label,
+)
+from .structures import (  # noqa: F401
+    Cache,
+    CounterSpec,
+    DRAMModel,
+    Junction,
+    PerfCounterBank,
+    Scratchpad,
+    Structure,
+)
 from .circuit import AcceleratorCircuit, TaskBlock, TaskEdge  # noqa: F401
 from .validate import validate_circuit  # noqa: F401

@@ -101,6 +101,9 @@ class Node:
         self.inputs: List[Port] = []
         self.outputs: List[Port] = []
         self._port_map: Dict[str, Port] = {}
+        #: Source origins (tuple of provenance.SourceLoc); metadata
+        #: only, preserved and merged by passes.
+        self.provenance: tuple = ()
 
     # -- port construction ------------------------------------------------
     def add_in(self, name: str, type_: Type) -> Port:

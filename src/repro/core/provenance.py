@@ -1,0 +1,77 @@
+"""Source provenance for uIR nodes and structures.
+
+Every uIR node (and the structures derived from memory nodes) carries
+a tuple of :class:`SourceLoc` records tracing it back to the MiniC
+source that produced it: file, line, and the enclosing task/loop
+context.  Passes preserve provenance across rewrites — a fused
+operator records the *set* of origins of its members — so stall
+attribution, deadlock reports and the bottleneck analyzer can say
+``gemm.mc:14 (loop j)`` instead of ``node_237``.
+
+Provenance is metadata only: it never affects simulation behavior,
+validation, or synthesis cost.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Dict, Iterable, Tuple
+
+
+@dataclass(frozen=True, order=True)
+class SourceLoc:
+    """One source origin: ``file:line`` plus the enclosing context."""
+
+    file: str = ""
+    line: int = 0
+    context: str = ""      # enclosing task / loop / function name
+
+    def label(self) -> str:
+        """Human-readable ``gemm.mc:14 (loop_j)`` form."""
+        if not (self.file or self.line or self.context):
+            return ""
+        base = os.path.basename(self.file) if self.file else "<unknown>"
+        text = f"{base}:{self.line}" if self.line else base
+        if self.context:
+            text += f" ({self.context})"
+        return text
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"file": self.file, "line": self.line,
+                "context": self.context}
+
+    @classmethod
+    def from_dict(cls, d: Dict) -> "SourceLoc":
+        return cls(file=d.get("file", ""), line=int(d.get("line", 0)),
+                   context=d.get("context", ""))
+
+    def __str__(self) -> str:
+        return self.label()
+
+
+def merge_provenance(*sources: Iterable[SourceLoc]) \
+        -> Tuple[SourceLoc, ...]:
+    """Union of several provenance tuples, deduplicated and ordered.
+
+    Used when a pass collapses several nodes into one (op fusion,
+    tensor tiling): the result records every origin.
+    """
+    seen = set()
+    merged = []
+    for source in sources:
+        for loc in source or ():
+            if loc not in seen:
+                seen.add(loc)
+                merged.append(loc)
+    merged.sort()
+    return tuple(merged)
+
+
+def provenance_label(provenance: Tuple[SourceLoc, ...]) -> str:
+    """Compact display label for a node's provenance (empty if none)."""
+    if not provenance:
+        return ""
+    if len(provenance) == 1:
+        return provenance[0].label()
+    return provenance[0].label() + f" (+{len(provenance) - 1} more)"

@@ -32,7 +32,15 @@ from .nodes import (
     SyncNode,
     TensorComputeNode,
 )
-from .structures import Cache, DRAMModel, Junction, Scratchpad
+from .provenance import SourceLoc, provenance_label
+from .structures import (
+    Cache,
+    CounterSpec,
+    DRAMModel,
+    Junction,
+    PerfCounterBank,
+    Scratchpad,
+)
 
 FORMAT_VERSION = 1
 
@@ -90,6 +98,8 @@ def _node_to_dict(node: Node) -> Dict:
         pass
     else:
         raise GraphError(f"cannot serialize node kind {node.kind!r}")
+    if node.provenance:
+        d["provenance"] = [loc.to_dict() for loc in node.provenance]
     return d
 
 
@@ -99,6 +109,9 @@ def _node_from_dict(d: Dict) -> Node:
     node = _node_from_dict_inner(d, kind, name)
     if "tuned_width" in d:
         node.tuned_width = d["tuned_width"]
+    if "provenance" in d:
+        node.provenance = tuple(SourceLoc.from_dict(p)
+                                for p in d["provenance"])
     return node
 
 
@@ -189,6 +202,13 @@ def circuit_to_dict(circuit: AcceleratorCircuit) -> Dict:
                 "hit_latency": s.hit_latency,
                 "ports_per_bank": s.ports_per_bank,
                 "ways": s.ways})
+        elif isinstance(s, PerfCounterBank):
+            structures.append({
+                "kind": "perf_counters", "name": s.name,
+                "task": s.task,
+                "counters": [{"name": c.name, "kind": c.kind,
+                              "target": c.target, "width": c.width}
+                             for c in s.counters]})
 
     tasks = []
     for task in circuit.tasks.values():
@@ -267,6 +287,13 @@ def circuit_from_dict(data: Dict) -> AcceleratorCircuit:
                 hit_latency=s["hit_latency"],
                 ports_per_bank=s["ports_per_bank"],
                 ways=s.get("ways", 1)))
+        elif s["kind"] == "perf_counters":
+            circuit.add_structure(PerfCounterBank(
+                s["name"], task=s.get("task", ""),
+                counters=[CounterSpec(c["name"], c["kind"],
+                                      c.get("target", ""),
+                                      c.get("width", 32))
+                          for c in s.get("counters", [])]))
     circuit.array_home = {
         k: circuit.structure(v)
         for k, v in data["array_home"].items()}
@@ -351,8 +378,12 @@ def to_dot(circuit: AcceleratorCircuit) -> str:
         for node in task.dataflow.nodes:
             color = _KIND_COLOR.get(node.kind, "white")
             nid = f"n{ti}_{node.id}"
+            label = node.describe()
+            loc = provenance_label(node.provenance)
+            if loc:
+                label += f"\\n{loc}"
             lines.append(
-                f'    {nid} [label="{node.describe()}", '
+                f'    {nid} [label="{label}", '
                 f'fillcolor={color}];')
         for conn in task.dataflow.connections:
             src = f"n{ti}_{conn.src.node.id}"

@@ -27,6 +27,9 @@ class Structure:
 
     def __init__(self, name: str):
         self.name = name
+        #: Source origins (tuple of provenance.SourceLoc) of the
+        #: software accesses this structure serves; metadata only.
+        self.provenance: tuple = ()
 
     def describe(self) -> str:
         return self.KIND
@@ -123,6 +126,97 @@ class DRAMModel(Structure):
 
     def describe(self) -> str:
         return f"dram[lat={self.latency}, bw={self.requests_per_cycle}/cyc]"
+
+
+#: Counter kinds a :class:`PerfCounterBank` supports and the SimStats
+#: quantity each one samples in the analytic flow.
+COUNTER_KINDS = (
+    "node_fires",          # invocations of a task / fires of a node kind
+    "chan_occupancy_hwm",  # producer back-pressure on an output channel
+    "bank_conflict",       # serialized requests at one structure's banks
+    "arbiter_grant",       # junction arbitration events
+)
+
+
+class CounterSpec:
+    """One hardware performance counter: what it counts and where."""
+
+    __slots__ = ("name", "kind", "target", "width")
+
+    def __init__(self, name: str, kind: str, target: str = "",
+                 width: int = 32):
+        if kind not in COUNTER_KINDS:
+            raise GraphError(f"counter {name}: unknown kind {kind!r}")
+        self.name = name
+        self.kind = kind
+        self.target = target
+        self.width = width
+
+    def __repr__(self) -> str:
+        return (f"CounterSpec({self.name}, {self.kind} -> "
+                f"{self.target or '*'})")
+
+
+class PerfCounterBank(Structure):
+    """A bank of free-running hardware performance counters.
+
+    Inserted by the ``perf_counters`` pass as a real uIR structure: it
+    lowers to Chisel/Verilog counter registers and is costed by the
+    analytic synthesis model (PMUs aren't free).  It is invisible to
+    the simulator's timing — instrumentation taps ready/valid and
+    arbitration signals without sitting on any path — so adding a bank
+    is behavior-neutral by construction.
+
+    ``sample`` recovers the counter values the hardware would hold
+    from a finished run's :class:`repro.sim.stats.SimStats` (the
+    analytic stand-in for reading the PMU over the AXI-lite port).
+    """
+
+    KIND = "perf_counters"
+
+    def __init__(self, name: str, task: str = "",
+                 counters: Sequence[CounterSpec] = ()):
+        super().__init__(name)
+        self.task = task                     # owning task block ("" = global)
+        self.counters: List[CounterSpec] = list(counters)
+
+    def add_counter(self, counter: CounterSpec) -> CounterSpec:
+        self.counters.append(counter)
+        return counter
+
+    @property
+    def total_bits(self) -> int:
+        return sum(c.width for c in self.counters)
+
+    def describe(self) -> str:
+        return (f"perf_counters[{len(self.counters)} x 32b"
+                f"{', task=' + self.task if self.task else ''}]")
+
+    def sample(self, stats) -> dict:
+        """Counter values for one finished run, keyed by counter name.
+
+        ``chan_occupancy_hwm`` is approximated by the producer's
+        accumulated ``downstream_full`` stall cycles (a channel that
+        never hit its high-water mark never back-pressured);
+        ``arbiter_grant`` / ``bank_conflict`` read the per-site
+        arbitration counters.
+        """
+        values = {}
+        for c in self.counters:
+            if c.kind == "node_fires":
+                if c.target == "@task":
+                    values[c.name] = stats.invocations.get(self.task, 0)
+                else:
+                    values[c.name] = stats.node_fires.get(c.target, 0)
+            elif c.kind == "chan_occupancy_hwm":
+                per_node = stats.node_stalls.get(c.target, {})
+                values[c.name] = per_node.get("downstream_full", 0)
+            elif c.kind == "bank_conflict":
+                values[c.name] = stats.site_stalls.get(
+                    f"structure:{c.target}", 0)
+            elif c.kind == "arbiter_grant":
+                values[c.name] = stats.junction_grants.get(c.target, 0)
+        return values
 
 
 class Junction:

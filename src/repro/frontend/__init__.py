@@ -18,6 +18,10 @@ from .interp import Interpreter, Memory  # noqa: F401
 from .translate import translate_module  # noqa: F401
 
 
-def compile_minic(source: str):
-    """Parse MiniC source and lower it to a software-IR module."""
-    return lower_program(parse_program(source))
+def compile_minic(source: str, filename: str = ""):
+    """Parse MiniC source and lower it to a software-IR module.
+
+    ``filename`` seeds source provenance (``file:line`` labels in
+    stall reports); defaults to the module name when omitted.
+    """
+    return lower_program(parse_program(source), source_file=filename)

@@ -144,6 +144,9 @@ class IRBuilder:
         self.function: Optional[Function] = None
         self.current: Optional[BasicBlock] = None
         self._counter = 0
+        #: Source line stamped onto every appended instruction (0 =
+        #: no source info); the MiniC lowering updates it per AST node.
+        self.line = 0
 
     # ------------------------------------------------------------------
     # Module-level construction
@@ -218,6 +221,8 @@ class IRBuilder:
     def _append(self, instr: Instruction) -> Instruction:
         if self.current is None:
             raise IRError("builder has no current block")
+        if not instr.line:
+            instr.line = self.line
         self.current.append(instr)
         return instr
 

@@ -123,6 +123,9 @@ class Instruction(Value):
         self.opcode = opcode
         self.operands: List[Value] = list(operands)
         self.block: Optional["BasicBlock"] = None
+        #: MiniC source line that produced this instruction (0 =
+        #: synthetic); stamped by IRBuilder from its current line.
+        self.line: int = 0
 
     # --- classification helpers ------------------------------------
     @property
@@ -370,6 +373,9 @@ class Module:
 
     def __init__(self, name: str = "module"):
         self.name = name
+        #: Path of the MiniC source this module was lowered from
+        #: ("" for builder-constructed modules); provenance root.
+        self.source_file: str = ""
         self.functions: Dict[str, Function] = {}
         self.globals: Dict[str, GlobalArray] = {}
 

@@ -179,6 +179,8 @@ class FunctionLowering:
             self.lower_stmt(stmt)
 
     def lower_stmt(self, stmt: ast.Stmt) -> None:
+        if getattr(stmt, "line", 0):
+            self.builder.line = stmt.line
         if isinstance(stmt, ast.VarDecl):
             self._lower_var_decl(stmt)
         elif isinstance(stmt, ast.Assign):
@@ -368,6 +370,8 @@ class FunctionLowering:
     # -- expressions -------------------------------------------------------
     def lower_expr(self, expr: ast.Expr) -> Value:
         b = self.builder
+        if getattr(expr, "line", 0):
+            b.line = expr.line
         if isinstance(expr, ast.IntLit):
             return b.const(expr.value, I32)
         if isinstance(expr, ast.FloatLit):
@@ -586,6 +590,13 @@ def _chase(replacements: Dict[Value, Value], value: Value) -> Value:
     return value
 
 
-def lower_program(program: ast.Program, name: str = "minic") -> Module:
-    """Lower a parsed MiniC program to a software-IR module."""
-    return ProgramLowering(program, name).lower()
+def lower_program(program: ast.Program, name: str = "minic",
+                  source_file: str = "") -> Module:
+    """Lower a parsed MiniC program to a software-IR module.
+
+    ``source_file`` (usually the ``.mc`` path) becomes the provenance
+    root carried through the uIR translation.
+    """
+    module = ProgramLowering(program, name).lower()
+    module.source_file = source_file or name
+    return module

@@ -24,6 +24,7 @@ from ..errors import TranslationError
 from ..types import BOOL, I32, VOID, Type
 from ..core.circuit import AcceleratorCircuit, TaskBlock, TaskEdge
 from ..core.graph import Port
+from ..core.provenance import SourceLoc
 from ..core.nodes import (
     CallNode,
     ComputeNode,
@@ -308,6 +309,25 @@ class RegionTranslator:
         self._name_counter += 1
         return f"{base}_{self._name_counter}"
 
+    # -- provenance -----------------------------------------------------
+    def _stamp(self, node, instr: Optional[Instruction] = None):
+        """Record where ``node`` came from: source file, the producing
+        instruction's line, and the enclosing task as context."""
+        line = getattr(instr, "line", 0) if instr is not None else 0
+        node.provenance = (SourceLoc(self.mt.source_file, line,
+                                     self.region.name),)
+        return node
+
+    def _region_line(self, region: Region) -> int:
+        """Representative source line of a child region (its header's
+        terminator for loops, the detach instruction for tasks)."""
+        if region.kind == "loop" and region.loop is not None:
+            term = region.loop.header.terminator
+            return getattr(term, "line", 0) if term is not None else 0
+        if region.detach is not None:
+            return getattr(region.detach, "line", 0)
+        return 0
+
     # -- live-in computation --------------------------------------------
     def compute_live_ins(self) -> List[Value]:
         defined: Set[Value] = set()
@@ -390,6 +410,13 @@ class RegionTranslator:
         self._pace_unlocked_effects()
         self._prune_dead_nodes()
 
+        # Every node carries provenance: synthesized plumbing (consts,
+        # predicates, selects, live-ins/outs) maps to the enclosing
+        # task with no specific line.
+        for node in self.df.nodes:
+            if not node.provenance:
+                self._stamp(node)
+
     def _prune_dead_nodes(self) -> None:
         """Drop pure nodes whose outputs nobody consumes (e.g. inverted
         predicates built for edges that later simplified away)."""
@@ -423,6 +450,7 @@ class RegionTranslator:
         ctl = LoopControl(name="loopctl",
                           conditional=ind is None)
         self.df.add(ctl)
+        self._stamp(ctl, loop.header.terminator)
         self.loopctl = ctl
         if ind is not None:
             self._connect(self.resolve(ind.start), ctl.start)
@@ -685,7 +713,7 @@ class RegionTranslator:
                 self.returns.append((block, instr.value))
                 continue
             if isinstance(instr, Sync):
-                self._emit_sync()
+                self._emit_sync(instr)
                 continue
             if isinstance(instr, Reattach):
                 continue
@@ -713,6 +741,7 @@ class RegionTranslator:
             node = SelectNode(instr.type, name=self.fresh(instr.name
                                                           or "select"))
             self.df.add(node)
+            self._stamp(node, instr)
             self._connect(self.resolve(instr.operands[0]), node.cond)
             self._connect(self.resolve(instr.operands[1]), node.a)
             self._connect(self.resolve(instr.operands[2]), node.b)
@@ -733,6 +762,7 @@ class RegionTranslator:
                        name=self.fresh(instr.name or instr.opcode),
                        operand_types=operand_types)
         self.df.add(node)
+        self._stamp(node, instr)
         for op, port in zip(instr.operands, node.in_ports):
             self._connect(self.resolve(op), port)
         self.value_map[instr] = node.out
@@ -740,6 +770,7 @@ class RegionTranslator:
     def _emit_load(self, instr: Instruction, pred: Optional[Port]) -> None:
         node = LoadNode(instr.type, name=self.fresh(instr.name or "load"))
         self.df.add(node)
+        self._stamp(node, instr)
         node.array = trace_array(instr.operands[0])
         self._connect(self.resolve(instr.operands[0]), node.addr)
         if pred is not None:
@@ -752,6 +783,7 @@ class RegionTranslator:
         value, ptr = instr.operands
         node = StoreNode(value.type, name=self.fresh("store"))
         self.df.add(node)
+        self._stamp(node, instr)
         node.array = trace_array(ptr)
         self._connect(self.resolve(ptr), node.addr)
         self._connect(self.resolve(value), node.data)
@@ -770,6 +802,7 @@ class RegionTranslator:
             node = SpawnNode(callee_name, arg_types,
                              name=self.fresh(f"spawn_{instr.callee.name}"))
             self.df.add(node)
+            self._stamp(node, instr)
             for op, port in zip(instr.operands, node.arg_ports):
                 self._connect(self.resolve(op), port)
             if pred is not None:
@@ -782,6 +815,7 @@ class RegionTranslator:
         node = CallNode(callee_name, arg_types, ret_types,
                         name=self.fresh(f"call_{instr.callee.name}"))
         self.df.add(node)
+        self._stamp(node, instr)
         for op, port in zip(instr.operands, node.arg_ports):
             self._connect(self.resolve(op), port)
         if pred is not None:
@@ -800,6 +834,9 @@ class RegionTranslator:
         node = CallNode(child.name, arg_types, ret_types,
                         name=self.fresh(f"call_{child.name}"))
         self.df.add(node)
+        node.provenance = (SourceLoc(self.mt.source_file,
+                                     self._region_line(child),
+                                     self.region.name),)
         for value, port in zip(child.live_ins, node.arg_ports):
             self._connect(self.resolve(value), port)
         if pred is not None:
@@ -815,7 +852,7 @@ class RegionTranslator:
         self._order_effect(node, access)
         return node
 
-    def _emit_sync(self) -> None:
+    def _emit_sync(self, instr: Optional[Instruction] = None) -> None:
         if self.region.kind == "loop":
             raise TranslationError(
                 f"{self.region.name}: sync inside a loop body is not "
@@ -823,6 +860,7 @@ class RegionTranslator:
         from ..core.nodes import SyncNode
         node = SyncNode(name=self.fresh("sync"))
         self.df.add(node)
+        self._stamp(node, instr)
         # A sync is a full barrier: order it against every prior effect
         # and let every later effect order against it.
         self._order_effect(node, ({None}, {None}))
@@ -832,6 +870,9 @@ class RegionTranslator:
         node = SpawnNode(child.name, arg_types,
                          name=self.fresh(f"spawn_{child.name}"))
         self.df.add(node)
+        node.provenance = (SourceLoc(self.mt.source_file,
+                                     self._region_line(child),
+                                     self.region.name),)
         for value, port in zip(child.live_ins, node.arg_ports):
             self._connect(self.resolve(value), port)
         if pred is not None:
@@ -1103,6 +1144,7 @@ class ModuleTranslator:
                  cache_size_words: int = 16384,
                  junction_issue_width: int = 2):
         self.module = module
+        self.source_file = module.source_file or module.name
         self.circuit = AcceleratorCircuit(name or module.name)
         self.cache = Cache("l1", size_words=cache_size_words)
         self.circuit.add_structure(self.cache)

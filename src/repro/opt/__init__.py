@@ -20,6 +20,7 @@ from .passes.tensor_ops import TensorOps  # noqa: F401
 from .passes.parameter_tuning import ParameterTuning  # noqa: F401
 from .passes.bitwidth_tuning import BitwidthTuning  # noqa: F401
 from .passes.writeback_buffer import WritebackBuffer  # noqa: F401
+from .passes.perf_counters import PerfCounters  # noqa: F401
 
 #: Pass-name registry for config-driven pipelines (bench harness).
 PASS_REGISTRY = {
@@ -33,4 +34,5 @@ PASS_REGISTRY = {
     "parameter_tuning": ParameterTuning,
     "bitwidth_tuning": BitwidthTuning,
     "writeback_buffer": WritebackBuffer,
+    "perf_counters": PerfCounters,
 }

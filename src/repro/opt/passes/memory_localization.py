@@ -12,6 +12,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence
 
 from ...core.circuit import AcceleratorCircuit
+from ...core.provenance import merge_provenance
 from ...core.structures import Junction, Scratchpad
 from ...errors import PassError
 from ..analysis import memory_access_groups
@@ -54,6 +55,10 @@ class MemoryLocalization(Pass):
                               latency=self.latency,
                               ports_per_bank=self.ports_per_bank,
                               arrays=arrays, shape=shape)
+            spad.provenance = merge_provenance(
+                *(node.provenance
+                  for array in arrays
+                  for _task, node in access.get(array, [])))
             circuit.add_structure(spad)
             created.append(spad_name)
             for array in arrays:

@@ -17,6 +17,7 @@ from ...core import oplib
 from ...core.circuit import AcceleratorCircuit, TaskBlock
 from ...core.graph import Node, Port
 from ...core.nodes import FusedComputeNode
+from ...core.provenance import merge_provenance
 from ..pass_manager import Pass, PassResult
 
 _FUSABLE_KINDS = ("compute", "select")
@@ -202,6 +203,8 @@ class OpFusion(Pass):
             out_type=last.outputs[0].type,
             exprs=exprs,
             fused_names=[n.name for n in chain])
+        fused.provenance = merge_provenance(
+            *(n.provenance for n in chain))
         df.add(fused)
         # External inputs.
         for i, src in enumerate(external):

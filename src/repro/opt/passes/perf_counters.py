@@ -1,0 +1,95 @@
+"""Instrumentation pass — hardware performance counters.
+
+Inserts a :class:`repro.core.structures.PerfCounterBank` per task
+block (invocation counter, one channel-occupancy high-water-mark
+counter per memory node, one arbiter-grant counter per junction) plus
+two circuit-level banks: a bank-conflict counter per RAM structure
+and an FU-fire counter per compute node kind.
+
+The banks are *real* uIR structures: they lower to Chisel/Verilog
+counter registers and the analytic synthesis model charges their area
+and power (a PMU isn't free).  They are also strictly behavior-
+neutral — counters tap ready/valid and arbitration signals without
+sitting on any handshake path, so cycles, memory images and results
+are bit-identical to the uninstrumented circuit (asserted against the
+seed goldens in ``tests/opt/test_perf_counters.py``).
+"""
+
+from __future__ import annotations
+
+from ...core.circuit import AcceleratorCircuit
+from ...core.structures import (
+    Cache,
+    CounterSpec,
+    PerfCounterBank,
+    Scratchpad,
+)
+from ..pass_manager import Pass, PassResult
+
+
+class PerfCounters(Pass):
+    """Insert per-task and per-memory performance counter banks."""
+
+    name = "perf_counters"
+
+    def __init__(self, per_node_fires: bool = True):
+        #: Also add the circuit-level FU-fire counters (coarse
+        #: activity profile; disable for minimal area).
+        self.per_node_fires = per_node_fires
+
+    def apply(self, circuit: AcceleratorCircuit) -> PassResult:
+        existing = {s.name for s in circuit.structures}
+        banks = []
+        n_counters = 0
+        for task in circuit.tasks.values():
+            name = f"{task.name}_pmu"
+            if name in existing:
+                continue  # idempotent: never double-instrument
+            bank = PerfCounterBank(name, task=task.name)
+            bank.add_counter(CounterSpec(
+                f"{task.name}.invocations", "node_fires", "@task"))
+            for node in task.dataflow.nodes:
+                if node.kind in ("load", "store"):
+                    bank.add_counter(CounterSpec(
+                        f"{task.name}.{node.name}.occ_hwm",
+                        "chan_occupancy_hwm",
+                        f"{task.name}.{node.name}"))
+            for junction in task.junctions:
+                bank.add_counter(CounterSpec(
+                    f"{junction.name}.grants", "arbiter_grant",
+                    junction.name))
+            bank.provenance = tuple(sorted(
+                {loc for node in task.dataflow.nodes
+                 for loc in node.provenance}))
+            circuit.add_structure(bank)
+            banks.append(bank.name)
+            n_counters += len(bank.counters)
+
+        if "mem_pmu" not in existing:
+            mem_bank = PerfCounterBank("mem_pmu")
+            for structure in circuit.structures:
+                if isinstance(structure, (Scratchpad, Cache)):
+                    mem_bank.add_counter(CounterSpec(
+                        f"{structure.name}.bank_conflicts",
+                        "bank_conflict", structure.name))
+            if mem_bank.counters:
+                circuit.add_structure(mem_bank)
+                banks.append(mem_bank.name)
+                n_counters += len(mem_bank.counters)
+
+        # Circuit-level activity profile: the datapath only strobes a
+        # fire signal for FU-style nodes (compute/tensor/fused), so
+        # those are the kinds worth a counter.
+        if self.per_node_fires and "global_pmu" not in existing:
+            top = PerfCounterBank("global_pmu")
+            kinds = {n.kind for n in circuit.all_nodes()}
+            for kind in sorted(kinds & {"compute", "tensor", "fused"}):
+                top.add_counter(CounterSpec(
+                    f"fires.{kind}", "node_fires", kind))
+            if top.counters:
+                circuit.add_structure(top)
+                banks.append(top.name)
+                n_counters += len(top.counters)
+
+        return self._result(bool(banks), banks=banks,
+                            counters=n_counters)

@@ -31,6 +31,7 @@ from ...core.nodes import (
     StoreNode,
     TensorComputeNode,
 )
+from ...core.provenance import merge_provenance
 from ...types import FloatType, TensorType
 from ..pass_manager import Pass, PassResult
 
@@ -182,6 +183,7 @@ class TensorOps(Pass):
             df.disconnect(bound_conn)
             new_bound = ConstNode(bound_src.node.value // k,
                                   bound_src.type, name="tile_bound")
+            new_bound.provenance = bound_src.node.provenance
             df.add(new_bound)
             df.connect(new_bound.out, ctl.bound, latched=latched)
         else:
@@ -190,6 +192,7 @@ class TensorOps(Pass):
             df.disconnect(bound_conn)
             shifter = ComputeNode("ashr", bound_src.type, arity=2,
                                   name="tile_bound_shift")
+            shifter.provenance = bound_src.node.provenance
             df.add(shifter)
             df.connect(bound_src, shifter.in_ports[0], latched=latched)
             amt = df.add(ConstNode(shift, bound_src.type,
@@ -207,6 +210,7 @@ class TensorOps(Pass):
         new_loads = {}
         for load in pattern.loads:
             wide = LoadNode(tt, name=f"t{load.name}")
+            wide.provenance = load.provenance
             df.add(wide)
             addr_conn = load.addr.incoming
             df.connect(addr_conn.src, wide.addr,
@@ -225,6 +229,8 @@ class TensorOps(Pass):
         fu = TensorComputeNode(pattern.tensor_op, tt,
                                arity=len(pattern.loads),
                                name=f"tensor_{pattern.tensor_op}")
+        fu.provenance = merge_provenance(
+            *(n.provenance for n in pattern.middle))
         df.add(fu)
         if pattern.tensor_op == "trelu":
             src = new_loads[id(pattern.loads[0])]
@@ -239,6 +245,7 @@ class TensorOps(Pass):
         # Widen the store.
         store = pattern.store
         wide_store = StoreNode(tt, name=f"t{store.name}")
+        wide_store.provenance = store.provenance
         df.add(wide_store)
         addr_conn = store.addr.incoming
         df.connect(addr_conn.src, wide_store.addr,

@@ -13,7 +13,7 @@ from __future__ import annotations
 from typing import List
 
 from ..core.circuit import AcceleratorCircuit, TaskBlock
-from ..core.structures import Cache, Scratchpad
+from ..core.structures import Cache, PerfCounterBank, Scratchpad
 
 
 def _camel(name: str) -> str:
@@ -122,6 +122,16 @@ def emit_accelerator(circuit: AcceleratorCircuit) -> str:
                 f"words={structure.size_words}, "
                 f"banks={structure.banks}, "
                 f"line={structure.line_words})")
+        elif isinstance(structure, PerfCounterBank):
+            lines.append(
+                f"  val {structure.name} = new PerfCounterBank("
+                f"n={len(structure.counters)}, width=32)"
+                f"  // task={structure.task or '<global>'}")
+            for i, spec in enumerate(structure.counters):
+                lines.append(
+                    f"  {structure.name}.io.Event({i}) := "
+                    f"/* {spec.kind} */ tap(\"{spec.target}\")"
+                    f"  // {spec.name}")
     lines.append("")
     lines.append("  /*------ Task interfaces ( <||> ) -------*/")
     for edge in circuit.task_edges:

@@ -68,6 +68,11 @@ RAM_CONTROL = ComponentCost(40, 36, 0, 600.0, 0.15)
 RAM_PER_BANK = ComponentCost(24, 24, 0, 360.0, 0.09)
 RAM_PER_KWORD_POWER_MW = 0.8   # ASIC SRAM leakage+dynamic per kword
 
+#: Performance-counter bank: readout mux + control per bank, one
+#: 32-bit saturating counter (register + increment logic) per event.
+PMU_BASE = ComponentCost(12, 10, 0, 180.0, 0.04)
+PMU_PER_COUNTER = ComponentCost(9, 34, 0, 150.0, 0.035)
+
 
 def component_cost(area_class: str) -> ComponentCost:
     try:

@@ -27,7 +27,7 @@ from typing import Dict, Optional
 
 from ..core import oplib
 from ..core.circuit import AcceleratorCircuit, TaskBlock
-from ..core.structures import Cache, Scratchpad
+from ..core.structures import Cache, PerfCounterBank, Scratchpad
 from ..types import TensorType
 from . import library as lib
 
@@ -63,6 +63,14 @@ class SynthesisReport:
     asic_ghz: float
     asic_mw: float
     asic_area_kum2: float
+    # -- instrumentation overhead (perf_counters pass), included in
+    # the totals above but also broken out so reports can show the
+    # price of the PMU.  Defaults keep uninstrumented reports and the
+    # pinned Table-2 row() shape unchanged.
+    pmu_counters: int = 0
+    pmu_alms: int = 0
+    pmu_regs: int = 0
+    pmu_area_kum2: float = 0.0
 
     def row(self) -> Dict[str, object]:
         return {
@@ -184,6 +192,8 @@ def synthesize(circuit: AcceleratorCircuit,
             total, lib.scale_cost(lib.TASK_QUEUE_PER_ENTRY,
                                   edge.queue_depth))
     ram_kwords = 0.0
+    pmu = lib.ZERO_COST
+    pmu_counters = 0
     for structure in circuit.structures:
         if isinstance(structure, (Scratchpad, Cache)):
             total = lib.add_costs(total, lib.RAM_CONTROL)
@@ -191,6 +201,14 @@ def synthesize(circuit: AcceleratorCircuit,
             total = lib.add_costs(
                 total, lib.scale_cost(lib.RAM_PER_BANK, banks))
             ram_kwords += structure.size_words / 1024.0
+        elif isinstance(structure, PerfCounterBank):
+            cost = lib.add_costs(
+                lib.PMU_BASE,
+                lib.scale_cost(lib.PMU_PER_COUNTER,
+                               len(structure.counters)))
+            pmu = lib.add_costs(pmu, cost)
+            pmu_counters += len(structure.counters)
+    total = lib.add_costs(total, pmu)
 
     # Critical stage delay.
     worst_delay = 0.35
@@ -230,4 +248,8 @@ def synthesize(circuit: AcceleratorCircuit,
         asic_ghz=asic_ghz,
         asic_mw=asic_mw,
         asic_area_kum2=asic_area_kum2,
+        pmu_counters=pmu_counters,
+        pmu_alms=pmu.alms,
+        pmu_regs=pmu.regs,
+        pmu_area_kum2=pmu.area_um2 / 1000.0,
     )

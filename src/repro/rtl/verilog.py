@@ -11,6 +11,7 @@ from __future__ import annotations
 from typing import List
 
 from ..core.circuit import AcceleratorCircuit, TaskBlock
+from ..core.structures import PerfCounterBank
 
 _CELL = {
     "compute": "uir_compute",
@@ -81,6 +82,10 @@ def emit_verilog(circuit: AcceleratorCircuit) -> str:
     for task in circuit.tasks.values():
         parts.append(emit_task_module(task))
         parts.append("")
+    for structure in circuit.structures:
+        if isinstance(structure, PerfCounterBank):
+            parts.append(emit_pmu_bank(structure))
+            parts.append("")
     parts.append(f"module accelerator_top (input wire clk, "
                  f"input wire rst);")
     for task in circuit.tasks.values():
@@ -88,5 +93,41 @@ def emit_verilog(circuit: AcceleratorCircuit) -> str:
             parts.append(f"  task_{_safe(task.name)} "
                          f"u_{_safe(task.name)}_t{tile} "
                          f"(.clk(clk), .rst(rst));")
+    for structure in circuit.structures:
+        if isinstance(structure, PerfCounterBank):
+            parts.append(f"  pmu_{_safe(structure.name)} "
+                         f"u_{_safe(structure.name)} "
+                         f"(.clk(clk), .rst(rst) "
+                         f"/* event taps + axi-lite readout */);")
     parts.append("endmodule")
     return "\n".join(parts)
+
+
+def emit_pmu_bank(bank: PerfCounterBank) -> str:
+    """One saturating 32-bit counter register per monitored event.
+
+    Counters tap valid/grant strobes; they never drive a ready signal,
+    which is the structural form of the behavior-neutrality invariant
+    the perf_counters pass promises.
+    """
+    n = len(bank.counters)
+    lines: List[str] = []
+    lines.append(f"module pmu_{_safe(bank.name)} (")
+    lines.append("  input  wire clk,")
+    lines.append("  input  wire rst,")
+    lines.append(f"  input  wire [{max(0, n - 1)}:0] event_strobe,")
+    lines.append(f"  output wire [{32 * max(1, n) - 1}:0] counters")
+    lines.append(");")
+    for i, spec in enumerate(bank.counters):
+        reg = f"cnt_{i}"
+        lines.append(f"  // {spec.name} ({spec.kind} -> {spec.target})")
+        lines.append(f"  reg [31:0] {reg};")
+        lines.append(f"  always @(posedge clk) begin")
+        lines.append(f"    if (rst) {reg} <= 32'd0;")
+        lines.append(f"    else if (event_strobe[{i}] && "
+                     f"~&{reg}) {reg} <= {reg} + 32'd1;")
+        lines.append(f"  end")
+        lines.append(f"  assign counters[{32 * i + 31}:{32 * i}] "
+                     f"= {reg};")
+    lines.append("endmodule")
+    return "\n".join(lines)

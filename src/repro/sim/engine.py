@@ -27,7 +27,7 @@ from ..core.validate import validate_circuit
 from ..errors import DeadlockError, SimulationError
 from .events import EventScheduler
 from .memory import MemorySystem
-from .observe import Observability, classify_node
+from .observe import Observability, classify_node, _node_loc
 from .stats import SimStats
 from .task import SimRuntime
 
@@ -182,7 +182,8 @@ class Simulator:
                     if cause is not None:
                         nodes.append({"node": sim.node.name,
                                       "kind": sim.node.kind,
-                                      "cause": cause})
+                                      "cause": cause,
+                                      "loc": _node_loc(sim.node)})
                 entry["instances"].append({
                     "liveouts": f"{len(inst.liveouts)}"
                                 f"/{len(inst.task.live_out_types)}",
@@ -204,6 +205,7 @@ class Simulator:
             for inst in entry["instances"]:
                 blocked = ", ".join(
                     f"{n['node']}[{n['cause']}]"
+                    + (f" at {n['loc']}" if n.get("loc") else "")
                     for n in inst["blocked_nodes"][:6])
                 lines.append(
                     f"  inst liveouts={inst['liveouts']} "

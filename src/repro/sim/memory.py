@@ -319,10 +319,14 @@ class JunctionSim:
 
     def tick(self, now: int) -> None:
         width = self.junction.issue_width
+        served = 0
         for _ in range(width):
             if not self.queue:
                 break
             self.structure_sim.submit(self.queue.popleft())
+            served += 1
+        if served:
+            self.stats.junction_grants[self.junction.name] += served
         if self.queue:
             self.stats.junction_stalls += len(self.queue)
             self.stats.site_stalls[

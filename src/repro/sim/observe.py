@@ -19,6 +19,8 @@ import json
 from collections import deque
 from typing import Dict, List, Optional, Tuple
 
+from ..core.provenance import provenance_label
+
 # -- stall taxonomy ---------------------------------------------------------
 #: No token available on at least one required input edge.
 UPSTREAM_EMPTY = "upstream_empty"
@@ -71,8 +73,8 @@ def classify_node(sim) -> Optional[str]:
             try:
                 if sim._in_flight() >= sim.node.max_in_flight:
                     return ITER_WINDOW
-            except Exception:
-                pass
+            except AttributeError:
+                pass  # loopctl variant without an in-flight window
         return _port_cause(sim)
     if kind == "sync":
         if sim.instance.pending_children > 0:
@@ -105,6 +107,11 @@ def _port_cause(sim) -> Optional[str]:
     return None
 
 
+def _node_loc(node) -> str:
+    """Provenance label of a node, or "" if it carries none."""
+    return provenance_label(getattr(node, "provenance", ()))
+
+
 class Observability:
     """Per-run stall accounting and (optional) event trace.
 
@@ -128,43 +135,53 @@ class Observability:
         self.dropped = 0
 
     # -- stall episodes ---------------------------------------------------
-    def classify_instance(self, inst) -> List[Tuple[str, str]]:
-        """Snapshot of (node_label, cause) pairs as an instance sleeps."""
+    def classify_instance(self, inst) -> List[Tuple[str, str, str]]:
+        """Snapshot of (node_label, cause, source_loc) triples as an
+        instance falls asleep.  ``source_loc`` is the provenance label
+        (``file:line (context)``) of the blocked node, or ``""`` for
+        instance-level causes with no single node."""
         task = inst.task.name
-        out: List[Tuple[str, str]] = []
+        out: List[Tuple[str, str, str]] = []
         for sim in inst._mem_sims:
             cause = classify_node(sim)
             if cause is not None:
-                out.append((f"{task}.{sim.node.name}", cause))
+                out.append((f"{task}.{sim.node.name}", cause,
+                            _node_loc(sim.node)))
         for sim in inst._call_sims:
             cause = classify_node(sim)
             if cause is not None:
-                out.append((f"{task}.{sim.node.name}", cause))
+                out.append((f"{task}.{sim.node.name}", cause,
+                            _node_loc(sim.node)))
         if not out and inst.pending_children > 0:
-            out.append((task, CHILD_WAIT))
+            out.append((task, CHILD_WAIT, ""))
         if not out:
-            out.append((task, IDLE))
+            out.append((task, IDLE, ""))
         return out
 
-    def charge(self, attrs: List[Tuple[str, str]], cycles: int,
+    def charge(self, attrs: List[Tuple[str, str, str]], cycles: int,
                start: int) -> None:
         """Charge a finished sleep episode to its recorded causes."""
         if cycles <= 0 or not attrs:
             return
         stats = self.stats
-        for label, cause in attrs:
+        for label, cause, loc in attrs:
             stats.stall_cycles[cause] += cycles
             stats.node_stalls[label][cause] = \
                 stats.node_stalls[label].get(cause, 0) + cycles
+            if loc:
+                stats.source_stalls[loc][cause] = \
+                    stats.source_stalls[loc].get(cause, 0) + cycles
         if self.tracing:
-            for label, cause in attrs:
-                self.emit("stall", label, start, dur=cycles,
-                          args={"cause": cause})
+            for label, cause, loc in attrs:
+                args = {"cause": cause}
+                if loc:
+                    args["loc"] = loc
+                self.emit("stall", label, start, dur=cycles, args=args)
 
     def charge_park(self, inst, cycles: int, start: int) -> None:
         """A parked instance was waiting on children or queue space."""
         cause = TASK_QUEUE_FULL if inst.enqueue_blocked else CHILD_WAIT
-        self.charge([(inst.task.name, cause)], cycles, start)
+        self.charge([(inst.task.name, cause, "")], cycles, start)
 
     # -- ring-buffer trace ------------------------------------------------
     def emit(self, cat: str, name: str, cycle: int, dur: int = 0,
@@ -182,9 +199,15 @@ class Observability:
                 for c, d, cat, name, args in self.ring]
 
     def chrome_trace(self) -> Dict:
-        """Chrome/Perfetto ``traceEvents`` JSON (1 cycle = 1 us)."""
+        """Chrome/Perfetto ``traceEvents`` JSON (1 cycle = 1 us).
+
+        Episodes are appended to the ring at *wakeup* time, so raw
+        order is not sorted by start cycle; viewers (and our tests)
+        expect monotonic ``ts``, so we sort on export.
+        """
         events = []
-        for cycle, dur, cat, name, args in self.ring:
+        for cycle, dur, cat, name, args in sorted(
+                self.ring, key=lambda rec: (rec[0], rec[3])):
             pid = name.split(".", 1)[0]
             ev = {"name": (args or {}).get("cause", name), "cat": cat,
                   "pid": pid, "tid": name, "ts": cycle,

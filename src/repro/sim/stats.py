@@ -2,21 +2,26 @@
 
 Extended by the observability layer with attributed stall counters:
 ``stall_cycles`` aggregates slept cycles by cause (see
-:mod:`repro.sim.observe` for the taxonomy) and ``node_stalls`` breaks
-the same cycles down per node label (``task.node``).  ``site_stalls``
+:mod:`repro.sim.observe` for the taxonomy), ``node_stalls`` breaks
+the same cycles down per node label (``task.node``), and
+``source_stalls`` rolls them up by *source location* (the provenance
+label ``file:line (task)`` carried on every uIR node) so reports can
+rank MiniC lines instead of anonymous node ids.  ``site_stalls``
 carries the memory-side view (per junction / structure).  The whole
 object serializes to a versioned JSON document via :meth:`to_json`
-for the CLI's ``--stats-json`` and the benchmark harness.
+for the CLI's ``--stats-json`` and the benchmark harness, and loads
+back with :meth:`from_json` for offline analysis.
 """
 
 from __future__ import annotations
 
 import json
 from collections import Counter
-from typing import Dict
+from typing import Dict, List, Tuple
 
 #: Version tag of the JSON stats document; bump on breaking changes.
-STATS_SCHEMA = "repro.simstats/v2"
+#: v3 adds provenance-keyed ``source_stalls`` and the loader.
+STATS_SCHEMA = "repro.simstats/v3"
 
 
 class SimStats:
@@ -43,9 +48,16 @@ class SimStats:
         #: Per-node stall breakdown: ``{"task.node": {cause: cycles}}``.
         self.node_stalls: Dict[str, Dict[str, int]] = \
             _CounterDict()
+        #: Per-source-location stall breakdown:
+        #: ``{"gemm.mc:14 (loop)": {cause: cycles}}``.
+        self.source_stalls: Dict[str, Dict[str, int]] = \
+            _CounterDict()
         #: Memory-side arbitration stalls per site
         #: (``junction:<name>`` / ``structure:<name>``).
         self.site_stalls: Counter = Counter()
+        #: Requests granted (issued) per junction arbiter — the PMU's
+        #: ``arbiter_grant`` counters read these back.
+        self.junction_grants: Counter = Counter()
         #: Engine-level accounting: cycles with no activity anywhere.
         self.idle_engine_cycles = 0
         #: Kernel that produced this run ("event" or "dense").
@@ -89,17 +101,70 @@ class SimStats:
         doc["stall_cycles"] = dict(self.stall_cycles)
         doc["node_stalls"] = {k: dict(v)
                               for k, v in self.node_stalls.items()}
+        doc["source_stalls"] = {k: dict(v)
+                                for k, v in self.source_stalls.items()}
         doc["site_stalls"] = dict(self.site_stalls)
+        doc["junction_grants"] = dict(self.junction_grants)
         return doc
+
+    @classmethod
+    def from_json(cls, doc: Dict) -> "SimStats":
+        """Rebuild a SimStats from a :meth:`to_json` document.
+
+        Accepts v2 documents too (they simply lack ``source_stalls``);
+        anything else raises ``ValueError``.
+        """
+        schema = doc.get("schema", "")
+        if schema not in ("repro.simstats/v2", STATS_SCHEMA):
+            raise ValueError(f"unsupported stats schema {schema!r}")
+        stats = cls()
+        stats.kernel = doc.get("kernel", "event")
+        stats.cycles = doc.get("cycles", 0)
+        stats.invocations = Counter(doc.get("invocations", {}))
+        stats.iterations = Counter(doc.get("iterations", {}))
+        stats.memory_reads = doc.get("memory_reads", 0)
+        stats.memory_writes = doc.get("memory_writes", 0)
+        stats.cache_hits = doc.get("cache_hits", 0)
+        stats.cache_misses = doc.get("cache_misses", 0)
+        stats.dram_requests = doc.get("dram_requests", 0)
+        stats.bank_conflict_stalls = doc.get("bank_conflict_stalls", 0)
+        stats.junction_stalls = doc.get("junction_stalls", 0)
+        stats.parked = doc.get("parked", 0)
+        stats.node_fires = Counter(doc.get("node_fires", {}))
+        stats.dram_busy_cycles = doc.get("dram_busy_cycles", 0)
+        stats.idle_engine_cycles = doc.get("idle_engine_cycles", 0)
+        stats.stall_cycles = Counter(doc.get("stall_cycles", {}))
+        for label, causes in doc.get("node_stalls", {}).items():
+            stats.node_stalls[label] = Counter(causes)
+        for label, causes in doc.get("source_stalls", {}).items():
+            stats.source_stalls[label] = Counter(causes)
+        stats.site_stalls = Counter(doc.get("site_stalls", {}))
+        stats.junction_grants = Counter(doc.get("junction_grants", {}))
+        return stats
 
     def dump_json(self, path: str) -> None:
         with open(path, "w") as fh:
             json.dump(self.to_json(), fh, indent=1, sort_keys=True)
 
+    @classmethod
+    def load_json(cls, path: str) -> "SimStats":
+        with open(path) as fh:
+            return cls.from_json(json.load(fh))
+
     def top_stalled_nodes(self, n: int = 10):
         """``[(label, cause, cycles)]`` ranked by stalled cycles."""
         rows = [(label, cause, cyc)
                 for label, causes in self.node_stalls.items()
+                for cause, cyc in causes.items()]
+        rows.sort(key=lambda r: r[2], reverse=True)
+        return rows[:n]
+
+    def top_stalled_sources(self, n: int = 10) \
+            -> List[Tuple[str, str, int]]:
+        """``[(source_label, cause, cycles)]`` ranked by stalled
+        cycles — the source-level view of :meth:`top_stalled_nodes`."""
+        rows = [(label, cause, cyc)
+                for label, causes in self.source_stalls.items()
                 for cause, cyc in causes.items()]
         rows.sort(key=lambda r: r[2], reverse=True)
         return rows[:n]

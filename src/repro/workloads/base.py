@@ -38,7 +38,9 @@ class Workload:
         if variant not in self._modules:
             src = self.source if variant == "base" \
                 else self.variants[variant]
-            self._modules[variant] = compile_minic(src)
+            suffix = "" if variant == "base" else f"_{variant}"
+            self._modules[variant] = compile_minic(
+                src, filename=f"{self.name}{suffix}.mc")
         return self._modules[variant]
 
     def fresh_memory(self, variant: str = "base") -> Memory:

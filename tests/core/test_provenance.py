@@ -1,0 +1,115 @@
+"""Source provenance: AST line -> SSA -> uIR node -> serialization."""
+
+import json
+
+from repro.core import SourceLoc, merge_provenance, provenance_label
+from repro.core.serialize import circuit_from_dict, circuit_to_dict, \
+    to_dot
+from repro.frontend import compile_minic, translate_module
+from repro.opt import OpFusion, PassManager
+from repro.workloads import WORKLOADS
+
+GEMM_SRC = """
+array A: f32[64];
+array B: f32[64];
+array C: f32[64];
+func main(n: i32) {
+  for (i = 0; i < n; i = i + 1) {
+    for (j = 0; j < n; j = j + 1) {
+      var acc = 0.0;
+      for (k = 0; k < n; k = k + 1) {
+        acc = acc + A[i * n + k] * B[k * n + j];
+      }
+      C[i * n + j] = acc;
+    }
+  }
+}
+"""
+
+
+class TestSourceLoc:
+    def test_label_forms(self):
+        assert SourceLoc("dir/gemm.mc", 14, "loop_j").label() == \
+            "gemm.mc:14 (loop_j)"
+        assert SourceLoc("gemm.mc", 0, "main").label() == \
+            "gemm.mc (main)"
+        assert SourceLoc().label() == ""
+
+    def test_dict_round_trip(self):
+        loc = SourceLoc("a.mc", 3, "main")
+        assert SourceLoc.from_dict(loc.to_dict()) == loc
+
+    def test_merge_dedups_and_sorts(self):
+        a = SourceLoc("a.mc", 2, "t")
+        b = SourceLoc("a.mc", 1, "t")
+        merged = merge_provenance((a,), (b,), (a,))
+        assert merged == (b, a)
+
+    def test_label_of_merged_set(self):
+        a = SourceLoc("a.mc", 1, "t")
+        b = SourceLoc("a.mc", 2, "t")
+        assert provenance_label((a, b)) == "a.mc:1 (t) (+1 more)"
+        assert provenance_label(()) == ""
+
+
+class TestFrontendThreading:
+    def test_every_node_carries_provenance(self):
+        module = compile_minic(GEMM_SRC, filename="gemm.mc")
+        circuit = translate_module(module, name="gemm_prov")
+        for task in circuit.tasks.values():
+            for node in task.dataflow.nodes:
+                assert node.provenance, \
+                    f"{task.name}.{node.name} lost provenance"
+                assert node.provenance[0].file == "gemm.mc"
+
+    def test_compute_nodes_point_at_real_lines(self):
+        module = compile_minic(GEMM_SRC, filename="gemm.mc")
+        circuit = translate_module(module, name="gemm_prov2")
+        src_lines = GEMM_SRC.splitlines()
+        for task in circuit.tasks.values():
+            for node in task.dataflow.nodes:
+                if node.kind in ("load", "store", "compute"):
+                    line = node.provenance[0].line
+                    assert 0 < line <= len(src_lines)
+
+    def test_workload_modules_are_stamped(self):
+        w = WORKLOADS["gemm"]
+        circuit = translate_module(w.module(), name="gemm_wl")
+        locs = {loc for task in circuit.tasks.values()
+                for node in task.dataflow.nodes
+                for loc in node.provenance}
+        assert all(loc.file == "gemm.mc" for loc in locs)
+        assert any(loc.line > 0 for loc in locs)
+
+
+class TestPassPreservation:
+    def test_fusion_merges_origins(self):
+        module = compile_minic(GEMM_SRC, filename="gemm.mc")
+        circuit = translate_module(module, name="gemm_fuse")
+        PassManager([OpFusion()]).run(circuit)
+        fused = [n for task in circuit.tasks.values()
+                 for n in task.dataflow.nodes if n.kind == "fused"]
+        assert fused, "gemm should fuse its mul/add chain"
+        for node in fused:
+            assert node.provenance
+            assert all(loc.file == "gemm.mc"
+                       for loc in node.provenance)
+
+
+class TestSerialization:
+    def test_provenance_survives_json_round_trip(self):
+        module = compile_minic(GEMM_SRC, filename="gemm.mc")
+        circuit = translate_module(module, name="gemm_ser")
+        doc = json.loads(json.dumps(circuit_to_dict(circuit)))
+        loaded = circuit_from_dict(doc)
+        for name, task in circuit.tasks.items():
+            other = loaded.tasks[name]
+            orig = {n.name: n.provenance for n in task.dataflow.nodes}
+            back = {n.name: n.provenance for n in other.dataflow.nodes}
+            assert orig == back
+
+    def test_dot_labels_carry_source_lines(self):
+        module = compile_minic(GEMM_SRC, filename="gemm.mc")
+        circuit = translate_module(module, name="gemm_dot")
+        dot = to_dot(circuit)
+        assert "gemm.mc:" in dot

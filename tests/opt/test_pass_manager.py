@@ -96,7 +96,7 @@ class TestPassManager:
             "memory_localization", "scratchpad_banking",
             "cache_banking", "op_fusion", "tensor_ops",
             "parameter_tuning", "bitwidth_tuning",
-            "writeback_buffer"}
+            "writeback_buffer", "perf_counters"}
         for cls in PASS_REGISTRY.values():
             assert issubclass(cls, Pass)
             assert cls().name  # constructible with defaults

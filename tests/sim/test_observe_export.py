@@ -1,0 +1,138 @@
+"""Observability exports: Chrome trace shape, stats v3 round-trip,
+source-level stall attribution, and provenance in deadlock reports."""
+
+import json
+
+import pytest
+
+from repro.core import AcceleratorCircuit, Cache, SourceLoc, TaskBlock
+from repro.core.nodes import LiveIn, LiveOut
+from repro.errors import DeadlockError
+from repro.frontend import translate_module
+from repro.opt.pass_manager import PassManager
+from repro.sim import SimParams, simulate
+from repro.sim.stats import STATS_SCHEMA, SimStats
+from repro.types import I32
+from repro.workloads import WORKLOADS
+
+
+def _run(name, observe="counters", trace_capacity=65536):
+    w = WORKLOADS[name]
+    circuit = translate_module(w.module(), name=f"{name}_{observe}")
+    PassManager([]).run(circuit)
+    mem = w.fresh_memory()
+    return simulate(circuit, mem, list(w.args_for()),
+                    SimParams(observe=observe,
+                              trace_capacity=trace_capacity))
+
+
+class TestChromeTraceShape:
+    def test_required_keys_and_monotonic_ts(self):
+        result = _run("gemm", observe="trace")
+        doc = result.observer.chrome_trace()
+        events = doc["traceEvents"]
+        assert events
+        last_ts = -1
+        for ev in events:
+            for key in ("name", "ph", "pid", "tid", "ts", "cat"):
+                assert key in ev, f"trace event missing {key!r}"
+            assert ev["ph"] in ("X", "i")
+            if ev["ph"] == "X":
+                assert ev["dur"] > 0
+            assert ev["ts"] >= last_ts, "ts must be monotonic"
+            last_ts = ev["ts"]
+
+    def test_stall_events_carry_source_locations(self):
+        result = _run("gemm", observe="trace")
+        doc = result.observer.chrome_trace()
+        locs = [ev["args"]["loc"] for ev in doc["traceEvents"]
+                if "loc" in ev.get("args", {})]
+        assert locs, "stall events should carry provenance"
+        assert any("gemm.mc:" in loc for loc in locs)
+
+    def test_ring_capacity_bounds_events(self):
+        result = _run("gemm", observe="trace", trace_capacity=16)
+        obs = result.observer
+        assert len(obs.ring) <= 16
+        assert obs.dropped > 0
+
+
+class TestStatsV3:
+    def test_schema_bumped(self):
+        assert STATS_SCHEMA == "repro.simstats/v3"
+
+    def test_dump_load_round_trip_equal(self, tmp_path):
+        result = _run("gemm")
+        stats = result.stats
+        assert stats.source_stalls, "v3 field must be populated"
+        path = tmp_path / "stats.json"
+        stats.dump_json(str(path))
+        loaded = SimStats.load_json(str(path))
+        assert loaded.to_json() == stats.to_json()
+        assert loaded.source_stalls == dict(stats.source_stalls)
+        assert loaded.junction_grants == stats.junction_grants
+
+    def test_v2_documents_still_load(self):
+        doc = _run("saxpy").stats.to_json()
+        doc["schema"] = "repro.simstats/v2"
+        del doc["source_stalls"]
+        stats = SimStats.from_json(doc)
+        assert stats.cycles == doc["cycles"]
+        assert stats.source_stalls == {}
+
+    def test_unknown_schema_rejected(self):
+        with pytest.raises(ValueError):
+            SimStats.from_json({"schema": "repro.simstats/v1"})
+
+
+class TestSourceAttribution:
+    def test_source_stalls_use_provenance_labels(self):
+        result = _run("gemm")
+        stats = result.stats
+        assert stats.source_stalls
+        assert any(label.startswith("gemm.mc:")
+                   for label in stats.source_stalls)
+        # Node-attributed cycles and source-attributed cycles agree:
+        # every charged (node, cause) with provenance also charged a
+        # source bucket.
+        node_total = sum(c for causes in stats.node_stalls.values()
+                        for c in causes.values())
+        src_total = sum(c for causes in stats.source_stalls.values()
+                        for c in causes.values())
+        assert 0 < src_total <= node_total
+
+    def test_top_stalled_sources_ranked(self):
+        stats = _run("gemm").stats
+        rows = stats.top_stalled_sources(5)
+        assert rows
+        cycles = [row[2] for row in rows]
+        assert cycles == sorted(cycles, reverse=True)
+        for loc, cause, cyc in rows:
+            assert "gemm.mc" in loc
+            assert cyc > 0
+
+
+class TestDeadlockProvenance:
+    def test_deadlock_report_names_source_line(self):
+        circuit = AcceleratorCircuit("dead")
+        circuit.add_structure(Cache("l1"))
+        task = TaskBlock("main", "func")
+        task.live_in_types = [I32]
+        task.live_out_types = [I32]
+        livein = task.dataflow.add(LiveIn(0, I32))
+        liveout = task.dataflow.add(LiveOut(0, I32))
+        livein.provenance = (SourceLoc("broken.mc", 7, "main"),)
+        liveout.provenance = (SourceLoc("broken.mc", 9, "main"),)
+        circuit.add_task(task)
+
+        class _FakeMemory:
+            words = [0] * 16
+
+        with pytest.raises(DeadlockError) as exc_info:
+            simulate(circuit, _FakeMemory(), [5],
+                     SimParams(deadlock_window=50, validate=False))
+        err = exc_info.value
+        blocked = err.diagnostics[0]["instances"][0]["blocked_nodes"]
+        assert any(n.get("loc") == "broken.mc:9 (main)"
+                   for n in blocked)
+        assert "broken.mc:9 (main)" in str(err)

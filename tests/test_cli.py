@@ -73,6 +73,40 @@ class TestSimulate:
         assert main(["simulate", src_file, "--args", "16"]) == 2
         assert "argument" in capsys.readouterr().err
 
+    def test_obs_level_off(self, src_file, tmp_path, capsys):
+        statsp = str(tmp_path / "stats.json")
+        assert main(["simulate", src_file, "--args", "16", "2.0",
+                     "--obs-level", "off",
+                     "--stats-json", statsp]) == 0
+        stats = json.load(open(statsp))
+        assert stats["stall_cycles"] == {}
+        assert stats["source_stalls"] == {}
+
+    def test_trace_out_implies_trace_level(self, src_file, tmp_path,
+                                           capsys):
+        tracep = str(tmp_path / "trace.json")
+        assert main(["simulate", src_file, "--args", "16", "2.0",
+                     "--trace-out", tracep,
+                     "--trace-capacity", "128"]) == 0
+        doc = json.load(open(tracep))
+        assert doc["traceEvents"]
+        assert len(doc["traceEvents"]) <= 128
+
+    def test_trace_out_conflicts_with_obs_off(self, src_file, tmp_path,
+                                              capsys):
+        tracep = str(tmp_path / "trace.json")
+        assert main(["simulate", src_file, "--args", "16", "2.0",
+                     "--obs-level", "off",
+                     "--trace-out", tracep]) == 2
+        assert "obs-level" in capsys.readouterr().err
+
+    def test_simulate_source_lines_in_profile(self, src_file, capsys):
+        assert main(["simulate", src_file, "--args", "16", "2.0",
+                     "--profile"]) == 0
+        out = capsys.readouterr().out
+        assert "top stalled source lines:" in out
+        assert "saxpy.mc:" in out
+
 
 class TestOthers:
     def test_synth(self, src_file, capsys):
@@ -92,3 +126,7 @@ class TestOthers:
 
     def test_bench_tensor_variant(self, capsys):
         assert main(["bench", "relu_t", "--variant", "tensor"]) == 0
+
+    def test_bench_obs_level_flag(self, capsys):
+        assert main(["bench", "spmv", "--obs-level", "off"]) == 0
+        assert "verified" in capsys.readouterr().out
