@@ -8,40 +8,38 @@ synth       report the analytic FPGA/ASIC synthesis estimate
 workloads   list the built-in paper workloads
 bench       run one built-in workload through a pass stack
 report      cross-layer bottleneck report (sim + opt + synth)
+fuzz        LI-conformance fuzzing under seeded fault plans
 
 Pass stacks are comma-separated registry names, e.g.
 ``--passes memory_localization,op_fusion`` (see ``repro.opt.PASS_REGISTRY``).
+
+Failures exit with a per-error-family code (see
+``repro.errors.EXIT_CODES``): parse errors 2, IR/translation 3,
+deadlock 4, workload mismatch 5, simulation limits 6, LI-conformance
+violations 7, pass errors 8.  ``--json-errors`` (global flag, before
+the subcommand) prints a machine-readable error document instead of
+the one-line message.
 """
 
 from __future__ import annotations
 
 import argparse
-import random
+import json
 import sys
 from typing import List, Optional, Sequence
 
-from .errors import ReproError
+from .errors import ReproError, error_document, exit_code_for
 from .frontend import compile_minic, translate_module
 from .frontend.interp import Interpreter, Memory
-from .opt import PASS_REGISTRY, PassManager
+from .opt import PassManager
 from .rtl import emit_chisel, emit_verilog, synthesize
 from .core.serialize import save_circuit, to_dot
-from .sim import SimParams, simulate
+from .sim import FaultPlan, SimParams, simulate
 from .types import FloatType
+from .util.rng import seed_memory
+from .verify import DEFAULT_FUZZ_PASSES, passes_from_spec
 
-
-def _parse_passes(spec: Optional[str]):
-    if not spec:
-        return []
-    passes = []
-    for name in spec.split(","):
-        name = name.strip()
-        if name not in PASS_REGISTRY:
-            raise ReproError(
-                f"unknown pass {name!r}; known: "
-                f"{', '.join(sorted(PASS_REGISTRY))}")
-        passes.append(PASS_REGISTRY[name]())
-    return passes
+_parse_passes = passes_from_spec
 
 
 def _parse_args_values(module, raw: Sequence[str]) -> List:
@@ -63,14 +61,20 @@ def _parse_args_values(module, raw: Sequence[str]) -> List:
 def _seed_memory(memory: Memory, seed: Optional[int]) -> None:
     if seed is None:
         return
-    rng = random.Random(seed)
-    for name, glob in memory.module.globals.items():
-        base = memory.base[name]
-        for w in range(glob.size_words):
-            if glob.elem.is_float or glob.elem.is_tensor:
-                memory.write(base + w, round(rng.uniform(-2, 2), 3))
-            else:
-                memory.write(base + w, rng.randint(-50, 50))
+    seed_memory(memory, seed)
+
+
+def _fault_plan_from(args) -> Optional[FaultPlan]:
+    """--fault-plan FILE wins; else --faults/--fault-seed generate."""
+    path = getattr(args, "fault_plan", None)
+    if path:
+        with open(path) as fh:
+            return FaultPlan.from_json(json.load(fh))
+    if getattr(args, "faults", False) or \
+            getattr(args, "fault_seed", None) is not None:
+        return FaultPlan.generate(args.fault_seed or 0,
+                                  intensity=args.fault_intensity)
+    return None
 
 
 def _load_circuit_pipeline(args):
@@ -146,9 +150,14 @@ def cmd_simulate(args) -> int:
     mem = Memory(module)
     _seed_memory(mem, args.seed)
     observe = _resolve_observe(args)
+    plan = _fault_plan_from(args)
     params = SimParams(max_cycles=args.max_cycles, kernel=args.kernel,
                        observe=observe,
-                       trace_capacity=args.trace_capacity)
+                       trace_capacity=args.trace_capacity,
+                       faults=plan,
+                       wallclock_timeout=args.timeout)
+    if plan is not None:
+        print(f"faults: {plan.describe()}")
     t_sim = time.perf_counter()
     result = simulate(circuit, mem, values, params)
     t_sim = time.perf_counter() - t_sim
@@ -247,10 +256,58 @@ def cmd_report(args) -> int:
     return 0
 
 
+def cmd_fuzz(args) -> int:
+    from .verify import ConformanceFuzzer, replay_bundle
+    if args.replay:
+        case = replay_bundle(args.replay, kernel=args.kernel,
+                             max_cycles=args.max_cycles)
+        print(case.describe())
+        if not case.ok:
+            print(f"  {case.message}")
+        return 0 if case.ok else (case.exit_code or 7)
+
+    workloads = None
+    if args.workloads and args.workloads != "all":
+        workloads = [w.strip() for w in args.workloads.split(",")
+                     if w.strip()]
+        from .workloads import get_workload
+        for name in workloads:  # fail fast on a typo
+            get_workload(name)
+    spec = DEFAULT_FUZZ_PASSES if args.passes is None else args.passes
+    passes_from_spec(spec)  # fail fast on a typo, before simulating
+    fuzzer = ConformanceFuzzer(
+        pass_spec=spec, differential=args.differential,
+        artifacts_dir=args.artifacts_dir, kernel=args.kernel,
+        max_cycles=args.max_cycles, wallclock_timeout=args.timeout,
+        minimize=not args.no_minimize)
+    progress = None if args.quiet else \
+        (lambda case: print(case.describe()))
+    report = fuzzer.fuzz(workloads=workloads, n_plans=args.plans,
+                         seed=args.seed, intensity=args.intensity,
+                         progress=progress)
+    print(report.summary())
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(report.to_json(), fh, indent=1, default=str)
+        print(f"wrote {args.json}")
+    failures = report.failures()
+    if not failures:
+        return 0
+    for case in failures:
+        bundle = f" bundle={case.bundle}" if case.bundle else ""
+        print(f"  {case.case_id}: {case.error}{bundle}",
+              file=sys.stderr)
+    return failures[0].exit_code or 7
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description=__doc__,
         formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("--json-errors", action="store_true",
+                        help="print failures as a JSON error document "
+                             "(global flag; give it before the "
+                             "subcommand)")
     sub = parser.add_subparsers(dest="command", required=True)
 
     def add_common(p):
@@ -294,6 +351,21 @@ def build_parser() -> argparse.ArgumentParser:
                    help="dump SimStats (schema repro.simstats/v3)")
     p.add_argument("--validate-each", action="store_true",
                    help="validate the circuit after every pass")
+    p.add_argument("--faults", action="store_true",
+                   help="inject a generated fault plan (LI check: "
+                        "cycles change, behavior must not)")
+    p.add_argument("--fault-seed", type=int, default=None,
+                   metavar="N", help="fault plan seed (implies "
+                                     "--faults; default 0)")
+    p.add_argument("--fault-plan", default=None, metavar="FILE",
+                   help="load a fault plan JSON (e.g. from a repro "
+                        "bundle) instead of generating one")
+    p.add_argument("--fault-intensity", type=float, default=1.0,
+                   metavar="X", help="scale generated fault rates "
+                                     "and magnitudes")
+    p.add_argument("--timeout", type=float, default=None,
+                   metavar="SECONDS",
+                   help="wall-clock watchdog for the simulation")
     add_observe(p)
     p.set_defaults(fn=cmd_simulate)
 
@@ -327,6 +399,41 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--stats-json", default=None, metavar="FILE",
                    help="also dump the raw SimStats document")
     p.set_defaults(fn=cmd_report)
+
+    p = sub.add_parser(
+        "fuzz", help="LI-conformance fuzzing under seeded fault plans")
+    p.add_argument("--workloads", default="all",
+                   help="comma-separated workload names (default: all)")
+    p.add_argument("--plans", type=int, default=5, metavar="N",
+                   help="fault plans per workload (default: 5)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="master seed; plans and verdicts are "
+                        "deterministic from it")
+    p.add_argument("--intensity", type=float, default=1.0, metavar="X",
+                   help="scale fault rates and magnitudes")
+    p.add_argument("--passes", default=None,
+                   help="pass stack under test (default: the full "
+                        "uopt pipeline; pass '' for none)")
+    p.add_argument("--differential", action="store_true",
+                   help="also compare base vs instrumented circuit "
+                        "under the same plan")
+    p.add_argument("--artifacts-dir", default=None, metavar="DIR",
+                   help="write replayable repro bundles for failures")
+    p.add_argument("--kernel", default="event",
+                   choices=("event", "dense"))
+    p.add_argument("--max-cycles", type=int, default=2_000_000)
+    p.add_argument("--timeout", type=float, default=None,
+                   metavar="SECONDS",
+                   help="wall-clock watchdog per simulation")
+    p.add_argument("--json", default=None, metavar="FILE",
+                   help="write the fuzz report JSON here")
+    p.add_argument("--no-minimize", action="store_true",
+                   help="skip fault-category minimization on failure")
+    p.add_argument("--quiet", action="store_true",
+                   help="suppress per-case progress lines")
+    p.add_argument("--replay", default=None, metavar="DIR",
+                   help="re-run the case captured in a repro bundle")
+    p.set_defaults(fn=cmd_fuzz)
     return parser
 
 
@@ -336,8 +443,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     try:
         return args.fn(args)
     except ReproError as exc:
-        print(f"error: {exc}", file=sys.stderr)
-        return 2
+        if getattr(args, "json_errors", False):
+            print(json.dumps(error_document(exc), indent=1,
+                             default=str))
+        else:
+            print(f"error: {exc}", file=sys.stderr)
+        return exit_code_for(exc)
 
 
 if __name__ == "__main__":

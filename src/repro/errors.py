@@ -80,6 +80,31 @@ class SimulationError(ReproError):
     """Raised on simulator misconfiguration or runtime failure."""
 
 
+class SimulationTimeout(SimulationError):
+    """Raised when a run exceeds ``max_cycles`` (still making progress,
+    unlike a deadlock — the two are distinct failure artifacts)."""
+
+    def __init__(self, cycle: int, max_cycles: int):
+        super().__init__(
+            f"exceeded max_cycles={max_cycles} at cycle {cycle}")
+        self.cycle = cycle
+        self.max_cycles = max_cycles
+
+
+class WatchdogTimeout(SimulationError):
+    """Raised by the wall-clock watchdog: the simulation process itself
+    (not the simulated circuit) ran too long.  Carries the last
+    simulated cycle so a repro can bound ``max_cycles`` near it."""
+
+    def __init__(self, cycle: int, elapsed: float, limit: float):
+        super().__init__(
+            f"watchdog: wall-clock {elapsed:.1f}s exceeded "
+            f"{limit:.1f}s at cycle {cycle}")
+        self.cycle = cycle
+        self.elapsed = elapsed
+        self.limit = limit
+
+
 class DeadlockError(SimulationError):
     """Raised when the simulation makes no progress for too long.
 
@@ -110,3 +135,76 @@ class SchedulingError(ReproError):
 
 class WorkloadError(ReproError):
     """Raised when a workload definition or its golden check fails."""
+
+
+class VerificationError(ReproError):
+    """Base class for failures of the verification layer itself."""
+
+
+class LIViolationError(VerificationError):
+    """Raised when a circuit violates latency-insensitivity: its
+    results or memory image changed under a fault plan that only
+    perturbs timing.  Carries what diverged for the repro bundle."""
+
+    def __init__(self, message: str, detail=None):
+        super().__init__(message)
+        self.detail = dict(detail or {})
+
+
+# ---------------------------------------------------------------------------
+# CLI exit codes
+# ---------------------------------------------------------------------------
+# Exit code 0 is success and 1 is reserved for behavior mismatches
+# reported without an exception (``simulate`` comparing against the
+# interpreter).  Every ReproError subclass maps to a distinct nonzero
+# code so scripts and CI can branch on the failure *class* without
+# parsing tracebacks.  Most-derived class wins (DeadlockError is a
+# SimulationError but exits 4, not 6).
+EXIT_CODES = {
+    "ReproError": 2,          # generic usage / configuration error
+    "FrontendError": 2,       # parse family (lex / parse / lowering)
+    "IRError": 3,             # malformed IR / graph / validation
+    "GraphError": 3,
+    "TranslationError": 3,
+    "DeadlockError": 4,
+    "WorkloadError": 5,       # workload golden-check mismatch
+    "SimulationError": 6,     # incl. SimulationTimeout / WatchdogTimeout
+    "VerificationError": 7,   # incl. LIViolationError
+    "PassError": 8,
+    "RTLError": 9,
+    "SchedulingError": 9,
+    "InterpreterError": 6,
+}
+
+
+def exit_code_for(exc: BaseException) -> int:
+    """Distinct CLI exit code for an exception (most-derived wins)."""
+    for cls in type(exc).__mro__:
+        code = EXIT_CODES.get(cls.__name__)
+        if code is not None:
+            return code
+    return 1
+
+
+def error_document(exc: BaseException) -> dict:
+    """Machine-readable failure description (``--json-errors``)."""
+    doc = {
+        "error": type(exc).__name__,
+        "message": str(exc),
+        "exit_code": exit_code_for(exc),
+    }
+    for attr in ("cycle", "line", "column", "max_cycles", "elapsed",
+                 "limit"):
+        value = getattr(exc, attr, None)
+        if value is not None:
+            doc[attr] = value
+    diagnostics = getattr(exc, "diagnostics", None)
+    if diagnostics:
+        doc["diagnostics"] = diagnostics
+    violations = getattr(exc, "violations", None)
+    if violations:
+        doc["violations"] = violations
+    detail = getattr(exc, "detail", None)
+    if detail:
+        doc["detail"] = detail
+    return doc

@@ -10,4 +10,5 @@ against the reference interpreter in the test suite.
 """
 
 from .engine import SimParams, SimResult, Simulator, simulate  # noqa: F401
+from .faults import FaultInjector, FaultPlan  # noqa: F401
 from .stats import SimStats  # noqa: F401

@@ -19,17 +19,24 @@ optional ring-buffer trace, surfaced through ``SimResult.observer``.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import Callable, List, Optional, Sequence
 
 from ..core.circuit import AcceleratorCircuit
 from ..core.validate import validate_circuit
-from ..errors import DeadlockError, SimulationError
+from ..errors import (DeadlockError, SimulationError, SimulationTimeout,
+                      WatchdogTimeout)
 from .events import EventScheduler
+from .faults import FaultInjector, FaultPlan
 from .memory import MemorySystem
 from .observe import Observability, classify_node, _node_loc
 from .stats import SimStats
 from .task import SimRuntime
+
+#: The watchdog samples the wall clock every this many cycles — cheap
+#: enough to leave on unconditionally when a timeout is configured.
+WATCHDOG_STRIDE = 2048
 
 
 @dataclass
@@ -50,6 +57,16 @@ class SimParams:
     observe: str = "counters"
     #: Ring-buffer capacity for observe="trace".
     trace_capacity: int = 65536
+    #: Fault plan injected at the kernel's wake-source seams
+    #: (:mod:`repro.sim.faults`); None = fault-free run.
+    faults: Optional[FaultPlan] = None
+    #: Wall-clock watchdog: abort with :class:`WatchdogTimeout` after
+    #: this many seconds of real time (None = no wall-clock bound).
+    wallclock_timeout: Optional[float] = None
+    #: Progress heartbeat: call ``heartbeat(now, stats)`` every this
+    #: many cycles (0 = off).  Lets long fuzz cases show liveness.
+    heartbeat_cycles: int = 0
+    heartbeat: Optional[Callable[[int, SimStats], None]] = None
 
 
 @dataclass
@@ -89,6 +106,48 @@ class Simulator:
             return self._run_dense(args)
         return self._run_event(args)
 
+    def _make_injector(self) -> Optional[FaultInjector]:
+        plan = self.params.faults
+        return FaultInjector(plan) if plan is not None else None
+
+    @staticmethod
+    def _attach(err: SimulationError, stats: SimStats,
+                now: int) -> SimulationError:
+        """Stamp partial run state onto a failure so repro bundles can
+        ship the SimStats of the doomed run, not just the message."""
+        stats.cycles = now
+        err.stats = stats
+        return err
+
+    # -- watchdog ----------------------------------------------------------
+    # Both kernels share the same guard ordering, checked after each
+    # simulated cycle: deadlock (no progress) wins over the max-cycles
+    # bound (still progressing, just too long), which wins over the
+    # wall-clock watchdog.  ``now >= max_cycles`` bounds the run at
+    # *exactly* max_cycles simulated cycles in both kernels (the old
+    # ``>`` allowed one extra cycle).
+    class _Watchdog:
+        __slots__ = ("limit", "start", "hb_every", "hb")
+
+        def __init__(self, params):
+            self.limit = params.wallclock_timeout
+            self.start = time.perf_counter() if self.limit is not None \
+                else 0.0
+            self.hb = params.heartbeat
+            self.hb_every = params.heartbeat_cycles \
+                if self.hb is not None else 0
+
+        def check(self, now: int, stats: SimStats) -> None:
+            if self.limit is not None and \
+                    not (now & (WATCHDOG_STRIDE - 1)):
+                elapsed = time.perf_counter() - self.start
+                if elapsed > self.limit:
+                    raise Simulator._attach(
+                        WatchdogTimeout(now, elapsed, self.limit),
+                        stats, now)
+            if self.hb_every and now % self.hb_every == 0:
+                self.hb(now, stats)
+
     # -- event kernel ------------------------------------------------------
     def _run_event(self, args: Sequence) -> SimResult:
         params = self.params
@@ -97,66 +156,86 @@ class Simulator:
         sched = EventScheduler()
         observer = Observability(stats, params.observe,
                                  params.trace_capacity)
-        memsys = MemorySystem(self.circuit, self.memory_obj.words, stats)
+        faults = self._make_injector()
+        memsys = MemorySystem(self.circuit, self.memory_obj.words,
+                              stats, faults)
         runtime = SimRuntime(self.circuit, memsys, stats, params,
-                             sched=sched, observer=observer)
+                             sched=sched, observer=observer,
+                             faults=faults)
         runtime.start_root(list(args))
 
         now = 0
         idle_cycles = 0
         deadlock_window = params.deadlock_window
         max_cycles = params.max_cycles
+        watchdog = self._Watchdog(params)
         wheel = sched.wheel
         while not runtime.root_done:
             sched.now = now
+            if faults is not None:
+                faults.now = now
             if wheel:
                 sched.dispatch(now)
             active = runtime.tick_event(now)
             active |= memsys.tick_active(now)
             now += 1
+            if runtime.root_done:
+                break   # completed this very cycle: no limit applies
             if active:
                 idle_cycles = 0
             else:
                 idle_cycles += 1
                 stats.idle_engine_cycles += 1
                 if idle_cycles > deadlock_window:
-                    raise DeadlockError(
+                    raise self._attach(DeadlockError(
                         now, self._deadlock_report(runtime),
-                        self._deadlock_diagnostics(runtime))
-            if now > max_cycles:
-                raise SimulationError(
-                    f"exceeded max_cycles={max_cycles}")
+                        self._deadlock_diagnostics(runtime)), stats, now)
+            if now >= max_cycles:
+                raise self._attach(
+                    SimulationTimeout(now, max_cycles), stats, now)
+            watchdog.check(now, stats)
         stats.cycles = now
         return SimResult(now, runtime.root_results or [], stats,
                          observer=observer)
 
     # -- dense kernel (reference) -----------------------------------------
     def _run_dense(self, args: Sequence) -> SimResult:
+        params = self.params
         stats = SimStats()
         stats.kernel = "dense"
-        memsys = MemorySystem(self.circuit, self.memory_obj.words, stats)
-        runtime = SimRuntime(self.circuit, memsys, stats, self.params)
+        faults = self._make_injector()
+        memsys = MemorySystem(self.circuit, self.memory_obj.words,
+                              stats, faults)
+        runtime = SimRuntime(self.circuit, memsys, stats, params,
+                             faults=faults)
         runtime.start_root(list(args))
 
         now = 0
         idle_cycles = 0
+        watchdog = self._Watchdog(params)
         while not runtime.root_done:
+            if faults is not None:
+                faults.now = now
             active = runtime.tick(now)
             memsys.tick(now)
             active |= memsys.commit()
             now += 1
+            if runtime.root_done:
+                break   # completed this very cycle: no limit applies
             if active:
                 idle_cycles = 0
             else:
                 idle_cycles += 1
                 stats.idle_engine_cycles += 1
-                if idle_cycles > self.params.deadlock_window:
-                    raise DeadlockError(
+                if idle_cycles > params.deadlock_window:
+                    raise self._attach(DeadlockError(
                         now, self._deadlock_report(runtime),
-                        self._deadlock_diagnostics(runtime))
-            if now > self.params.max_cycles:
-                raise SimulationError(
-                    f"exceeded max_cycles={self.params.max_cycles}")
+                        self._deadlock_diagnostics(runtime)), stats, now)
+            if now >= params.max_cycles:
+                raise self._attach(
+                    SimulationTimeout(now, params.max_cycles), stats,
+                    now)
+            watchdog.check(now, stats)
         stats.cycles = now
         return SimResult(now, runtime.root_results or [], stats)
 

@@ -42,10 +42,13 @@ class MemRequest:
 class DRAMSim:
     """Fixed-latency, bandwidth-limited off-chip memory."""
 
-    def __init__(self, model: DRAMModel, image: List, stats: SimStats):
+    def __init__(self, model: DRAMModel, image: List, stats: SimStats,
+                 faults=None):
         self.model = model
         self.image = image
         self.stats = stats
+        self.latency = model.latency + (
+            faults.memory_extra(model.name) if faults is not None else 0)
         self.queue: deque = deque()
         self._staged: List = []
         self.pending: List = []      # heap of (ready_cycle, seq, request)
@@ -65,7 +68,7 @@ class DRAMSim:
             self._perform(req)
             self._seq += 1
             heapq.heappush(self.pending,
-                           (now + self.model.latency, self._seq, req))
+                           (now + self.latency, self._seq, req))
         while self.pending and self.pending[0][0] <= now:
             _rc, _s, req = heapq.heappop(self.pending)
             req.complete(req.value)
@@ -112,9 +115,12 @@ class ScratchpadSim(StructureSim):
     SRABs).  Data is preloaded (DMA happens before kernel start, as in
     the paper's evaluation loops)."""
 
-    def __init__(self, spad: Scratchpad, image: List, stats: SimStats):
+    def __init__(self, spad: Scratchpad, image: List, stats: SimStats,
+                 faults=None):
         super().__init__(image, stats)
         self.spad = spad
+        self.latency = spad.latency + (
+            faults.memory_extra(spad.name) if faults is not None else 0)
         self.read_queues: List[deque] = [deque()
                                          for _ in range(spad.banks)]
         self.write_queues: List[deque] = [deque()
@@ -156,7 +162,7 @@ class ScratchpadSim(StructureSim):
                     self._seq += 1
                     heapq.heappush(
                         self.pending,
-                        (now + self.spad.latency, self._seq, req))
+                        (now + self.latency, self._seq, req))
                 if queue:
                     self.stats.bank_conflict_stalls += len(queue)
                     self.stats.site_stalls[
@@ -197,10 +203,12 @@ class CacheSim(StructureSim):
     DRAM (``ways=1`` gives the classic direct-mapped behavior)."""
 
     def __init__(self, cache: Cache, image: List, stats: SimStats,
-                 dram: DRAMSim):
+                 dram: DRAMSim, faults=None):
         super().__init__(image, stats)
         self.cache = cache
         self.dram = dram
+        self.hit_latency = cache.hit_latency + (
+            faults.memory_extra(cache.name) if faults is not None else 0)
         self.bank_queues: List[deque] = [deque()
                                          for _ in range(cache.banks)]
         lines = max(1, cache.size_words
@@ -252,7 +260,7 @@ class CacheSim(StructureSim):
             self._perform(req)
             self._seq += 1
             heapq.heappush(self.pending,
-                           (now + self.cache.hit_latency, self._seq, req))
+                           (now + self.hit_latency, self._seq, req))
             if req.is_write:
                 # Write-through traffic occupies DRAM bandwidth but the
                 # requester does not wait for it.
@@ -307,10 +315,11 @@ class JunctionSim:
     """Arbitrates a task's memory nodes onto one structure."""
 
     def __init__(self, junction: Junction, structure_sim: StructureSim,
-                 stats: SimStats):
+                 stats: SimStats, faults=None):
         self.junction = junction
         self.structure_sim = structure_sim
         self.stats = stats
+        self.faults = faults
         self.queue: deque = deque()
         self._staged: List[MemRequest] = []
 
@@ -318,6 +327,8 @@ class JunctionSim:
         self._staged.append(request)
 
     def tick(self, now: int) -> None:
+        if self.faults is not None:
+            self.faults.shuffle_grants(self.junction.name, self.queue)
         width = self.junction.issue_width
         served = 0
         for _ in range(width):
@@ -345,16 +356,19 @@ class JunctionSim:
 class MemorySystem:
     """All structure/junction simulators for one circuit."""
 
-    def __init__(self, circuit, image: List, stats: SimStats):
+    def __init__(self, circuit, image: List, stats: SimStats,
+                 faults=None):
         self.image = image
         self.stats = stats
-        self.dram = DRAMSim(circuit.dram, image, stats)
+        self.faults = faults
+        self.dram = DRAMSim(circuit.dram, image, stats, faults)
         self.structure_sims: Dict[int, StructureSim] = {}
         for structure in circuit.structures:
             if isinstance(structure, Scratchpad):
-                sim = ScratchpadSim(structure, image, stats)
+                sim = ScratchpadSim(structure, image, stats, faults)
             elif isinstance(structure, Cache):
-                sim = CacheSim(structure, image, stats, self.dram)
+                sim = CacheSim(structure, image, stats, self.dram,
+                               faults)
             else:
                 continue
             self.structure_sims[id(structure)] = sim
@@ -367,7 +381,7 @@ class MemorySystem:
                         f"junction {junction.name} targets structure "
                         f"with no simulator")
                 self.junction_sims[id(junction)] = JunctionSim(
-                    junction, target, stats)
+                    junction, target, stats, faults)
         self._jsims = list(self.junction_sims.values())
         self._ssims = list(self.structure_sims.values())
 

@@ -19,6 +19,14 @@ from ..errors import SimulationError
 from .memory import MemRequest
 
 
+def _fu_fault_extra(node, instance) -> int:
+    """Fault-injected extra pipeline depth for a function unit."""
+    faults = instance.runtime.faults
+    if faults is None:
+        return 0
+    return faults.fu_extra(instance.task.name, node.name)
+
+
 class _ForkBuffer:
     """Eager fork: delivers one value independently to each consumer.
 
@@ -215,7 +223,8 @@ class ComputeSim(NodeSim):
     def __init__(self, node, instance):
         super().__init__(node, instance)
         info = oplib.op_info(node.op, node.out.type)
-        self.latency = max(1, info.latency)
+        self.latency = max(1, info.latency) + _fu_fault_extra(
+            node, instance)
         self.interval = max(1, info.initiation_interval)
         self.pipe: deque = deque()
         self.next_fire = 0
@@ -284,7 +293,8 @@ class FusedSim(NodeSim):
 
     def __init__(self, node, instance):
         super().__init__(node, instance)
-        self.latency = max(1, node.latency)
+        self.latency = max(1, node.latency) + _fu_fault_extra(
+            node, instance)
         self.pipe: deque = deque()
         self.in_chans = self._in_chans(node.in_ports)
         self.out_fork = self._forks.get(node.out.name)

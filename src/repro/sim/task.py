@@ -36,6 +36,7 @@ from ..core.circuit import TaskBlock
 from ..errors import SimulationError
 from .channel import Channel, EventChannel, LatchedChannel
 from .events import WAKE_CHECK, WAKE_FULL
+from .faults import FaultChannel, FaultEventChannel
 from .nodesim import make_node_sim
 from .stats import SimStats
 
@@ -48,13 +49,16 @@ PARK_RETRY_CYCLES = 16
 class TaskInvocation:
     """One dynamic activation of a task block."""
 
-    __slots__ = ("args", "reply", "parent", "edge_key")
+    __slots__ = ("args", "reply", "parent", "edge_key", "not_before")
 
     def __init__(self, args, reply, parent, edge_key):
         self.args = list(args)
         self.reply = reply          # _CallRecord to fill, or None (spawn)
         self.parent = parent        # parent DataflowInstance or None
         self.edge_key = edge_key
+        #: Earliest cycle a tile may start this invocation (fault
+        #: injection's task-queue slowdown; 0 = immediately).
+        self.not_before = 0
 
 
 class _TaskStatic:
@@ -139,7 +143,10 @@ class DataflowInstance:
         static = runtime.task_static(task)
         channels: Dict[int, object] = {}
         self.channels = channels
-        if sched is not None:
+        faults = runtime.faults
+        if faults is not None:
+            self._make_fault_channels(static, faults)
+        elif sched is not None:
             for cid, depth, stages, p_idx, c_idx in static.conns:
                 ch = EventChannel(depth, stages)
                 ch.owner = self
@@ -203,6 +210,43 @@ class DataflowInstance:
             self._act += 1
         else:
             self._act = 0
+
+    def _make_fault_channels(self, static, faults) -> None:
+        """Channel construction under an active fault plan.
+
+        Edges the plan leaves alone get ordinary channels; perturbed
+        edges get fault channels carrying their extra stages and/or
+        credit-withhold window.  Each transient window's end is armed
+        as a producer wake on the timing wheel — the credit-restore
+        edge the event kernel would otherwise never see (a permanent
+        freeze arms nothing: it *should* end in a deadlock report).
+        """
+        sched = self.sched
+        task_name = self.task.name
+        now = sched.now if sched is not None else 0
+        for ordinal, (cid, depth, stages, p_idx, c_idx) in \
+                enumerate(static.conns):
+            extra = faults.channel_extra(task_name, ordinal)
+            window = faults.stall_window(task_name, ordinal)
+            if window is not None and window[1] is not None \
+                    and window[1] <= now:
+                window = None       # already over before we started
+            if sched is not None:
+                if extra or window is not None:
+                    ch = FaultEventChannel(depth, stages, extra,
+                                           window, faults)
+                    if window is not None and window[1] is not None:
+                        sched.wheel.schedule(window[1], self, p_idx)
+                else:
+                    ch = EventChannel(depth, stages)
+                ch.owner = self
+                ch.producer_idx = p_idx
+                ch.consumer_idx = c_idx
+            elif extra or window is not None:
+                ch = FaultChannel(depth, stages, extra, window, faults)
+            else:
+                ch = Channel(depth, stages)
+            self.channels[cid] = ch
 
     # -- wiring ------------------------------------------------------------
     def junction_sim_for(self, node):
@@ -546,7 +590,8 @@ class TaskBlockSim:
                 still_parked.append(inst)
         self.parked = still_parked
         # Start ready invocations on free capacity.
-        while self.ready and len(self.active) < self.capacity:
+        while self.ready and len(self.active) < self.capacity and \
+                self.ready[0].not_before <= now:
             inv = self.ready.popleft()
             self.edge_pending[inv.edge_key] -= 1
             inst = DataflowInstance(self.task, self.runtime, inv)
@@ -563,7 +608,11 @@ class TaskBlockSim:
                     inst.response_arrived = False
                     inst.idle_cycles = 0
                     self.active.append(inst)
-                    active_cycle = True
+                    # Deliberately NOT an active cycle: a retry only
+                    # counts if the re-run instance makes real progress
+                    # (its own tick reports that).  Counting the unpark
+                    # itself would let a permanently blocked enqueue
+                    # defeat deadlock detection by retrying forever.
                 else:
                     still_parked.append(inst)
             self.parked = still_parked
@@ -621,7 +670,8 @@ class TaskBlockSim:
                 else:
                     still_parked.append(inst)
             self.parked = still_parked
-        while self.ready and len(self.active) < self.capacity:
+        while self.ready and len(self.active) < self.capacity and \
+                self.ready[0].not_before <= now:
             inv = self.ready.popleft()
             self.edge_pending[inv.edge_key] -= 1
             self.runtime.credit_edge(inv.edge_key)
@@ -639,7 +689,9 @@ class TaskBlockSim:
                 if retry and len(self.active) < self.capacity:
                     inst.response_arrived = False
                     self._unpark(inst, now)
-                    active_cycle = True
+                    # Not an active cycle (see the dense kernel's
+                    # retry loop): progress, if any, is reported by
+                    # the instance's own sweep below.
                 else:
                     still_parked.append(inst)
             self.parked = still_parked
@@ -688,7 +740,7 @@ class SimRuntime:
     ROOT_EDGE = ("__host__", "__root__")
 
     def __init__(self, circuit, memory_system, stats: SimStats, params,
-                 sched=None, observer=None):
+                 sched=None, observer=None, faults=None):
         self.circuit = circuit
         self.memory = memory_system
         self.stats = stats
@@ -696,6 +748,12 @@ class SimRuntime:
         #: Event scheduler (None selects the dense kernel).
         self.sched = sched
         self.observer = observer
+        #: Fault injector of the run (None = fault-free).
+        self.faults = faults
+        #: Current cycle (valid during tick/tick_event; the enqueue
+        #: path needs it to stamp fault-injected start delays).
+        self.now = 0
+        self._enq_seq = 0
         self.blocks: Dict[str, TaskBlockSim] = {
             name: TaskBlockSim(task, self)
             for name, task in circuit.tasks.items()}
@@ -726,7 +784,14 @@ class SimRuntime:
         depth = self.edge_depth.get(key, 4)
         if block.pending_count(key) >= depth:
             return False
-        block.enqueue(TaskInvocation(args, reply, parent, key))
+        inv = TaskInvocation(args, reply, parent, key)
+        if self.faults is not None:
+            delay = self.faults.queue_delay(parent_name, callee,
+                                            self._enq_seq)
+            self._enq_seq += 1
+            if delay:
+                inv.not_before = self.now + delay
+        block.enqueue(inv)
         return True
 
     def register_edge_waiter(self, key: tuple, instance, sim) -> None:
@@ -773,12 +838,14 @@ class SimRuntime:
                      self.sched.now if self.sched else 0)
 
     def tick(self, now: int) -> bool:
+        self.now = now
         active = False
         for block in self.block_list:
             active |= block.tick(now)
         return active
 
     def tick_event(self, now: int) -> bool:
+        self.now = now
         active = False
         for block in self.block_list:
             active |= block.tick_event(now)

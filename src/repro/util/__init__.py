@@ -1,0 +1,4 @@
+"""Shared utilities (deterministic RNG plumbing, small helpers)."""
+
+from .rng import (derive_seed, rng_for, seed_memory, site_fraction,
+                  site_int)  # noqa: F401

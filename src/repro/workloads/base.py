@@ -2,11 +2,11 @@
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..errors import WorkloadError
+from ..util.rng import rng_for
 from ..frontend import compile_minic
 from ..frontend.interp import Interpreter, Memory
 from ..frontend.ir import Module
@@ -117,12 +117,16 @@ def workload_names(category: Optional[str] = None) -> List[str]:
             if category is None or w.category == category]
 
 
+# Golden-data generators.  ``rng_for(seed)`` with no stream is exactly
+# ``random.Random(seed)``, so the sequences below are unchanged from
+# the pre-centralization era (golden data is stable across releases).
+
 def seeded_floats(n: int, seed: int, lo: float = -1.0,
                   hi: float = 1.0) -> List[float]:
-    rng = random.Random(seed)
+    rng = rng_for(seed)
     return [round(rng.uniform(lo, hi), 4) for _ in range(n)]
 
 
 def seeded_ints(n: int, seed: int, lo: int = 0, hi: int = 100) -> List[int]:
-    rng = random.Random(seed)
+    rng = rng_for(seed)
     return [rng.randint(lo, hi) for _ in range(n)]

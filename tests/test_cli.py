@@ -130,3 +130,77 @@ class TestOthers:
     def test_bench_obs_level_flag(self, capsys):
         assert main(["bench", "spmv", "--obs-level", "off"]) == 0
         assert "verified" in capsys.readouterr().out
+
+
+class TestFaultInjection:
+    def test_simulate_with_generated_faults(self, src_file, capsys):
+        assert main(["simulate", src_file, "--args", "16", "2.0",
+                     "--faults", "--fault-seed", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "faults: FaultPlan(seed=5" in out
+        assert "behavior vs interpreter: OK" in out
+
+    def test_simulate_with_fault_plan_file(self, src_file, tmp_path,
+                                           capsys):
+        from repro.sim import FaultPlan
+        planp = str(tmp_path / "plan.json")
+        with open(planp, "w") as fh:
+            json.dump(FaultPlan.generate(3).to_json(), fh)
+        assert main(["simulate", src_file, "--args", "16", "2.0",
+                     "--fault-plan", planp]) == 0
+        assert "behavior vs interpreter: OK" in \
+            capsys.readouterr().out
+
+    def test_forced_freeze_exits_with_deadlock_code(self, src_file,
+                                                    tmp_path, capsys):
+        from repro.sim import FaultPlan
+        planp = str(tmp_path / "freeze.json")
+        with open(planp, "w") as fh:
+            json.dump(FaultPlan(seed=1, freeze_at=40).to_json(), fh)
+        rc = main(["simulate", src_file, "--args", "16", "2.0",
+                   "--fault-plan", planp])
+        assert rc == 4
+        assert "deadlock" in capsys.readouterr().err.lower()
+
+    def test_json_errors_document(self, src_file, tmp_path, capsys):
+        from repro.sim import FaultPlan
+        planp = str(tmp_path / "freeze.json")
+        with open(planp, "w") as fh:
+            json.dump(FaultPlan(seed=1, freeze_at=40).to_json(), fh)
+        rc = main(["--json-errors", "simulate", src_file,
+                   "--args", "16", "2.0", "--fault-plan", planp])
+        assert rc == 4
+        out = capsys.readouterr().out
+        doc = json.loads(out[out.index("{"):])
+        assert doc["error"] == "DeadlockError"
+        assert doc["exit_code"] == 4
+        assert doc["diagnostics"]
+
+
+class TestFuzzCommand:
+    def test_fuzz_clean_run(self, capsys):
+        assert main(["fuzz", "--workloads", "fib", "--plans", "2",
+                     "--seed", "4", "--passes", ""]) == 0
+        out = capsys.readouterr().out
+        assert "all conformant" in out
+        assert "fib-base-fault-" in out
+
+    def test_fuzz_report_json(self, tmp_path, capsys):
+        out = str(tmp_path / "report.json")
+        assert main(["fuzz", "--workloads", "fib", "--plans", "1",
+                     "--seed", "4", "--passes", "", "--quiet",
+                     "--json", out]) == 0
+        capsys.readouterr()
+        doc = json.load(open(out))
+        assert doc["schema"] == "repro.fuzzreport/v1"
+        assert doc["ok"] is True and doc["total"] == 1
+
+    def test_fuzz_unknown_pass_fails_fast(self, capsys):
+        assert main(["fuzz", "--workloads", "fib",
+                     "--passes", "warp"]) == 2
+        assert "unknown pass" in capsys.readouterr().err
+
+    def test_fuzz_unknown_workload(self, capsys):
+        assert main(["fuzz", "--workloads", "nope", "--plans", "1",
+                     "--passes", ""]) == 5
+        assert "unknown workload" in capsys.readouterr().err

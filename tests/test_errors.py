@@ -54,3 +54,67 @@ class TestCatchability:
             compile_minic("func main( {")  # syntax error
         with pytest.raises(errors.ReproError):
             compile_minic("func main(n: i32) { x = 1; }")  # lowering
+
+
+class TestExitCodes:
+    """Every error family maps to a documented, distinct exit code."""
+
+    def test_family_codes(self):
+        cases = [
+            (errors.ParseError("x"), 2),
+            (errors.LexError("x", 1, 1), 2),
+            (errors.TranslationError("x"), 3),
+            (errors.ValidationError(["x"]), 3),
+            (errors.DeadlockError(9, "x"), 4),
+            (errors.WorkloadError("x"), 5),
+            (errors.SimulationTimeout(10, 10), 6),
+            (errors.WatchdogTimeout(10, 1.0, 0.5), 6),
+            (errors.LIViolationError("x"), 7),
+            (errors.VerificationError("x"), 7),
+            (errors.PassError("x"), 8),
+            (errors.ReproError("x"), 2),
+        ]
+        for exc, want in cases:
+            assert errors.exit_code_for(exc) == want, type(exc).__name__
+
+    def test_most_derived_class_wins(self):
+        # DeadlockError is a SimulationError; 4 must win over 6.
+        assert issubclass(errors.DeadlockError, errors.SimulationError)
+        assert errors.exit_code_for(errors.DeadlockError(1, "x")) == 4
+
+    def test_non_repro_exception_is_internal(self):
+        assert errors.exit_code_for(ValueError("x")) == 1
+
+
+class TestErrorDocument:
+    def test_basic_shape(self):
+        doc = errors.error_document(errors.ReproError("boom"))
+        assert doc == {"error": "ReproError", "message": "boom",
+                       "exit_code": 2}
+
+    def test_deadlock_includes_diagnostics(self):
+        diags = [{"task": "t", "instances": []}]
+        err = errors.DeadlockError(77, "stuck", diags)
+        doc = errors.error_document(err)
+        assert doc["error"] == "DeadlockError"
+        assert doc["exit_code"] == 4
+        assert doc["cycle"] == 77
+        assert doc["diagnostics"] == diags
+
+    def test_position_fields(self):
+        doc = errors.error_document(errors.LexError("bad", 3, 7))
+        assert doc["line"] == 3 and doc["column"] == 7
+
+    def test_timeout_fields(self):
+        doc = errors.error_document(errors.SimulationTimeout(50, 50))
+        assert doc["cycle"] == 50 and doc["max_cycles"] == 50
+        doc = errors.error_document(
+            errors.WatchdogTimeout(2048, 1.5, 1.0))
+        assert doc["elapsed"] == 1.5 and doc["limit"] == 1.0
+
+    def test_li_violation_detail(self):
+        err = errors.LIViolationError(
+            "diverged", {"memory": {"mismatched_words": 3}})
+        doc = errors.error_document(err)
+        assert doc["exit_code"] == 7
+        assert doc["detail"]["memory"]["mismatched_words"] == 3

@@ -1,0 +1,86 @@
+"""The LI invariant, fuzzed: every workload, under seeded fault plans,
+must produce bit-identical results and memory — with and without the
+full uopt pass pipeline.
+
+This is the paper's central correctness claim turned into a test: the
+bundled-data protocol makes circuit behavior a function of the
+dataflow graph alone, never of component timing.  Fault plans perturb
+channel latencies, memory/FU latencies, arbiter grant order, credit
+windows and task-queue timing; only the cycle count may move.
+"""
+
+import pytest
+
+from repro.sim.faults import FaultPlan
+from repro.util.rng import derive_seed
+from repro.verify import DEFAULT_FUZZ_PASSES, ConformanceFuzzer
+from repro.workloads import workload_names
+
+N_PLANS = 5
+ALL_WORKLOADS = workload_names()
+
+#: One plan set shared by every workload — seeds derived exactly the
+#: way ``repro fuzz --seed 1811`` derives them.
+PLANS = [FaultPlan.generate(derive_seed(1811, "plan", i))
+         for i in range(N_PLANS)]
+
+
+@pytest.fixture(scope="module")
+def baseline_fuzzer():
+    """Shared fuzzer => circuits/baselines built once per config."""
+    return ConformanceFuzzer(pass_spec="")
+
+
+@pytest.fixture(scope="module")
+def pipeline_fuzzer():
+    return ConformanceFuzzer(pass_spec=DEFAULT_FUZZ_PASSES)
+
+
+def test_covers_every_workload():
+    # The parametrized tests below must span the full table.
+    assert len(ALL_WORKLOADS) >= 19
+
+
+@pytest.mark.parametrize("workload", ALL_WORKLOADS)
+def test_li_conformance_baseline(baseline_fuzzer, workload):
+    for plan in PLANS:
+        case = baseline_fuzzer.run_case(workload, plan)
+        assert case.ok, f"{case.case_id}: {case.message}"
+        assert case.cycles_run > 0
+
+
+@pytest.mark.parametrize("workload", ALL_WORKLOADS)
+def test_li_conformance_full_pipeline(pipeline_fuzzer, workload):
+    for plan in PLANS:
+        case = pipeline_fuzzer.run_case(workload, plan)
+        assert case.ok, f"{case.case_id}: {case.message}"
+
+
+def test_faults_actually_perturb_schedules(baseline_fuzzer):
+    """A fault plan that changes nothing tests nothing: across the
+    suite's plans, gemm's cycle count must move at least once."""
+    cycles = set()
+    for plan in PLANS:
+        case = baseline_fuzzer.run_case("gemm", plan)
+        assert case.ok
+        cycles.add(case.cycles_run)
+        cycles.add(case.cycles_ref)
+    assert len(cycles) > 1
+
+
+def test_differential_mode_compares_base_vs_instrumented():
+    fz = ConformanceFuzzer(pass_spec=DEFAULT_FUZZ_PASSES,
+                           differential=True)
+    case = fz.run_case("spmv", PLANS[0], mode="differential")
+    assert case.ok, case.message
+    # Reference side really is the un-instrumented circuit.
+    assert ("spmv", "base", "") in fz._circuits
+
+
+def test_dense_kernel_conformance_spot_check():
+    """The reference kernel honors the same fault plans (spot check —
+    the full matrix runs on the event kernel above)."""
+    fz = ConformanceFuzzer(pass_spec="", kernel="dense")
+    for workload in ("gemm", "fib"):
+        case = fz.run_case(workload, PLANS[0])
+        assert case.ok, case.message
