@@ -1,64 +1,48 @@
 #!/usr/bin/env python3
 """Design-space exploration: the workflow uIR exists to enable.
 
-Sweeps a small (banks x tiles) grid for the image-scaling accelerator,
-simulating every point and estimating its FPGA cost — the "fertile
-playground" the paper promises computer architects.  Every point is
-generated from the same unmodified program; only uopt parameters vary.
+Sweeps the (banks x tiles) grid for the image-scaling accelerator
+through :func:`repro.dse.explore` — worker processes in parallel, a
+persistent content-addressed result cache, and Pareto-frontier
+extraction.  Every point is generated from the same unmodified
+program; only the uopt pipeline template varies:
+
+    localize,banking={banks},fusion,tuning,
+    pipelining?tiles>1,tiling={tiles}?tiles>1
+
+Run it twice: the second sweep is served from the cache.
 
 Run:  python examples/design_space_exploration.py
 """
 
-from repro.frontend import translate_module
-from repro.opt import (
-    ExecutionTiling,
-    MemoryLocalization,
-    OpFusion,
-    ParameterTuning,
-    PassManager,
-    ScratchpadBanking,
-    TaskPipelining,
-)
-from repro.rtl import synthesize
-from repro.sim import simulate
-from repro.workloads import get_workload
+from repro.dse import GridSpace, explore
 
-
-def evaluate(workload, banks, tiles):
-    circuit = translate_module(workload.module(),
-                               name=f"img_{banks}b_{tiles}t")
-    passes = [MemoryLocalization(), ScratchpadBanking(banks),
-              OpFusion(), ParameterTuning()]
-    if tiles > 1:
-        passes += [TaskPipelining(), ExecutionTiling(tiles)]
-    PassManager(passes).run(circuit)
-    mem = workload.fresh_memory()
-    result = simulate(circuit, mem, list(workload.args))
-    workload.verify(mem)
-    synth = synthesize(circuit)
-    return result.cycles / synth.fpga_mhz, synth.alms
+PIPELINE = ("localize,banking={banks},fusion,tuning,"
+            "pipelining?tiles>1,tiling={tiles}?tiles>1")
 
 
 def main() -> None:
-    w = get_workload("img_scale")
-    points = []
-    for banks in (1, 2, 4):
-        for tiles in (1, 2, 4):
-            time_us, alms = evaluate(w, banks, tiles)
-            points.append((banks, tiles, time_us, alms))
+    report = explore(
+        "img_scale",
+        GridSpace({"banks": [1, 2, 4], "tiles": [1, 2, 4]}),
+        pipeline=PIPELINE,
+        workers=4,
+        cache=".repro-cache",
+        objectives=("time_us", "alms"))
 
-    print(f"{'banks':>5} {'tiles':>5} {'time_us':>9} {'ALMs':>7}")
-    for banks, tiles, time_us, alms in points:
-        print(f"{banks:>5} {tiles:>5} {time_us:>9.2f} {alms:>7}")
+    print(f"{'banks':>5} {'tiles':>5} {'time_us':>9} {'ALMs':>7}"
+          f"  source")
+    for p in report.points:
+        print(f"{p.params['banks']:>5} {p.params['tiles']:>5} "
+              f"{p.metric('time_us'):>9.2f} {p.synth['alms']:>7}"
+              f"  {p.source}")
 
-    pareto = []
-    for p in sorted(points, key=lambda p: p[2]):
-        if not pareto or p[3] < pareto[-1][3]:
-            pareto.append(p)
-    print("\nPareto frontier (fastest first, strictly cheaper after):")
-    for banks, tiles, time_us, alms in pareto:
-        print(f"  banks={banks} tiles={tiles}: "
-              f"{time_us:.2f} us, {alms} ALMs")
+    print("\nPareto frontier (time_us/ALMs, minimized):")
+    for index in report.pareto:
+        p = report.point(index)
+        print(f"  banks={p.params['banks']} tiles={p.params['tiles']}: "
+              f"{p.metric('time_us'):.2f} us, {p.synth['alms']} ALMs")
+    print(f"\n{report.summary()}")
 
 
 if __name__ == "__main__":

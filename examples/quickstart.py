@@ -1,29 +1,21 @@
 #!/usr/bin/env python3
 """Quickstart: software in, optimized accelerator out.
 
-Walks the paper's Figure 1 pipeline end to end:
+Walks the paper's Figure 1 pipeline end to end through the
+:class:`repro.Pipeline` facade:
 
 1. write a kernel in MiniC (the stand-in for C++/Cilk),
 2. translate it to a uIR accelerator graph (Stage 1),
-3. apply uopt passes (Stage 2),
-4. simulate cycle-accurately and check behavior against the
-   reference interpreter,
+3. apply uopt passes via the spec mini-language (Stage 2),
+4. simulate cycle-accurately — behavior is checked against the
+   reference interpreter automatically,
 5. lower to Chisel text and estimate FPGA quality (Stage 3).
 
 Run:  python examples/quickstart.py
 """
 
-from repro.frontend import compile_minic, translate_module
-from repro.frontend.interp import Interpreter, Memory
-from repro.opt import (
-    MemoryLocalization,
-    OpFusion,
-    ParameterTuning,
-    PassManager,
-    ScratchpadBanking,
-)
-from repro.rtl import emit_chisel, synthesize
-from repro.sim import simulate
+from repro import Pipeline, emit_chisel
+from repro.frontend.interp import Memory
 
 SOURCE = """
 array x: f32[128];
@@ -37,59 +29,46 @@ func main(n: i32, a: f32) {
 """
 
 
-def main() -> None:
-    # -- 1. behavior: compile and run the reference interpreter ------
-    module = compile_minic(SOURCE)
-    golden = Memory(module)
-    golden.set_array("x", [float(i % 11) for i in range(128)])
-    golden.set_array("y", [1.0] * 128)
-    Interpreter(module, golden).run(128, 2.0)
-    print("reference y[:6]  =", golden.get_array("y")[:6])
+def saxpy_memory(module) -> Memory:
+    mem = Memory(module)
+    mem.set_array("x", [float(i % 11) for i in range(128)])
+    mem.set_array("y", [1.0] * 128)
+    return mem
 
-    # -- 2. microarchitecture: translate to a uIR circuit -------------
-    baseline = translate_module(module, name="saxpy")
-    print("\nbaseline circuit:", baseline)
-    for task in baseline.tasks.values():
+
+def main() -> None:
+    # -- 1+2. compile, translate, and measure the baseline -------------
+    base_pipe = Pipeline(SOURCE, name="saxpy")
+    print("baseline circuit:", base_pipe.circuit)
+    for task in base_pipe.circuit.tasks.values():
         print(f"  task {task.name:<22} kind={task.kind:<5} "
               f"nodes={len(task.dataflow.nodes)}")
 
-    # -- 3. measure the baseline ---------------------------------------
-    mem = Memory(module)
-    mem.set_array("x", [float(i % 11) for i in range(128)])
-    mem.set_array("y", [1.0] * 128)
-    base = simulate(baseline, mem, [128, 2.0])
-    assert mem.words == golden.words, "baseline diverged!"
-    base_synth = synthesize(baseline, "saxpy-baseline")
+    base = base_pipe.simulate(
+        args=[128, 2.0],
+        memory=saxpy_memory(base_pipe.module)).synthesize()
     print(f"\nbaseline: {base.cycles} cycles @ "
-          f"{base_synth.fpga_mhz:.0f} MHz = "
-          f"{base.cycles / base_synth.fpga_mhz:.2f} us")
+          f"{base.synth.fpga_mhz:.0f} MHz = {base.time_us:.2f} us "
+          f"(verified={base.verified})")
 
-    # -- 4. optimize: uopt passes transform the graph, not the code --
-    optimized = translate_module(module, name="saxpy_opt")
-    log = PassManager([
-        MemoryLocalization(),      # per-array scratchpads (Pass 3)
-        ScratchpadBanking(4),      # 4 banks each (Pass 4)
-        OpFusion(),                # fuse + retime pipelines (Pass 5)
-        ParameterTuning(),         # widen junctions, deepen queues
-    ]).run(optimized)
-    for result in log:
-        print(f"  pass {result.pass_name:<22} changed={result.changed}")
-
-    mem = Memory(module)
-    mem.set_array("x", [float(i % 11) for i in range(128)])
-    mem.set_array("y", [1.0] * 128)
-    opt = simulate(optimized, mem, [128, 2.0])
-    assert mem.words == golden.words, "optimization changed behavior!"
-    opt_synth = synthesize(optimized, "saxpy-opt")
+    # -- 3+4. optimize: uopt passes transform the graph, not the code --
+    opt_pipe = Pipeline(SOURCE, name="saxpy_opt")
+    opt = (opt_pipe
+           .optimize("localize,banking=4,fusion,tuning")
+           .simulate(args=[128, 2.0],
+                     memory=saxpy_memory(opt_pipe.module))
+           .synthesize())
+    for result in opt.pass_log:
+        print(f"  pass {result.pass_name:<22} "
+              f"changed={result.changed}")
     print(f"optimized: {opt.cycles} cycles @ "
-          f"{opt_synth.fpga_mhz:.0f} MHz = "
-          f"{opt.cycles / opt_synth.fpga_mhz:.2f} us")
-    speedup = (base.cycles / base_synth.fpga_mhz) / \
-        (opt.cycles / opt_synth.fpga_mhz)
-    print(f"speedup: {speedup:.2f}x — behavior unchanged (asserted)")
+          f"{opt.synth.fpga_mhz:.0f} MHz = {opt.time_us:.2f} us "
+          f"(verified={opt.verified})")
+    print(f"speedup: {base.time_us / opt.time_us:.2f}x — behavior "
+          f"unchanged (checked against the interpreter)")
 
-    # -- 5. lower to RTL --------------------------------------------------
-    chisel = emit_chisel(optimized)
+    # -- 5. lower to RTL ------------------------------------------------
+    chisel = emit_chisel(opt_pipe.circuit)
     print("\nfirst lines of the generated Chisel:")
     for line in chisel.splitlines()[:14]:
         print("   ", line)

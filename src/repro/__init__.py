@@ -22,9 +22,17 @@ The package mirrors the paper's toolflow (Figure 3):
 
 __version__ = "0.1.0"
 
-# Convenience top-level API (the quickstart surface).
+# Convenience top-level API (the quickstart surface).  The Pipeline
+# facade is the front door; the hand-wired building blocks below it
+# remain public as thin compatibility shims.
+from .api import Evaluation, Pipeline, evaluate  # noqa: E402,F401
 from .frontend import compile_minic, translate_module  # noqa: E402,F401
 from .frontend.interp import Interpreter, Memory  # noqa: E402,F401
 from .sim import SimParams, simulate  # noqa: E402,F401
-from .opt import PASS_REGISTRY, PassManager  # noqa: E402,F401
+from .opt import (  # noqa: E402,F401
+    PASS_REGISTRY,
+    PassManager,
+    PassSpec,
+    parse_passes,
+)
 from .rtl import emit_chisel, synthesize  # noqa: E402,F401

@@ -1,0 +1,294 @@
+"""The unified toolflow facade: ``Pipeline`` and ``Evaluation``.
+
+Every consumer of the toolchain — the CLI, the bench harness, the
+design-space-exploration engine, and the examples — used to hand-wire
+the same four calls: ``translate_module`` -> ``PassManager`` ->
+``simulate`` -> ``synthesize``.  :class:`Pipeline` packages that flow
+behind one chainable entry point::
+
+    from repro import Pipeline
+
+    ev = (Pipeline("img_scale")
+          .optimize("localize,banking=4,fusion,tuning")
+          .simulate()
+          .synthesize())
+    print(ev.cycles, ev.time_us, ev.synth.alms)
+
+A Pipeline accepts a workload name, a :class:`~repro.workloads.Workload`,
+MiniC source text, or an already-compiled
+:class:`~repro.frontend.ir.Module`.  ``optimize`` takes pass instances,
+:class:`~repro.opt.PassSpec` objects, or the spec mini-language
+(``"banking=4,tiling=2"``, see :mod:`repro.opt.specs`).  Each stage
+returns the Pipeline so the chain reads like the paper's Figure 1;
+``synthesize()`` (or :meth:`Pipeline.evaluation`) returns the typed
+:class:`Evaluation` aggregate.
+
+The old hand-wired pattern keeps working — the four building blocks
+remain public and `repro.bench.run_workload` is now a thin shim over
+this facade.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from .errors import ReproError, WorkloadError
+from .frontend import compile_minic, translate_module
+from .frontend.interp import Interpreter, Memory
+from .frontend.ir import Module
+from .opt import PassManager, PassResult, coerce_passes
+from .rtl import SynthesisReport, synthesize
+from .sim import SimParams, SimResult, simulate
+from .workloads import WORKLOADS, Workload
+
+
+@dataclass
+class Evaluation:
+    """Typed aggregate of one end-to-end pipeline evaluation."""
+
+    name: str
+    workload: Optional[str]
+    variant: str
+    #: Canonical pass-spec string, or None when the pipeline was built
+    #: from pre-constructed pass instances (not spec-recoverable).
+    passes: Optional[str]
+    pass_log: List[PassResult] = field(default_factory=list)
+    sim: Optional[SimResult] = None
+    synth: Optional[SynthesisReport] = None
+    #: Result of behavior verification: True/False, or None when the
+    #: simulation ran unchecked (or never ran).
+    verified: Optional[bool] = None
+
+    @property
+    def cycles(self) -> Optional[int]:
+        return self.sim.cycles if self.sim else None
+
+    @property
+    def stats(self):
+        return self.sim.stats if self.sim else None
+
+    @property
+    def results(self) -> List:
+        return self.sim.results if self.sim else []
+
+    @property
+    def time_us(self) -> Optional[float]:
+        """FPGA wall-clock estimate; needs both sim and synthesis."""
+        if self.sim is None or self.synth is None:
+            return None
+        return self.sim.cycles / self.synth.fpga_mhz
+
+    def to_json(self) -> Dict:
+        doc: Dict = {
+            "name": self.name,
+            "workload": self.workload,
+            "variant": self.variant,
+            "passes": self.passes,
+            "verified": self.verified,
+            "pass_log": [{"name": r.pass_name, "changed": r.changed,
+                          "dN": r.delta_nodes, "dE": r.delta_edges}
+                         for r in self.pass_log],
+        }
+        if self.sim is not None:
+            doc["cycles"] = self.sim.cycles
+            doc["results"] = list(self.sim.results)
+            doc["stats"] = self.sim.stats.to_json()
+        if self.synth is not None:
+            doc["synth"] = self.synth.to_json()
+            if self.sim is not None:
+                doc["time_us"] = self.time_us
+        return doc
+
+    def __repr__(self) -> str:
+        bits = [self.name]
+        if self.sim is not None:
+            bits.append(f"{self.sim.cycles} cyc")
+        if self.time_us is not None:
+            bits.append(f"{self.time_us:.2f} us")
+        if self.synth is not None:
+            bits.append(f"{self.synth.alms} ALMs")
+        return f"Evaluation({', '.join(bits)})"
+
+
+class Pipeline:
+    """Chainable workload -> uIR -> uopt -> sim -> synthesis facade."""
+
+    def __init__(self, workload, *, variant: str = "base",
+                 name: Optional[str] = None):
+        self.workload: Optional[Workload] = None
+        self.variant = variant
+        if isinstance(workload, Workload):
+            self.workload = workload
+        elif isinstance(workload, Module):
+            self.module = workload
+        elif isinstance(workload, str):
+            if _looks_like_source(workload):
+                self.module = compile_minic(
+                    workload, filename=name or "<pipeline>")
+            elif workload in WORKLOADS:
+                self.workload = WORKLOADS[workload]
+            else:
+                raise ReproError(
+                    f"{workload!r} is neither a known workload "
+                    f"({', '.join(sorted(WORKLOADS))}) nor MiniC "
+                    f"source text")
+        else:
+            raise ReproError(
+                f"cannot build a Pipeline from {type(workload).__name__}")
+        if self.workload is not None:
+            if variant != "base" and variant not in self.workload.variants:
+                raise ReproError(
+                    f"workload {self.workload.name!r} has no variant "
+                    f"{variant!r}")
+            self.module = self.workload.module(variant)
+            default = self.workload.name if variant == "base" \
+                else f"{self.workload.name}_{variant}"
+        else:
+            default = "pipeline"
+        self.name = name or default
+        self.circuit = translate_module(self.module, name=self.name)
+        self.pass_log: List[PassResult] = []
+        #: Canonical spec of everything optimize() ran, None once a
+        #: non-spec pass instance slips in.
+        self.pass_spec: Optional[str] = ""
+        self.sim: Optional[SimResult] = None
+        self.memory: Optional[Memory] = None
+        self.synth: Optional[SynthesisReport] = None
+        self.verified: Optional[bool] = None
+
+    @classmethod
+    def from_circuit(cls, circuit, *, workload=None,
+                     variant: str = "base") -> "Pipeline":
+        """Wrap an already-translated (possibly optimized) circuit."""
+        pipe = cls.__new__(cls)
+        pipe.workload = WORKLOADS[workload] if isinstance(workload, str) \
+            else workload
+        pipe.variant = variant
+        pipe.module = pipe.workload.module(variant) if pipe.workload \
+            else None
+        pipe.name = circuit.name
+        pipe.circuit = circuit
+        pipe.pass_log = []
+        pipe.pass_spec = None
+        pipe.sim = None
+        pipe.memory = None
+        pipe.synth = None
+        pipe.verified = None
+        return pipe
+
+    # -- stage 2: uopt ---------------------------------------------------
+    def optimize(self, passes=None, *, validate: bool = True,
+                 validate_each: bool = False) -> "Pipeline":
+        """Run a pass pipeline (spec string / specs / instances)."""
+        instances, label = coerce_passes(passes)
+        manager = PassManager(instances, validate=validate,
+                              validate_each=validate_each)
+        self.pass_log.extend(manager.run(self.circuit))
+        if self.pass_spec is None or label is None:
+            self.pass_spec = None
+        else:
+            self.pass_spec = ",".join(
+                p for p in (self.pass_spec, label) if p)
+        return self
+
+    # -- stage "sim": cycle-level execution ------------------------------
+    def simulate(self, params: Optional[SimParams] = None, *,
+                 args: Optional[Sequence] = None,
+                 memory: Optional[Memory] = None,
+                 check: bool = True) -> "Pipeline":
+        """Simulate the circuit; verify behavior unless ``check=False``.
+
+        Workload pipelines default ``args``/``memory`` from the
+        workload and verify against its golden data.  Source/module
+        pipelines snapshot the initial memory image and compare the
+        simulated result against the reference interpreter run on the
+        same snapshot.
+        """
+        if self.workload is not None:
+            if args is None:
+                args = self.workload.args_for(self.variant)
+            if memory is None:
+                memory = self.workload.fresh_memory(self.variant)
+        else:
+            if memory is None:
+                memory = Memory(self.module)
+            args = args or ()
+        golden: Optional[Memory] = None
+        if check and self.workload is None:
+            golden = Memory(self.module)
+            golden.words[:] = memory.words
+        self.sim = simulate(self.circuit, memory, list(args), params)
+        self.memory = memory
+        if not check:
+            self.verified = None
+        elif self.workload is not None:
+            self.workload.verify(memory, self.variant)  # raises on fail
+            self.verified = True
+        else:
+            returned = Interpreter(self.module, golden).run(*args)
+            if returned is None:
+                expected: List = []
+            elif isinstance(returned, (list, tuple)):
+                expected = list(returned)
+            else:
+                expected = [returned]
+            self.verified = (memory.words == golden.words
+                             and list(self.sim.results) == expected)
+            if not self.verified:
+                raise WorkloadError(
+                    f"{self.name}: simulated memory/results diverge "
+                    f"from the reference interpreter")
+        return self
+
+    # -- stage 3: synthesis ----------------------------------------------
+    def synthesize(self, name: Optional[str] = None) -> Evaluation:
+        """Estimate FPGA/ASIC quality and return the full Evaluation."""
+        self.synth = synthesize(self.circuit, name=name or self.name)
+        return self.evaluation()
+
+    def evaluation(self) -> Evaluation:
+        """Typed aggregate of everything the chain has produced."""
+        return Evaluation(
+            name=self.name,
+            workload=self.workload.name if self.workload else None,
+            variant=self.variant,
+            passes=self.pass_spec,
+            pass_log=list(self.pass_log),
+            sim=self.sim,
+            synth=self.synth,
+            verified=self.verified)
+
+    # -- conveniences ----------------------------------------------------
+    @property
+    def cycles(self) -> Optional[int]:
+        return self.sim.cycles if self.sim else None
+
+    @property
+    def stats(self):
+        return self.sim.stats if self.sim else None
+
+    def __repr__(self) -> str:
+        stages = ["translated"]
+        if self.pass_log:
+            stages.append(f"{len(self.pass_log)} passes")
+        if self.sim is not None:
+            stages.append(f"simulated {self.sim.cycles} cyc")
+        if self.synth is not None:
+            stages.append("synthesized")
+        return f"Pipeline({self.name}: {', '.join(stages)})"
+
+
+def _looks_like_source(text: str) -> bool:
+    """MiniC source vs workload name: source has structure, names don't."""
+    return any(ch in text for ch in "\n{};(")
+
+
+def evaluate(workload, passes=None, params: Optional[SimParams] = None,
+             *, variant: str = "base", check: bool = True,
+             name: Optional[str] = None) -> Evaluation:
+    """One-call convenience: build, optimize, simulate, synthesize."""
+    pipe = Pipeline(workload, variant=variant, name=name)
+    pipe.optimize(passes)
+    pipe.simulate(params, check=check)
+    return pipe.synthesize()

@@ -6,10 +6,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
-from ..frontend import translate_module
-from ..opt import Pass, PassManager, PassResult
-from ..rtl import SynthesisReport, synthesize
-from ..sim import SimParams, SimStats, simulate
+from ..api import Pipeline
+from ..opt import Pass, PassResult
+from ..rtl import SynthesisReport
+from ..sim import SimParams, SimStats
 from ..workloads import Workload, get_workload
 
 
@@ -49,22 +49,20 @@ def run_workload(workload, passes: Sequence[Pass] = (),
     image is verified against the reference interpreter unless
     ``check=False`` (every uopt configuration must preserve behavior —
     that is the paper's core claim, so we always assert it in anger).
+
+    Compatibility shim: this predates :class:`repro.api.Pipeline` and
+    now simply drives it, returning the same :class:`RunResult`.
     """
     w: Workload = get_workload(workload) if isinstance(workload, str) \
         else workload
-    circuit = translate_module(w.module(variant),
-                               name=f"{w.name}_{config}")
-    manager = PassManager(list(passes))
-    log = manager.run(circuit)
-    mem = w.fresh_memory(variant)
-    sim_result = simulate(circuit, mem, list(w.args_for(variant)),
-                          params)
-    if check:
-        w.verify(mem, variant)
-    report = synthesize(circuit, name=w.name)
+    pipe = Pipeline(w, variant=variant, name=f"{w.name}_{config}")
+    pipe.optimize(list(passes) if not isinstance(passes, str)
+                  else passes)
+    pipe.simulate(params, check=check)
+    pipe.synthesize(name=w.name)
     return RunResult(workload=w.name, config=config,
-                     cycles=sim_result.cycles,
-                     fpga_mhz=report.fpga_mhz,
-                     stats=sim_result.stats, synth=report,
-                     pass_log=log, variant=variant,
-                     circuit=circuit)
+                     cycles=pipe.sim.cycles,
+                     fpga_mhz=pipe.synth.fpga_mhz,
+                     stats=pipe.sim.stats, synth=pipe.synth,
+                     pass_log=list(pipe.pass_log), variant=variant,
+                     circuit=pipe.circuit)

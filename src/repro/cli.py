@@ -8,10 +8,12 @@ synth       report the analytic FPGA/ASIC synthesis estimate
 workloads   list the built-in paper workloads
 bench       run one built-in workload through a pass stack
 report      cross-layer bottleneck report (sim + opt + synth)
+explore     parallel design-space exploration with caching
 fuzz        LI-conformance fuzzing under seeded fault plans
 
-Pass stacks are comma-separated registry names, e.g.
-``--passes memory_localization,op_fusion`` (see ``repro.opt.PASS_REGISTRY``).
+Pass stacks use the spec mini-language: comma-separated registry names
+or aliases, with optional knob arguments — e.g. ``--passes
+localize,banking=4,fusion,tiling=2`` (see ``repro.opt.specs``).
 
 Failures exit with a per-error-family code (see
 ``repro.errors.EXIT_CODES``): parse errors 2, IR/translation 3,
@@ -37,9 +39,8 @@ from .core.serialize import save_circuit, to_dot
 from .sim import FaultPlan, SimParams, simulate
 from .types import FloatType
 from .util.rng import seed_memory
+from .opt import parse_passes as _parse_passes
 from .verify import DEFAULT_FUZZ_PASSES, passes_from_spec
-
-_parse_passes = passes_from_spec
 
 
 def _parse_args_values(module, raw: Sequence[str]) -> List:
@@ -256,6 +257,61 @@ def cmd_report(args) -> int:
     return 0
 
 
+#: Default ``repro explore`` pipeline template: the paper's img_scale
+#: banks x tiles sweep (tiling only once there is more than one tile).
+DEFAULT_EXPLORE_TEMPLATE = (
+    "localize,banking={banks},fusion,tuning,"
+    "pipelining?tiles>1,tiling={tiles}?tiles>1")
+
+
+def cmd_explore(args) -> int:
+    from .dse import GridSpace, RandomSpace, explore, parse_axis
+    from .report import render_explore_markdown
+
+    axes = dict(parse_axis(text) for text in args.grid)
+    if not axes:
+        raise ReproError(
+            "explore needs at least one --grid AXIS=V1,V2,...")
+    space = RandomSpace(axes, args.random, seed=args.seed) \
+        if args.random else GridSpace(axes)
+    objectives = [o.strip() for o in args.objectives.split(",")
+                  if o.strip()]
+    params = SimParams(kernel=args.kernel, max_cycles=args.max_cycles,
+                       wallclock_timeout=args.timeout)
+    cache = None if args.no_cache else args.cache_dir
+    progress = None if args.quiet else \
+        (lambda point: print(point.describe()))
+    report = explore(
+        args.workload, space, pipeline=args.pipeline,
+        variant=args.variant, sim=params, workers=args.workers,
+        cache=cache, objectives=objectives, check=not args.no_check,
+        progress=progress)
+    print(report.summary())
+    doc = report.to_json()
+    print(f"\nPareto frontier ({' / '.join(objectives)}, minimized):")
+    for index in report.pareto:
+        print(f"  {report.point(index).describe()}")
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(doc, fh, indent=1, sort_keys=True)
+        print(f"wrote {args.json}")
+    if args.md:
+        with open(args.md, "w") as fh:
+            fh.write(render_explore_markdown(doc))
+        print(f"wrote {args.md}")
+    failures = [p for p in report.points if not p.ok]
+    for point in failures:
+        err = point.error or {}
+        print(f"  point {point.index} {point.params}: "
+              f"{err.get('error')}: {err.get('message')}",
+              file=sys.stderr)
+    if not failures:
+        return 0
+    if len(failures) == len(report.points):
+        return failures[0].error.get("exit_code", 1) or 1
+    return 1
+
+
 def cmd_fuzz(args) -> int:
     from .verify import ConformanceFuzzer, replay_bundle
     if args.replay:
@@ -399,6 +455,54 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--stats-json", default=None, metavar="FILE",
                    help="also dump the raw SimStats document")
     p.set_defaults(fn=cmd_report)
+
+    p = sub.add_parser(
+        "explore",
+        help="parallel design-space exploration with caching")
+    p.add_argument("workload")
+    p.add_argument("--grid", action="append", default=[],
+                   metavar="AXIS=V1,V2,...",
+                   help="one design axis (repeatable), e.g. "
+                        "--grid banks=1,2,4 --grid tiles=1,2,4; "
+                        "sim.* axes override SimParams fields")
+    p.add_argument("--random", type=int, default=0, metavar="N",
+                   help="sample N points from the grid instead of "
+                        "the full cross product (seeded)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="random-space sampling seed")
+    p.add_argument("--pipeline", default=DEFAULT_EXPLORE_TEMPLATE,
+                   metavar="TEMPLATE",
+                   help="pass-spec template; {axis} substitutes, "
+                        "'seg?axis>1' guards a segment (default: "
+                        "the img_scale banks x tiles sweep)")
+    p.add_argument("--variant", default="base")
+    p.add_argument("--workers", type=int, default=None, metavar="N",
+                   help="worker processes (default: min(4, cpus))")
+    p.add_argument("--cache-dir", default=".repro-cache",
+                   metavar="DIR",
+                   help="content-addressed result cache directory")
+    p.add_argument("--no-cache", action="store_true",
+                   help="evaluate every point fresh")
+    p.add_argument("--objectives", default="time_us,alms",
+                   help="comma-separated minimized metrics for the "
+                        "Pareto frontier (time_us, cycles, alms, "
+                        "regs, dsps, fpga_mw, asic_area_kum2, "
+                        "asic_mw)")
+    p.add_argument("--kernel", default="event",
+                   choices=("event", "dense"))
+    p.add_argument("--max-cycles", type=int, default=5_000_000)
+    p.add_argument("--timeout", type=float, default=None,
+                   metavar="SECONDS",
+                   help="wall-clock watchdog per point")
+    p.add_argument("--no-check", action="store_true",
+                   help="skip behavior verification per point")
+    p.add_argument("--json", default=None, metavar="FILE",
+                   help="write the explore report JSON here")
+    p.add_argument("--md", default=None, metavar="FILE",
+                   help="write the markdown report here")
+    p.add_argument("--quiet", action="store_true",
+                   help="suppress per-point progress lines")
+    p.set_defaults(fn=cmd_explore)
 
     p = sub.add_parser(
         "fuzz", help="LI-conformance fuzzing under seeded fault plans")

@@ -1,0 +1,44 @@
+"""Design-space exploration: parallel sweeps with a persistent
+content-addressed cache and Pareto-frontier extraction.
+
+Quick tour::
+
+    from repro.dse import GridSpace, explore
+
+    report = explore(
+        "img_scale",
+        GridSpace({"banks": [1, 2, 4], "tiles": [1, 2, 4]}),
+        pipeline="localize,banking={banks},fusion,tuning,"
+                 "pipelining?tiles>1,tiling={tiles}?tiles>1",
+        workers=4, cache=".repro-cache")
+    for index in report.pareto:
+        print(report.point(index).describe())
+
+See :mod:`repro.dse.engine` for the execution model,
+:mod:`repro.dse.cache` for the cache-key scheme, and
+:mod:`repro.dse.space` for spaces and pipeline templates.
+"""
+
+from .cache import (  # noqa: F401
+    CACHE_SCHEMA,
+    ResultCache,
+    content_key,
+    request_key,
+    sim_key_dict,
+)
+from .engine import (  # noqa: F401
+    EXPLORE_SCHEMA,
+    METRICS,
+    ExploreReport,
+    PointResult,
+    default_workers,
+    explore,
+    pareto_frontier,
+)
+from .space import (  # noqa: F401
+    DesignSpace,
+    GridSpace,
+    RandomSpace,
+    parse_axis,
+    render_pipeline,
+)

@@ -1,0 +1,153 @@
+"""Persistent content-addressed result cache for design-space sweeps.
+
+Two-level scheme:
+
+* **objects** — ``<root>/objects/<k:2>/<key>.json``; ``key`` is the
+  SHA-256 of the *content identity* of an evaluation: the canonical
+  circuit fingerprint (:func:`repro.core.serialize.circuit_fingerprint`
+  — order-invariant, display-name-free) plus everything else that
+  determines the result: workload identity (name, variant, args),
+  the semantically relevant :class:`~repro.sim.SimParams` fields, and
+  the cache schema version.  The object document holds the full
+  :class:`~repro.sim.SimStats` JSON and synthesis report, so a hit is
+  bit-identical to a fresh run.
+* **request index** — ``<root>/index.json``; maps the SHA-256 of the
+  *request* (workload, variant, pass-spec string, sim config) to the
+  content key it produced last time.  Warm re-runs are served from the
+  index without translating or optimizing anything; overlapping sweeps
+  whose different requests produce the same hardware (e.g. reordered
+  but commuting pass specs) still share one object via the content
+  key.
+
+Object writes are atomic (temp file + ``os.replace``) so parallel
+workers may share a cache directory; the index is only written by the
+coordinating parent process.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from typing import Dict, Optional
+
+CACHE_SCHEMA = "repro.dse-cache/v1"
+
+#: SimParams fields that determine simulation *results* (not wall-time
+#: behavior like watchdogs or observability sinks).
+SIM_KEY_FIELDS = ("kernel", "max_cycles", "deadlock_window",
+                  "loop_invocation_window", "decoupled_queue_depth",
+                  "observe")
+
+
+def sim_key_dict(params) -> Dict[str, object]:
+    """The result-determining subset of a SimParams, JSON-shaped."""
+    return {name: getattr(params, name) for name in SIM_KEY_FIELDS}
+
+
+def _digest(doc: Dict) -> str:
+    payload = json.dumps(doc, sort_keys=True, separators=(",", ":"),
+                         default=str)
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def content_key(fingerprint: str, workload: str, variant: str,
+                args, sim: Dict[str, object]) -> str:
+    """Content identity of one evaluation -> object key."""
+    return _digest({
+        "schema": CACHE_SCHEMA,
+        "circuit": fingerprint,
+        "workload": workload,
+        "variant": variant,
+        "args": [repr(a) for a in args],
+        "sim": sim,
+    })
+
+
+def request_key(workload: str, variant: str, pass_spec: str,
+                args, sim: Dict[str, object]) -> str:
+    """Cheap pre-translation identity of one request -> index key."""
+    return _digest({
+        "schema": CACHE_SCHEMA,
+        "workload": workload,
+        "variant": variant,
+        "passes": pass_spec,
+        "args": [repr(a) for a in args],
+        "sim": sim,
+    })
+
+
+class ResultCache:
+    """On-disk object store + request index (see module docstring)."""
+
+    def __init__(self, root: str):
+        self.root = root
+        self.objects_dir = os.path.join(root, "objects")
+        self.index_path = os.path.join(root, "index.json")
+        os.makedirs(self.objects_dir, exist_ok=True)
+        self._index: Optional[Dict[str, str]] = None
+
+    # -- object store ----------------------------------------------------
+    def _object_path(self, key: str) -> str:
+        return os.path.join(self.objects_dir, key[:2], f"{key}.json")
+
+    def get(self, key: str) -> Optional[Dict]:
+        """Object document for ``key``, or None (corrupt = miss)."""
+        path = self._object_path(key)
+        try:
+            with open(path) as fh:
+                doc = json.load(fh)
+        except (OSError, json.JSONDecodeError):
+            return None
+        if doc.get("schema") != CACHE_SCHEMA:
+            return None
+        return doc
+
+    def put(self, key: str, doc: Dict) -> None:
+        """Atomically store ``doc`` under ``key`` (last writer wins)."""
+        doc = dict(doc, schema=CACHE_SCHEMA, key=key)
+        path = self._object_path(key)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path),
+                                   suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as fh:
+                json.dump(doc, fh, indent=1, sort_keys=True)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    # -- request index ---------------------------------------------------
+    def _load_index(self) -> Dict[str, str]:
+        if self._index is None:
+            try:
+                with open(self.index_path) as fh:
+                    data = json.load(fh)
+                self._index = dict(data.get("requests", {})) \
+                    if data.get("schema") == CACHE_SCHEMA else {}
+            except (OSError, json.JSONDecodeError):
+                self._index = {}
+        return self._index
+
+    def lookup_request(self, req_key: str) -> Optional[Dict]:
+        """Request key -> object document, via the index (None = miss)."""
+        ckey = self._load_index().get(req_key)
+        if ckey is None:
+            return None
+        return self.get(ckey)
+
+    def record_request(self, req_key: str, ckey: str) -> None:
+        self._load_index()[req_key] = ckey
+
+    def save_index(self) -> None:
+        index = self._load_index()
+        fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+        with os.fdopen(fd, "w") as fh:
+            json.dump({"schema": CACHE_SCHEMA, "requests": index},
+                      fh, indent=1, sort_keys=True)
+        os.replace(tmp, self.index_path)

@@ -1,0 +1,446 @@
+"""Parallel design-space exploration over (pass-pipeline x SimParams)
+points.
+
+The paper's pitch is that uIR turns microarchitecture into a
+*searchable* space; this engine does the searching at scale:
+
+* points come from a :class:`~repro.dse.space.DesignSpace` (grid or
+  seeded random sample) and are mapped to pass-spec strings by a
+  pipeline template — only picklable primitives ever cross process
+  boundaries;
+* evaluation fans out over a ``ProcessPoolExecutor``; each worker
+  drives the ordinary :class:`repro.api.Pipeline` facade on the
+  **canonical form** of the optimized circuit (see
+  :func:`repro.core.serialize.canonical_circuit` — canonical-form
+  execution is what makes content-addressed caching sound);
+* results land in a persistent :class:`~repro.dse.cache.ResultCache`;
+  warm re-runs are served from the request index without touching the
+  front-end, and overlapping sweeps share objects by content;
+* a failing point (deadlock, watchdog timeout, pass error, behavior
+  mismatch...) degrades to a recorded failure carrying its full
+  error document — exit-code family, message, and provenance-aware
+  diagnostics — and the sweep continues;
+* surviving points feed an n-objective Pareto-frontier extraction
+  over latency / area / power metrics.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Union
+
+from ..errors import ReproError, error_document
+from ..opt import parse_pass_specs, spec_to_string
+from ..sim import SimParams
+from ..workloads import get_workload
+from .cache import (
+    ResultCache,
+    content_key,
+    request_key,
+    sim_key_dict,
+)
+from .space import DesignSpace, render_pipeline
+
+EXPLORE_SCHEMA = "repro.explore/v1"
+
+#: Metrics a point exposes for objectives / reporting, all
+#: minimized.  Extraction is from the cached JSON documents so cache
+#: hits and fresh runs are indistinguishable.
+METRICS = ("time_us", "cycles", "alms", "regs", "dsps", "fpga_mw",
+           "asic_area_kum2", "asic_mw")
+
+
+@dataclass
+class PointResult:
+    """Outcome of one design point (fresh, cached, or failed)."""
+
+    index: int
+    params: Dict[str, object]
+    pass_spec: Optional[str]
+    status: str = "failed"              # "ok" | "failed"
+    #: "fresh" | "cache" (content hit in a worker) | "cache-index"
+    #: (request hit in the parent; front-end never ran).
+    source: str = "fresh"
+    key: str = ""                       # content key, when known
+    fingerprint: str = ""               # canonical circuit fingerprint
+    cycles: Optional[int] = None
+    verified: Optional[bool] = None
+    stats: Optional[Dict] = None        # SimStats.to_json() document
+    synth: Optional[Dict] = None        # SynthesisReport.to_json()
+    error: Optional[Dict] = None        # repro.errors.error_document
+    wall_s: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    @property
+    def cached(self) -> bool:
+        return self.source != "fresh"
+
+    def metric(self, name: str) -> Optional[float]:
+        if not self.ok:
+            return None
+        if name == "cycles":
+            return float(self.cycles)
+        if name == "time_us":
+            return self.cycles / self.synth["fpga_mhz"]
+        if name in ("alms", "regs", "dsps", "fpga_mw",
+                    "asic_area_kum2", "asic_mw"):
+            return float(self.synth[name])
+        raise ReproError(
+            f"unknown objective {name!r}; known: {', '.join(METRICS)}")
+
+    def to_json(self) -> Dict:
+        doc: Dict = {
+            "index": self.index,
+            "params": dict(self.params),
+            "passes": self.pass_spec,
+            "status": self.status,
+            "source": self.source,
+            "key": self.key,
+            "fingerprint": self.fingerprint,
+            "wall_s": round(self.wall_s, 4),
+        }
+        if self.ok:
+            doc.update(cycles=self.cycles, verified=self.verified,
+                       time_us=self.metric("time_us"),
+                       alms=self.synth["alms"],
+                       fpga_mhz=self.synth["fpga_mhz"],
+                       fpga_mw=self.synth["fpga_mw"],
+                       stats=self.stats, synth=self.synth)
+        else:
+            doc["error"] = self.error
+        return doc
+
+    def describe(self) -> str:
+        label = " ".join(f"{k}={v}" for k, v in self.params.items())
+        if self.ok:
+            return (f"[{self.index}] {label}: {self.cycles} cyc, "
+                    f"{self.metric('time_us'):.2f} us, "
+                    f"{self.synth['alms']} ALMs ({self.source})")
+        err = (self.error or {}).get("error", "?")
+        return f"[{self.index}] {label}: FAILED[{err}]"
+
+
+def pareto_frontier(points: Sequence[PointResult],
+                    objectives: Sequence[str]) -> List[int]:
+    """Indices of non-dominated ok points, sorted by the first
+    objective.  All objectives are minimized."""
+    rows = [(p.index, [p.metric(o) for o in objectives])
+            for p in points if p.ok]
+    front: List[tuple] = []
+    for index, vec in rows:
+        dominated = False
+        for _, other in rows:
+            if other is vec:
+                continue
+            if all(o <= v for o, v in zip(other, vec)) and \
+                    any(o < v for o, v in zip(other, vec)):
+                dominated = True
+                break
+        if not dominated:
+            front.append((index, vec))
+    front.sort(key=lambda item: item[1])
+    return [index for index, _ in front]
+
+
+@dataclass
+class ExploreReport:
+    """Everything one sweep produced, JSON-able."""
+
+    workload: str
+    variant: str
+    template: Optional[str]
+    objectives: List[str]
+    sim: Dict[str, object]
+    workers: int
+    points: List[PointResult] = field(default_factory=list)
+    wall_s: float = 0.0
+
+    @property
+    def counts(self) -> Dict[str, int]:
+        pts = self.points
+        return {
+            "points": len(pts),
+            "ok": sum(p.ok for p in pts),
+            "failed": sum(not p.ok for p in pts),
+            "fresh": sum(p.source == "fresh" and p.ok for p in pts),
+            "cache_hits": sum(p.cached and p.ok for p in pts),
+        }
+
+    @property
+    def pareto(self) -> List[int]:
+        return pareto_frontier(self.points, self.objectives)
+
+    def point(self, index: int) -> PointResult:
+        for p in self.points:
+            if p.index == index:
+                return p
+        raise ReproError(f"no point with index {index}")
+
+    def to_json(self) -> Dict:
+        return {
+            "schema": EXPLORE_SCHEMA,
+            "workload": self.workload,
+            "variant": self.variant,
+            "template": self.template,
+            "objectives": list(self.objectives),
+            "sim": dict(self.sim),
+            "workers": self.workers,
+            "wall_s": round(self.wall_s, 4),
+            "counts": self.counts,
+            "pareto": self.pareto,
+            "points": [p.to_json() for p in self.points],
+        }
+
+    def summary(self) -> str:
+        c = self.counts
+        return (f"{self.workload}: {c['points']} points "
+                f"({c['ok']} ok, {c['failed']} failed, "
+                f"{c['cache_hits']} cached, {c['fresh']} fresh) "
+                f"in {self.wall_s:.2f}s with {self.workers} worker(s); "
+                f"pareto: {len(self.pareto)} point(s)")
+
+
+# ---------------------------------------------------------------------------
+# Worker side
+# ---------------------------------------------------------------------------
+
+def _evaluate_point(payload: Dict) -> Dict:
+    """Evaluate one point in a worker process.
+
+    Returns a plain dict (never raises): ``{"index", "ok", "source",
+    "key", "fingerprint", "doc" | "error", "wall_s"}``.
+    """
+    t0 = time.perf_counter()
+    out: Dict = {"index": payload["index"], "ok": False,
+                 "source": "fresh", "key": "", "fingerprint": ""}
+    try:
+        from ..api import Pipeline
+        from ..core.serialize import canonical_circuit, \
+            circuit_fingerprint
+
+        w = get_workload(payload["workload"])
+        variant = payload["variant"]
+        args = list(w.args_for(variant))
+        pipe = Pipeline(w, variant=variant,
+                        name=f"{w.name}_dse{payload['index']}")
+        pipe.optimize(payload["pass_spec"])
+        canon = canonical_circuit(pipe.circuit)
+        fingerprint = circuit_fingerprint(canon)
+        out["fingerprint"] = fingerprint
+        ckey = content_key(fingerprint, w.name, variant, args,
+                           payload["sim"])
+        out["key"] = ckey
+        cache = ResultCache(payload["cache_root"]) \
+            if payload.get("cache_root") else None
+        if cache is not None:
+            doc = cache.get(ckey)
+            if doc is not None:
+                out.update(ok=True, source="cache", doc=doc,
+                           wall_s=time.perf_counter() - t0)
+                return out
+        params = SimParams(
+            wallclock_timeout=payload.get("wallclock_timeout"),
+            **payload["sim"])
+        run = Pipeline.from_circuit(canon, workload=w,
+                                    variant=variant)
+        run.pass_spec = payload["pass_spec"]
+        ev = run.simulate(params,
+                          check=payload.get("check", True)) \
+                .synthesize(name=w.name)
+        doc = {
+            "workload": w.name,
+            "variant": variant,
+            "passes": payload["pass_spec"],
+            "fingerprint": fingerprint,
+            "sim": payload["sim"],
+            "cycles": ev.cycles,
+            "results": list(ev.results),
+            "verified": ev.verified,
+            "stats": ev.stats.to_json(),
+            "synth": ev.synth.to_json(),
+        }
+        if cache is not None:
+            cache.put(ckey, doc)
+        out.update(ok=True, doc=doc)
+    except ReproError as exc:
+        out["error"] = error_document(exc)
+    except Exception as exc:  # noqa: BLE001 - sweep must survive
+        out["error"] = {"error": type(exc).__name__,
+                        "message": str(exc), "exit_code": 1}
+    out["wall_s"] = time.perf_counter() - t0
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Parent side
+# ---------------------------------------------------------------------------
+
+PipelineTemplate = Union[str, Callable[[Dict], str]]
+
+
+def default_workers() -> int:
+    return max(1, min(4, os.cpu_count() or 1))
+
+
+def explore(workload, space: Union[DesignSpace, Iterable[Dict]], *,
+            pipeline: PipelineTemplate,
+            variant: str = "base",
+            sim: Optional[SimParams] = None,
+            workers: Optional[int] = None,
+            cache: Union[None, str, ResultCache] = None,
+            objectives: Sequence[str] = ("time_us", "alms"),
+            check: bool = True,
+            progress: Optional[Callable[[PointResult], None]] = None,
+            ) -> ExploreReport:
+    """Sweep ``space`` for ``workload`` and return the report.
+
+    ``pipeline`` is a template string (see
+    :func:`repro.dse.space.render_pipeline`) or a callable mapping a
+    point's params to a pass-spec string.  ``cache`` is a directory
+    path or :class:`ResultCache`; None disables caching.  ``workers``
+    defaults to ``min(4, cpu_count)``; 0/1 evaluates serially
+    in-process.
+    """
+    t0 = time.perf_counter()
+    w = get_workload(workload)
+    if variant != "base" and variant not in w.variants:
+        raise ReproError(
+            f"workload {w.name!r} has no variant {variant!r}")
+    for objective in objectives:
+        if objective not in METRICS:
+            raise ReproError(f"unknown objective {objective!r}; "
+                             f"known: {', '.join(METRICS)}")
+    params_list = [dict(p) for p in space]
+    if not params_list:
+        raise ReproError("design space is empty")
+    sim = sim or SimParams()
+    if workers is None:
+        workers = default_workers()
+    if isinstance(cache, str):
+        cache = ResultCache(cache)
+
+    base_sim = sim_key_dict(sim)
+    args = list(w.args_for(variant))
+    results: Dict[int, PointResult] = {}
+    pending: List[Dict] = []
+
+    for index, params in enumerate(params_list):
+        point = PointResult(index=index, params=params, pass_spec=None)
+        sim_over = {str(k)[4:]: v for k, v in params.items()
+                    if str(k).startswith("sim.")}
+        point_sim = dict(base_sim, **sim_over)
+        try:
+            if callable(pipeline):
+                raw_spec = pipeline(params)
+            else:
+                raw_spec = render_pipeline(pipeline, params)
+            specs = parse_pass_specs(raw_spec)
+            point.pass_spec = spec_to_string(specs)
+            unknown = set(sim_over) - set(base_sim)
+            if unknown:
+                raise ReproError(
+                    f"unknown sim.* axis(es): "
+                    f"{', '.join(sorted(unknown))}; known: "
+                    f"{', '.join(sorted(base_sim))}")
+        except ReproError as exc:
+            point.error = error_document(exc)
+            results[index] = point
+            if progress:
+                progress(point)
+            continue
+        rkey = None
+        if cache is not None:
+            rkey = request_key(w.name, variant, point.pass_spec,
+                               args, point_sim)
+            doc = cache.lookup_request(rkey)
+            if doc is not None:
+                _apply_doc(point, doc, source="cache-index")
+                results[index] = point
+                if progress:
+                    progress(point)
+                continue
+        pending.append({
+            "index": index,
+            "workload": w.name,
+            "variant": variant,
+            "pass_spec": point.pass_spec,
+            "sim": point_sim,
+            "wallclock_timeout": sim.wallclock_timeout,
+            "check": check,
+            "cache_root": cache.root if cache is not None else None,
+            "_point": point,
+            "_rkey": rkey,
+        })
+
+    def finish(payload: Dict, out: Dict) -> None:
+        point: PointResult = payload["_point"]
+        point.key = out.get("key", "")
+        point.fingerprint = out.get("fingerprint", "")
+        point.wall_s = out.get("wall_s", 0.0)
+        if out["ok"]:
+            _apply_doc(point, out["doc"], source=out["source"])
+            if cache is not None and payload["_rkey"]:
+                cache.record_request(payload["_rkey"], point.key)
+        else:
+            point.status = "failed"
+            point.error = out.get("error")
+        results[point.index] = point
+        if progress:
+            progress(point)
+
+    worker_payloads = [
+        {k: v for k, v in p.items() if not k.startswith("_")}
+        for p in pending]
+    if len(pending) <= 1 or workers <= 1:
+        for payload, sendable in zip(pending, worker_payloads):
+            finish(payload, _evaluate_point(sendable))
+    else:
+        pool_size = min(workers, len(pending))
+        with ProcessPoolExecutor(max_workers=pool_size) as pool:
+            futures = {pool.submit(_evaluate_point, sendable): payload
+                       for payload, sendable
+                       in zip(pending, worker_payloads)}
+            remaining = set(futures)
+            while remaining:
+                done, remaining = wait(remaining,
+                                       return_when=FIRST_COMPLETED)
+                for future in done:
+                    payload = futures[future]
+                    exc = future.exception()
+                    if exc is not None:
+                        # Worker process died (OOM, signal...): the
+                        # point fails, the sweep continues.
+                        finish(payload, {
+                            "index": payload["index"], "ok": False,
+                            "error": {"error": type(exc).__name__,
+                                      "message": str(exc),
+                                      "exit_code": 1}})
+                    else:
+                        finish(payload, future.result())
+    if cache is not None:
+        cache.save_index()
+
+    report = ExploreReport(
+        workload=w.name, variant=variant,
+        template=pipeline if isinstance(pipeline, str) else None,
+        objectives=list(objectives), sim=base_sim, workers=workers,
+        points=[results[i] for i in sorted(results)],
+        wall_s=time.perf_counter() - t0)
+    return report
+
+
+def _apply_doc(point: PointResult, doc: Dict, source: str) -> None:
+    point.status = "ok"
+    point.source = source
+    point.key = doc.get("key", point.key)
+    point.fingerprint = doc.get("fingerprint", point.fingerprint)
+    point.cycles = doc["cycles"]
+    point.verified = doc.get("verified")
+    point.stats = doc["stats"]
+    point.synth = doc["synth"]

@@ -1,0 +1,169 @@
+"""Design-space definitions: grids, random samples, and pipeline
+templates.
+
+A design space is a set of *points*, each a flat ``{param: value}``
+dict.  A **pipeline template** maps a point onto a concrete pass-spec
+string (:mod:`repro.opt.specs` grammar) with two extensions:
+
+* ``{param}`` placeholders are substituted from the point
+  (``banking={banks}``);
+* a segment may carry a guard — ``segment?param OP value`` with ``OP``
+  one of ``== != >= <= > <`` — and is dropped when the guard is false
+  (``tiling={tiles}?tiles>1``).
+
+Points may also carry simulation-environment axes prefixed ``sim.``
+(e.g. ``sim.loop_invocation_window``); those never reach the template
+and instead override :class:`~repro.sim.SimParams` fields per point.
+"""
+
+from __future__ import annotations
+
+import itertools
+import re
+from typing import Dict, Iterator, List, Mapping, Sequence
+
+from ..errors import ReproError
+from ..util.rng import rng_for
+
+_GUARD_RE = re.compile(
+    r"^(?P<param>[A-Za-z_][A-Za-z0-9_.]*)\s*"
+    r"(?P<op>==|!=|>=|<=|>|<)\s*(?P<value>-?[0-9.]+)$")
+
+_OPS = {
+    "==": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    ">=": lambda a, b: a >= b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    "<": lambda a, b: a < b,
+}
+
+
+def _eval_guard(guard: str, params: Mapping) -> bool:
+    match = _GUARD_RE.match(guard.strip())
+    if not match:
+        raise ReproError(
+            f"bad pipeline-template guard {guard!r} "
+            f"(expected 'param OP number')")
+    name = match.group("param")
+    if name not in params:
+        raise ReproError(
+            f"pipeline-template guard references unknown axis "
+            f"{name!r}; axes: {', '.join(sorted(map(str, params)))}")
+    value = float(match.group("value"))
+    return _OPS[match.group("op")](float(params[name]), value)
+
+
+def render_pipeline(template: str, params: Mapping) -> str:
+    """Template + point -> concrete pass-spec string.
+
+    Guards are evaluated first, then ``{param}`` placeholders are
+    substituted.  ``sim.*`` axes are not visible to templates.
+    """
+    visible = {k: v for k, v in params.items()
+               if not str(k).startswith("sim.")}
+    kept: List[str] = []
+    for segment in template.split(","):
+        segment = segment.strip()
+        if not segment:
+            continue
+        body, _, guard = segment.partition("?")
+        if guard and not _eval_guard(guard, visible):
+            continue
+        kept.append(body.strip())
+    try:
+        return ",".join(kept).format(**visible)
+    except KeyError as exc:
+        raise ReproError(
+            f"pipeline template references unknown axis {exc}; "
+            f"axes: {', '.join(sorted(map(str, visible)))}")
+    except (IndexError, ValueError) as exc:
+        raise ReproError(f"bad pipeline template: {exc}")
+
+
+class DesignSpace:
+    """Base class: iterable of point dicts."""
+
+    def points(self) -> Iterator[Dict]:
+        raise NotImplementedError
+
+    def __iter__(self) -> Iterator[Dict]:
+        return self.points()
+
+
+class GridSpace(DesignSpace):
+    """Full cross product of the axes, in axis-declaration order."""
+
+    def __init__(self, axes: Mapping[str, Sequence]):
+        if not axes:
+            raise ReproError("grid space needs at least one axis")
+        self.axes: Dict[str, List] = {
+            str(k): list(v) for k, v in axes.items()}
+        for name, values in self.axes.items():
+            if not values:
+                raise ReproError(f"grid axis {name!r} has no values")
+
+    def __len__(self) -> int:
+        n = 1
+        for values in self.axes.values():
+            n *= len(values)
+        return n
+
+    def points(self) -> Iterator[Dict]:
+        names = list(self.axes)
+        for combo in itertools.product(*self.axes.values()):
+            yield dict(zip(names, combo))
+
+
+class RandomSpace(DesignSpace):
+    """``n`` distinct points sampled uniformly from the axes' grid.
+
+    Sampling is deterministic from ``seed`` (via the repo-wide
+    :func:`repro.util.rng.rng_for` streams) and without replacement;
+    asking for more points than the grid holds yields the whole grid.
+    """
+
+    def __init__(self, axes: Mapping[str, Sequence], n: int,
+                 seed: int = 0):
+        self.grid = GridSpace(axes)
+        self.n = int(n)
+        self.seed = seed
+        if self.n <= 0:
+            raise ReproError("random space needs n >= 1 points")
+
+    def __len__(self) -> int:
+        return min(self.n, len(self.grid))
+
+    def points(self) -> Iterator[Dict]:
+        all_points = list(self.grid.points())
+        if self.n >= len(all_points):
+            yield from all_points
+            return
+        rng = rng_for(self.seed, "dse.random_space")
+        yield from rng.sample(all_points, self.n)
+
+
+def parse_axis(text: str) -> tuple:
+    """``"banks=1,2,4"`` -> ``("banks", [1, 2, 4])`` (CLI helper)."""
+    name, sep, values = text.partition("=")
+    name = name.strip()
+    if not sep or not name or not values.strip():
+        raise ReproError(
+            f"bad axis {text!r}; expected NAME=V1,V2,...")
+    return name, [_parse_axis_value(v) for v in values.split(",")
+                  if v.strip()]
+
+
+def _parse_axis_value(text: str):
+    text = text.strip()
+    lowered = text.lower()
+    if lowered in ("true", "false"):
+        return lowered == "true"
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        return text

@@ -36,3 +36,14 @@ PASS_REGISTRY = {
     "writeback_buffer": WritebackBuffer,
     "perf_counters": PerfCounters,
 }
+
+# The spec mini-language lives below the registry it resolves against.
+from .specs import (  # noqa: E402,F401
+    PASS_ALIASES,
+    PassSpec,
+    coerce_passes,
+    parse_pass_specs,
+    parse_passes,
+    spec_to_string,
+)
+

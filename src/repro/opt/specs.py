@@ -1,0 +1,232 @@
+"""Pass-spec mini-language: text -> picklable specs -> pass instances.
+
+One grammar drives every pass-pipeline entry point — the
+:class:`repro.api.Pipeline` facade, ``repro explore`` templates,
+``repro simulate --passes``, and the fuzzer — so a pipeline written on
+one surface pastes into any other:
+
+    localize,banking=4,fusion,tiling=2
+
+* segments are comma-separated pass names (registry names or the
+  short aliases below);
+* ``name=value`` sets the pass's *primary knob* (``banking=4`` ->
+  ``ScratchpadBanking(banks=4)``); values parse as int, float, or
+  ``true``/``false``;
+* ``name=key:value`` (repeatable, ``:``-chained) sets an arbitrary
+  constructor keyword: ``fusion=retime_loop_control:false``.
+
+:class:`PassSpec` is the resolved, *picklable* form — (canonical name,
+kwargs) — which is what the design-space-exploration engine ships to
+worker processes and hashes into cache keys; instances are only
+materialized where they run.
+"""
+
+from __future__ import annotations
+
+import inspect
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from ..errors import ReproError
+
+#: Short aliases accepted anywhere a registry name is (paper-speak on
+#: the left, registry name on the right).
+PASS_ALIASES: Dict[str, str] = {
+    "localize": "memory_localization",
+    "localization": "memory_localization",
+    "banking": "scratchpad_banking",
+    "fusion": "op_fusion",
+    "fuse": "op_fusion",
+    "tiling": "execution_tiling",
+    "pipelining": "task_pipelining",
+    "tuning": "parameter_tuning",
+    "bitwidth": "bitwidth_tuning",
+    "writeback": "writeback_buffer",
+    "counters": "perf_counters",
+    "tensor": "tensor_ops",
+}
+
+#: The one knob ``name=value`` shorthand maps to, per pass.
+PRIMARY_KNOB: Dict[str, str] = {
+    "scratchpad_banking": "banks",
+    "cache_banking": "banks",
+    "execution_tiling": "tiles",
+    "task_pipelining": "queue_depth",
+    "writeback_buffer": "entries",
+    "bitwidth_tuning": "min_width",
+    "parameter_tuning": "max_junction_width",
+    "tensor_ops": "rows",
+    "op_fusion": "retime_loop_control",
+    "perf_counters": "per_node_fires",
+}
+
+
+def _registry():
+    from . import PASS_REGISTRY
+    return PASS_REGISTRY
+
+
+def canonical_pass_name(name: str) -> str:
+    """Alias or registry name -> registry name (error if neither)."""
+    name = name.strip()
+    resolved = PASS_ALIASES.get(name, name)
+    if resolved not in _registry():
+        raise ReproError(
+            f"unknown pass {name!r}; known: "
+            f"{', '.join(sorted(_registry()))} "
+            f"(aliases: {', '.join(sorted(PASS_ALIASES))})")
+    return resolved
+
+
+def _parse_value(text: str):
+    lowered = text.strip().lower()
+    if lowered in ("true", "false"):
+        return lowered == "true"
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        return text.strip()
+
+
+@dataclass(frozen=True)
+class PassSpec:
+    """One pass of a pipeline in resolved, picklable form."""
+
+    name: str                                   # canonical registry name
+    kwargs: Tuple[Tuple[str, object], ...] = field(default=())
+
+    @classmethod
+    def make(cls, name: str, **kwargs) -> "PassSpec":
+        resolved = canonical_pass_name(name)
+        _check_kwargs(resolved, kwargs)
+        return cls(resolved, tuple(sorted(kwargs.items())))
+
+    def instantiate(self):
+        """Fresh pass instance (the only place classes are touched)."""
+        return _registry()[self.name](**dict(self.kwargs))
+
+    def spec_string(self) -> str:
+        """Canonical text form; re-parses to an equal spec."""
+        if not self.kwargs:
+            return self.name
+        primary = PRIMARY_KNOB.get(self.name)
+        if len(self.kwargs) == 1 and self.kwargs[0][0] == primary:
+            return f"{self.name}={_render_value(self.kwargs[0][1])}"
+        pairs = ":".join(f"{k}:{_render_value(v)}"
+                         for k, v in self.kwargs)
+        return f"{self.name}={pairs}"
+
+    def __str__(self) -> str:
+        return self.spec_string()
+
+
+def _render_value(value) -> str:
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    return str(value)
+
+
+def _check_kwargs(name: str, kwargs: Dict[str, object]) -> None:
+    cls = _registry()[name]
+    sig = inspect.signature(cls.__init__)
+    for key in kwargs:
+        if key not in sig.parameters:
+            known = [p for p in sig.parameters if p != "self"]
+            raise ReproError(
+                f"pass {name!r} has no knob {key!r}; "
+                f"known: {', '.join(known) or '(none)'}")
+
+
+def _parse_segment(segment: str) -> PassSpec:
+    segment = segment.strip()
+    if "=" not in segment:
+        return PassSpec.make(segment)
+    name, _, arg_text = segment.partition("=")
+    resolved = canonical_pass_name(name)
+    parts = [p.strip() for p in arg_text.split(":")]
+    if len(parts) == 1:
+        knob = PRIMARY_KNOB.get(resolved)
+        if knob is None:
+            raise ReproError(
+                f"pass {resolved!r} takes no {name}=VALUE shorthand; "
+                f"use {name}=key:value")
+        return PassSpec.make(resolved, **{knob: _parse_value(parts[0])})
+    if len(parts) % 2:
+        raise ReproError(
+            f"bad pass argument {segment!r}: key:value pairs expected")
+    kwargs = {parts[i]: _parse_value(parts[i + 1])
+              for i in range(0, len(parts), 2)}
+    return PassSpec.make(resolved, **kwargs)
+
+
+PassesLike = Union[None, str, "PassSpec", Sequence]
+
+
+def parse_pass_specs(spec: PassesLike) -> List[PassSpec]:
+    """Anything pipeline-shaped -> list of :class:`PassSpec`.
+
+    Accepts a spec string, a PassSpec, a Pass instance (kept by
+    identity via a no-kwargs spec when possible), or a sequence of
+    any of those.  Pass *instances* cannot be round-tripped through a
+    spec (their constructor arguments are lost), so they are rejected
+    here — use :func:`coerce_passes` where instances are acceptable.
+    """
+    from .pass_manager import Pass
+
+    if spec is None:
+        return []
+    if isinstance(spec, PassSpec):
+        return [spec]
+    if isinstance(spec, Pass):
+        raise ReproError(
+            f"cannot spec-ify pre-built pass instance {spec.name!r}; "
+            f"pass a spec string or PassSpec (needed for caching and "
+            f"worker shipping)")
+    if isinstance(spec, str):
+        return [_parse_segment(seg) for seg in spec.split(",")
+                if seg.strip()]
+    specs: List[PassSpec] = []
+    for item in spec:
+        specs.extend(parse_pass_specs(item))
+    return specs
+
+
+def parse_passes(spec: PassesLike) -> List:
+    """Spec text / specs -> fresh pass instances, ready to run."""
+    return [s.instantiate() for s in parse_pass_specs(spec)]
+
+
+def spec_to_string(specs: Sequence[PassSpec]) -> str:
+    """Canonical comma-joined text of a parsed pipeline."""
+    return ",".join(s.spec_string() for s in specs)
+
+
+def coerce_passes(passes: PassesLike) -> Tuple[List, Optional[str]]:
+    """Instances + best-effort canonical label for any pipeline form.
+
+    Returns ``(pass_instances, spec_string_or_None)``; the label is
+    None when the pipeline contains pre-built Pass instances whose
+    construction cannot be recovered.
+    """
+    from .pass_manager import Pass
+
+    if passes is None:
+        return [], ""
+    if isinstance(passes, Pass):
+        return [passes], None
+    if isinstance(passes, (str, PassSpec)):
+        specs = parse_pass_specs(passes)
+        return [s.instantiate() for s in specs], spec_to_string(specs)
+    instances: List = []
+    label_parts: List[Optional[str]] = []
+    for item in passes:
+        got, label = coerce_passes(item)
+        instances.extend(got)
+        label_parts.append(label)
+    if all(p is not None for p in label_parts):
+        return instances, ",".join(p for p in label_parts if p)
+    return instances, None

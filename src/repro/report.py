@@ -261,3 +261,84 @@ def dump_report(report: Dict, json_path: Optional[str] = None,
     if md_path:
         with open(md_path, "w") as fh:
             fh.write(render_markdown(report))
+
+
+# -- design-space exploration rendering -------------------------------------
+
+def render_explore_markdown(doc: Dict) -> str:
+    """Markdown report for a ``repro.explore/v1`` document.
+
+    Takes the JSON form (:meth:`repro.dse.ExploreReport.to_json`), so
+    it renders saved reports as well as live ones.
+    """
+    counts = doc["counts"]
+    out: List[str] = []
+    out.append(f"# Design-space exploration: {doc['workload']} "
+               f"(variant={doc['variant']})")
+    out.append("")
+    out.append(f"{counts['points']} points — {counts['ok']} ok, "
+               f"{counts['failed']} failed, "
+               f"{counts['cache_hits']} from cache, "
+               f"{counts['fresh']} fresh — in "
+               f"{doc['wall_s']:.2f}s with {doc['workers']} worker(s) "
+               f"on the `{doc['sim']['kernel']}` kernel.")
+    if doc.get("template"):
+        out.append("")
+        out.append(f"Pipeline template: `{doc['template']}`")
+    out.append("")
+
+    axes = sorted({k for p in doc["points"] for k in p["params"]})
+    ok_points = [p for p in doc["points"] if p["status"] == "ok"]
+    if ok_points:
+        out.append("## Evaluated points")
+        out.append("")
+        rows = []
+        pareto = set(doc["pareto"])
+        for p in ok_points:
+            rows.append(
+                [p["params"].get(a, "") for a in axes]
+                + [p["cycles"], f"{p['time_us']:.2f}", p["alms"],
+                   round(p["fpga_mw"]), p["source"],
+                   "*" if p["index"] in pareto else ""])
+        out.extend(_md_table(
+            axes + ["cycles", "time_us", "ALMs", "mW", "source",
+                    "pareto"], rows))
+        out.append("")
+
+        out.append("## Pareto frontier "
+                   f"({' / '.join(doc['objectives'])}, minimized)")
+        out.append("")
+        by_index = {p["index"]: p for p in ok_points}
+        rows = []
+        for index in doc["pareto"]:
+            p = by_index[index]
+            rows.append([p["params"].get(a, "") for a in axes]
+                        + [f"{p['time_us']:.2f}", p["alms"],
+                           round(p["fpga_mw"])])
+        out.extend(_md_table(axes + ["time_us", "ALMs", "mW"], rows))
+        out.append("")
+
+    failures = [p for p in doc["points"] if p["status"] != "ok"]
+    if failures:
+        out.append("## Failed points")
+        out.append("")
+        rows = []
+        for p in failures:
+            err = p.get("error") or {}
+            rows.append(
+                [p["params"].get(a, "") for a in axes]
+                + [err.get("error", "?"), err.get("exit_code", ""),
+                   str(err.get("message", ""))[:80]])
+        out.extend(_md_table(axes + ["error", "exit", "message"],
+                             rows))
+        out.append("")
+        for p in failures:
+            diags = (p.get("error") or {}).get("diagnostics")
+            if diags:
+                out.append(f"### point {p['index']} diagnostics")
+                out.append("")
+                for diag in (diags if isinstance(diags, list)
+                             else [diags]):
+                    out.append(f"- {diag}")
+                out.append("")
+    return "\n".join(out)

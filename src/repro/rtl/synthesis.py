@@ -85,6 +85,15 @@ class SynthesisReport:
             "GHz": round(self.asic_ghz, 2),
         }
 
+    def to_json(self) -> Dict[str, object]:
+        """Full-precision document (round-trips via :meth:`from_json`)."""
+        from dataclasses import asdict
+        return asdict(self)
+
+    @classmethod
+    def from_json(cls, doc: Dict[str, object]) -> "SynthesisReport":
+        return cls(**doc)
+
 
 def _width_factor(node) -> float:
     """Bit-width tuning scales integer datapath cost (floor 25%)."""

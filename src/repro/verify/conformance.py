@@ -33,7 +33,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..errors import LIViolationError, ReproError, exit_code_for
 from ..frontend import translate_module
-from ..opt import PASS_REGISTRY, PassManager
+from ..opt import PassManager, parse_passes
 from ..sim import SimParams, simulate
 from ..sim.faults import FaultPlan
 from ..util.rng import derive_seed
@@ -49,18 +49,13 @@ DEFAULT_FUZZ_PASSES = ("memory_localization,scratchpad_banking,"
 
 
 def passes_from_spec(spec: Optional[str]) -> list:
-    """Comma-separated registry names -> fresh pass instances."""
-    if not spec:
-        return []
-    passes = []
-    for name in spec.split(","):
-        name = name.strip()
-        if name not in PASS_REGISTRY:
-            raise ReproError(
-                f"unknown pass {name!r}; known: "
-                f"{', '.join(sorted(PASS_REGISTRY))}")
-        passes.append(PASS_REGISTRY[name]())
-    return passes
+    """Spec text -> fresh pass instances (see :mod:`repro.opt.specs`).
+
+    Thin compatibility shim over :func:`repro.opt.parse_passes`, which
+    also understands aliases (``localize``) and knob arguments
+    (``banking=4``).
+    """
+    return parse_passes(spec)
 
 
 @dataclass

@@ -1,0 +1,207 @@
+"""Cache-correctness tests: content addressing and the result store.
+
+The load-bearing property: the content key must identify *hardware
+content*, not build history — identical content from different build
+orders hashes identically, while any semantic change (a constant, a
+banking factor, a queue depth, a connection buffer) misses.  And
+because the DSE engine simulates the canonical form, a cache hit is
+bit-identical to a fresh run (see tests/dse/test_engine.py for the
+end-to-end half of that claim).
+"""
+
+import json
+import os
+
+from repro import Pipeline
+from repro.core.serialize import (
+    canonical_circuit,
+    circuit_fingerprint,
+    circuit_from_dict,
+    circuit_to_dict,
+)
+from repro.dse import CACHE_SCHEMA, ResultCache, content_key, request_key
+from repro.dse.cache import sim_key_dict
+from repro.sim import SimParams
+
+GOLDEN_PATH = os.path.join(os.path.dirname(__file__), os.pardir,
+                           "sim", "golden", "seed_cycles.json")
+
+
+def _optimized_circuit(spec="localize,banking=2,fusion"):
+    return Pipeline("saxpy").optimize(spec).circuit
+
+
+def _permuted(data):
+    """Same content, different build order: reverse every list whose
+    order is a construction artifact."""
+    data = json.loads(json.dumps(data))  # deep copy
+    data["structures"] = list(reversed(data["structures"]))
+    data["tasks"] = list(reversed(data["tasks"]))
+    data["task_edges"] = list(reversed(data["task_edges"]))
+    for task in data["tasks"]:
+        task["nodes"] = list(reversed(task["nodes"]))
+        task["connections"] = list(reversed(task["connections"]))
+        task["junctions"] = list(reversed(task["junctions"]))
+        for junction in task["junctions"]:
+            junction["clients"] = list(reversed(junction["clients"]))
+    return data
+
+
+class TestFingerprint:
+    def test_build_order_invariant(self):
+        circuit = _optimized_circuit()
+        permuted = circuit_from_dict(_permuted(circuit_to_dict(circuit)))
+        assert circuit_fingerprint(permuted) == \
+            circuit_fingerprint(circuit)
+
+    def test_display_name_excluded(self):
+        data = circuit_to_dict(_optimized_circuit())
+        renamed = dict(data, name="totally_different")
+        assert circuit_fingerprint(circuit_from_dict(renamed)) == \
+            circuit_fingerprint(circuit_from_dict(data))
+
+    def test_serialize_round_trip_stable(self):
+        circuit = _optimized_circuit()
+        rebuilt = circuit_from_dict(circuit_to_dict(circuit))
+        assert circuit_fingerprint(rebuilt) == \
+            circuit_fingerprint(circuit)
+
+    def test_canonical_form_is_fixed_point(self):
+        circuit = _optimized_circuit()
+        canon = canonical_circuit(circuit)
+        assert circuit_fingerprint(canon) == \
+            circuit_fingerprint(circuit)
+        assert circuit_to_dict(canonical_circuit(canon)) == \
+            circuit_to_dict(canon)
+
+    def test_const_value_change_misses(self):
+        data = circuit_to_dict(_optimized_circuit())
+        base = circuit_fingerprint(circuit_from_dict(data))
+        for task in data["tasks"]:
+            consts = [n for n in task["nodes"] if n["kind"] == "const"]
+            if consts:
+                consts[0]["value"] += 1
+                break
+        else:
+            raise AssertionError("no const node found")
+        assert circuit_fingerprint(circuit_from_dict(data)) != base
+
+    def test_banking_change_misses(self):
+        a = circuit_fingerprint(_optimized_circuit("localize,banking=2"))
+        b = circuit_fingerprint(_optimized_circuit("localize,banking=4"))
+        assert a != b
+
+    def test_queue_depth_change_misses(self):
+        data = circuit_to_dict(_optimized_circuit())
+        base = circuit_fingerprint(circuit_from_dict(data))
+        data["tasks"][0]["queue_depth"] += 1
+        assert circuit_fingerprint(circuit_from_dict(data)) != base
+
+    def test_connection_depth_change_misses(self):
+        data = circuit_to_dict(_optimized_circuit())
+        base = circuit_fingerprint(circuit_from_dict(data))
+        conns = data["tasks"][0]["connections"]
+        conns[0]["depth"] = (conns[0]["depth"] or 1) + 1
+        assert circuit_fingerprint(circuit_from_dict(data)) != base
+
+    def test_pass_pipeline_changes_fingerprint(self):
+        assert circuit_fingerprint(Pipeline("saxpy").circuit) != \
+            circuit_fingerprint(_optimized_circuit())
+
+
+class TestCanonicalVsGolden:
+    """Canonical-form execution reproduces the PR-1 seed goldens where
+    the canonical order happens to match the as-built order's timing
+    (arbitration ties make other workloads differ by a few cycles —
+    that is exactly why the engine always simulates the canonical
+    form)."""
+
+    def test_baseline_cycles_match_golden(self):
+        with open(GOLDEN_PATH) as fh:
+            golden = json.load(fh)
+        for name in ("saxpy", "fib"):
+            pipe = Pipeline(name)
+            canon = canonical_circuit(pipe.circuit)
+            run = Pipeline.from_circuit(canon, workload=name).simulate()
+            assert run.sim.cycles == golden[f"{name}/baseline"]["cycles"]
+            assert list(run.sim.results) == \
+                golden[f"{name}/baseline"]["results"]
+
+
+class TestKeys:
+    def test_content_key_sensitivity(self):
+        sim = sim_key_dict(SimParams())
+        base = content_key("fp", "saxpy", "base", [16], sim)
+        assert content_key("fp", "saxpy", "base", [16], sim) == base
+        assert content_key("fp2", "saxpy", "base", [16], sim) != base
+        assert content_key("fp", "fib", "base", [16], sim) != base
+        assert content_key("fp", "saxpy", "big", [16], sim) != base
+        assert content_key("fp", "saxpy", "base", [32], sim) != base
+        other = sim_key_dict(SimParams(kernel="dense"))
+        assert content_key("fp", "saxpy", "base", [16], other) != base
+
+    def test_sim_key_excludes_wallclock_knobs(self):
+        # Watchdog/observability settings change how a run is *watched*,
+        # not what it computes: same key.
+        a = sim_key_dict(SimParams())
+        b = sim_key_dict(SimParams(wallclock_timeout=1.0))
+        assert a == b
+        assert sim_key_dict(SimParams(max_cycles=10)) != a
+
+    def test_request_key_sensitivity(self):
+        sim = sim_key_dict(SimParams())
+        base = request_key("saxpy", "base", "memory_localization",
+                           [16], sim)
+        assert request_key("saxpy", "base", "memory_localization",
+                           [16], sim) == base
+        assert request_key("saxpy", "base", "op_fusion",
+                           [16], sim) != base
+        assert request_key("fib", "base", "memory_localization",
+                           [16], sim) != base
+
+
+class TestResultCache:
+    def test_put_get_round_trip(self, tmp_path):
+        cache = ResultCache(str(tmp_path / "c"))
+        doc = {"cycles": 42, "stats": {"kernel": "event"}}
+        cache.put("ab" + "0" * 62, doc)
+        got = cache.get("ab" + "0" * 62)
+        assert got["cycles"] == 42
+        assert got["schema"] == CACHE_SCHEMA
+        assert cache.get("cd" + "0" * 62) is None
+
+    def test_corrupt_object_is_a_miss(self, tmp_path):
+        cache = ResultCache(str(tmp_path / "c"))
+        key = "ab" + "0" * 62
+        cache.put(key, {"cycles": 1})
+        with open(cache._object_path(key), "w") as fh:
+            fh.write("{not json")
+        assert cache.get(key) is None
+
+    def test_schema_mismatch_is_a_miss(self, tmp_path):
+        cache = ResultCache(str(tmp_path / "c"))
+        key = "ab" + "0" * 62
+        cache.put(key, {"cycles": 1})
+        path = cache._object_path(key)
+        doc = json.load(open(path))
+        doc["schema"] = "something/else"
+        json.dump(doc, open(path, "w"))
+        assert cache.get(key) is None
+
+    def test_request_index_persists(self, tmp_path):
+        root = str(tmp_path / "c")
+        ckey = "ab" + "0" * 62
+        cache = ResultCache(root)
+        cache.put(ckey, {"cycles": 7})
+        cache.record_request("req1", ckey)
+        cache.save_index()
+
+        fresh = ResultCache(root)
+        assert fresh.lookup_request("req1")["cycles"] == 7
+        assert fresh.lookup_request("req2") is None
+
+    def test_index_miss_on_missing_object(self, tmp_path):
+        cache = ResultCache(str(tmp_path / "c"))
+        cache.record_request("req1", "ab" + "0" * 62)
+        cache.save_index()
+        assert ResultCache(cache.root).lookup_request("req1") is None

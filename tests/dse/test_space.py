@@ -1,0 +1,112 @@
+"""Tests for design spaces and pipeline templates (repro.dse.space)."""
+
+import pytest
+
+from repro.dse import GridSpace, RandomSpace, parse_axis, render_pipeline
+from repro.errors import ReproError
+
+
+class TestGridSpace:
+    def test_cross_product_in_axis_order(self):
+        space = GridSpace({"banks": [1, 2], "tiles": [1, 2]})
+        assert len(space) == 4
+        assert list(space) == [
+            {"banks": 1, "tiles": 1}, {"banks": 1, "tiles": 2},
+            {"banks": 2, "tiles": 1}, {"banks": 2, "tiles": 2}]
+
+    def test_single_axis(self):
+        assert list(GridSpace({"banks": [4]})) == [{"banks": 4}]
+
+    def test_empty_axes_rejected(self):
+        with pytest.raises(ReproError, match="at least one axis"):
+            GridSpace({})
+        with pytest.raises(ReproError, match="no values"):
+            GridSpace({"banks": []})
+
+
+class TestRandomSpace:
+    def test_deterministic_per_seed(self):
+        axes = {"banks": [1, 2, 4, 8], "tiles": [1, 2, 4, 8]}
+        a = list(RandomSpace(axes, 5, seed=7))
+        b = list(RandomSpace(axes, 5, seed=7))
+        assert a == b
+        assert len(a) == len(RandomSpace(axes, 5, seed=7)) == 5
+
+    def test_seed_changes_sample(self):
+        axes = {"banks": [1, 2, 4, 8], "tiles": [1, 2, 4, 8]}
+        assert list(RandomSpace(axes, 5, seed=0)) != \
+            list(RandomSpace(axes, 5, seed=1))
+
+    def test_without_replacement(self):
+        points = list(RandomSpace({"banks": list(range(16))}, 10, seed=3))
+        assert len({p["banks"] for p in points}) == 10
+
+    def test_oversample_yields_whole_grid(self):
+        axes = {"banks": [1, 2]}
+        assert list(RandomSpace(axes, 99)) == list(GridSpace(axes))
+
+    def test_n_must_be_positive(self):
+        with pytest.raises(ReproError, match="n >= 1"):
+            RandomSpace({"banks": [1]}, 0)
+
+
+class TestRenderPipeline:
+    def test_substitution(self):
+        assert render_pipeline("localize,banking={banks}",
+                               {"banks": 4}) == "localize,banking=4"
+
+    def test_guard_keeps_and_drops(self):
+        template = "localize,tiling={tiles}?tiles>1"
+        assert render_pipeline(template, {"tiles": 2}) == \
+            "localize,tiling=2"
+        assert render_pipeline(template, {"tiles": 1}) == "localize"
+
+    def test_all_guard_operators(self):
+        for op, lo, hi in (("==", False, False), ("!=", True, True),
+                           (">", False, True), ("<", True, False),
+                           (">=", False, True), ("<=", True, False)):
+            kept = render_pipeline(f"fusion?x{op}5", {"x": 4}) != ""
+            assert kept is lo, (op, "lo")
+            kept = render_pipeline(f"fusion?x{op}6", {"x": 7}) != ""
+            assert kept is hi, (op, "hi")
+
+    def test_sim_axes_hidden_from_templates(self):
+        params = {"banks": 2, "sim.max_cycles": 100}
+        assert render_pipeline("banking={banks}", params) == "banking=2"
+        with pytest.raises(ReproError, match="unknown axis"):
+            render_pipeline("banking={banks}?sim.max_cycles>1", params)
+
+    def test_unknown_placeholder(self):
+        with pytest.raises(ReproError, match="unknown axis"):
+            render_pipeline("banking={nope}", {"banks": 2})
+
+    def test_unknown_guard_axis(self):
+        with pytest.raises(ReproError, match="unknown axis"):
+            render_pipeline("fusion?nope>1", {"banks": 2})
+
+    def test_bad_guard_syntax(self):
+        with pytest.raises(ReproError, match="guard"):
+            render_pipeline("fusion?banks~1", {"banks": 2})
+
+    def test_empty_segments_dropped(self):
+        assert render_pipeline(" localize ,, fusion ", {}) == \
+            "localize,fusion"
+
+
+class TestParseAxis:
+    def test_ints(self):
+        assert parse_axis("banks=1,2,4") == ("banks", [1, 2, 4])
+
+    def test_mixed_types(self):
+        name, values = parse_axis("x=1,2.5,true,event")
+        assert name == "x"
+        assert values == [1, 2.5, True, "event"]
+
+    def test_sim_axis(self):
+        assert parse_axis("sim.max_cycles=100,200") == \
+            ("sim.max_cycles", [100, 200])
+
+    def test_bad_forms(self):
+        for text in ("banks", "=1,2", "banks="):
+            with pytest.raises(ReproError, match="bad axis"):
+                parse_axis(text)

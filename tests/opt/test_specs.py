@@ -1,0 +1,141 @@
+"""Tests for the pass-spec mini-language (repro.opt.specs)."""
+
+import pickle
+
+import pytest
+
+from repro.errors import ReproError
+from repro.opt import (
+    PASS_REGISTRY,
+    PassSpec,
+    coerce_passes,
+    parse_pass_specs,
+    parse_passes,
+    spec_to_string,
+)
+from repro.opt.specs import PASS_ALIASES, canonical_pass_name
+
+
+class TestCanonicalNames:
+    def test_aliases_resolve(self):
+        assert canonical_pass_name("localize") == "memory_localization"
+        assert canonical_pass_name("banking") == "scratchpad_banking"
+        assert canonical_pass_name("fuse") == "op_fusion"
+        assert canonical_pass_name("tiling") == "execution_tiling"
+
+    def test_registry_names_pass_through(self):
+        for name in PASS_REGISTRY:
+            assert canonical_pass_name(name) == name
+
+    def test_every_alias_targets_registry(self):
+        for target in PASS_ALIASES.values():
+            assert target in PASS_REGISTRY
+
+    def test_unknown_name(self):
+        with pytest.raises(ReproError, match="unknown pass"):
+            canonical_pass_name("warp_drive")
+
+
+class TestParsing:
+    def test_bare_names(self):
+        specs = parse_pass_specs("localize,fusion")
+        assert [s.name for s in specs] == [
+            "memory_localization", "op_fusion"]
+        assert all(s.kwargs == () for s in specs)
+
+    def test_primary_knob_shorthand(self):
+        (spec,) = parse_pass_specs("banking=4")
+        assert spec.name == "scratchpad_banking"
+        assert dict(spec.kwargs) == {"banks": 4}
+
+    def test_key_value_form(self):
+        (spec,) = parse_pass_specs("fusion=retime_loop_control:false")
+        assert spec.name == "op_fusion"
+        assert dict(spec.kwargs) == {"retime_loop_control": False}
+
+    def test_value_types(self):
+        (spec,) = parse_pass_specs("tiling=2")
+        assert dict(spec.kwargs)["tiles"] == 2
+        (spec,) = parse_pass_specs("pipelining=8")
+        assert dict(spec.kwargs)["queue_depth"] == 8
+
+    def test_whitespace_and_empty_segments(self):
+        assert parse_pass_specs(" localize , ,fusion, ") == \
+            parse_pass_specs("localize,fusion")
+
+    def test_none_and_empty(self):
+        assert parse_pass_specs(None) == []
+        assert parse_pass_specs("") == []
+        assert parse_passes(None) == []
+
+    def test_sequence_and_nested(self):
+        specs = parse_pass_specs(["localize", "banking=2,fusion"])
+        assert [s.name for s in specs] == [
+            "memory_localization", "scratchpad_banking", "op_fusion"]
+
+    def test_unknown_knob(self):
+        with pytest.raises(ReproError, match="no knob"):
+            parse_pass_specs("banking=warp:1")
+
+    def test_no_primary_knob(self):
+        with pytest.raises(ReproError, match="shorthand"):
+            parse_pass_specs("localize=4")
+
+    def test_odd_key_value_parts(self):
+        with pytest.raises(ReproError, match="key:value"):
+            parse_pass_specs("banking=banks:4:extra")
+
+    def test_pass_instances_rejected(self):
+        instance = parse_passes("fusion")[0]
+        with pytest.raises(ReproError, match="pre-built"):
+            parse_pass_specs(instance)
+
+
+class TestPassSpec:
+    def test_round_trip(self):
+        specs = parse_pass_specs(
+            "memory_localization,scratchpad_banking=4,"
+            "op_fusion=retime_loop_control:false,"
+            "execution_tiling=2")
+        # Primary-knob kwargs render back to the shorthand form...
+        assert spec_to_string(specs) == (
+            "memory_localization,scratchpad_banking=4,"
+            "op_fusion=false,execution_tiling=2")
+        # ...and the canonical text re-parses to an equal pipeline.
+        assert parse_pass_specs(spec_to_string(specs)) == specs
+
+    def test_aliases_canonicalize(self):
+        assert spec_to_string(parse_pass_specs(
+            "localize,banking=4")) == \
+            "memory_localization,scratchpad_banking=4"
+
+    def test_picklable(self):
+        specs = parse_pass_specs("banking=4,fusion")
+        assert pickle.loads(pickle.dumps(specs)) == specs
+
+    def test_instantiate_is_fresh(self):
+        spec = PassSpec.make("banking", banks=4)
+        a, b = spec.instantiate(), spec.instantiate()
+        assert a is not b
+        assert a.banks == b.banks == 4
+
+    def test_make_checks_kwargs(self):
+        with pytest.raises(ReproError, match="no knob"):
+            PassSpec.make("banking", warp=1)
+
+
+class TestCoercePasses:
+    def test_spec_string(self):
+        instances, label = coerce_passes("localize,banking=4")
+        assert [type(i).__name__ for i in instances] == [
+            "MemoryLocalization", "ScratchpadBanking"]
+        assert label == "memory_localization,scratchpad_banking=4"
+
+    def test_none(self):
+        assert coerce_passes(None) == ([], "")
+
+    def test_instances_lose_label(self):
+        instance = parse_passes("fusion")[0]
+        instances, label = coerce_passes(["localize", instance])
+        assert len(instances) == 2
+        assert label is None

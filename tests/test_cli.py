@@ -204,3 +204,57 @@ class TestFuzzCommand:
         assert main(["fuzz", "--workloads", "nope", "--plans", "1",
                      "--passes", ""]) == 5
         assert "unknown workload" in capsys.readouterr().err
+
+
+class TestExploreCommand:
+    ARGS = ["explore", "saxpy", "--grid", "banks=1,2",
+            "--pipeline", "localize,banking={banks}",
+            "--workers", "1", "--quiet"]
+
+    def test_cold_then_warm(self, tmp_path, capsys):
+        cache = str(tmp_path / "cache")
+        jsonp = str(tmp_path / "explore.json")
+        mdp = str(tmp_path / "explore.md")
+        assert main(self.ARGS + ["--cache-dir", cache,
+                                 "--json", jsonp, "--md", mdp]) == 0
+        capsys.readouterr()
+        cold = json.load(open(jsonp))
+        assert cold["schema"] == "repro.explore/v1"
+        assert cold["counts"] == {"points": 2, "ok": 2, "failed": 0,
+                                  "fresh": 2, "cache_hits": 0}
+        md = open(mdp).read()
+        assert "## Pareto frontier" in md
+
+        # Warm run: every point served from the request index, with
+        # bit-identical stats documents.
+        assert main(self.ARGS + ["--cache-dir", cache,
+                                 "--json", jsonp]) == 0
+        capsys.readouterr()
+        warm = json.load(open(jsonp))
+        assert warm["counts"]["cache_hits"] == 2
+        assert warm["counts"]["fresh"] == 0
+        for a, b in zip(cold["points"], warm["points"]):
+            assert b["source"] == "cache-index"
+            assert b["stats"] == a["stats"]
+            assert b["cycles"] == a["cycles"]
+
+    def test_summary_output(self, tmp_path, capsys):
+        assert main(self.ARGS + ["--cache-dir",
+                                 str(tmp_path / "c")]) == 0
+        out = capsys.readouterr().out
+        assert "saxpy: 2 points (2 ok" in out
+        assert "Pareto frontier" in out
+
+    def test_bad_axis(self, capsys):
+        assert main(["explore", "saxpy", "--grid", "banks"]) == 2
+        assert "bad axis" in capsys.readouterr().err
+
+    def test_unknown_workload(self, capsys):
+        assert main(["explore", "nope", "--grid", "banks=1"]) == 5
+
+    def test_all_points_failing_exit_code(self, tmp_path, capsys):
+        rc = main(["explore", "saxpy", "--grid", "banks=1",
+                   "--pipeline", "warp_drive", "--workers", "1",
+                   "--cache-dir", str(tmp_path / "c"), "--quiet"])
+        assert rc == 2  # usage-error family from the failing point
+        assert "unknown pass" in capsys.readouterr().err
