@@ -30,7 +30,7 @@ this facade.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence
 
 from .errors import ReproError, WorkloadError
@@ -196,6 +196,7 @@ class Pipeline:
     def simulate(self, params: Optional[SimParams] = None, *,
                  args: Optional[Sequence] = None,
                  memory: Optional[Memory] = None,
+                 kernel: Optional[str] = None,
                  check: bool = True) -> "Pipeline":
         """Simulate the circuit; verify behavior unless ``check=False``.
 
@@ -203,8 +204,11 @@ class Pipeline:
         workload and verify against its golden data.  Source/module
         pipelines snapshot the initial memory image and compare the
         simulated result against the reference interpreter run on the
-        same snapshot.
+        same snapshot.  ``kernel`` ("event" / "dense" / "compiled")
+        overrides the kernel without building a full ``SimParams``.
         """
+        if kernel is not None:
+            params = replace(params or SimParams(), kernel=kernel)
         if self.workload is not None:
             if args is None:
                 args = self.workload.args_for(self.variant)

@@ -18,7 +18,8 @@ localize,banking=4,fusion,tiling=2`` (see ``repro.opt.specs``).
 Failures exit with a per-error-family code (see
 ``repro.errors.EXIT_CODES``): parse errors 2, IR/translation 3,
 deadlock 4, workload mismatch 5, simulation limits 6, LI-conformance
-violations 7, pass errors 8.  ``--json-errors`` (global flag, before
+violations 7, pass errors 8, kernel compilation 10 (with
+``--no-kernel-fallback``).  ``--json-errors`` (global flag, before
 the subcommand) prints a machine-readable error document instead of
 the one-line message.
 """
@@ -129,9 +130,9 @@ def cmd_translate(args) -> int:
 def cmd_simulate(args) -> int:
     import time
 
-    if args.trace_out and args.kernel != "event":
+    if args.trace_out and args.kernel == "dense":
         raise ReproError(
-            "--trace-out requires the event kernel "
+            "--trace-out requires the event or compiled kernel "
             "(rerun without --kernel dense)")
     with open(args.file) as fh:
         source = fh.read()
@@ -156,6 +157,7 @@ def cmd_simulate(args) -> int:
                        observe=observe,
                        trace_capacity=args.trace_capacity,
                        faults=plan,
+                       compile_fallback=not args.no_kernel_fallback,
                        wallclock_timeout=args.timeout)
     if plan is not None:
         print(f"faults: {plan.describe()}")
@@ -163,6 +165,11 @@ def cmd_simulate(args) -> int:
     result = simulate(circuit, mem, values, params)
     t_sim = time.perf_counter() - t_sim
     ok = mem.words == golden.words
+    if result.compile_error is not None:
+        err = result.compile_error
+        print(f"note: compiled kernel unavailable "
+              f"({err.get('error')}: {err.get('message')}); "
+              f"ran the event kernel instead", file=sys.stderr)
     print(f"cycles: {result.cycles}")
     if result.results:
         print(f"returned: {result.results}")
@@ -196,7 +203,7 @@ def cmd_simulate(args) -> int:
     if args.trace_out:
         if result.observer is None:
             raise ReproError(
-                "--trace-out requires the event kernel "
+                "--trace-out requires the event or compiled kernel "
                 "(rerun without --kernel dense)")
         result.observer.write_chrome_trace(args.trace_out)
         print(f"wrote {args.trace_out} "
@@ -224,6 +231,7 @@ def cmd_workloads(_args) -> int:
 def cmd_bench(args) -> int:
     from .bench import run_workload
     params = SimParams(observe=_resolve_observe(args),
+                       kernel=args.kernel,
                        trace_capacity=args.trace_capacity)
     result = run_workload(args.workload,
                           _parse_passes(args.passes),
@@ -334,6 +342,7 @@ def cmd_fuzz(args) -> int:
     fuzzer = ConformanceFuzzer(
         pass_spec=spec, differential=args.differential,
         artifacts_dir=args.artifacts_dir, kernel=args.kernel,
+        compare_kernel=args.compare_kernel,
         max_cycles=args.max_cycles, wallclock_timeout=args.timeout,
         minimize=not args.no_minimize)
     progress = None if args.quiet else \
@@ -396,8 +405,12 @@ def build_parser() -> argparse.ArgumentParser:
                    help="seed array contents pseudo-randomly")
     p.add_argument("--max-cycles", type=int, default=5_000_000)
     p.add_argument("--kernel", default="event",
-                   choices=("event", "dense"),
+                   choices=("event", "dense", "compiled"),
                    help="simulation kernel (default: event)")
+    p.add_argument("--no-kernel-fallback", action="store_true",
+                   help="with --kernel compiled, raise (exit code 10) "
+                        "instead of falling back to the event kernel "
+                        "when compilation fails")
     p.add_argument("--profile", action="store_true",
                    help="print throughput, per-pass timing and "
                         "stall attribution")
@@ -436,6 +449,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("workload")
     p.add_argument("--passes", default="")
     p.add_argument("--variant", default="base")
+    p.add_argument("--kernel", default="event",
+                   choices=("event", "dense", "compiled"))
     add_observe(p)
     p.set_defaults(fn=cmd_bench)
 
@@ -489,7 +504,7 @@ def build_parser() -> argparse.ArgumentParser:
                         "regs, dsps, fpga_mw, asic_area_kum2, "
                         "asic_mw)")
     p.add_argument("--kernel", default="event",
-                   choices=("event", "dense"))
+                   choices=("event", "dense", "compiled"))
     p.add_argument("--max-cycles", type=int, default=5_000_000)
     p.add_argument("--timeout", type=float, default=None,
                    metavar="SECONDS",
@@ -524,7 +539,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--artifacts-dir", default=None, metavar="DIR",
                    help="write replayable repro bundles for failures")
     p.add_argument("--kernel", default="event",
-                   choices=("event", "dense"))
+                   choices=("event", "dense", "compiled"))
+    p.add_argument("--compare-kernel", default=None,
+                   choices=("event", "dense", "compiled"),
+                   help="also run every case on this kernel and "
+                        "require bit-identical behavior including "
+                        "cycle counts")
     p.add_argument("--max-cycles", type=int, default=2_000_000)
     p.add_argument("--timeout", type=float, default=None,
                    metavar="SECONDS",

@@ -90,6 +90,120 @@ def eval_compute(op: str, vals: Sequence, result_type: Type):
     raise SimulationError(f"no semantics for op {op!r}")
 
 
+def specialize_compute_pos(op: str, result_type: Type,
+                           gep_scale: int = 1):
+    """Pre-resolve ``eval_compute`` dispatch for one (op, type) pair.
+
+    Returns ``(arity, f)`` where ``f`` takes its operands
+    *positionally* and is bit-identical to
+    ``eval_compute(op, vals, result_type)`` (with ``gep`` scaling
+    folded in, matching the caller-appended ``vals[2]`` convention).
+    The op string comparison chain, type isinstance tests, and integer
+    mask computation all happen once here instead of once per fire —
+    the compiled simulation kernel's per-node evaluator (positional so
+    its hot call sites need no operand-list allocation).
+    """
+    if isinstance(result_type, IntType):
+        wrap = result_type.wrapper()
+    elif isinstance(result_type, BoolType):
+        wrap = lambda v: v & 1          # noqa: E731 (mirrors _wrap)
+    else:
+        wrap = int
+    if op == "add":
+        return 2, lambda a, b: wrap(int(a) + int(b))
+    if op == "sub":
+        return 2, lambda a, b: wrap(int(a) - int(b))
+    if op == "mul":
+        return 2, lambda a, b: wrap(int(a) * int(b))
+    if op == "div":
+        return 2, lambda a, b: wrap(_int_div(int(a), int(b)))
+
+    if op == "rem":
+        def _rem(a, b):
+            a, b = int(a), int(b)
+            return wrap(a - _int_div(a, b) * b)
+        return 2, _rem
+    if op == "and":
+        return 2, lambda a, b: wrap(int(a) & int(b))
+    if op == "or":
+        return 2, lambda a, b: wrap(int(a) | int(b))
+    if op == "xor":
+        return 2, lambda a, b: wrap(int(a) ^ int(b))
+    if op == "shl":
+        return 2, lambda a, b: wrap(int(a) << (int(b) & 31))
+    if op == "lshr":
+        lmask = (1 << (result_type.bits or 32)) - 1
+        return 2, lambda a, b: wrap((int(a) & lmask) >> (int(b) & 31))
+    if op == "ashr":
+        return 2, lambda a, b: wrap(int(a) >> (int(b) & 31))
+    if op == "fadd":
+        return 2, lambda a, b: float(a) + float(b)
+    if op == "fsub":
+        return 2, lambda a, b: float(a) - float(b)
+    if op == "fmul":
+        return 2, lambda a, b: float(a) * float(b)
+
+    if op == "fdiv":
+        def _fdiv(a, b):
+            if float(b) == 0.0:
+                raise SimulationError("float division by zero")
+            return float(a) / float(b)
+        return 2, _fdiv
+    if op == "eq":
+        return 2, lambda a, b: a == b
+    if op == "ne":
+        return 2, lambda a, b: a != b
+    if op == "lt":
+        return 2, lambda a, b: a < b
+    if op == "le":
+        return 2, lambda a, b: a <= b
+    if op == "gt":
+        return 2, lambda a, b: a > b
+    if op == "ge":
+        return 2, lambda a, b: a >= b
+    if op == "select":
+        return 3, lambda c, a, b: a if c else b
+    if op == "neg":
+        return 1, lambda a: wrap(-int(a))
+    if op == "fneg":
+        return 1, lambda a: -float(a)
+    if op == "not":
+        return 1, lambda a: wrap(~int(a))
+    if op == "abs":
+        return 1, abs
+    if op == "exp":
+        return 1, lambda a: math.exp(float(a))
+    if op == "sqrt":
+        return 1, lambda a: math.sqrt(float(a))
+    if op == "itof":
+        return 1, float
+    if op == "ftoi":
+        return 1, int
+    if op == "gep":
+        scale = int(gep_scale)
+        return 2, lambda a, b: int(a) + int(b) * scale
+    if op == "tadd":
+        return 2, lambda a, b: tuple(x + y for x, y in zip(a, b))
+    if op == "tsub":
+        return 2, lambda a, b: tuple(x - y for x, y in zip(a, b))
+    if op == "tmul":
+        return 2, lambda a, b: tensor_matmul(a, b, result_type)
+    if op == "trelu":
+        return 1, lambda a: tuple(v if v > 0 else 0.0 for v in a)
+    raise SimulationError(f"no semantics for op {op!r}")
+
+
+def specialize_compute(op: str, result_type: Type, gep_scale: int = 1):
+    """List-operand form of :func:`specialize_compute_pos` (used by
+    fused-expression plans, whose operands are gathered by ref)."""
+    arity, f = specialize_compute_pos(op, result_type, gep_scale)
+    if arity == 1:
+        return lambda vals: f(vals[0])
+    if arity == 2:
+        return lambda vals: f(vals[0], vals[1])
+    return lambda vals: f(vals[0], vals[1], vals[2])
+
+
 def tensor_matmul(a: Tuple, b: Tuple, t: TensorType) -> Tuple:
     """rows x cols tile matrix product (square tiles)."""
     n, m = t.rows, t.cols

@@ -244,6 +244,12 @@ def _evaluate_point(payload: Dict) -> Dict:
                 out.update(ok=True, source="cache", doc=doc,
                            wall_s=time.perf_counter() - t0)
                 return out
+        if payload["sim"].get("kernel") == "compiled":
+            # Seed the compiled-artifact cache under the canonical
+            # fingerprint we already paid for, so simulate() reuses it
+            # instead of re-fingerprinting the circuit.
+            from ..sim.compile import precompile
+            precompile(canon, fingerprint)
         params = SimParams(
             wallclock_timeout=payload.get("wallclock_timeout"),
             **payload["sim"])

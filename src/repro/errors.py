@@ -105,6 +105,19 @@ class WatchdogTimeout(SimulationError):
         self.limit = limit
 
 
+class KernelCompileError(SimulationError):
+    """Raised when the compiled simulation kernel cannot specialize a
+    circuit (e.g. a node kind with no registered step compiler).  With
+    ``SimParams.compile_fallback`` enabled the engine downgrades this
+    to a warning and runs the event kernel instead; with fallback
+    disabled it surfaces as its own CLI exit-code family."""
+
+    def __init__(self, message: str, task: str = "", node: str = ""):
+        super().__init__(message)
+        self.task = task
+        self.node = node
+
+
 class DeadlockError(SimulationError):
     """Raised when the simulation makes no progress for too long.
 
@@ -169,6 +182,7 @@ EXIT_CODES = {
     "DeadlockError": 4,
     "WorkloadError": 5,       # workload golden-check mismatch
     "SimulationError": 6,     # incl. SimulationTimeout / WatchdogTimeout
+    "KernelCompileError": 10,  # compiled-kernel specialization failure
     "VerificationError": 7,   # incl. LIViolationError
     "PassError": 8,
     "RTLError": 9,
@@ -194,9 +208,9 @@ def error_document(exc: BaseException) -> dict:
         "exit_code": exit_code_for(exc),
     }
     for attr in ("cycle", "line", "column", "max_cycles", "elapsed",
-                 "limit"):
+                 "limit", "task", "node"):
         value = getattr(exc, attr, None)
-        if value is not None:
+        if value is not None and value != "":
             doc[attr] = value
     diagnostics = getattr(exc, "diagnostics", None)
     if diagnostics:

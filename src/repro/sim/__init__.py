@@ -9,6 +9,7 @@ table).  It is also a *functional* executor: results are checked
 against the reference interpreter in the test suite.
 """
 
+from .compile import compiled_for, precompile  # noqa: F401
 from .engine import SimParams, SimResult, Simulator, simulate  # noqa: F401
 from .faults import FaultInjector, FaultPlan  # noqa: F401
 from .stats import SimStats  # noqa: F401

@@ -146,6 +146,15 @@ class LatchedChannel:
     def ready(self) -> bool:
         return self.is_set
 
+    # Truthiness == readiness, mirroring how a FIFO channel's ``queue``
+    # deque is truthy exactly when a token is visible.  The compiled
+    # kernel leans on this: a step closure's input guard is a plain
+    # truth test over captured "ready tokens" (deques for FIFO edges,
+    # the latched channel itself for invariant edges) with no method
+    # dispatch at all.
+    def __bool__(self) -> bool:
+        return self.is_set
+
     def peek(self):
         return self.value
 

@@ -1,0 +1,1566 @@
+"""Compiled simulation kernel: circuit -> dispatch-free step closures.
+
+The event kernel (PR 1) fixed *which* components tick each cycle; this
+module fixes *how much one tick costs*.  ``kernel="compiled"`` keeps
+the event kernel's scheduler, wake plumbing, and channel commit
+machinery unchanged (that is the correctness-critical part) and
+replaces only the per-node dispatch: instead of a polymorphic
+``sim.tick(now)`` — two attribute loads, a method-wrapper call, and a
+body full of ``self.x.y`` chains — every node instance gets a
+**specialized step closure** generated once at instance start, with
+everything the body touches bound as closure locals:
+
+* channel endpoints (*ready tokens*: the channel's ``queue`` deque for
+  FIFO edges, truthy exactly when a token is visible; the latched
+  channel itself for invariant edges — see ``LatchedChannel.__bool__``),
+* interned ``pop``/``peek`` bound methods per input edge (producer-side
+  ``can_push``/``push`` stay dynamic calls: fault channels override
+  them, and the fork buffers route through them),
+* the FU's fault-adjusted latency / initiation interval as plain ints,
+* the node's fork buffers, with the sweep-loop fork pre-drain folded
+  into the step prologue,
+* a pre-resolved operation evaluator
+  (:func:`repro.core.semantics.specialize_compute`) that skips the op
+  string-compare chain and the per-fire type dispatch.
+
+Each closure replicates the matching ``NodeSim.tick`` *exactly* —
+guard order, ``instance._act`` increments, wake/self-schedule calls,
+stats counters — so the compiled kernel is bit-identical to the event
+kernel by the same superset-sweep argument (tick is a strict no-op
+when its guards fail).  State that outside observers read (stall
+classification, deadlock diagnostics, completion gating) stays on the
+sim object: ``records``, ``sink_count``, ``started``/``finished``/
+``issued``, ``_eq_blocked``; only node-private scalars (a compute
+unit's ``next_fire``, a source's pending list) move into the closure.
+
+Compilation is two-phase so its cost is paid once per *design point*,
+not once per invocation:
+
+* **compile** (:func:`compile_circuit`) — per task, select a binder
+  per node position and precompute node-content data (specialized
+  evaluators, poison values, trip arithmetic constants).  Cached per
+  canonical circuit fingerprint (:func:`repro.core.serialize.
+  circuit_fingerprint`), with an identity memo so repeat simulations
+  of the same circuit object (a fuzzer running N fault plans, a DSE
+  worker sweeping sim-axes) skip even the fingerprint hash.
+* **bind** (:meth:`CompiledTask.bind`) — per instance, close each
+  binder over that instance's freshly constructed channels, forks and
+  fault-adjusted latencies.  Spawn-heavy workloads create thousands
+  of instances, so binders only do O(ports) work.
+
+Fingerprints are computed on the *canonical content form* (node order
+sorted away), so two equal-fingerprint circuit objects can in
+principle order their node lists differently; a cached plan indexes
+by node position, so every cache hit is verified against a cheap
+structural signature and recompiled on mismatch (never observed for
+canonical circuits, which rebuild deterministically — belt and
+braces for hand-built duplicates).
+
+A circuit containing a node kind with no registered step compiler
+raises :class:`repro.errors.KernelCompileError`; the engine either
+falls back to the event kernel with a warning or surfaces the error,
+per ``SimParams.compile_fallback``.
+"""
+
+from __future__ import annotations
+
+import weakref
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..core.semantics import (poison_value, specialize_compute,
+                              specialize_compute_pos)
+from ..core.serialize import circuit_fingerprint
+from ..errors import KernelCompileError
+from .channel import Channel
+from .nodesim import _CallRecord, _MemRecord, LoopControlSim
+from .memory import MemRequest
+
+
+def _nop(now: int) -> None:
+    """Step for nodes that can never act (unwired inputs, no work)."""
+
+
+def _ready_token(ch):
+    """Truthy-iff-ready proxy for a channel's consumer side."""
+    return ch.queue if isinstance(ch, Channel) else ch
+
+
+def _tokens_pops(chans):
+    return (tuple(_ready_token(ch) for ch in chans),
+            tuple(ch.pop for ch in chans))
+
+
+def _fork_accept(fork):
+    """Per-fork accept, specialized for single-consumer forks.
+
+    ``_ForkBuffer.accept`` loops over the fork's channels and
+    allocates a fresh pending list per call; the overwhelmingly common
+    single-consumer fork needs neither.  Every call site in this
+    module guards on ``fork.pending`` first (accept is only reached
+    when the fork is drained), so the specialized form keeps the
+    existing empty pending list instead of allocating a new one."""
+    chans = fork.channels
+    if len(chans) != 1:
+        return fork.accept
+    ch, = chans
+    can_push = ch.can_push
+    push = ch.push
+
+    def accept(value, instance):
+        fork.value = value
+        if can_push():
+            push(value)
+            instance._act += 1
+            if fork.pending:
+                fork.pending = []
+        else:
+            fork.pending = [ch]
+
+    return accept
+
+
+def _rearm_locals(sim, inst):
+    """(idx, in_defer, defer_append) for a binder's self-rearm tail.
+
+    The event kernel's sweep does, around every tick: set the sweep
+    cursor, snapshot ``_act``, and — if the node acted and is not a
+    precise-wake kind — push a look-again wake for next cycle.  The
+    compiled sweep is a bare ``step(now)`` call per node, so every
+    binder folds that bookkeeping into the step body itself: cursor
+    first, then on any path that acted (``_act`` changed),
+
+        if not in_defer[idx]:
+            in_defer[idx] = 1
+            defer_append(idx)
+
+    Multi-exit bodies do it in a ``try/finally`` guarded by an ``_act``
+    snapshot (zero-cost on the non-exception path under CPython 3.11's
+    exception tables); single-act bodies test directly.  The captured
+    objects are stable for the instance's lifetime: ``_defer`` is only
+    ever ``clear()``-ed (never reassigned) and ``_in_defer`` is mutated
+    in place.  Precise kinds (compute/tensor/fused) never self-rearm —
+    their steps only set the cursor."""
+    return sim.idx, inst._in_defer, inst._defer.append
+
+
+# ---------------------------------------------------------------------------
+# Per-kind binders.  Each ``_bind_<kind>(sim, inst, data)`` returns a
+# ``step(now)`` closure replicating ``<Kind>Sim.tick`` with the sweep
+# loop's fork pre-drain folded in as the prologue.
+# ---------------------------------------------------------------------------
+
+def _bind_source(sim, inst, data):
+    """const / livein: one token per (non-latched) consumer edge."""
+    value = sim.node.value if sim.node.kind == "const" else sim.value
+    pending = [inst.channels[id(c)] for c in sim._pending]
+    if not pending:
+        return _nop
+    idx, in_defer, defer_append = _rearm_locals(sim, inst)
+
+    def step(now):
+        nonlocal pending
+        inst._cursor = idx
+        if not pending:
+            return
+        remaining = []
+        acted = False
+        for ch in pending:
+            if ch.can_push():
+                ch.push(value)
+                inst._act += 1
+                acted = True
+            else:
+                remaining.append(ch)
+        pending = remaining
+        if acted and not in_defer[idx]:
+            in_defer[idx] = 1
+            defer_append(idx)
+
+    return step
+
+
+def _bind_liveout(sim, inst, data):
+    conn = sim.node.inp.incoming
+    if conn is None:
+        return _nop
+    ch = inst.channels[id(conn)]
+    token = _ready_token(ch)
+    pop = ch.pop
+    index = sim.node.index
+    record = inst.record_liveout
+    idx, in_defer, defer_append = _rearm_locals(sim, inst)
+
+    def step(now):
+        inst._cursor = idx
+        if token:
+            record(index, pop())
+            inst._act += 1
+            if not in_defer[idx]:
+                in_defer[idx] = 1
+                defer_append(idx)
+
+    return step
+
+
+def _bind_compute(sim, inst, data):
+    """compute/tensor FU step, arity-specialized.
+
+    The common shapes (wired output fork, 1/2/3 inputs) get fully
+    unrolled variants: per-input ready-token truth tests, positional
+    pops feeding a positional evaluator (no operand-list allocation),
+    and both in-order retire loops inlined.  Anything else (unwired
+    output, operand-count mismatch) falls back to the generic
+    loop-based twin of ``ComputeSim.tick``."""
+    arity, fpos, flist = data
+    chans = sim.in_chans
+    if chans is None:
+        return _nop
+    fork = sim.out_fork
+    pipe = sim.pipe
+    latency = sim.latency
+    interval = sim.interval
+    capacity = sim.capacity
+    idx = sim.idx
+    kind = sim.node.kind
+    sched = inst.schedule_node
+    wake = inst.wake_node
+    fires = inst.stats.node_fires
+    popleft = pipe.popleft
+    append = pipe.append
+    next_fire = 0
+    if fork is not None and len(chans) == arity and arity <= 3:
+        accept = _fork_accept(fork)
+        drain = fork.drain
+        if latency == 1 and interval == 1:
+            # Combinational FU: capacity == max(1, latency) == 1, so
+            # the pipe holds at most the single output of a fire whose
+            # fork was blocked, and ``now < next_fire`` can never hold
+            # (a node steps at most once per cycle).  The result
+            # usually goes straight to the fork without touching the
+            # pipe deque at all.
+            if arity == 1:
+                ca, = chans
+                qa = _ready_token(ca)
+                pa = ca.pop
+
+                def step(now):
+                    inst._cursor = idx
+                    if fork.pending:
+                        drain(inst)
+                    if pipe:
+                        if fork.pending:
+                            return
+                        accept(pipe[0][1], inst)
+                        popleft()
+                        inst._act += 1
+                    if not qa:
+                        return
+                    result = fpos(pa())
+                    inst._act += 1
+                    fires[kind] += 1
+                    if fork.pending:
+                        append((now, result))
+                        return
+                    accept(result, inst)
+                    inst._act += 1
+                    if qa:
+                        wake(idx)
+
+                return step
+            if arity == 2:
+                ca, cb = chans
+                qa = _ready_token(ca)
+                qb = _ready_token(cb)
+                pa = ca.pop
+                pb = cb.pop
+
+                def step(now):
+                    inst._cursor = idx
+                    if fork.pending:
+                        drain(inst)
+                    if pipe:
+                        if fork.pending:
+                            return
+                        accept(pipe[0][1], inst)
+                        popleft()
+                        inst._act += 1
+                    if not qa or not qb:
+                        return
+                    result = fpos(pa(), pb())
+                    inst._act += 1
+                    fires[kind] += 1
+                    if fork.pending:
+                        append((now, result))
+                        return
+                    accept(result, inst)
+                    inst._act += 1
+                    if qa and qb:
+                        wake(idx)
+
+                return step
+            ca, cb, cc = chans
+            qa = _ready_token(ca)
+            qb = _ready_token(cb)
+            qc = _ready_token(cc)
+            pa = ca.pop
+            pb = cb.pop
+            pc = cc.pop
+
+            def step(now):
+                inst._cursor = idx
+                if fork.pending:
+                    drain(inst)
+                if pipe:
+                    if fork.pending:
+                        return
+                    accept(pipe[0][1], inst)
+                    popleft()
+                    inst._act += 1
+                if not qa or not qb or not qc:
+                    return
+                result = fpos(pa(), pb(), pc())
+                inst._act += 1
+                fires[kind] += 1
+                if fork.pending:
+                    append((now, result))
+                    return
+                accept(result, inst)
+                inst._act += 1
+                if qa and qb and qc:
+                    wake(idx)
+
+            return step
+        if arity == 1:
+            ca, = chans
+            qa = _ready_token(ca)
+            pa = ca.pop
+            if interval == 1:
+                # Fully pipelined FU (II == 1): ``now < next_fire``
+                # can never hold (a node steps at most once per
+                # cycle), so the issue-throttle machinery vanishes.
+                def step(now):
+                    inst._cursor = idx
+                    if fork.pending:
+                        drain(inst)
+                    while pipe and pipe[0][0] <= now:
+                        if fork.pending:
+                            break
+                        accept(pipe[0][1], inst)
+                        popleft()
+                        inst._act += 1
+                    if len(pipe) >= capacity or not qa:
+                        return
+                    append((now + latency - 1, fpos(pa())))
+                    sched(idx, now + latency - 1)
+                    inst._act += 1
+                    fires[kind] += 1
+                    if len(pipe) < capacity and qa:
+                        wake(idx)
+
+                return step
+
+            def step(now):
+                nonlocal next_fire
+                inst._cursor = idx
+                if fork.pending:
+                    drain(inst)
+                while pipe and pipe[0][0] <= now:
+                    if fork.pending:
+                        break
+                    accept(pipe[0][1], inst)
+                    popleft()
+                    inst._act += 1
+                if now < next_fire or len(pipe) >= capacity \
+                        or not qa:
+                    return
+                append((now + latency - 1, fpos(pa())))
+                next_fire = now + interval
+                if latency > 1:
+                    sched(idx, now + latency - 1)
+                if interval > 1:
+                    sched(idx, next_fire)
+                inst._act += 1
+                fires[kind] += 1
+                while pipe and pipe[0][0] <= now:
+                    if fork.pending:
+                        break
+                    accept(pipe[0][1], inst)
+                    popleft()
+                    inst._act += 1
+                if interval == 1 and len(pipe) < capacity and qa:
+                    wake(idx)
+
+            return step
+        if arity == 2:
+            ca, cb = chans
+            qa = _ready_token(ca)
+            qb = _ready_token(cb)
+            pa = ca.pop
+            pb = cb.pop
+            if interval == 1:
+                def step(now):
+                    inst._cursor = idx
+                    if fork.pending:
+                        drain(inst)
+                    while pipe and pipe[0][0] <= now:
+                        if fork.pending:
+                            break
+                        accept(pipe[0][1], inst)
+                        popleft()
+                        inst._act += 1
+                    if len(pipe) >= capacity or not qa or not qb:
+                        return
+                    append((now + latency - 1, fpos(pa(), pb())))
+                    sched(idx, now + latency - 1)
+                    inst._act += 1
+                    fires[kind] += 1
+                    if len(pipe) < capacity and qa and qb:
+                        wake(idx)
+
+                return step
+
+            def step(now):
+                nonlocal next_fire
+                inst._cursor = idx
+                if fork.pending:
+                    drain(inst)
+                while pipe and pipe[0][0] <= now:
+                    if fork.pending:
+                        break
+                    accept(pipe[0][1], inst)
+                    popleft()
+                    inst._act += 1
+                if now < next_fire or len(pipe) >= capacity \
+                        or not qa or not qb:
+                    return
+                append((now + latency - 1, fpos(pa(), pb())))
+                next_fire = now + interval
+                if latency > 1:
+                    sched(idx, now + latency - 1)
+                if interval > 1:
+                    sched(idx, next_fire)
+                inst._act += 1
+                fires[kind] += 1
+                while pipe and pipe[0][0] <= now:
+                    if fork.pending:
+                        break
+                    accept(pipe[0][1], inst)
+                    popleft()
+                    inst._act += 1
+                if interval == 1 and len(pipe) < capacity \
+                        and qa and qb:
+                    wake(idx)
+
+            return step
+        ca, cb, cc = chans
+        qa = _ready_token(ca)
+        qb = _ready_token(cb)
+        qc = _ready_token(cc)
+        pa = ca.pop
+        pb = cb.pop
+        pc = cc.pop
+
+        def step(now):
+            nonlocal next_fire
+            inst._cursor = idx
+            if fork.pending:
+                drain(inst)
+            while pipe and pipe[0][0] <= now:
+                if fork.pending:
+                    break
+                accept(pipe[0][1], inst)
+                popleft()
+                inst._act += 1
+            if now < next_fire or len(pipe) >= capacity \
+                    or not qa or not qb or not qc:
+                return
+            append((now + latency - 1, fpos(pa(), pb(), pc())))
+            next_fire = now + interval
+            if latency > 1:
+                sched(idx, now + latency - 1)
+            if interval > 1:
+                sched(idx, next_fire)
+            inst._act += 1
+            fires[kind] += 1
+            while pipe and pipe[0][0] <= now:
+                if fork.pending:
+                    break
+                accept(pipe[0][1], inst)
+                popleft()
+                inst._act += 1
+            if interval == 1 and len(pipe) < capacity \
+                    and qa and qb and qc:
+                wake(idx)
+
+        return step
+
+    # Generic fallback: unwired output or operand-count mismatch.
+    tokens, pops = _tokens_pops(chans)
+
+    def step(now):
+        nonlocal next_fire
+        inst._cursor = idx
+        if fork is not None and fork.pending:
+            fork.drain(inst)
+        while pipe and pipe[0][0] <= now:
+            if fork is not None:
+                if fork.pending:
+                    break
+                fork.accept(pipe[0][1], inst)
+            popleft()
+            inst._act += 1
+        if now < next_fire or len(pipe) >= capacity:
+            return
+        for tok in tokens:
+            if not tok:
+                return
+        vals = [pop() for pop in pops]
+        append((now + latency - 1, flist(vals)))
+        next_fire = now + interval
+        if latency > 1:
+            sched(idx, now + latency - 1)
+        if interval > 1:
+            sched(idx, next_fire)
+        inst._act += 1
+        fires[kind] += 1
+        while pipe and pipe[0][0] <= now:
+            if fork is not None:
+                if fork.pending:
+                    break
+                fork.accept(pipe[0][1], inst)
+            popleft()
+            inst._act += 1
+        if interval == 1 and len(pipe) < capacity:
+            for tok in tokens:
+                if not tok:
+                    break
+            else:
+                wake(idx)
+
+    return step
+
+
+def _bind_fused(sim, inst, evalf):
+    chans = sim.in_chans
+    if chans is None:
+        return _nop
+    tokens, pops = _tokens_pops(chans)
+    fork = sim.out_fork
+    pipe = sim.pipe
+    latency = sim.latency
+    idx = sim.idx
+    sched = inst.schedule_node
+    wake = inst.wake_node
+    fires = inst.stats.node_fires
+    popleft = pipe.popleft
+    append = pipe.append
+    if fork is not None:
+        accept = _fork_accept(fork)
+        drain = fork.drain
+        if latency == 1:
+            # Combinational fused region (same argument as the
+            # compute comb path: capacity 1, one step per cycle).
+            def step(now):
+                inst._cursor = idx
+                if fork.pending:
+                    drain(inst)
+                if pipe:
+                    if fork.pending:
+                        return
+                    accept(pipe[0][1], inst)
+                    popleft()
+                    inst._act += 1
+                for tok in tokens:
+                    if not tok:
+                        return
+                ins = [pop() for pop in pops]
+                result = evalf(ins)
+                inst._act += 1
+                fires["fused"] += 1
+                if fork.pending:
+                    append((now, result))
+                    return
+                accept(result, inst)
+                inst._act += 1
+                for tok in tokens:
+                    if not tok:
+                        break
+                else:
+                    wake(idx)
+
+            return step
+
+        def step(now):
+            inst._cursor = idx
+            if fork.pending:
+                drain(inst)
+            while pipe and pipe[0][0] <= now:
+                if fork.pending:
+                    break
+                accept(pipe[0][1], inst)
+                popleft()
+                inst._act += 1
+            if len(pipe) >= latency:
+                return
+            for tok in tokens:
+                if not tok:
+                    return
+            ins = [pop() for pop in pops]
+            append((now + latency - 1, evalf(ins)))
+            if latency > 1:
+                sched(idx, now + latency - 1)
+            inst._act += 1
+            fires["fused"] += 1
+            while pipe and pipe[0][0] <= now:
+                if fork.pending:
+                    break
+                accept(pipe[0][1], inst)
+                popleft()
+                inst._act += 1
+            if len(pipe) < latency:
+                for tok in tokens:
+                    if not tok:
+                        break
+                else:
+                    wake(idx)
+
+        return step
+
+    def step(now):
+        inst._cursor = idx
+        while pipe and pipe[0][0] <= now:
+            popleft()
+            inst._act += 1
+        if len(pipe) >= latency:
+            return
+        for tok in tokens:
+            if not tok:
+                return
+        ins = [pop() for pop in pops]
+        append((now + latency - 1, evalf(ins)))
+        if latency > 1:
+            sched(idx, now + latency - 1)
+        inst._act += 1
+        fires["fused"] += 1
+        while pipe and pipe[0][0] <= now:
+            popleft()
+            inst._act += 1
+        if len(pipe) < latency:
+            for tok in tokens:
+                if not tok:
+                    break
+            else:
+                wake(idx)
+
+    return step
+
+
+def _bind_select(sim, inst, data):
+    chans = sim.in_chans
+    if chans is None:
+        return _nop
+    (tc, ta, tb), (pc, pa, pb) = _tokens_pops(chans)
+    fork = sim.out_fork
+    pipe = sim.pipe
+    popleft = pipe.popleft
+    append = pipe.append
+    idx, in_defer, defer_append = _rearm_locals(sim, inst)
+    if fork is not None:
+        accept = _fork_accept(fork)
+        drain = fork.drain
+
+        def step(now):
+            inst._cursor = idx
+            a0 = inst._act
+            try:
+                if fork.pending:
+                    drain(inst)
+                if pipe:
+                    if fork.pending:
+                        return
+                    accept(pipe[0][1], inst)
+                    popleft()
+                    inst._act += 1
+                if not tc or not ta or not tb:
+                    return
+                cond = pc()
+                a = pa()
+                b = pb()
+                result = a if cond else b
+                inst._act += 1
+                if fork.pending:
+                    append((now, result))
+                    return
+                accept(result, inst)
+                inst._act += 1
+            finally:
+                if inst._act != a0 and not in_defer[idx]:
+                    in_defer[idx] = 1
+                    defer_append(idx)
+
+        return step
+
+    def step(now):
+        inst._cursor = idx
+        a0 = inst._act
+        try:
+            while pipe and pipe[0][0] <= now:
+                popleft()
+                inst._act += 1
+            if pipe:
+                return
+            if not tc or not ta or not tb:
+                return
+            cond = pc()
+            a = pa()
+            b = pb()
+            append((now, a if cond else b))
+            inst._act += 1
+            while pipe and pipe[0][0] <= now:
+                popleft()
+                inst._act += 1
+        finally:
+            if inst._act != a0 and not in_defer[idx]:
+                in_defer[idx] = 1
+                defer_append(idx)
+
+    return step
+
+
+def _bind_phi(sim, inst, data):
+    node = sim.node
+    init_ch = sim.init_chan
+    init_tok = _ready_token(init_ch) if init_ch is not None else None
+    init_pop = init_ch.pop if init_ch is not None else None
+    back_ch = sim.back_chan
+    back_tok = _ready_token(back_ch) if back_ch is not None else None
+    back_pop = back_ch.pop if back_ch is not None else None
+    fork = sim.out_fork
+    final_fork = sim._forks.get(node.final.name)
+    has_final = bool(node.final.outgoing)
+    conditional = inst.loop_conditional
+    emit_history = sim.emit_history
+    forks = sim._fork_list
+    on_sink = inst.on_sink_progress
+    idx, in_defer, defer_append = _rearm_locals(sim, inst)
+    fork_accept = _fork_accept(fork) if fork is not None else None
+    final_accept = _fork_accept(final_fork) \
+        if final_fork is not None else None
+
+    def push_final(value):
+        # _out_can + _out_push on node.final, mirrored.
+        if final_fork is not None:
+            if final_fork.pending:
+                return
+            final_accept(value, inst)
+        inst._act += 1
+        sim.final_pushed = True
+
+    def step(now):
+        inst._cursor = idx
+        a0 = inst._act
+        try:
+            for f in forks:
+                if f.pending:
+                    f.drain(inst)
+            if not sim.inited:
+                if init_ch is None or not init_tok:
+                    return
+                value = init_pop()
+                sim.init_val = value
+                sim.next_val = value
+                sim.have_next = True
+                sim.inited = True
+                inst._act += 1
+            if not sim.have_next:
+                trips = inst.loop_trips
+                if back_ch is not None and back_tok and \
+                        (trips is None or sim.backs < trips):
+                    value = back_pop()
+                    sim.backs += 1
+                    sim.last_back = value
+                    sim.sink_count = sim.backs
+                    sim.next_val = value
+                    sim.have_next = True
+                    inst._act += 1
+                    on_sink()
+            if sim.have_next:
+                if fork is None or not fork.pending:
+                    if fork is not None:
+                        fork_accept(sim.next_val, inst)
+                    inst._act += 1
+                    sim.last_emitted = sim.next_val
+                    if conditional:
+                        emit_history.append(sim.next_val)
+                    sim.emitted += 1
+                    sim.have_next = False
+            # _maybe_push_final, mirrored.
+            if sim.final_pushed or not has_final:
+                return
+            if not inst.loop_finished:
+                return
+            trips = inst.loop_trips or 0
+            if conditional:
+                if sim.emitted < trips:
+                    return
+                push_final(emit_history[trips - 1])
+            else:
+                if trips == 0:
+                    if sim.inited:
+                        push_final(sim.init_val)
+                elif sim.backs >= trips:
+                    push_final(sim.last_back)
+        finally:
+            if inst._act != a0 and not in_defer[idx]:
+                in_defer[idx] = 1
+                defer_append(idx)
+
+    return step
+
+
+def _bind_loopctl(sim, inst, data):
+    node = sim.node
+    conditional = node.conditional
+    start_chans = sim.start_chans
+    stoks, spops = _tokens_pops(start_chans) \
+        if start_chans is not None else (None, None)
+    cont_ch = sim.cont_chan
+    cont_tok = _ready_token(cont_ch) if cont_ch is not None else None
+    cont_pop = cont_ch.pop if cont_ch is not None else None
+    index_fork = sim._forks.get(node.index.name)
+    active_fork = sim._forks.get(node.active.name)
+    done_fork = sim._forks.get(node.done.name)
+    final_fork = sim._forks.get(node.final.name)
+    done_wired = bool(node.done.outgoing)
+    final_wired = bool(node.final.outgoing)
+    forks = sim._fork_list
+    max_in_flight = node.max_in_flight
+    ps = max(1, node.pipeline_stages)
+    idx = sim.idx
+    sched = inst.schedule_node
+    completed = inst.completed_iterations
+    iters = inst.stats.iterations
+    tname = inst.task.name
+    count_trips = LoopControlSim._count_trips
+    on_loop_finished = inst.on_loop_finished
+    idx_r, in_defer, defer_append = _rearm_locals(sim, inst)
+    index_acc = _fork_accept(index_fork) \
+        if index_fork is not None else None
+    active_acc = _fork_accept(active_fork) \
+        if active_fork is not None else None
+    done_acc = _fork_accept(done_fork) \
+        if done_fork is not None else None
+    final_acc = _fork_accept(final_fork) \
+        if final_fork is not None else None
+
+    def out_can(fork):
+        return fork is None or not fork.pending
+
+    def out_push(acc, value):
+        if acc is not None:
+            acc(value, inst)
+        inst._act += 1
+
+    def finish(now):
+        if sim.finished:
+            return
+        sim.finished = True
+        inst.loop_trips = sim.issued if conditional else sim.trips
+        inst.loop_finished = True
+        inst._act += 1
+        on_loop_finished()
+
+    def finish_outputs(now):
+        if not sim.finished:
+            return
+        if not sim.done_pushed and done_wired and out_can(done_fork):
+            out_push(done_acc, True)
+            sim.done_pushed = True
+        if not sim.final_pushed and final_wired and out_can(final_fork):
+            out_push(final_acc, sim.start_v + sim.issued * sim.step_v)
+            sim.final_pushed = True
+
+    def tick_counted(now):
+        if sim.issued >= sim.trips:
+            finish(now)
+            return
+        if now < sim.next_issue:
+            return
+        if sim.issued - completed() >= max_in_flight:
+            return
+        if not (out_can(index_fork) and out_can(active_fork)):
+            return
+        out_push(index_acc, sim.start_v + sim.issued * sim.step_v)
+        out_push(active_acc, True)
+        sim.issued += 1
+        sim.next_issue = now + ps
+        sched(idx, sim.next_issue)
+        iters[tname] += 1
+
+    def tick_conditional(now):
+        if sim.issued == 0:
+            if now >= sim.next_issue and out_can(index_fork) \
+                    and out_can(active_fork):
+                out_push(index_acc, sim.start_v)
+                out_push(active_acc, True)
+                sim.issued = 1
+                sim.next_issue = now + ps
+                sched(idx, sim.next_issue)
+                iters[tname] += 1
+            return
+        if cont_ch is None or not cont_tok:
+            return
+        if now < sim.next_issue or \
+                sim.issued - completed() >= max_in_flight:
+            return
+        if not (out_can(index_fork) and out_can(active_fork)):
+            return
+        cont = cont_pop()
+        inst._act += 1
+        if not cont:
+            sim.trips = sim.issued
+            finish(now)
+            return
+        out_push(index_acc, sim.start_v + sim.issued * sim.step_v)
+        out_push(active_acc, True)
+        sim.issued += 1
+        sim.next_issue = now + ps
+        sched(idx, sim.next_issue)
+        iters[tname] += 1
+
+    def step(now):
+        inst._cursor = idx_r
+        a0 = inst._act
+        try:
+            for f in forks:
+                if f.pending:
+                    f.drain(inst)
+            if not sim.started:
+                if start_chans is None:
+                    return
+                for tok in stoks:
+                    if not tok:
+                        return
+                sim.start_v = spops[0]()
+                bound_v = spops[1]()
+                sim.step_v = spops[2]()
+                sim.started = True
+                inst._act += 1
+                if not conditional:
+                    sim.trips = count_trips(sim.start_v, bound_v,
+                                            sim.step_v)
+                    inst.loop_trips = sim.trips
+            if sim.finished:
+                finish_outputs(now)
+                return
+            if conditional:
+                tick_conditional(now)
+            else:
+                tick_counted(now)
+            finish_outputs(now)
+        finally:
+            if inst._act != a0 and not in_defer[idx_r]:
+                in_defer[idx_r] = 1
+                defer_append(idx_r)
+
+    return step
+
+
+def _bind_load(sim, inst, data):
+    node = sim.node
+    chans = sim.req_chans
+    if chans is None:
+        return _nop
+    records = sim.records
+    rec_popleft = records.popleft
+    rec_append = records.append
+    out_fork = sim._forks.get(node.out.name)
+    done_fork = sim._forks.get(node.done.name)
+    words = sim.words
+    max_outstanding = node.max_outstanding
+    has_pred = sim.has_pred
+    has_order = sim.has_order
+    poison = poison_value(node.out.type)
+    submit = sim.junction_sim.submit
+    wake = inst.wake_node
+    idx = sim.idx
+    stats = inst.stats
+    on_sink = inst.on_sink_progress
+    # Request operands, flattened: addr, [pred], [order].
+    qa = _ready_token(chans[0])
+    pa = chans[0].pop
+    qp = pp = qo = po = None
+    pos = 1
+    if has_pred:
+        qp = _ready_token(chans[1])
+        pp = chans[1].pop
+        pos = 2
+    if has_order:
+        qo = _ready_token(chans[pos])
+        po = chans[pos].pop
+    in_defer = inst._in_defer
+    defer_append = inst._defer.append
+    out_accept = _fork_accept(out_fork) if out_fork is not None else None
+    done_accept = _fork_accept(done_fork) \
+        if done_fork is not None else None
+
+    def step(now):
+        inst._cursor = idx
+        a0 = inst._act
+        try:
+            if out_fork is not None and out_fork.pending:
+                out_fork.drain(inst)
+            if done_fork is not None and done_fork.pending:
+                done_fork.drain(inst)
+            while records and records[0].remaining == 0:
+                if (out_fork is not None and out_fork.pending) or \
+                        (done_fork is not None and done_fork.pending):
+                    break
+                rec = rec_popleft()
+                if rec.poison:
+                    value = poison
+                elif words == 1:
+                    value = rec.words[0]
+                else:
+                    value = tuple(rec.words)
+                if out_fork is not None:
+                    out_accept(value, inst)
+                inst._act += 1
+                if done_fork is not None:
+                    done_accept(True, inst)
+                inst._act += 1
+                sim.sink_count += 1
+                on_sink()
+            if len(records) >= max_outstanding:
+                return
+            if not qa or (has_pred and not qp) or \
+                    (has_order and not qo):
+                return
+            addr = pa()
+            enabled = bool(pp()) if has_pred else True
+            if has_order:
+                po()
+            inst._act += 1
+            if not enabled:
+                rec_append(_MemRecord(0, poison=True))
+                wake(idx)
+                return
+            rec = _MemRecord(words)
+            rec_append(rec)
+            stats.memory_reads += words
+            base = int(addr)
+            for w in range(words):
+                def on_done(req, r=rec, i=w):
+                    r.words[i] = req.value
+                    r.remaining -= 1
+                    if r.remaining == 0:
+                        wake(idx)
+                submit(MemRequest(base + w, False, on_done=on_done))
+        finally:
+            if inst._act != a0 and not in_defer[idx]:
+                in_defer[idx] = 1
+                defer_append(idx)
+
+    return step
+
+
+def _bind_store(sim, inst, data):
+    node = sim.node
+    chans = sim.req_chans
+    if chans is None:
+        return _nop
+    records = sim.records
+    rec_popleft = records.popleft
+    rec_append = records.append
+    done_fork = sim._forks.get(node.done.name)
+    words = sim.words
+    max_outstanding = node.max_outstanding
+    has_pred = sim.has_pred
+    has_order = sim.has_order
+    submit = sim.junction_sim.submit
+    wake = inst.wake_node
+    idx = sim.idx
+    stats = inst.stats
+    on_sink = inst.on_sink_progress
+    # Request operands, flattened: addr, data, [pred], [order].
+    qa = _ready_token(chans[0])
+    pa = chans[0].pop
+    qd = _ready_token(chans[1])
+    pd = chans[1].pop
+    qp = pp = qo = po = None
+    pos = 2
+    if has_pred:
+        qp = _ready_token(chans[2])
+        pp = chans[2].pop
+        pos = 3
+    if has_order:
+        qo = _ready_token(chans[pos])
+        po = chans[pos].pop
+    in_defer = inst._in_defer
+    defer_append = inst._defer.append
+    done_accept = _fork_accept(done_fork) \
+        if done_fork is not None else None
+
+    def step(now):
+        inst._cursor = idx
+        a0 = inst._act
+        try:
+            if done_fork is not None and done_fork.pending:
+                done_fork.drain(inst)
+            while records and records[0].remaining == 0:
+                if done_fork is not None and done_fork.pending:
+                    break
+                rec_popleft()
+                if done_fork is not None:
+                    done_accept(True, inst)
+                inst._act += 1
+                sim.sink_count += 1
+                on_sink()
+            if len(records) >= max_outstanding:
+                return
+            if not qa or not qd or (has_pred and not qp) or \
+                    (has_order and not qo):
+                return
+            addr = pa()
+            data_v = pd()
+            enabled = bool(pp()) if has_pred else True
+            if has_order:
+                po()
+            inst._act += 1
+            if not enabled:
+                rec_append(_MemRecord(0, poison=True))
+                wake(idx)
+                return
+            rec = _MemRecord(words)
+            rec_append(rec)
+            stats.memory_writes += words
+            base = int(addr)
+            values = data_v if words > 1 else [data_v]
+            for w in range(words):
+                def on_done(req, r=rec):
+                    r.remaining -= 1
+                    if r.remaining == 0:
+                        wake(idx)
+                submit(MemRequest(base + w, True, value=values[w],
+                                  on_done=on_done))
+        finally:
+            if inst._act != a0 and not in_defer[idx]:
+                in_defer[idx] = 1
+                defer_append(idx)
+
+    return step
+
+
+def _bind_call(sim, inst, data):
+    node = sim.node
+    chans = sim.req_chans
+    if chans is None:
+        return _nop
+    tokens, pops = _tokens_pops(chans)
+    peeks = tuple(ch.peek for ch in chans)
+    records = sim.records
+    n_args = sim.n_args
+    has_pred = sim.has_pred
+    ret_forks = [sim._forks.get(p.name) for p in node.ret_ports]
+    ret_poisons = [poison_value(p.type) for p in node.ret_ports]
+    n_rets = len(ret_forks)
+    order_fork = sim._forks.get(node.order_out.name)
+    forks = sim._fork_list
+    max_outstanding = 1 if node.serialize else node.max_outstanding
+    try_enqueue = inst.runtime.try_enqueue
+    tname = inst.task.name
+    callee = node.callee
+    note_blocked = inst.note_enqueue_blocked
+    note_ok = inst.note_enqueue_ok
+    wake = inst.wake_node
+    idx = sim.idx
+    on_sink = inst.on_sink_progress
+    in_defer = inst._in_defer
+    defer_append = inst._defer.append
+
+    def step(now):
+        inst._cursor = idx
+        a0 = inst._act
+        try:
+            for f in forks:
+                if f.pending:
+                    f.drain(inst)
+            while records and records[0].done:
+                ret_ok = True
+                for f in ret_forks:
+                    if f is not None and f.pending:
+                        ret_ok = False
+                        break
+                if not ret_ok or \
+                        (order_fork is not None and order_fork.pending):
+                    break
+                rec = records.popleft()
+                results = rec.results
+                poisoned = rec.poison
+                for i in range(n_rets):
+                    if poisoned or i >= len(results):
+                        value = ret_poisons[i]
+                    else:
+                        value = results[i]
+                    f = ret_forks[i]
+                    if f is not None:
+                        f.accept(value, inst)
+                    inst._act += 1
+                if order_fork is not None:
+                    order_fork.accept(True, inst)
+                inst._act += 1
+                sim.sink_count += 1
+                on_sink()
+                inst.calls_outstanding -= 1
+            if len(records) >= max_outstanding:
+                return
+            for tok in tokens:
+                if not tok:
+                    return
+            enabled = True
+            if has_pred:
+                enabled = bool(peeks[n_args]())
+            if enabled:
+                rec = _CallRecord()
+                args = [peeks[i]() for i in range(n_args)]
+                if not try_enqueue(tname, callee, args, reply=rec,
+                                   parent=inst):
+                    note_blocked(sim)
+                    return
+            else:
+                rec = _CallRecord(poison=True)
+                wake(idx)
+            for pop in pops:
+                pop()
+            records.append(rec)
+            note_ok(sim)
+            inst.calls_outstanding += 1
+            inst._act += 1
+        finally:
+            if inst._act != a0 and not in_defer[idx]:
+                in_defer[idx] = 1
+                defer_append(idx)
+
+    return step
+
+
+def _bind_spawn(sim, inst, data):
+    node = sim.node
+    chans = sim.req_chans
+    if chans is None:
+        return _nop
+    tokens, pops = _tokens_pops(chans)
+    peeks = tuple(ch.peek for ch in chans)
+    n_args = sim.n_args
+    has_pred = sim.has_pred
+    issued_fork = sim._forks.get(node.issued.name)
+    forks = sim._fork_list
+    try_enqueue = inst.runtime.try_enqueue
+    tname = inst.task.name
+    callee = node.callee
+    note_blocked = inst.note_enqueue_blocked
+    note_ok = inst.note_enqueue_ok
+    on_sink = inst.on_sink_progress
+    idx, in_defer, defer_append = _rearm_locals(sim, inst)
+
+    def step(now):
+        inst._cursor = idx
+        a0 = inst._act
+        try:
+            for f in forks:
+                if f.pending:
+                    f.drain(inst)
+            if issued_fork is not None and issued_fork.pending:
+                return
+            for tok in tokens:
+                if not tok:
+                    return
+            enabled = True
+            if has_pred:
+                enabled = bool(peeks[n_args]())
+            if enabled:
+                args = [peeks[i]() for i in range(n_args)]
+                if not try_enqueue(tname, callee, args, reply=None,
+                                   parent=inst):
+                    note_blocked(sim)
+                    return
+                inst.pending_children += 1
+            for pop in pops:
+                pop()
+            if issued_fork is not None:
+                issued_fork.accept(True, inst)
+            inst._act += 1
+            sim.sink_count += 1
+            on_sink()
+            note_ok(sim)
+            inst._act += 1
+        finally:
+            if inst._act != a0 and not in_defer[idx]:
+                in_defer[idx] = 1
+                defer_append(idx)
+
+    return step
+
+
+def _bind_sync(sim, inst, data):
+    node = sim.node
+    has_order = node.order_in is not None
+    if has_order and node.order_in.incoming is None:
+        return _nop
+    if has_order:
+        order_ch = inst.channels[id(node.order_in.incoming)]
+        order_tok = _ready_token(order_ch)
+        order_pop = order_ch.pop
+    done_fork = sim._forks.get(node.done.name)
+    forks = sim._fork_list
+    on_sink = inst.on_sink_progress
+    idx, in_defer, defer_append = _rearm_locals(sim, inst)
+
+    def step(now):
+        inst._cursor = idx
+        a0 = inst._act
+        try:
+            for f in forks:
+                if f.pending:
+                    f.drain(inst)
+            if sim.fired:
+                return
+            if has_order and not order_tok:
+                return
+            if inst.pending_children > 0:
+                return
+            if done_fork is not None and done_fork.pending:
+                return
+            if has_order:
+                order_pop()
+            if done_fork is not None:
+                done_fork.accept(True, inst)
+            inst._act += 1
+            sim.fired = True
+            sim.sink_count = 1
+            on_sink()
+        finally:
+            if inst._act != a0 and not in_defer[idx]:
+                in_defer[idx] = 1
+                defer_append(idx)
+
+    return step
+
+
+# ---------------------------------------------------------------------------
+# Compile phase: per-node binder selection + content-derived data.
+# ---------------------------------------------------------------------------
+
+def _compile_compute(node):
+    """(arity, positional evaluator, list evaluator) for one FU."""
+    scale = node.gep_scale if node.op == "gep" else 1
+    arity, fpos = specialize_compute_pos(node.op, node.out.type, scale)
+    return arity, fpos, specialize_compute(node.op, node.out.type,
+                                           scale)
+
+
+def _compile_fused(node):
+    """Fused-region evaluator: one pre-specialized closure per inner
+    expression, each gathering its operands by direct index (no
+    per-expression operand-list build for the 1/2-ref shapes the
+    fusion pass emits)."""
+    exprs = []
+    for op, refs, rtype, scale in node.exprs:
+        arity, f = specialize_compute_pos(op, rtype, scale)
+        refs = tuple(refs)
+        if arity == 2 and len(refs) == 2:
+            (ka, ia), (kb, ib) = refs
+            if ka == "in" and kb == "in":
+                exprs.append(lambda ins, res, f=f, ia=ia, ib=ib:
+                             f(ins[ia], ins[ib]))
+            elif ka == "in":
+                exprs.append(lambda ins, res, f=f, ia=ia, ib=ib:
+                             f(ins[ia], res[ib]))
+            elif kb == "in":
+                exprs.append(lambda ins, res, f=f, ia=ia, ib=ib:
+                             f(res[ia], ins[ib]))
+            else:
+                exprs.append(lambda ins, res, f=f, ia=ia, ib=ib:
+                             f(res[ia], res[ib]))
+        elif arity == 1 and len(refs) == 1:
+            (ka, ia), = refs
+            if ka == "in":
+                exprs.append(lambda ins, res, f=f, ia=ia: f(ins[ia]))
+            else:
+                exprs.append(lambda ins, res, f=f, ia=ia: f(res[ia]))
+        else:
+            flist = specialize_compute(op, rtype, scale)
+            exprs.append(lambda ins, res, f=flist, refs=refs:
+                         f([ins[i] if k == "in" else res[i]
+                            for k, i in refs]))
+    exprs = tuple(exprs)
+    if len(exprs) == 1:
+        e0 = exprs[0]
+        empty = ()
+
+        def evalf(ins):
+            return e0(ins, empty)
+
+        return evalf
+
+    def evalf(ins):
+        results: List = []
+        rappend = results.append
+        for e in exprs:
+            rappend(e(ins, results))
+        return results[-1]
+
+    return evalf
+
+
+#: kind -> (binder, compile-time data factory or None).
+_STEP_COMPILERS: Dict[str, Tuple[Callable, Optional[Callable]]] = {
+    "const": (_bind_source, None),
+    "livein": (_bind_source, None),
+    "liveout": (_bind_liveout, None),
+    "compute": (_bind_compute, _compile_compute),
+    "tensor": (_bind_compute, _compile_compute),
+    "fused": (_bind_fused, _compile_fused),
+    "select": (_bind_select, None),
+    "phi": (_bind_phi, None),
+    "loopctl": (_bind_loopctl, None),
+    "load": (_bind_load, None),
+    "store": (_bind_store, None),
+    "call": (_bind_call, None),
+    "spawn": (_bind_spawn, None),
+    "sync": (_bind_sync, None),
+}
+
+def _node_signature(node) -> tuple:
+    """Content the compile-time data depends on, per node position."""
+    sig = (node.kind, getattr(node, "op", None))
+    if node.kind in ("compute", "tensor"):
+        sig += (str(node.out.type), node.gep_scale)
+    elif node.kind == "fused":
+        sig += (tuple((op, tuple(refs), str(rtype), scale)
+                      for op, refs, rtype, scale in node.exprs),)
+    elif node.kind in ("call", "spawn"):
+        sig += (tuple(str(p.type) for p in node.ret_ports)
+                if node.kind == "call" else (), node.callee)
+    elif node.kind == "load":
+        sig += (str(node.out.type),)
+    return sig
+
+
+class CompiledTask:
+    """Compile-time plan for one task block: a binder + data per node
+    position, shared by every instance of the task.
+
+    ``interpreted`` marks tasks where specialization cannot pay for
+    itself: a task with no loop controller runs straight through and
+    dies (a ``parallel_for`` body, a recursive leaf), so an instance
+    lives for a few sweeps only — binding per-node closures at start
+    costs more than the dispatch it saves.  Those instances keep the
+    event kernel's reference ``process`` (bit-identical by
+    definition); loop-carrying tasks, where instances sweep thousands
+    of times, get the compiled steps."""
+
+    __slots__ = ("plan", "interpreted")
+
+    def __init__(self, task):
+        self.interpreted = not any(
+            n.kind == "loopctl" for n in task.dataflow.nodes)
+        plan = []
+        for node in task.dataflow.nodes:
+            entry = _STEP_COMPILERS.get(node.kind)
+            if entry is None:
+                raise KernelCompileError(
+                    f"compiled kernel cannot specialize node kind "
+                    f"{node.kind!r} (task {task.name!r}, node "
+                    f"{node.name!r})", task=task.name, node=node.name)
+            binder, data_factory = entry
+            data = data_factory(node) if data_factory is not None \
+                else None
+            plan.append((binder, data))
+        self.plan = plan
+
+    def bind(self, instance) -> List[Callable]:
+        sims = instance.node_sims
+        steps = []
+        append = steps.append
+        for i, (binder, data) in enumerate(self.plan):
+            append(binder(sims[i], instance, data))
+        return steps
+
+
+class CompiledCircuit:
+    """All of a circuit's tasks, compiled; cache value of one
+    fingerprint."""
+
+    __slots__ = ("fingerprint", "tasks", "signature", "__weakref__")
+
+    def __init__(self, circuit, fingerprint: str = ""):
+        self.fingerprint = fingerprint
+        self.tasks = {name: CompiledTask(task)
+                      for name, task in circuit.tasks.items()}
+        self.signature = circuit_signature(circuit)
+
+
+def circuit_signature(circuit) -> tuple:
+    """Cheap structural identity: node-position-sensitive, unlike the
+    canonical fingerprint (which sorts node order away)."""
+    return tuple(
+        (name, tuple(_node_signature(n) for n in task.dataflow.nodes))
+        for name, task in sorted(circuit.tasks.items()))
+
+
+# -- compile cache ----------------------------------------------------------
+#: fingerprint -> CompiledCircuit (bounded FIFO).
+_CACHE: "Dict[str, CompiledCircuit]" = {}
+_CACHE_LIMIT = 128
+#: circuit object -> CompiledCircuit identity memo: repeat simulations
+#: of the same object (fuzzer plans, DSE sim-axis sweeps) skip even
+#: the fingerprint hash.
+_BY_OBJECT: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
+
+
+def clear_cache() -> None:
+    _CACHE.clear()
+    _BY_OBJECT.clear()
+
+
+def cache_stats() -> Dict[str, int]:
+    return {"entries": len(_CACHE), "memoized_objects": len(_BY_OBJECT)}
+
+
+def compiled_for(circuit,
+                 fingerprint: Optional[str] = None) -> CompiledCircuit:
+    """Compile ``circuit`` (or fetch the cached artifact).
+
+    Warm paths, fastest first: the object identity memo (no hashing at
+    all), then the fingerprint cache (one canonical-form hash, no
+    compilation) — each hit verified against the structural signature.
+    """
+    try:
+        return _BY_OBJECT[circuit]
+    except (KeyError, TypeError):
+        pass
+    if fingerprint is None:
+        fingerprint = circuit_fingerprint(circuit)
+    compiled = _CACHE.get(fingerprint)
+    if compiled is not None and \
+            compiled.signature != circuit_signature(circuit):
+        compiled = None         # equal fingerprint, different node order
+    if compiled is None:
+        compiled = CompiledCircuit(circuit, fingerprint)
+        if len(_CACHE) >= _CACHE_LIMIT:
+            _CACHE.pop(next(iter(_CACHE)))
+        _CACHE[fingerprint] = compiled
+    try:
+        _BY_OBJECT[circuit] = compiled
+    except TypeError:
+        pass
+    return compiled
+
+
+def precompile(circuit, fingerprint: Optional[str] = None
+               ) -> CompiledCircuit:
+    """Seed the compile cache (DSE workers pass the fingerprint they
+    already computed for the content-addressed result cache, so the
+    later ``simulate`` call is a pure cache hit)."""
+    return compiled_for(circuit, fingerprint)

@@ -1,6 +1,6 @@
 """Top-level simulation driver.
 
-Two kernels produce bit-identical results (same ``SimResult.cycles``,
+Three kernels produce bit-identical results (same ``SimResult.cycles``,
 same memory image, same outputs):
 
 * ``kernel="event"`` (default) — wakeup-driven: only components with a
@@ -11,6 +11,15 @@ same memory image, same outputs):
 * ``kernel="dense"`` — the original reference loop that sweeps every
   node of every active instance every cycle.  Kept as the equivalence
   oracle and for debugging the event kernel itself.
+* ``kernel="compiled"`` — the event kernel's scheduler driving
+  per-node step closures specialized once per circuit
+  (:mod:`repro.sim.compile`): no per-tick ``isinstance``/attribute
+  dispatch on the hot path.  Compiled artifacts are cached per
+  canonical circuit fingerprint, so DSE workers and the fuzzer pay
+  compilation once per design point.  If a circuit cannot be
+  specialized, ``SimParams.compile_fallback`` selects between a
+  warning + event-kernel run (default) and raising
+  :class:`repro.errors.KernelCompileError`.
 
 The event kernel also powers the observability layer
 (:mod:`repro.sim.observe`): stall attribution per node/cause and an
@@ -25,8 +34,8 @@ from typing import Callable, List, Optional, Sequence
 
 from ..core.circuit import AcceleratorCircuit
 from ..core.validate import validate_circuit
-from ..errors import (DeadlockError, SimulationError, SimulationTimeout,
-                      WatchdogTimeout)
+from ..errors import (DeadlockError, KernelCompileError, SimulationError,
+                      SimulationTimeout, WatchdogTimeout, error_document)
 from .events import EventScheduler
 from .faults import FaultInjector, FaultPlan
 from .memory import MemorySystem
@@ -51,8 +60,13 @@ class SimParams:
     #: Queue depth used for decoupled (<||deep>) task edges.
     decoupled_queue_depth: int = 64
     validate: bool = True
-    #: "event" (wakeup-driven, default) or "dense" (reference sweep).
+    #: "event" (wakeup-driven, default), "dense" (reference sweep) or
+    #: "compiled" (event scheduler + specialized step closures).
     kernel: str = "event"
+    #: kernel="compiled" only: when the circuit cannot be specialized,
+    #: True (default) downgrades to a warning + event-kernel run;
+    #: False raises :class:`repro.errors.KernelCompileError`.
+    compile_fallback: bool = True
     #: Observability level: "off", "counters" (default) or "trace".
     observe: str = "counters"
     #: Ring-buffer capacity for observe="trace".
@@ -76,6 +90,10 @@ class SimResult:
     stats: SimStats
     #: Observability layer of the run (None under the dense kernel).
     observer: Optional[Observability] = None
+    #: kernel="compiled" with compile_fallback: the error document of
+    #: the specialization failure that forced the event-kernel run
+    #: (None = no fallback happened).
+    compile_error: Optional[dict] = None
 
     def __repr__(self) -> str:
         return f"SimResult(cycles={self.cycles}, results={self.results})"
@@ -95,7 +113,7 @@ class Simulator:
         self.circuit = circuit
         self.memory_obj = memory
         self.params = params or SimParams()
-        if self.params.kernel not in ("event", "dense"):
+        if self.params.kernel not in ("event", "dense", "compiled"):
             raise SimulationError(
                 f"unknown simulation kernel {self.params.kernel!r}")
         if self.params.validate:
@@ -104,6 +122,22 @@ class Simulator:
     def run(self, args: Sequence = ()) -> SimResult:
         if self.params.kernel == "dense":
             return self._run_dense(args)
+        if self.params.kernel == "compiled":
+            from .compile import compiled_for
+            try:
+                compiled = compiled_for(self.circuit)
+            except KernelCompileError as exc:
+                if not self.params.compile_fallback:
+                    raise
+                import warnings
+                warnings.warn(
+                    f"compiled kernel unavailable, falling back to "
+                    f"event kernel: {exc}", RuntimeWarning,
+                    stacklevel=2)
+                result = self._run_event(args)
+                result.compile_error = error_document(exc)
+                return result
+            return self._run_event(args, compiled=compiled)
         return self._run_event(args)
 
     def _make_injector(self) -> Optional[FaultInjector]:
@@ -148,11 +182,11 @@ class Simulator:
             if self.hb_every and now % self.hb_every == 0:
                 self.hb(now, stats)
 
-    # -- event kernel ------------------------------------------------------
-    def _run_event(self, args: Sequence) -> SimResult:
+    # -- event kernel (also hosts the compiled kernel) ---------------------
+    def _run_event(self, args: Sequence, compiled=None) -> SimResult:
         params = self.params
         stats = SimStats()
-        stats.kernel = "event"
+        stats.kernel = "compiled" if compiled is not None else "event"
         sched = EventScheduler()
         observer = Observability(stats, params.observe,
                                  params.trace_capacity)
@@ -161,7 +195,7 @@ class Simulator:
                               stats, faults)
         runtime = SimRuntime(self.circuit, memsys, stats, params,
                              sched=sched, observer=observer,
-                             faults=faults)
+                             faults=faults, compiled=compiled)
         runtime.start_root(list(args))
 
         now = 0
@@ -212,6 +246,8 @@ class Simulator:
 
         now = 0
         idle_cycles = 0
+        deadlock_window = params.deadlock_window
+        max_cycles = params.max_cycles
         watchdog = self._Watchdog(params)
         while not runtime.root_done:
             if faults is not None:
@@ -227,14 +263,13 @@ class Simulator:
             else:
                 idle_cycles += 1
                 stats.idle_engine_cycles += 1
-                if idle_cycles > params.deadlock_window:
+                if idle_cycles > deadlock_window:
                     raise self._attach(DeadlockError(
                         now, self._deadlock_report(runtime),
                         self._deadlock_diagnostics(runtime)), stats, now)
-            if now >= params.max_cycles:
+            if now >= max_cycles:
                 raise self._attach(
-                    SimulationTimeout(now, params.max_cycles), stats,
-                    now)
+                    SimulationTimeout(now, max_cycles), stats, now)
             watchdog.check(now, stats)
         stats.cycles = now
         return SimResult(now, runtime.root_results or [], stats)

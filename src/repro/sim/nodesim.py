@@ -85,10 +85,14 @@ class NodeSim:
     arms the timer — the kernel has no polling to fall back on.
     """
 
+    # Slotted (here and in every subclass): tens of thousands of sims
+    # are live in a big run and the per-tick hot paths are attribute
+    # loads, so dropping the per-instance __dict__ pays in both memory
+    # and lookup time.
+    __slots__ = ("node", "instance", "sink_count", "idx",
+                 "_forks", "_fork_list")
+
     is_iter_sink = False
-    #: Position in the instance's node list (set at instance start);
-    #: doubles as the sweep-order key for the wakeup heap.
-    idx = -1
     #: Sims that issue their own next-cycle wakes from ``tick`` opt out
     #: of the kernel's blanket acted-so-look-again rearm.  Opting out is
     #: only sound if every way the sim could act next cycle is covered
@@ -99,6 +103,9 @@ class NodeSim:
         self.node = node
         self.instance = instance
         self.sink_count = 0
+        #: Position in the instance's node list (set at instance
+        #: start); doubles as the sweep-order key for the wakeup heap.
+        self.idx = -1
         self._forks = {}
         for port in node.outputs:
             if port.outgoing:
@@ -159,6 +166,8 @@ class ConstSim(NodeSim):
     at instance start); in func tasks it emits one token per consumer
     per invocation."""
 
+    __slots__ = ("_pending",)
+
     def __init__(self, node, instance):
         super().__init__(node, instance)
         self._pending = [c for c in node.out.outgoing if not c.latched]
@@ -180,6 +189,8 @@ class ConstSim(NodeSim):
 class LiveInSim(NodeSim):
     """Invocation argument source (same emission rule as ConstSim)."""
 
+    __slots__ = ("value", "_pending")
+
     def __init__(self, node, instance):
         super().__init__(node, instance)
         self.value = instance.args[node.index]
@@ -200,6 +211,8 @@ class LiveInSim(NodeSim):
 
 
 class LiveOutSim(NodeSim):
+    __slots__ = ()
+
     def tick(self, now: int) -> None:
         if self._in_ready(self.node.inp):
             value = self._in_pop(self.node.inp)
@@ -217,6 +230,9 @@ class ComputeSim(NodeSim):
     the commit wake, blocked retires/forks by the consumer's credit
     return, future retires and initiation gaps by per-fire timers.
     """
+
+    __slots__ = ("latency", "interval", "pipe", "next_fire",
+                 "capacity", "in_chans", "out_fork")
 
     precise_wakes = True
 
@@ -289,6 +305,8 @@ class FusedSim(NodeSim):
     Same precise-wake contract as :class:`ComputeSim` (implicit
     initiation interval of 1)."""
 
+    __slots__ = ("latency", "pipe", "in_chans", "out_fork")
+
     precise_wakes = True
 
     def __init__(self, node, instance):
@@ -348,6 +366,8 @@ class FusedSim(NodeSim):
 
 
 class SelectSim(NodeSim):
+    __slots__ = ("pipe", "in_chans", "out_fork")
+
     def __init__(self, node, instance):
         super().__init__(node, instance)
         self.pipe: deque = deque()
@@ -388,6 +408,11 @@ class SelectSim(NodeSim):
 
 class PhiSim(NodeSim):
     """Loop-carried value sequencer (see core.nodes.PhiNode)."""
+
+    __slots__ = ("inited", "init_val", "next_val", "have_next",
+                 "emitted", "backs", "last_back", "last_emitted",
+                 "final_pushed", "emit_history", "init_chan",
+                 "back_chan", "out_fork")
 
     is_iter_sink = True
 
@@ -485,6 +510,10 @@ class PhiSim(NodeSim):
 
 class LoopControlSim(NodeSim):
     """Iteration sequencer."""
+
+    __slots__ = ("started", "finished", "issued", "trips",
+                 "next_issue", "start_v", "step_v", "done_pushed",
+                 "final_pushed", "start_chans", "cont_chan")
 
     def __init__(self, node, instance):
         super().__init__(node, instance)
@@ -639,6 +668,9 @@ class _MemRecord:
 class LoadSim(NodeSim):
     """Load transit node with databox widening."""
 
+    __slots__ = ("records", "junction_sim", "words", "req_chans",
+                 "has_pred", "has_order")
+
     is_iter_sink = True
 
     def __init__(self, node, instance):
@@ -714,6 +746,9 @@ class LoadSim(NodeSim):
 
 
 class StoreSim(NodeSim):
+    __slots__ = ("records", "junction_sim", "words", "req_chans",
+                 "has_pred", "has_order")
+
     is_iter_sink = True
 
     def __init__(self, node, instance):
@@ -789,15 +824,17 @@ class _CallRecord:
 
 
 class CallSim(NodeSim):
-    is_iter_sink = True
+    __slots__ = ("records", "req_chans", "n_args", "has_pred",
+                 "_eq_blocked", "_eq_registered")
 
-    #: Sticky enqueue-blocked state for the event kernel (see
-    #: DataflowInstance.note_enqueue_blocked).
-    _eq_blocked = False
-    _eq_registered = False
+    is_iter_sink = True
 
     def __init__(self, node, instance):
         super().__init__(node, instance)
+        # Sticky enqueue-blocked state for the event kernel (see
+        # DataflowInstance.note_enqueue_blocked).
+        self._eq_blocked = False
+        self._eq_registered = False
         self.records: deque = deque()
         ports = list(node.arg_ports)
         if node.pred is not None:
@@ -865,13 +902,15 @@ class CallSim(NodeSim):
 
 
 class SpawnSim(NodeSim):
-    is_iter_sink = True
+    __slots__ = ("req_chans", "n_args", "has_pred",
+                 "_eq_blocked", "_eq_registered")
 
-    _eq_blocked = False
-    _eq_registered = False
+    is_iter_sink = True
 
     def __init__(self, node, instance):
         super().__init__(node, instance)
+        self._eq_blocked = False
+        self._eq_registered = False
         ports = list(node.arg_ports)
         if node.pred is not None:
             ports.append(node.pred)
@@ -914,6 +953,8 @@ class SpawnSim(NodeSim):
 
 class SyncSim(NodeSim):
     """Barrier: fires once all children spawned so far have completed."""
+
+    __slots__ = ("fired",)
 
     is_iter_sink = True
 

@@ -60,7 +60,9 @@ class SimStats:
         self.junction_grants: Counter = Counter()
         #: Engine-level accounting: cycles with no activity anywhere.
         self.idle_engine_cycles = 0
-        #: Kernel that produced this run ("event" or "dense").
+        #: Kernel that produced this run ("event", "dense", or
+        #: "compiled"); aside from this label, event and compiled runs
+        #: produce identical documents.
         self.kernel = "event"
 
     @property

@@ -196,6 +196,26 @@ class DataflowInstance:
         self._check_at = -1               # pending park-check cycle
         self._sleep_attr = None           # stall causes of current sleep
 
+        # -- compiled kernel ----------------------------------------------
+        # Bind the task's precompiled step closures to this instance's
+        # channels/forks/latencies and shadow ``process`` with the
+        # dispatch-free sweep.  Must run after everything above: the
+        # binders capture node sims, channels, and instance callbacks.
+        compiled = runtime.compiled
+        if compiled is not None:
+            ctask = compiled.tasks[task.name]
+            # Short-lived tasks (no loop controller) stay on the event
+            # kernel's reference process — binding closures would cost
+            # more than the dispatch they save (see CompiledTask).
+            if not ctask.interpreted:
+                self._steps = ctask.bind(self)
+                # Fault-free instances hold only plain EventChannels,
+                # whose commit the compiled sweep inlines; fault
+                # channels override commit, so a faulted run keeps the
+                # dynamic call.
+                self._plain_commit = runtime.faults is None
+                self.process = self.process_compiled
+
     # ``activity`` counts sets so the event sweep can tell whether one
     # particular node acted (token moved / state advanced) during its
     # tick — the trigger for the self-rearm wake that keeps a node
@@ -459,6 +479,125 @@ class DataflowInstance:
                     carry = True
                 else:
                     ch.dirty = False
+            self._carry = carry
+        else:
+            self._carry = False
+        self.enqueue_blocked = bool(self._eqb_count)
+        if self._act:
+            self.idle_cycles = 0
+        else:
+            self.idle_cycles += 1
+
+    # -- execution (compiled kernel) ---------------------------------------
+    def process_compiled(self, now: int) -> None:
+        """Compiled-kernel twin of :meth:`process`.
+
+        Same gap accounting, sweep order, visibility rule, self-rearm
+        and dirty-channel commit — deliberately duplicated rather than
+        shared so the event kernel stays byte-for-byte the reference
+        it is validated against.  The difference is the per-node work:
+        ``step(now)`` calls the specialized closure from
+        :mod:`repro.sim.compile`, which folds in the fork pre-drain,
+        the sweep-cursor update and (for non-precise kinds) the
+        acted-so-look-again rearm — so the sweep itself is a bare
+        dispatch loop.  Two further inlines on top: the ``_promote``
+        call is guarded by its own precondition (a guarded no-op
+        otherwise), and fault-free instances commit their dirty
+        channels with :meth:`Channel.commit`'s body inlined (fault
+        channels override ``commit``, so those keep the dynamic call).
+        """
+        if self._defer or self._full_next:
+            self._promote()
+        gap = now - self.last_processed - 1
+        if gap > 0:
+            self.idle_cycles += gap
+            obs = self.runtime.observer
+            if obs is not None and obs.enabled and self._sleep_attr:
+                obs.charge(self._sleep_attr, gap,
+                           self.last_processed + 1)
+        self._sleep_attr = None
+        self.last_processed = now
+        self.checked_cycle = now
+        self._act = 0
+        self.force_check = False
+        steps = self._steps
+        self._sweeping = True
+        defer = self._defer
+        in_defer = self._in_defer
+        self._defer_from = now
+        if self.full_wake or 2 * len(self._ready) >= len(steps):
+            self.full_wake = False
+            self._in_full = True
+            for idx in self._ready:
+                self._in_ready[idx] = 0
+            self._ready.clear()
+            for step in steps:
+                step(now)
+            self._in_full = False
+        else:
+            heappop = heapq.heappop
+            heap = self._ready
+            in_ready = self._in_ready
+            while heap:
+                idx = heappop(heap)
+                in_ready[idx] = 0
+                steps[idx](now)
+        self._sweeping = False
+        self._cursor = -1
+        if self._dirty:
+            dirty = self._dirty
+            self._dirty = []
+            carry = False
+            if self._plain_commit:
+                act = self._act
+                for ch in dirty:
+                    queue = ch.queue
+                    depth = len(queue)
+                    pre = ch.pre
+                    staged = ch.staged
+                    if pre:
+                        queue.extend(pre)
+                        pre.clear()
+                        act += 1
+                        if staged:
+                            if ch.stages >= 2:
+                                pre.extend(staged)
+                            else:
+                                queue.extend(staged)
+                            staged.clear()
+                    elif staged:
+                        if ch.stages >= 2:
+                            pre.extend(staged)
+                        else:
+                            queue.extend(staged)
+                        staged.clear()
+                        act += 1
+                    if len(queue) > depth:
+                        idx = ch.consumer_idx
+                        if not in_defer[idx]:
+                            in_defer[idx] = 1
+                            defer.append(idx)
+                    if pre:
+                        self._dirty.append(ch)
+                        carry = True
+                    else:
+                        ch.dirty = False
+                self._act = act
+            else:
+                for ch in dirty:
+                    depth = len(ch.queue)
+                    if ch.commit():
+                        self._act += 1
+                    if len(ch.queue) > depth:
+                        idx = ch.consumer_idx
+                        if not in_defer[idx]:
+                            in_defer[idx] = 1
+                            defer.append(idx)
+                    if ch.pre:
+                        self._dirty.append(ch)
+                        carry = True
+                    else:
+                        ch.dirty = False
             self._carry = carry
         else:
             self._carry = False
@@ -740,7 +879,7 @@ class SimRuntime:
     ROOT_EDGE = ("__host__", "__root__")
 
     def __init__(self, circuit, memory_system, stats: SimStats, params,
-                 sched=None, observer=None, faults=None):
+                 sched=None, observer=None, faults=None, compiled=None):
         self.circuit = circuit
         self.memory = memory_system
         self.stats = stats
@@ -750,6 +889,8 @@ class SimRuntime:
         self.observer = observer
         #: Fault injector of the run (None = fault-free).
         self.faults = faults
+        #: CompiledCircuit artifact (None = interpretive dispatch).
+        self.compiled = compiled
         #: Current cycle (valid during tick/tick_event; the enqueue
         #: path needs it to stamp fault-injected start delays).
         self.now = 0

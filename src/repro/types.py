@@ -88,6 +88,27 @@ class IntType(Type):
             value -= 1 << self.width
         return value
 
+    def wrapper(self):
+        """Specialized wrap closure with mask/sign bound as locals.
+
+        Bit-identical to :meth:`wrap`; used by the compiled simulation
+        kernel, which resolves the type once per node instead of once
+        per fire.
+        """
+        mask = (1 << self.width) - 1
+        if not self.signed:
+            return lambda value: value & mask
+        sign = 1 << (self.width - 1)
+        span = 1 << self.width
+
+        def wrap(value: int) -> int:
+            value &= mask
+            if value >= sign:
+                value -= span
+            return value
+
+        return wrap
+
 
 @dataclass(frozen=True)
 class FloatType(Type):

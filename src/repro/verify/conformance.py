@@ -8,7 +8,7 @@ perturbations and asserting the **LI invariant**:
 
     cycles may change; results and memory must be bit-identical.
 
-Two modes per case:
+Three modes per case:
 
 ``fault``
     The same circuit simulated fault-free (reference) and under the
@@ -18,6 +18,11 @@ Two modes per case:
     The base (un-optimized) circuit and the pass-instrumented circuit
     simulated under the *same* plan.  Catches transforms that are only
     correct for the latencies they were tuned against.
+``kernel``
+    The same circuit under the same plan (or fault-free, when the plan
+    is ``None``) on two simulation kernels — ``kernel`` vs
+    ``compare_kernel``.  Kernels claim *bit identity*, so this mode is
+    stricter than the LI invariant: cycle counts must match too.
 
 Failures are greedily minimized over fault categories (drop a whole
 dimension, keep the drop when the failure persists) and written as
@@ -65,8 +70,8 @@ class CaseResult:
     workload: str
     variant: str
     pass_spec: str
-    mode: str                      # "fault" or "differential"
-    plan: FaultPlan
+    mode: str                      # "fault" / "differential" / "kernel"
+    plan: Optional[FaultPlan]      # None: fault-free "kernel" case
     ok: bool = False
     cycles_ref: int = 0
     cycles_run: int = 0
@@ -83,8 +88,9 @@ class CaseResult:
 
     @property
     def case_id(self) -> str:
-        return (f"{self.workload}-{self.variant}-{self.mode}"
-                f"-{self.plan.seed & 0xFFFFFFFF:08x}")
+        tag = "nofault" if self.plan is None \
+            else f"{self.plan.seed & 0xFFFFFFFF:08x}"
+        return f"{self.workload}-{self.variant}-{self.mode}-{tag}"
 
     def to_json(self) -> dict:
         doc = {
@@ -93,8 +99,9 @@ class CaseResult:
             "variant": self.variant,
             "passes": self.pass_spec,
             "mode": self.mode,
-            "plan_seed": self.plan.seed,
-            "categories": self.plan.active_categories(),
+            "plan_seed": self.plan.seed if self.plan else None,
+            "categories": self.plan.active_categories()
+            if self.plan else [],
             "ok": self.ok,
             "cycles_ref": self.cycles_ref,
             "cycles_run": self.cycles_run,
@@ -180,13 +187,18 @@ class ConformanceFuzzer:
 
     def __init__(self, pass_spec: str = "", differential: bool = False,
                  artifacts_dir: Optional[str] = None,
-                 kernel: str = "event", max_cycles: int = 2_000_000,
+                 kernel: str = "event",
+                 compare_kernel: Optional[str] = None,
+                 max_cycles: int = 2_000_000,
                  wallclock_timeout: Optional[float] = None,
                  deadlock_window: int = 4_000, minimize: bool = True):
         self.pass_spec = pass_spec
         self.differential = differential
         self.artifacts_dir = artifacts_dir
         self.kernel = kernel
+        #: When set, every plan also runs in mode "kernel": this kernel
+        #: vs ``kernel`` on identical inputs, cycles included.
+        self.compare_kernel = compare_kernel
         self.max_cycles = max_cycles
         self.wallclock_timeout = wallclock_timeout
         self.deadlock_window = deadlock_window
@@ -206,21 +218,24 @@ class ConformanceFuzzer:
             self._circuits[key] = circuit
         return self._circuits[key]
 
-    def _params(self, plan: Optional[FaultPlan]) -> SimParams:
+    def _params(self, plan: Optional[FaultPlan],
+                kernel: Optional[str] = None) -> SimParams:
         return SimParams(max_cycles=self.max_cycles,
                          deadlock_window=self.deadlock_window,
-                         kernel=self.kernel, observe="counters",
-                         faults=plan,
+                         kernel=kernel or self.kernel,
+                         observe="counters",
+                         faults=plan, compile_fallback=False,
                          wallclock_timeout=self.wallclock_timeout)
 
     def _run(self, workload: str, variant: str, spec: str,
-             plan: Optional[FaultPlan]) -> Tuple[list, list, int]:
+             plan: Optional[FaultPlan],
+             kernel: Optional[str] = None) -> Tuple[list, list, int]:
         """Simulate one configuration; returns (results, words, cycles)."""
         w = get_workload(workload)
         circuit = self._circuit(workload, variant, spec)
         mem = w.fresh_memory(variant)
         result = simulate(circuit, mem, list(w.args_for(variant)),
-                          self._params(plan))
+                          self._params(plan, kernel))
         return list(result.results), list(mem.words), result.cycles
 
     def _baseline(self, workload: str, variant: str,
@@ -249,10 +264,15 @@ class ConformanceFuzzer:
             }
         return detail or None
 
-    def run_case(self, workload: str, plan: FaultPlan,
+    def run_case(self, workload: str, plan: Optional[FaultPlan],
                  variant: str = "base",
                  mode: str = "fault") -> CaseResult:
-        """Execute one case; on failure, minimize and write a bundle."""
+        """Execute one case; on failure, minimize and write a bundle.
+
+        ``plan`` may be ``None`` only in mode "kernel" (fault-free
+        bit-identity check); such failures reproduce directly with
+        ``--kernel`` so no minimization or bundle is needed.
+        """
         spec = self.pass_spec
         case = CaseResult(workload=workload, variant=variant,
                           pass_spec=spec, mode=mode, plan=plan)
@@ -262,6 +282,9 @@ class ConformanceFuzzer:
         if case.ok:
             return case
         case.exit_code = case.exit_code or 7
+        if plan is None:
+            case.minimized = []
+            return case
         original = plan
         if self.minimize:
             failing = case.error
@@ -286,7 +309,7 @@ class ConformanceFuzzer:
         return case
 
     def _verdict(self, workload: str, variant: str, mode: str,
-                 plan: FaultPlan,
+                 plan: Optional[FaultPlan],
                  case: CaseResult) -> Tuple[str, str]:
         """Run reference + faulted sides; classify the outcome.
 
@@ -301,6 +324,13 @@ class ConformanceFuzzer:
                 # Base vs instrumented circuit, same plan on both.
                 ref = self._run(workload, variant, "", plan)
                 got = self._run(workload, variant, spec, plan)
+            elif mode == "kernel":
+                # Same circuit, same plan, two kernels.
+                ref = self._baseline(workload, variant, spec) \
+                    if plan is None \
+                    else self._run(workload, variant, spec, plan)
+                got = self._run(workload, variant, spec, plan,
+                                kernel=self.compare_kernel)
             else:
                 ref = self._baseline(workload, variant, spec)
                 got = self._run(workload, variant, spec, plan)
@@ -310,12 +340,15 @@ class ConformanceFuzzer:
             return type(exc).__name__, str(exc)
         case.cycles_ref, case.cycles_run = ref[2], got[2]
         detail = self._diff(ref, got)
+        if mode == "kernel" and detail is None and ref[2] != got[2]:
+            # Kernels must agree cycle-for-cycle, not just on behavior.
+            detail = {"cycles": {"want": ref[2], "got": got[2]}}
         if detail is None:
             return "", ""
         case.last_detail = detail
         exc = LIViolationError(
             f"{workload}/{variant} [{mode}] diverged under "
-            f"{plan.describe()}", detail)
+            f"{plan.describe() if plan else 'no faults'}", detail)
         case.last_exc = exc
         case.exit_code = exit_code_for(exc)
         return type(exc).__name__, str(exc)
@@ -335,10 +368,19 @@ class ConformanceFuzzer:
                  for i in range(n_plans)]
         report.plan_seeds = [p.seed for p in plans]
         for name in names:
+            if self.compare_kernel:
+                # Fault-free bit-identity first: the cheapest, most
+                # common divergence repro.
+                case = self.run_case(name, None, mode="kernel")
+                report.cases.append(case)
+                if progress is not None:
+                    progress(case)
             for plan in plans:
                 modes = ["fault"]
                 if self.differential and self.pass_spec:
                     modes.append("differential")
+                if self.compare_kernel:
+                    modes.append("kernel")
                 for mode in modes:
                     case = self.run_case(name, plan, mode=mode)
                     report.cases.append(case)

@@ -1,10 +1,12 @@
-"""Event-kernel equivalence, stall attribution, and stats schema.
+"""Kernel equivalence, stall attribution, and stats schema.
 
-The equivalence matrix pins the event-driven kernel against cycle
-counts, memory digests, and results recorded from the seed (dense)
-engine on every built-in workload, under both the baseline and the
-full optimization stack.  Any wakeup that is dropped or delivered in
-the wrong cycle shows up as a cycle-count or memory mismatch here.
+The equivalence matrix pins the event-driven and compiled kernels
+against cycle counts, memory digests, and results recorded from the
+seed (dense) engine on every built-in workload, under both the
+baseline and the full optimization stack.  Any wakeup that is dropped
+or delivered in the wrong cycle — or any compiled specialization that
+diverges from the reference step semantics — shows up as a
+cycle-count or memory mismatch here.
 """
 
 import hashlib
@@ -56,13 +58,14 @@ def _run_config(name: str, config: str, kernel: str = "event"):
 
 
 class TestEventKernelEquivalence:
+    @pytest.mark.parametrize("kernel", ["event", "compiled"])
     @pytest.mark.parametrize("config", ["baseline", "allopts"])
     @pytest.mark.parametrize("name", FAST_MATRIX)
-    def test_matches_seed_golden(self, name, config):
+    def test_matches_seed_golden(self, name, config, kernel):
         golden = GOLDEN[f"{name}/{config}"]
-        result, mem = _run_config(name, config)
+        result, mem = _run_config(name, config, kernel=kernel)
         assert result.cycles == golden["cycles"], (
-            f"{name}/{config}: event kernel cycles {result.cycles} "
+            f"{name}/{config}: {kernel} kernel cycles {result.cycles} "
             f"!= seed {golden['cycles']}")
         assert _mem_digest(mem) == golden["mem"], (
             f"{name}/{config}: memory image diverged from seed")
@@ -70,14 +73,28 @@ class TestEventKernelEquivalence:
 
     @pytest.mark.slow
     @full_matrix
+    @pytest.mark.parametrize("kernel", ["event", "compiled"])
     @pytest.mark.parametrize("config", ["baseline", "allopts"])
     @pytest.mark.parametrize("name", SLOW_MATRIX)
-    def test_matches_seed_golden_slow(self, name, config):
+    def test_matches_seed_golden_slow(self, name, config, kernel):
         golden = GOLDEN[f"{name}/{config}"]
-        result, mem = _run_config(name, config)
+        result, mem = _run_config(name, config, kernel=kernel)
         assert result.cycles == golden["cycles"]
         assert _mem_digest(mem) == golden["mem"]
         assert list(result.results) == golden["results"]
+
+    @pytest.mark.parametrize("name", ["saxpy", "fib"])
+    def test_compiled_stats_identical_to_event(self, name):
+        # Bit identity extends to the observability layer: every
+        # counter the event kernel produces, the compiled kernel must
+        # reproduce exactly (only the kernel label may differ).
+        ev, _ = _run_config(name, "allopts", kernel="event")
+        co, _ = _run_config(name, "allopts", kernel="compiled")
+        ev_doc = ev.stats.to_json()
+        co_doc = co.stats.to_json()
+        assert ev_doc.pop("kernel") == "event"
+        assert co_doc.pop("kernel") == "compiled"
+        assert ev_doc == co_doc
 
     def test_dense_kernel_still_matches(self):
         # The dense path must stay a faithful oracle.

@@ -100,6 +100,45 @@ class TestSimulate:
                      "--trace-out", tracep]) == 2
         assert "obs-level" in capsys.readouterr().err
 
+    def test_compiled_kernel(self, src_file, capsys):
+        assert main(["simulate", src_file, "--args", "16", "2.0",
+                     "--seed", "5", "--kernel", "compiled"]) == 0
+        assert "behavior vs interpreter: OK" in capsys.readouterr().out
+
+    def test_compiled_kernel_supports_trace_out(self, src_file,
+                                                tmp_path, capsys):
+        tracep = str(tmp_path / "trace.json")
+        assert main(["simulate", src_file, "--args", "16", "2.0",
+                     "--kernel", "compiled",
+                     "--trace-out", tracep]) == 0
+        assert json.load(open(tracep))["traceEvents"]
+
+    def test_compiled_fallback_notice(self, src_file, capsys,
+                                      monkeypatch):
+        import warnings
+        from repro.sim import compile as simcompile
+        simcompile.clear_cache()
+        monkeypatch.delitem(simcompile._STEP_COMPILERS, "compute")
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            assert main(["simulate", src_file, "--args", "16", "2.0",
+                         "--kernel", "compiled"]) == 0
+        captured = capsys.readouterr()
+        assert "behavior vs interpreter: OK" in captured.out
+        assert "compiled kernel unavailable" in captured.err
+        simcompile.clear_cache()
+
+    def test_compiled_no_fallback_exits_10(self, src_file, capsys,
+                                           monkeypatch):
+        from repro.sim import compile as simcompile
+        simcompile.clear_cache()
+        monkeypatch.delitem(simcompile._STEP_COMPILERS, "compute")
+        assert main(["simulate", src_file, "--args", "16", "2.0",
+                     "--kernel", "compiled",
+                     "--no-kernel-fallback"]) == 10
+        assert "cannot specialize" in capsys.readouterr().err
+        simcompile.clear_cache()
+
     def test_simulate_source_lines_in_profile(self, src_file, capsys):
         assert main(["simulate", src_file, "--args", "16", "2.0",
                      "--profile"]) == 0
