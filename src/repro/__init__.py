@@ -28,7 +28,8 @@ __version__ = "0.1.0"
 from .api import Evaluation, Pipeline, evaluate  # noqa: E402,F401
 from .frontend import compile_minic, translate_module  # noqa: E402,F401
 from .frontend.interp import Interpreter, Memory  # noqa: E402,F401
-from .sim import SimParams, simulate  # noqa: E402,F401
+from .sim import (BatchResult, SimParams, simulate,  # noqa: E402,F401
+                  simulate_batch)
 from .opt import (  # noqa: E402,F401
     PASS_REGISTRY,
     PassManager,

@@ -39,7 +39,8 @@ from .frontend.interp import Interpreter, Memory
 from .frontend.ir import Module
 from .opt import PassManager, PassResult, coerce_passes
 from .rtl import SynthesisReport, synthesize
-from .sim import SimParams, SimResult, simulate
+from .sim import (BatchResult, SimParams, SimResult, simulate,
+                  simulate_batch)
 from .workloads import WORKLOADS, Workload
 
 
@@ -244,6 +245,79 @@ class Pipeline:
                     f"{self.name}: simulated memory/results diverge "
                     f"from the reference interpreter")
         return self
+
+    # -- stage "sim", batched --------------------------------------------
+    def evaluate_many(self, args_list: Optional[Sequence[Sequence]] = None,
+                      params: Optional[SimParams] = None, *,
+                      kernel: Optional[str] = None,
+                      check: bool = True) -> BatchResult:
+        """Simulate N independent workload instances in one batched run.
+
+        Each entry of ``args_list`` is one lane's root-argument list;
+        ``None`` replicates the pipeline's default arguments across
+        ``params.batch`` lanes (which must then be set).  All lanes
+        share this pipeline's circuit — same fingerprint, so the whole
+        batch steps through one compiled kernel
+        (:func:`repro.sim.simulate_batch`); per-lane results and
+        memory are bit-identical to N independent runs.
+
+        With ``check=True`` every surviving lane is verified: workload
+        pipelines run the workload golden check per lane, module
+        pipelines re-run the reference interpreter on each lane's
+        input snapshot.  A diverging lane raises
+        :class:`~repro.errors.WorkloadError` naming the lane;
+        otherwise ``BatchResult.verified`` records the per-lane
+        outcomes (failed lanes stay ``False``).
+        """
+        if kernel is not None:
+            params = replace(params or SimParams(), kernel=kernel)
+        params = params or SimParams()
+        if args_list is None:
+            if not params.batch:
+                raise ReproError(
+                    "evaluate_many needs args_list or SimParams.batch")
+            default = self.workload.args_for(self.variant) \
+                if self.workload is not None else ()
+            args_list = [list(default) for _ in range(params.batch)]
+        else:
+            args_list = [list(a) for a in args_list]
+        n = len(args_list)
+        if self.workload is not None:
+            memories = [self.workload.fresh_memory(self.variant)
+                        for _ in range(n)]
+        else:
+            memories = [Memory(self.module) for _ in range(n)]
+        snapshots = [list(m.words) for m in memories] if check else None
+        batch = simulate_batch(self.circuit, memories, args_list,
+                               replace(params, batch=n))
+        if not check:
+            return batch
+        verified = [False] * n
+        for i in range(n):
+            if batch.results[i] is None:
+                continue
+            mem = memories[i]
+            if self.workload is not None:
+                self.workload.verify(mem, self.variant)  # raises on fail
+            else:
+                golden = Memory(self.module)
+                golden.words[:] = snapshots[i]
+                returned = Interpreter(self.module, golden).run(
+                    *args_list[i])
+                if returned is None:
+                    expected: List = []
+                elif isinstance(returned, (list, tuple)):
+                    expected = list(returned)
+                else:
+                    expected = [returned]
+                if (mem.words != golden.words
+                        or list(batch.results[i].results) != expected):
+                    raise WorkloadError(
+                        f"{self.name}: lane {i} diverges from the "
+                        f"reference interpreter")
+            verified[i] = True
+        batch.verified = verified
+        return batch
 
     # -- stage 3: synthesis ----------------------------------------------
     def synthesize(self, name: Optional[str] = None) -> Evaluation:

@@ -37,7 +37,7 @@ from .frontend.interp import Interpreter, Memory
 from .opt import PassManager
 from .rtl import emit_chisel, emit_verilog, synthesize
 from .core.serialize import save_circuit, to_dot
-from .sim import FaultPlan, SimParams, simulate
+from .sim import FaultPlan, SimParams, simulate, simulate_batch
 from .types import FloatType
 from .util.rng import seed_memory
 from .opt import parse_passes as _parse_passes
@@ -161,6 +161,9 @@ def cmd_simulate(args) -> int:
                        wallclock_timeout=args.timeout)
     if plan is not None:
         print(f"faults: {plan.describe()}")
+    if args.batch and args.batch > 1:
+        return _simulate_batched(args, module, circuit, values,
+                                 golden, params)
     t_sim = time.perf_counter()
     result = simulate(circuit, mem, values, params)
     t_sim = time.perf_counter() - t_sim
@@ -211,6 +214,58 @@ def cmd_simulate(args) -> int:
     return 0 if ok else 1
 
 
+def _simulate_batched(args, module, circuit, values, golden,
+                      params) -> int:
+    """``repro simulate --batch N``: N identical lanes through one
+    batched run, each verified against the interpreter's golden
+    image."""
+    import time
+    from dataclasses import replace as _replace
+
+    from .core.lanes import numpy_note
+
+    n = args.batch
+    lanes = []
+    for _ in range(n):
+        mem = Memory(module)
+        _seed_memory(mem, args.seed)
+        lanes.append(mem)
+    t_sim = time.perf_counter()
+    batch = simulate_batch(circuit, lanes, [list(values)] * n,
+                           _replace(params, batch=n))
+    t_sim = time.perf_counter() - t_sim
+    note = numpy_note()
+    if note:
+        print(f"note: {note}", file=sys.stderr)
+    ok = True
+    for i in range(n):
+        if batch.errors[i] is not None:
+            err = batch.errors[i]
+            print(f"lane {i}: FAILED[{err.get('error')}] "
+                  f"fingerprint={err.get('input_fingerprint')}",
+                  file=sys.stderr)
+            ok = False
+        elif lanes[i].words != golden.words:
+            print(f"lane {i}: memory MISMATCH vs interpreter",
+                  file=sys.stderr)
+            ok = False
+    cycles = [r.cycles if r is not None else None
+              for r in batch.results]
+    print(f"batch: {n} lanes, mode={batch.mode}")
+    print(f"cycles: {cycles[0] if len(set(cycles)) == 1 else cycles}")
+    first = next((r for r in batch.results if r is not None), None)
+    if first is not None and first.results:
+        print(f"returned: {first.results}")
+    print(f"behavior vs interpreter: "
+          f"{'OK (all lanes)' if ok else 'MISMATCH'}")
+    print(f"throughput: {n / t_sim:,.1f} sims/s "
+          f"({params.kernel} kernel, {t_sim:.3f}s wall)")
+    if args.stats_json:
+        batch.stats.dump_json(args.stats_json)
+        print(f"wrote {args.stats_json}")
+    return 0 if ok else 1
+
+
 def cmd_synth(args) -> int:
     _module, circuit, _log = _load_circuit_pipeline(args)
     report = synthesize(circuit)
@@ -233,6 +288,31 @@ def cmd_bench(args) -> int:
     params = SimParams(observe=_resolve_observe(args),
                        kernel=args.kernel,
                        trace_capacity=args.trace_capacity)
+    if args.batch and args.batch > 1:
+        import time
+
+        from .api import Pipeline
+        from .core.lanes import numpy_note
+
+        note = numpy_note()
+        if note:
+            print(f"note: {note}", file=sys.stderr)
+        pipe = Pipeline(args.workload, variant=args.variant)
+        pipe.optimize(args.passes or None)
+        t0 = time.perf_counter()
+        batch = pipe.evaluate_many(
+            params=SimParams(observe=params.observe,
+                             kernel=params.kernel,
+                             trace_capacity=params.trace_capacity,
+                             batch=args.batch))
+        wall = time.perf_counter() - t0
+        cyc = next(r.cycles for r in batch.results if r is not None)
+        print(f"{args.workload}/{args.passes or 'baseline'}: "
+              f"{cyc} cycles x {batch.lanes} lanes "
+              f"(mode={batch.mode}) = {batch.lanes / wall:,.1f} sims/s")
+        print("behavior verified against the workload golden check "
+              "(every lane)")
+        return 0 if batch.ok else 1
     result = run_workload(args.workload,
                           _parse_passes(args.passes),
                           config=args.passes or "baseline",
@@ -344,7 +424,7 @@ def cmd_fuzz(args) -> int:
         artifacts_dir=args.artifacts_dir, kernel=args.kernel,
         compare_kernel=args.compare_kernel,
         max_cycles=args.max_cycles, wallclock_timeout=args.timeout,
-        minimize=not args.no_minimize)
+        minimize=not args.no_minimize, batch=args.batch)
     progress = None if args.quiet else \
         (lambda case: print(case.describe()))
     report = fuzzer.fuzz(workloads=workloads, n_plans=args.plans,
@@ -435,6 +515,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--timeout", type=float, default=None,
                    metavar="SECONDS",
                    help="wall-clock watchdog for the simulation")
+    p.add_argument("--batch", type=int, default=None, metavar="N",
+                   help="simulate N independent instances in one "
+                        "batched run (each verified vs the "
+                        "interpreter)")
     add_observe(p)
     p.set_defaults(fn=cmd_simulate)
 
@@ -451,6 +535,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--variant", default="base")
     p.add_argument("--kernel", default="event",
                    choices=("event", "dense", "compiled"))
+    p.add_argument("--batch", type=int, default=None, metavar="N",
+                   help="run N instances through one batched "
+                        "simulation and report sims/s")
     add_observe(p)
     p.set_defaults(fn=cmd_bench)
 
@@ -557,6 +644,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="suppress per-case progress lines")
     p.add_argument("--replay", default=None, metavar="DIR",
                    help="re-run the case captured in a repro bundle")
+    p.add_argument("--batch", action="store_true",
+                   help="add batch-conformance cases: per-lane "
+                        "identity of batched runs, and the enforced "
+                        "scalar fallback under fault plans")
     p.set_defaults(fn=cmd_fuzz)
     return parser
 

@@ -1,0 +1,431 @@
+"""Lane-indexed values: the batched simulation's data layer.
+
+One batched run steps ``N`` independent workload instances ("lanes")
+through a *single* runtime: one scheduler, one set of channels, one
+set of FU timers, one invocation queue.  The latency-insensitive
+execution model guarantees independent invocations of the same
+circuit cannot interact, so all *control* state — channel occupancy,
+loop trip counts, memory request addresses, predicates, task
+enqueues — is provably identical across lanes as long as every value
+a control decision reads is lane-uniform.  Only the *payload* values
+carry a lane dimension, as a :class:`LaneValues` wrapper holding one
+value per lane (a structure-of-arrays layout: the scalar state the
+sequential kernels keep per instance becomes a lane-indexed vector,
+while the collapsed occupancy/timer dimension is shared).
+
+The uniformity requirement is *enforced*, not assumed:
+``LaneValues.__bool__`` / ``__int__`` / ``__index__`` return the
+uniform scalar or raise :class:`repro.errors.LaneDivergence`, so the
+existing control sites (``int(addr)``, ``bool(pred)``,
+``if not cont:``) work unmodified and become the uniformity checks.
+A divergence aborts the batched attempt — which ran against *copies*
+of the lane memories — and the driver re-runs each lane sequentially
+against the untouched originals (bit-identical by construction, just
+without the speedup).
+
+Equivalence argument (DESIGN.md §9): every control decision in a
+batched run is made on a value checked to be identical to the value
+each lane's independent run would see; payload computation applies
+the identical scalar evaluator per lane (or a bit-exact vectorized
+twin); therefore the cycle-by-cycle schedule and every lane's results
+and memory image match N independent runs exactly.
+
+numpy is optional (the ``[batch]`` extra): when importable, lane
+vectors for statically-safe operations (int add/sub/mul/and/or/xor at
+width <= 32, where int64 intermediates are exact, and IEEE-identical
+float64 fadd/fsub/fmul) are evaluated as numpy arrays; everything
+else — and every environment without numpy — uses the list-of-lanes
+loop, which is the definitionally-correct backend.  Set
+``REPRO_BATCH_NO_NUMPY=1`` to force the list backend.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from typing import List, Optional, Sequence
+
+from ..errors import LaneDivergence
+from ..types import FloatType, IntType
+
+__all__ = [
+    "BatchContext", "LaneImage", "LaneValues", "ctrl", "have_numpy",
+    "lane_fingerprint", "lane_lift_list", "lane_lift_pos",
+    "lane_pack_words", "lane_row", "lane_select", "lane_unpack_words",
+    "numpy_note", "vector_key", "vector_fn",
+]
+
+#: Below this lane count the numpy round-trip costs more than the
+#: list loop it replaces.
+NUMPY_MIN_LANES = 8
+
+
+class BatchContext:
+    """Per-run batch descriptor threaded through the runtime.
+
+    Binders read ``instance.runtime.batch`` once, at bind time, to
+    select lane-aware evaluators — the scalar (batch=None) closures
+    stay byte-identical to the unbatched kernel.
+    """
+
+    __slots__ = ("lanes",)
+
+    def __init__(self, lanes: int):
+        self.lanes = int(lanes)
+
+    def __repr__(self) -> str:
+        return f"BatchContext(lanes={self.lanes})"
+
+
+def _same(a, b) -> bool:
+    """Strict per-lane value identity.
+
+    Stricter than ``==`` on purpose: the memory digest the equivalence
+    gate compares is ``repr``-based, so ``0.0`` vs ``-0.0`` (equal,
+    different repr) and ``True`` vs ``1`` (equal, different type) must
+    count as divergent — collapsing them would change what a lane
+    writes back relative to its independent run.
+    """
+    if a is b:
+        return True
+    if a.__class__ is not b.__class__:
+        return False
+    if a != b:
+        return False
+    if a.__class__ is float and a == 0.0:
+        return repr(a) == repr(b)       # 0.0 vs -0.0
+    if a.__class__ is tuple:
+        return repr(a) == repr(b)       # multi-word payloads
+    return True
+
+
+class LaneValues:
+    """One payload value per lane.
+
+    Flows through channels, forks, phi/select nodes and memory
+    requests exactly like a scalar.  Any attempt to use it where a
+    *scalar control value* is required (truth test, index, int
+    coercion) returns the lane-uniform scalar or raises
+    :class:`LaneDivergence` — which is precisely the soundness check
+    the batched kernel relies on.
+    """
+
+    __slots__ = ("lanes",)
+
+    def __init__(self, lanes: List):
+        self.lanes = lanes
+
+    def uniform(self):
+        lanes = self.lanes
+        v0 = lanes[0]
+        for v in lanes:
+            if not _same(v0, v):
+                raise LaneDivergence(
+                    f"lane-divergent value reached a control decision "
+                    f"(lane 0: {v0!r}, divergent: {v!r})")
+        return v0
+
+    def __bool__(self) -> bool:
+        return bool(self.uniform())
+
+    def __int__(self) -> int:
+        return int(self.uniform())
+
+    def __index__(self) -> int:
+        return int(self.uniform())
+
+    def __float__(self) -> float:
+        return float(self.uniform())
+
+    def __repr__(self) -> str:
+        return f"LaneValues({self.lanes!r})"
+
+
+def ctrl(value):
+    """Force a value to a lane-uniform scalar at a control junction."""
+    if type(value) is LaneValues:
+        return value.uniform()
+    return value
+
+
+def lane_select(cond, a, b):
+    """``a if cond else b`` with lane-wise condition support.
+
+    A divergent select condition is *data*, not control — each lane
+    picks its own arm, exactly as its independent run would.
+    """
+    if type(cond) is LaneValues:
+        conds = cond.lanes
+        n = len(conds)
+        la = a.lanes if type(a) is LaneValues else [a] * n
+        lb = b.lanes if type(b) is LaneValues else [b] * n
+        return LaneValues([x if c else y
+                           for c, x, y in zip(conds, la, lb)])
+    return a if cond else b
+
+
+def lane_row(values: Sequence, lane: int) -> List:
+    """Project one lane out of a mixed scalar/LaneValues sequence."""
+    return [v.lanes[lane] if type(v) is LaneValues else v
+            for v in values]
+
+
+def lane_pack_words(words: Sequence):
+    """Assemble a (possibly lane-indexed) multi-word load payload.
+
+    Mirrors the scalar kernels' ``tuple(rec.words)``: uniform words
+    stay a plain tuple; any lane-indexed word lifts the whole payload
+    to a LaneValues of per-lane tuples.
+    """
+    n = 0
+    for w in words:
+        if type(w) is LaneValues:
+            n = len(w.lanes)
+            break
+    else:
+        return tuple(words)
+    return LaneValues([
+        tuple(w.lanes[i] if type(w) is LaneValues else w for w in words)
+        for i in range(n)])
+
+
+def lane_unpack_words(data, words: int):
+    """Split a multi-word store payload into per-word values.
+
+    Inverse of :func:`lane_pack_words`: a LaneValues of per-lane
+    tuples becomes one LaneValues per word position.
+    """
+    if type(data) is LaneValues:
+        lanes = data.lanes
+        return [LaneValues([lane[w] for lane in lanes])
+                for w in range(words)]
+    return data
+
+
+class LaneImage:
+    """N per-lane memory images behind a single ``image[addr]`` API.
+
+    The memory system's timing machinery (banks, caches, write
+    buffers, junction arbitration) keys on *addresses*, which are
+    control values and therefore lane-uniform; only the stored words
+    differ per lane.  So the whole of :mod:`repro.sim.memory` runs
+    unchanged against this object: reads gather across lanes
+    (collapsing to a plain scalar when all lanes agree, so uniform
+    data never pays the lane dimension), writes scatter a LaneValues
+    or broadcast a scalar.
+    """
+
+    __slots__ = ("lanes",)
+
+    def __init__(self, lane_words: List[List]):
+        if not lane_words:
+            raise ValueError("LaneImage needs at least one lane")
+        self.lanes = lane_words
+
+    def __len__(self) -> int:
+        return len(self.lanes[0])
+
+    def __getitem__(self, addr):
+        lanes = self.lanes
+        v0 = lanes[0][addr]
+        for row in lanes:
+            if not _same(v0, row[addr]):
+                return LaneValues([row[addr] for row in lanes])
+        return v0
+
+    def __setitem__(self, addr, value) -> None:
+        if type(value) is LaneValues:
+            for row, v in zip(self.lanes, value.lanes):
+                row[addr] = v
+        else:
+            for row in self.lanes:
+                row[addr] = value
+
+
+def lane_fingerprint(args: Sequence, words: Sequence) -> str:
+    """Content identity of one lane's *input* (root args + initial
+    memory image); stamped into per-lane error documents so a failed
+    lane is reproducible outside the batch."""
+    h = hashlib.sha256()
+    h.update(repr([repr(a) for a in args]).encode())
+    h.update(b"|")
+    for w in words:
+        h.update(repr(w).encode())
+        h.update(b",")
+    return h.hexdigest()[:16]
+
+
+# ---------------------------------------------------------------------------
+# Lane-lifted evaluators (compiled kernel) + optional numpy backend.
+# ---------------------------------------------------------------------------
+
+_np = None
+_np_checked = False
+
+
+def _numpy():
+    """Lazy, env-gated numpy import (never at module import time: the
+    tier-1 suite and the scalar kernels must not depend on it)."""
+    global _np, _np_checked
+    if os.environ.get("REPRO_BATCH_NO_NUMPY") == "1":
+        return None
+    if not _np_checked:
+        _np_checked = True
+        try:
+            import numpy
+            _np = numpy
+        except ImportError:
+            _np = None
+    return _np
+
+
+def have_numpy() -> bool:
+    return _numpy() is not None
+
+
+def numpy_note() -> Optional[str]:
+    """One-line capability note for the CLI when numpy is absent."""
+    if _numpy() is not None:
+        return None
+    return ("note: numpy not available - batched lanes use the "
+            "pure-Python list backend (install the [batch] extra "
+            "for the vectorized fast path)")
+
+
+#: Ops whose int64 evaluation is exact for wrapped width<=32 operands
+#: (|a|,|b| < 2^31 so even a*b < 2^62) and bit-equal to the scalar
+#: wrap; division/shifts are excluded (C-style semantics differ).
+_NP_INT_OPS = ("add", "sub", "mul", "and", "or", "xor")
+#: float64 maps 1:1 onto Python floats, so these are IEEE-identical.
+_NP_FLOAT_OPS = ("fadd", "fsub", "fmul")
+
+
+def vector_key(op: str, result_type):
+    """Compile-time tag of a statically numpy-safe (op, type) combo;
+    None marks everything that must stay on the scalar-per-lane loop.
+    Computed at circuit-compile time so cached plans carry it."""
+    if isinstance(result_type, IntType) and result_type.width <= 32 \
+            and op in _NP_INT_OPS:
+        return ("int", op, result_type.width, result_type.signed)
+    if isinstance(result_type, FloatType) and op in _NP_FLOAT_OPS:
+        return ("float", op)
+    return None
+
+
+def vector_fn(vkey):
+    """Vectorized lane evaluator for a :func:`vector_key` tag.
+
+    Returns ``vf(lanes_a, lanes_b) -> list | None`` (None = operands
+    not eligible at runtime, caller falls back to the list loop), or
+    None when numpy is unavailable.
+    """
+    np = _numpy()
+    if np is None or vkey is None:
+        return None
+    if vkey[0] == "int":
+        _, op, width, signed = vkey
+        mask = (1 << width) - 1
+        sign_bit = 1 << (width - 1)
+        span = 1 << width
+        npop = {"add": np.add, "sub": np.subtract,
+                "mul": np.multiply, "and": np.bitwise_and,
+                "or": np.bitwise_or, "xor": np.bitwise_xor}[op]
+
+        def vf(la, lb):
+            for x in la:
+                if x.__class__ is not int:
+                    return None
+            for x in lb:
+                if x.__class__ is not int:
+                    return None
+            r = npop(np.array(la, dtype=np.int64),
+                     np.array(lb, dtype=np.int64)) & mask
+            if signed:
+                r = np.where(r >= sign_bit, r - span, r)
+            return r.tolist()
+
+        return vf
+    _, op = vkey
+    npop = {"fadd": np.add, "fsub": np.subtract,
+            "fmul": np.multiply}[op]
+
+    def vf(la, lb):
+        for x in la:
+            if x.__class__ is not float:
+                return None
+        for x in lb:
+            if x.__class__ is not float:
+                return None
+        return npop(np.array(la, dtype=np.float64),
+                    np.array(lb, dtype=np.float64)).tolist()
+
+    return vf
+
+
+def lane_lift_pos(arity: int, f, vkey=None):
+    """Lane-lifted twin of a positional evaluator from
+    :func:`repro.core.semantics.specialize_compute_pos`.
+
+    Scalar operands take the original fast path untouched; any
+    LaneValues operand broadcasts the scalars and maps ``f`` per lane
+    (or dispatches to the numpy backend when the op is statically safe
+    and the lane count clears :data:`NUMPY_MIN_LANES`).
+    """
+    if arity == 1:
+        def lifted(a):
+            if type(a) is LaneValues:
+                return LaneValues([f(x) for x in a.lanes])
+            return f(a)
+        return lifted
+    if arity == 2:
+        vf = vector_fn(vkey)
+
+        def lifted(a, b):
+            av = type(a) is LaneValues
+            bv = type(b) is LaneValues
+            if not av and not bv:
+                return f(a, b)
+            if av and bv:
+                la, lb = a.lanes, b.lanes
+            elif av:
+                la = a.lanes
+                lb = [b] * len(la)
+            else:
+                lb = b.lanes
+                la = [a] * len(lb)
+            if vf is not None and len(la) >= NUMPY_MIN_LANES:
+                out = vf(la, lb)
+                if out is not None:
+                    return LaneValues(out)
+            return LaneValues([f(x, y) for x, y in zip(la, lb)])
+        return lifted
+
+    def lifted(a, b, c):
+        n = 0
+        for v in (a, b, c):
+            if type(v) is LaneValues:
+                n = len(v.lanes)
+                break
+        else:
+            return f(a, b, c)
+        la = a.lanes if type(a) is LaneValues else [a] * n
+        lb = b.lanes if type(b) is LaneValues else [b] * n
+        lc = c.lanes if type(c) is LaneValues else [c] * n
+        return LaneValues([f(x, y, z)
+                           for x, y, z in zip(la, lb, lc)])
+    return lifted
+
+
+def lane_lift_list(f):
+    """Lane-lifted twin of a list-form evaluator (``f(vals) -> r``);
+    also lifts the fused-region evaluators, which share the shape."""
+    def lifted(vals):
+        n = 0
+        for v in vals:
+            if type(v) is LaneValues:
+                n = len(v.lanes)
+                break
+        else:
+            return f(vals)
+        return LaneValues([f(lane_row(vals, i)) for i in range(n)])
+    return lifted

@@ -13,10 +13,23 @@ from typing import Sequence, Tuple
 
 from ..errors import SimulationError
 from ..types import BoolType, IntType, TensorType, Type
+from .lanes import LaneValues, lane_row
 
 
 def eval_compute(op: str, vals: Sequence, result_type: Type):
-    """Evaluate pure operation ``op`` over concrete values."""
+    """Evaluate pure operation ``op`` over concrete values.
+
+    Lane-indexed operands (batched simulation) are intercepted before
+    the scalar arms: the coercions below (``int``, ``bool``-via-
+    ``if``, raw ``==``) are *control* conversions on a
+    :class:`~repro.core.lanes.LaneValues` and would either demand
+    lane uniformity payload data does not have, or (for the bare
+    comparisons) silently fall back to identity — so divergent
+    payloads must be mapped per lane instead.
+    """
+    for v in vals:
+        if type(v) is LaneValues:
+            return _eval_compute_lanes(op, vals, result_type)
     if op == "add":
         return _wrap(int(vals[0]) + int(vals[1]), result_type)
     if op == "sub":
@@ -88,6 +101,20 @@ def eval_compute(op: str, vals: Sequence, result_type: Type):
     if op == "trelu":
         return tuple(v if v > 0 else 0.0 for v in vals[0])
     raise SimulationError(f"no semantics for op {op!r}")
+
+
+def _eval_compute_lanes(op: str, vals: Sequence, result_type: Type):
+    """Lane-wise :func:`eval_compute`: apply the identical scalar
+    semantics to each lane's operand row (broadcasting scalar
+    operands), which is by definition what each lane's independent
+    run computes."""
+    n = 0
+    for v in vals:
+        if type(v) is LaneValues:
+            n = len(v.lanes)
+            break
+    return LaneValues([eval_compute(op, lane_row(vals, i), result_type)
+                       for i in range(n)])
 
 
 def specialize_compute_pos(op: str, result_type: Type,

@@ -210,77 +210,111 @@ class ExploreReport:
 # Worker side
 # ---------------------------------------------------------------------------
 
-def _evaluate_point(payload: Dict) -> Dict:
-    """Evaluate one point in a worker process.
+def _evaluate_group(payloads: Sequence[Dict]) -> List[Dict]:
+    """Evaluate a group of points sharing one pass spec in a worker.
 
-    Returns a plain dict (never raises): ``{"index", "ok", "source",
-    "key", "fingerprint", "doc" | "error", "wall_s"}``.
+    Batched evaluation: every payload in the group maps to the *same*
+    canonical circuit (pass spec fixed, only ``sim.*`` axes vary), so
+    the front-end — MiniC -> uIR -> uopt -> canonicalization ->
+    compiled-kernel specialization — runs ONCE for the whole group and
+    per-point cost reduces to simulation + synthesis.  Single-point
+    groups behave exactly like the old per-point worker.
+
+    Returns one plain dict per payload (never raises): ``{"index",
+    "ok", "source", "key", "fingerprint", "doc" | "error", "wall_s"}``.
     """
     t0 = time.perf_counter()
-    out: Dict = {"index": payload["index"], "ok": False,
-                 "source": "fresh", "key": "", "fingerprint": ""}
+    outs: List[Dict] = [
+        {"index": p["index"], "ok": False, "source": "fresh",
+         "key": "", "fingerprint": "", "wall_s": 0.0}
+        for p in payloads]
+    first = payloads[0]
     try:
         from ..api import Pipeline
         from ..core.serialize import canonical_circuit, \
             circuit_fingerprint
 
-        w = get_workload(payload["workload"])
-        variant = payload["variant"]
+        w = get_workload(first["workload"])
+        variant = first["variant"]
         args = list(w.args_for(variant))
         pipe = Pipeline(w, variant=variant,
-                        name=f"{w.name}_dse{payload['index']}")
-        pipe.optimize(payload["pass_spec"])
+                        name=f"{w.name}_dse{first['index']}")
+        pipe.optimize(first["pass_spec"])
         canon = canonical_circuit(pipe.circuit)
         fingerprint = circuit_fingerprint(canon)
-        out["fingerprint"] = fingerprint
-        ckey = content_key(fingerprint, w.name, variant, args,
-                           payload["sim"])
-        out["key"] = ckey
-        cache = ResultCache(payload["cache_root"]) \
-            if payload.get("cache_root") else None
-        if cache is not None:
-            doc = cache.get(ckey)
-            if doc is not None:
-                out.update(ok=True, source="cache", doc=doc,
-                           wall_s=time.perf_counter() - t0)
-                return out
-        if payload["sim"].get("kernel") == "compiled":
+        if any(p["sim"].get("kernel") == "compiled" for p in payloads):
             # Seed the compiled-artifact cache under the canonical
             # fingerprint we already paid for, so simulate() reuses it
             # instead of re-fingerprinting the circuit.
             from ..sim.compile import precompile
             precompile(canon, fingerprint)
-        params = SimParams(
-            wallclock_timeout=payload.get("wallclock_timeout"),
-            **payload["sim"])
-        run = Pipeline.from_circuit(canon, workload=w,
-                                    variant=variant)
-        run.pass_spec = payload["pass_spec"]
-        ev = run.simulate(params,
-                          check=payload.get("check", True)) \
-                .synthesize(name=w.name)
-        doc = {
-            "workload": w.name,
-            "variant": variant,
-            "passes": payload["pass_spec"],
-            "fingerprint": fingerprint,
-            "sim": payload["sim"],
-            "cycles": ev.cycles,
-            "results": list(ev.results),
-            "verified": ev.verified,
-            "stats": ev.stats.to_json(),
-            "synth": ev.synth.to_json(),
-        }
-        if cache is not None:
-            cache.put(ckey, doc)
-        out.update(ok=True, doc=doc)
     except ReproError as exc:
-        out["error"] = error_document(exc)
+        doc = error_document(exc)
+        share = (time.perf_counter() - t0) / len(payloads)
+        for out in outs:
+            out.update(error=dict(doc), wall_s=share)
+        return outs
     except Exception as exc:  # noqa: BLE001 - sweep must survive
-        out["error"] = {"error": type(exc).__name__,
-                        "message": str(exc), "exit_code": 1}
-    out["wall_s"] = time.perf_counter() - t0
-    return out
+        doc = {"error": type(exc).__name__, "message": str(exc),
+               "exit_code": 1}
+        share = (time.perf_counter() - t0) / len(payloads)
+        for out in outs:
+            out.update(error=dict(doc), wall_s=share)
+        return outs
+    front_share = (time.perf_counter() - t0) / len(payloads)
+
+    cache = ResultCache(first["cache_root"]) \
+        if first.get("cache_root") else None
+    for payload, out in zip(payloads, outs):
+        t1 = time.perf_counter()
+        out["fingerprint"] = fingerprint
+        try:
+            ckey = content_key(fingerprint, w.name, variant, args,
+                               payload["sim"])
+            out["key"] = ckey
+            if cache is not None:
+                doc = cache.get(ckey)
+                if doc is not None:
+                    out.update(ok=True, source="cache", doc=doc,
+                               wall_s=front_share
+                               + time.perf_counter() - t1)
+                    continue
+            params = SimParams(
+                wallclock_timeout=payload.get("wallclock_timeout"),
+                **payload["sim"])
+            run = Pipeline.from_circuit(canon, workload=w,
+                                        variant=variant)
+            run.pass_spec = payload["pass_spec"]
+            ev = run.simulate(params,
+                              check=payload.get("check", True)) \
+                    .synthesize(name=w.name)
+            doc = {
+                "workload": w.name,
+                "variant": variant,
+                "passes": payload["pass_spec"],
+                "fingerprint": fingerprint,
+                "sim": payload["sim"],
+                "cycles": ev.cycles,
+                "results": list(ev.results),
+                "verified": ev.verified,
+                "stats": ev.stats.to_json(),
+                "synth": ev.synth.to_json(),
+            }
+            if cache is not None:
+                cache.put(ckey, doc)
+            out.update(ok=True, doc=doc)
+        except ReproError as exc:
+            out["error"] = error_document(exc)
+        except Exception as exc:  # noqa: BLE001 - sweep must survive
+            out["error"] = {"error": type(exc).__name__,
+                            "message": str(exc), "exit_code": 1}
+        out["wall_s"] = front_share + time.perf_counter() - t1
+    return outs
+
+
+def _evaluate_point(payload: Dict) -> Dict:
+    """Single-point compatibility wrapper over :func:`_evaluate_group`."""
+    return _evaluate_group([payload])[0]
 
 
 # ---------------------------------------------------------------------------
@@ -400,35 +434,54 @@ def explore(workload, space: Union[DesignSpace, Iterable[Dict]], *,
         if progress:
             progress(point)
 
-    worker_payloads = [
-        {k: v for k, v in p.items() if not k.startswith("_")}
-        for p in pending]
+    # Batched dispatch: points sharing a pass spec share a canonical
+    # circuit fingerprint, so they ship to workers as *groups* and the
+    # front-end runs once per group (sim.*-only sweeps pay one
+    # translation + optimization + specialization for the whole axis).
+    # Each group is split into at most ``workers`` chunks so a single
+    # large group still saturates the pool.
+    by_spec: Dict[str, List[Dict]] = {}
+    for payload in pending:
+        by_spec.setdefault(payload["pass_spec"], []).append(payload)
+    chunks: List[List[Dict]] = []
+    for group in by_spec.values():
+        ways = min(max(1, workers), len(group))
+        chunks.extend([group[i::ways] for i in range(ways)])
+
+    def sendable(chunk: List[Dict]) -> List[Dict]:
+        return [{k: v for k, v in p.items() if not k.startswith("_")}
+                for p in chunk]
+
     if len(pending) <= 1 or workers <= 1:
-        for payload, sendable in zip(pending, worker_payloads):
-            finish(payload, _evaluate_point(sendable))
+        for chunk in chunks:
+            for payload, out in zip(chunk,
+                                    _evaluate_group(sendable(chunk))):
+                finish(payload, out)
     else:
-        pool_size = min(workers, len(pending))
+        pool_size = min(workers, len(chunks))
         with ProcessPoolExecutor(max_workers=pool_size) as pool:
-            futures = {pool.submit(_evaluate_point, sendable): payload
-                       for payload, sendable
-                       in zip(pending, worker_payloads)}
+            futures = {pool.submit(_evaluate_group, sendable(chunk)):
+                       chunk for chunk in chunks}
             remaining = set(futures)
             while remaining:
                 done, remaining = wait(remaining,
                                        return_when=FIRST_COMPLETED)
                 for future in done:
-                    payload = futures[future]
+                    chunk = futures[future]
                     exc = future.exception()
                     if exc is not None:
                         # Worker process died (OOM, signal...): the
-                        # point fails, the sweep continues.
-                        finish(payload, {
-                            "index": payload["index"], "ok": False,
-                            "error": {"error": type(exc).__name__,
-                                      "message": str(exc),
-                                      "exit_code": 1}})
+                        # chunk's points fail, the sweep continues.
+                        for payload in chunk:
+                            finish(payload, {
+                                "index": payload["index"], "ok": False,
+                                "error": {"error": type(exc).__name__,
+                                          "message": str(exc),
+                                          "exit_code": 1}})
                     else:
-                        finish(payload, future.result())
+                        for payload, out in zip(chunk,
+                                                future.result()):
+                            finish(payload, out)
     if cache is not None:
         cache.save_index()
 

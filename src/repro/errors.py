@@ -105,6 +105,15 @@ class WatchdogTimeout(SimulationError):
         self.limit = limit
 
 
+class LaneDivergence(SimulationError):
+    """Raised when a batched (lane-vectorized) run feeds a
+    lane-divergent value into a control decision — a truth test, an
+    address, a loop bound.  Uniform control across lanes is the
+    soundness condition of the batched kernel, so this is not an
+    error of the *circuit*: the batch driver catches it and deopts to
+    independent per-lane runs (see :mod:`repro.core.lanes`)."""
+
+
 class KernelCompileError(SimulationError):
     """Raised when the compiled simulation kernel cannot specialize a
     circuit (e.g. a node kind with no registered step compiler).  With

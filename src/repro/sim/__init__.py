@@ -10,6 +10,7 @@ against the reference interpreter in the test suite.
 """
 
 from .compile import compiled_for, precompile  # noqa: F401
-from .engine import SimParams, SimResult, Simulator, simulate  # noqa: F401
+from .engine import (BatchResult, SimParams, SimResult,  # noqa: F401
+                     Simulator, simulate, simulate_batch)
 from .faults import FaultInjector, FaultPlan  # noqa: F401
 from .stats import SimStats  # noqa: F401

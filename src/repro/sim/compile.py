@@ -67,6 +67,9 @@ from __future__ import annotations
 import weakref
 from typing import Callable, Dict, List, Optional, Tuple
 
+from ..core.lanes import (ctrl, lane_lift_list, lane_lift_pos,
+                          lane_pack_words, lane_select,
+                          lane_unpack_words, vector_key)
 from ..core.semantics import (poison_value, specialize_compute,
                               specialize_compute_pos)
 from ..core.serialize import circuit_fingerprint
@@ -210,8 +213,15 @@ def _bind_compute(sim, inst, data):
     pops feeding a positional evaluator (no operand-list allocation),
     and both in-order retire loops inlined.  Anything else (unwired
     output, operand-count mismatch) falls back to the generic
-    loop-based twin of ``ComputeSim.tick``."""
-    arity, fpos, flist = data
+    loop-based twin of ``ComputeSim.tick``.
+
+    In a batched runtime the evaluators are swapped for lane-lifted
+    twins at bind time; the scalar closures below are byte-identical
+    either way, so the single-instance compiled kernel pays nothing."""
+    arity, fpos, flist, vkey = data
+    if inst.runtime.batch is not None:
+        fpos = lane_lift_pos(arity, fpos, vkey)
+        flist = lane_lift_list(flist)
     chans = sim.in_chans
     if chans is None:
         return _nop
@@ -544,6 +554,8 @@ def _bind_fused(sim, inst, evalf):
     chans = sim.in_chans
     if chans is None:
         return _nop
+    if inst.runtime.batch is not None:
+        evalf = lane_lift_list(evalf)
     tokens, pops = _tokens_pops(chans)
     fork = sim.out_fork
     pipe = sim.pipe
@@ -664,6 +676,10 @@ def _bind_select(sim, inst, data):
     pipe = sim.pipe
     popleft = pipe.popleft
     append = pipe.append
+    # A lane-divergent select condition is data, not control: pick
+    # per lane instead of truth-testing (batched runtimes only; the
+    # scalar path keeps the raw conditional).
+    batch = inst.runtime.batch is not None
     idx, in_defer, defer_append = _rearm_locals(sim, inst)
     if fork is not None:
         accept = _fork_accept(fork)
@@ -686,7 +702,8 @@ def _bind_select(sim, inst, data):
                 cond = pc()
                 a = pa()
                 b = pb()
-                result = a if cond else b
+                result = (lane_select(cond, a, b) if batch
+                          else (a if cond else b))
                 inst._act += 1
                 if fork.pending:
                     append((now, result))
@@ -714,7 +731,8 @@ def _bind_select(sim, inst, data):
             cond = pc()
             a = pa()
             b = pb()
-            append((now, a if cond else b))
+            append((now, lane_select(cond, a, b) if batch
+                    else (a if cond else b)))
             inst._act += 1
             while pipe and pipe[0][0] <= now:
                 popleft()
@@ -941,9 +959,11 @@ def _bind_loopctl(sim, inst, data):
                 for tok in stoks:
                     if not tok:
                         return
-                sim.start_v = spops[0]()
-                bound_v = spops[1]()
-                sim.step_v = spops[2]()
+                # Loop bounds are control: demand lane uniformity
+                # (no-op on scalars, once per invocation).
+                sim.start_v = ctrl(spops[0]())
+                bound_v = ctrl(spops[1]())
+                sim.step_v = ctrl(spops[2]())
                 sim.started = True
                 inst._act += 1
                 if not conditional:
@@ -1022,7 +1042,7 @@ def _bind_load(sim, inst, data):
                 elif words == 1:
                     value = rec.words[0]
                 else:
-                    value = tuple(rec.words)
+                    value = lane_pack_words(rec.words)
                 if out_fork is not None:
                     out_accept(value, inst)
                 inst._act += 1
@@ -1135,7 +1155,8 @@ def _bind_store(sim, inst, data):
             rec_append(rec)
             stats.memory_writes += words
             base = int(addr)
-            values = data_v if words > 1 else [data_v]
+            values = (lane_unpack_words(data_v, words)
+                      if words > 1 else [data_v])
             for w in range(words):
                 def on_done(req, r=rec):
                     r.remaining -= 1
@@ -1352,11 +1373,15 @@ def _bind_sync(sim, inst, data):
 # ---------------------------------------------------------------------------
 
 def _compile_compute(node):
-    """(arity, positional evaluator, list evaluator) for one FU."""
+    """(arity, positional evaluator, list evaluator, vector key) for
+    one FU.  The vector key is compile-time data: it names the numpy
+    fast path a batched bind may use for this (op, type) pair, or
+    ``None`` when only the per-lane scalar loop is exact."""
     scale = node.gep_scale if node.op == "gep" else 1
     arity, fpos = specialize_compute_pos(node.op, node.out.type, scale)
-    return arity, fpos, specialize_compute(node.op, node.out.type,
-                                           scale)
+    return (arity, fpos,
+            specialize_compute(node.op, node.out.type, scale),
+            vector_key(node.op, node.out.type))
 
 
 def _compile_fused(node):

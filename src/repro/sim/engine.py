@@ -29,13 +29,16 @@ optional ring-buffer trace, surfaced through ``SimResult.observer``.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Callable, List, Optional, Sequence
 
 from ..core.circuit import AcceleratorCircuit
+from ..core.lanes import (BatchContext, LaneImage, LaneValues, _same,
+                          lane_fingerprint, lane_row)
 from ..core.validate import validate_circuit
-from ..errors import (DeadlockError, KernelCompileError, SimulationError,
-                      SimulationTimeout, WatchdogTimeout, error_document)
+from ..errors import (DeadlockError, KernelCompileError, ReproError,
+                      SimulationError, SimulationTimeout,
+                      WatchdogTimeout, error_document)
 from .events import EventScheduler
 from .faults import FaultInjector, FaultPlan
 from .memory import MemorySystem
@@ -81,6 +84,11 @@ class SimParams:
     #: many cycles (0 = off).  Lets long fuzz cases show liveness.
     heartbeat_cycles: int = 0
     heartbeat: Optional[Callable[[int, SimStats], None]] = None
+    #: Batched simulation: step this many independent workload lanes
+    #: through one run (:func:`simulate_batch`).  None = scalar run.
+    #: Not part of the DSE cache key (see ``dse.cache.SIM_KEY_FIELDS``)
+    #: because batching cannot change per-lane results.
+    batch: Optional[int] = None
 
 
 @dataclass
@@ -182,8 +190,34 @@ class Simulator:
             if self.hb_every and now % self.hb_every == 0:
                 self.hb(now, stats)
 
+    # -- batched run (vectorized attempt) ----------------------------------
+    def _run_batch_attempt(self, args: Sequence, image: LaneImage,
+                           batch: BatchContext) -> SimResult:
+        """One lane-vectorized run over ``image`` — kernel selection
+        mirrors :meth:`run` minus the dense kernel (the caller routes
+        dense requests to sequential per-lane runs)."""
+        if self.params.kernel == "compiled":
+            from .compile import compiled_for
+            try:
+                compiled = compiled_for(self.circuit)
+            except KernelCompileError as exc:
+                if not self.params.compile_fallback:
+                    raise
+                import warnings
+                warnings.warn(
+                    f"compiled kernel unavailable, falling back to "
+                    f"event kernel: {exc}", RuntimeWarning,
+                    stacklevel=2)
+                result = self._run_event(args, image=image, batch=batch)
+                result.compile_error = error_document(exc)
+                return result
+            return self._run_event(args, compiled=compiled,
+                                   image=image, batch=batch)
+        return self._run_event(args, image=image, batch=batch)
+
     # -- event kernel (also hosts the compiled kernel) ---------------------
-    def _run_event(self, args: Sequence, compiled=None) -> SimResult:
+    def _run_event(self, args: Sequence, compiled=None, image=None,
+                   batch=None) -> SimResult:
         params = self.params
         stats = SimStats()
         stats.kernel = "compiled" if compiled is not None else "event"
@@ -191,11 +225,14 @@ class Simulator:
         observer = Observability(stats, params.observe,
                                  params.trace_capacity)
         faults = self._make_injector()
-        memsys = MemorySystem(self.circuit, self.memory_obj.words,
-                              stats, faults)
+        memsys = MemorySystem(
+            self.circuit,
+            self.memory_obj.words if image is None else image,
+            stats, faults)
         runtime = SimRuntime(self.circuit, memsys, stats, params,
                              sched=sched, observer=observer,
-                             faults=faults, compiled=compiled)
+                             faults=faults, compiled=compiled,
+                             batch=batch)
         runtime.start_root(list(args))
 
         now = 0
@@ -332,3 +369,153 @@ def simulate(circuit: AcceleratorCircuit, memory, args: Sequence = (),
              params: Optional[SimParams] = None) -> SimResult:
     """One-shot helper: run the circuit to completion."""
     return Simulator(circuit, memory, params).run(args)
+
+
+# ---------------------------------------------------------------------------
+# Batched simulation
+# ---------------------------------------------------------------------------
+
+@dataclass
+class BatchResult:
+    """Outcome of :func:`simulate_batch` over N independent lanes.
+
+    ``mode`` records how the lanes actually ran:
+
+    * ``"vectorized"`` — one lane-vectorized run stepped every lane
+      (uniform control held throughout).
+    * ``"deopt"`` — the vectorized attempt hit lane-divergent control
+      (or any other failure) and the lanes re-ran sequentially;
+      ``deopt`` carries the error document of the abandoned attempt.
+    * ``"sequential"`` — a policy gate (batch of 1, active fault plan,
+      dense kernel) routed straight to per-lane runs.
+
+    ``results[i]`` / ``errors[i]`` are exclusive per lane: a failed
+    lane has ``results[i] is None`` and a PR-3 style error document
+    (with ``lane`` and ``input_fingerprint`` keys) in ``errors[i]``;
+    sibling lanes complete regardless.
+    """
+
+    lanes: int
+    mode: str
+    results: List[Optional[SimResult]]
+    errors: List[Optional[dict]]
+    stats: SimStats
+    #: Error document of the abandoned vectorized attempt (mode
+    #: "deopt" only).
+    deopt: Optional[dict] = None
+    #: Per-lane golden-check outcomes, filled by callers that verify
+    #: (``Pipeline.evaluate_many``); None = not verified.
+    verified: Optional[List[bool]] = None
+
+    @property
+    def ok(self) -> bool:
+        return all(e is None for e in self.errors)
+
+
+def simulate_batch(circuit: AcceleratorCircuit, memories: Sequence,
+                   args_lanes: Optional[Sequence[Sequence]] = None,
+                   params: Optional[SimParams] = None) -> BatchResult:
+    """Run ``circuit`` over N independent workload lanes at once.
+
+    ``memories[i]`` is lane *i*'s memory image (mutated in place, like
+    :func:`simulate`); ``args_lanes[i]`` its root arguments (default:
+    no arguments for every lane).  The vectorized attempt runs on
+    *copies* of the images, so a deopt re-runs each lane sequentially
+    against its untouched original — per-lane results and memory are
+    bit-identical to N independent runs in every mode.
+    """
+    memories = list(memories)
+    n = len(memories)
+    if n == 0:
+        raise SimulationError("simulate_batch needs at least one lane")
+    if args_lanes is None:
+        args_lanes = [() for _ in range(n)]
+    else:
+        args_lanes = [list(a) for a in args_lanes]
+        if len(args_lanes) != n:
+            raise SimulationError(
+                f"args_lanes has {len(args_lanes)} entries for "
+                f"{n} memory lanes")
+    params = params or SimParams()
+    sim = Simulator(circuit, memories[0], params)  # validates once
+    scalar = replace(params, batch=None, validate=False)
+
+    # Policy gates: nothing to amortize (one lane), fault plans
+    # (enforced scalar fallback — see DESIGN.md section 9), and the
+    # dense reference kernel all run per lane.
+    if n == 1 or params.faults is not None or params.kernel == "dense":
+        return _run_lanes_sequential(circuit, memories, args_lanes,
+                                     scalar, "sequential")
+
+    image = LaneImage([list(m.words) for m in memories])
+    args = _pack_args(args_lanes, n)
+    sim.params = replace(params, validate=False, batch=n)
+    try:
+        result = sim._run_batch_attempt(args, image, BatchContext(n))
+    except Exception as exc:   # noqa: BLE001 — deopt on *anything*:
+        # LaneDivergence is the designed trigger, but a lane-vector
+        # reaching an unprepared scalar site surfaces as TypeError,
+        # and a divergence-induced stall as DeadlockError; sequential
+        # re-runs on the untouched originals answer all of them.
+        return _run_lanes_sequential(circuit, memories, args_lanes,
+                                     scalar, "deopt",
+                                     deopt=error_document(exc))
+
+    for i, mem in enumerate(memories):
+        mem.words[:] = image.lanes[i]
+    stats = result.stats
+    stats.batch_lanes = n
+    stats.batch_mode = "vectorized"
+    stats.lane_cycles = [result.cycles] * n
+    results: List[Optional[SimResult]] = [
+        SimResult(result.cycles, lane_row(result.results, i), stats,
+                  observer=result.observer,
+                  compile_error=result.compile_error)
+        for i in range(n)]
+    return BatchResult(n, "vectorized", results, [None] * n, stats)
+
+
+def _pack_args(args_lanes: Sequence[Sequence], n: int) -> List:
+    """Per-position packing: a root argument that is identical (in the
+    strict ``_same`` sense) across lanes stays scalar; a divergent one
+    becomes a lane vector."""
+    width = len(args_lanes[0])
+    for a in args_lanes:
+        if len(a) != width:
+            raise SimulationError(
+                "all lanes must pass the same number of root arguments")
+    packed = []
+    for j in range(width):
+        first = args_lanes[0][j]
+        if all(_same(first, a[j]) for a in args_lanes[1:]):
+            packed.append(first)
+        else:
+            packed.append(LaneValues([a[j] for a in args_lanes]))
+    return packed
+
+
+def _run_lanes_sequential(circuit, memories, args_lanes, scalar_params,
+                          mode: str, deopt=None) -> BatchResult:
+    """Reference path: N independent scalar runs, one per lane, each
+    against its own memory image.  A failing lane yields a batch-aware
+    error document (lane index + input fingerprint) and does not stop
+    its siblings."""
+    n = len(memories)
+    results: List[Optional[SimResult]] = [None] * n
+    errors: List[Optional[dict]] = [None] * n
+    for i, (mem, a) in enumerate(zip(memories, args_lanes)):
+        before = list(mem.words)
+        try:
+            results[i] = simulate(circuit, mem, a, scalar_params)
+        except ReproError as exc:
+            doc = error_document(exc)
+            doc["lane"] = i
+            doc["input_fingerprint"] = lane_fingerprint(a, before)
+            errors[i] = doc
+    stats = SimStats.merged([r.stats for r in results
+                             if r is not None])
+    stats.batch_lanes = n
+    stats.batch_mode = mode
+    stats.lane_cycles = [r.cycles if r is not None else None
+                        for r in results]
+    return BatchResult(n, mode, results, errors, stats, deopt=deopt)

@@ -14,6 +14,8 @@ from collections import deque
 from typing import List, Optional
 
 from ..core import oplib
+from ..core.lanes import (ctrl, lane_pack_words, lane_select,
+                          lane_unpack_words)
 from ..core.semantics import eval_compute, poison_value
 from ..errors import SimulationError
 from .memory import MemRequest
@@ -398,7 +400,10 @@ class SelectSim(NodeSim):
         cond = chans[0].pop()
         a = chans[1].pop()
         b = chans[2].pop()
-        self.pipe.append((now, a if cond else b))
+        # A lane-divergent condition is data, not control: each lane
+        # picks its own arm (lane_select's scalar fast path is the
+        # plain conditional expression).
+        self.pipe.append((now, lane_select(cond, a, b)))
         self.instance._act += 1
         self._retire(now)
 
@@ -541,9 +546,12 @@ class LoopControlSim(NodeSim):
             for ch in chans:
                 if not ch.ready():
                     return
-            self.start_v = chans[0].pop()
-            bound_v = chans[1].pop()
-            self.step_v = chans[2].pop()
+            # Loop bounds are control: a batched run must see them
+            # lane-uniform (ctrl unwraps or raises LaneDivergence;
+            # scalar runs pass through untouched).
+            self.start_v = ctrl(chans[0].pop())
+            bound_v = ctrl(chans[1].pop())
+            self.step_v = ctrl(chans[2].pop())
             self.started = True
             self.instance._act += 1
             if not node.conditional:
@@ -699,7 +707,9 @@ class LoadSim(NodeSim):
             elif self.words == 1:
                 value = rec.words[0]
             else:
-                value = tuple(rec.words)
+                # Lane-indexed words lift the whole payload to one
+                # tuple per lane; uniform words stay a plain tuple.
+                value = lane_pack_words(rec.words)
             self._out_push(node.out, value)
             self._out_push(node.done, True)
             self.sink_count += 1
@@ -800,7 +810,8 @@ class StoreSim(NodeSim):
         self.records.append(rec)
         self.instance.stats.memory_writes += self.words
         base = int(addr)
-        values = data if self.words > 1 else [data]
+        values = (lane_unpack_words(data, self.words)
+                  if self.words > 1 else [data])
         for w in range(self.words):
             def on_done(req, r=rec, s=self):
                 r.remaining -= 1

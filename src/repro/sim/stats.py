@@ -64,6 +64,15 @@ class SimStats:
         #: "compiled"); aside from this label, event and compiled runs
         #: produce identical documents.
         self.kernel = "event"
+        # -- batched simulation (sim.engine.simulate_batch) ----------------
+        #: Number of workload lanes this document aggregates (0 = a
+        #: plain scalar run; the JSON document is unchanged then, so
+        #: the v3 round-trip is preserved).
+        self.batch_lanes = 0
+        #: "vectorized", "sequential" or "deopt" (batched runs only).
+        self.batch_mode = ""
+        #: Per-lane cycle counts (None marks a failed lane).
+        self.lane_cycles: List = []
 
     @property
     def memory_accesses(self) -> int:
@@ -107,6 +116,10 @@ class SimStats:
                                 for k, v in self.source_stalls.items()}
         doc["site_stalls"] = dict(self.site_stalls)
         doc["junction_grants"] = dict(self.junction_grants)
+        if self.batch_lanes:
+            doc["batch"] = {"lanes": self.batch_lanes,
+                            "mode": self.batch_mode,
+                            "lane_cycles": list(self.lane_cycles)}
         return doc
 
     @classmethod
@@ -142,7 +155,45 @@ class SimStats:
             stats.source_stalls[label] = Counter(causes)
         stats.site_stalls = Counter(doc.get("site_stalls", {}))
         stats.junction_grants = Counter(doc.get("junction_grants", {}))
+        batch = doc.get("batch")
+        if batch:
+            stats.batch_lanes = batch.get("lanes", 0)
+            stats.batch_mode = batch.get("mode", "")
+            stats.lane_cycles = list(batch.get("lane_cycles", []))
         return stats
+
+    @classmethod
+    def merged(cls, stats_list: List["SimStats"]) -> "SimStats":
+        """Aggregate per-lane stats of a sequential batched run: the
+        counters sum across lanes, ``cycles`` is the slowest lane, and
+        the kernel label comes from the first lane."""
+        out = cls()
+        if not stats_list:
+            return out
+        out.kernel = stats_list[0].kernel
+        for s in stats_list:
+            out.cycles = max(out.cycles, s.cycles)
+            out.invocations.update(s.invocations)
+            out.node_fires.update(s.node_fires)
+            out.iterations.update(s.iterations)
+            out.memory_reads += s.memory_reads
+            out.memory_writes += s.memory_writes
+            out.cache_hits += s.cache_hits
+            out.cache_misses += s.cache_misses
+            out.dram_requests += s.dram_requests
+            out.bank_conflict_stalls += s.bank_conflict_stalls
+            out.junction_stalls += s.junction_stalls
+            out.parked += s.parked
+            out.dram_busy_cycles += s.dram_busy_cycles
+            out.idle_engine_cycles += s.idle_engine_cycles
+            out.stall_cycles.update(s.stall_cycles)
+            for label, causes in s.node_stalls.items():
+                out.node_stalls[label].update(causes)
+            for label, causes in s.source_stalls.items():
+                out.source_stalls[label].update(causes)
+            out.site_stalls.update(s.site_stalls)
+            out.junction_grants.update(s.junction_grants)
+        return out
 
     def dump_json(self, path: str) -> None:
         with open(path, "w") as fh:

@@ -879,7 +879,8 @@ class SimRuntime:
     ROOT_EDGE = ("__host__", "__root__")
 
     def __init__(self, circuit, memory_system, stats: SimStats, params,
-                 sched=None, observer=None, faults=None, compiled=None):
+                 sched=None, observer=None, faults=None, compiled=None,
+                 batch=None):
         self.circuit = circuit
         self.memory = memory_system
         self.stats = stats
@@ -891,6 +892,10 @@ class SimRuntime:
         self.faults = faults
         #: CompiledCircuit artifact (None = interpretive dispatch).
         self.compiled = compiled
+        #: BatchContext when this run steps N lanes at once (payload
+        #: values are lane vectors; binders select lane-aware
+        #: evaluators on it).  None = ordinary scalar run.
+        self.batch = batch
         #: Current cycle (valid during tick/tick_event; the enqueue
         #: path needs it to stamp fault-injected start delays).
         self.now = 0

@@ -23,6 +23,13 @@ Three modes per case:
     is ``None``) on two simulation kernels — ``kernel`` vs
     ``compare_kernel``.  Kernels claim *bit identity*, so this mode is
     stricter than the LI invariant: cycle counts must match too.
+``batch``
+    The batched driver (:func:`repro.sim.simulate_batch`) versus the
+    scalar baseline.  Fault-free, every lane must be bit-identical to
+    the scalar run *including cycles*.  Under a fault plan the policy
+    is the enforced scalar fallback (DESIGN.md section 9): the batch
+    must report ``mode == "sequential"`` and every lane must uphold
+    the LI invariant against the fault-free baseline.
 
 Failures are greedily minimized over fault categories (drop a whole
 dimension, keep the drop when the failure persists) and written as
@@ -191,7 +198,8 @@ class ConformanceFuzzer:
                  compare_kernel: Optional[str] = None,
                  max_cycles: int = 2_000_000,
                  wallclock_timeout: Optional[float] = None,
-                 deadlock_window: int = 4_000, minimize: bool = True):
+                 deadlock_window: int = 4_000, minimize: bool = True,
+                 batch: bool = False):
         self.pass_spec = pass_spec
         self.differential = differential
         self.artifacts_dir = artifacts_dir
@@ -199,6 +207,10 @@ class ConformanceFuzzer:
         #: When set, every plan also runs in mode "kernel": this kernel
         #: vs ``kernel`` on identical inputs, cycles included.
         self.compare_kernel = compare_kernel
+        #: When set, every workload also runs in mode "batch": batched
+        #: per-lane identity, and the scalar-fallback policy under
+        #: fault plans.
+        self.batch = batch
         self.max_cycles = max_cycles
         self.wallclock_timeout = wallclock_timeout
         self.deadlock_window = deadlock_window
@@ -319,6 +331,8 @@ class ConformanceFuzzer:
         case.last_exc = None
         case.last_detail = None
         spec = self.pass_spec
+        if mode == "batch":
+            return self._verdict_batch(workload, variant, plan, case)
         try:
             if mode == "differential":
                 # Base vs instrumented circuit, same plan on both.
@@ -353,6 +367,65 @@ class ConformanceFuzzer:
         case.exit_code = exit_code_for(exc)
         return type(exc).__name__, str(exc)
 
+    def _verdict_batch(self, workload: str, variant: str,
+                       plan: Optional[FaultPlan],
+                       case: CaseResult) -> Tuple[str, str]:
+        """Batch-conformance verdict (3 lanes vs the scalar baseline).
+
+        Fault-free: strict bit identity per lane, cycles included.
+        With a plan: the enforced scalar-fallback policy must hold
+        (``BatchResult.mode == "sequential"``) and every lane must
+        satisfy the LI invariant against the fault-free baseline.
+        """
+        from ..sim import simulate_batch
+
+        spec = self.pass_spec
+        w = get_workload(workload)
+        n = 3
+        try:
+            ref = self._baseline(workload, variant, spec)
+            circuit = self._circuit(workload, variant, spec)
+            args = list(w.args_for(variant))
+            mems = [w.fresh_memory(variant) for _ in range(n)]
+            batch = simulate_batch(circuit, mems, [args] * n,
+                                   self._params(plan))
+        except ReproError as exc:
+            case.last_exc = exc
+            case.exit_code = exit_code_for(exc)
+            return type(exc).__name__, str(exc)
+        case.cycles_ref = ref[2]
+        detail: Optional[dict] = None
+        if plan is not None and batch.mode != "sequential":
+            detail = {"policy": {"want": "sequential",
+                                 "got": batch.mode}}
+        for i in range(n):
+            if detail is not None:
+                break
+            if batch.errors[i] is not None:
+                detail = {"lane": i, "lane_error": batch.errors[i]}
+                break
+            got = (list(batch.results[i].results),
+                   list(mems[i].words), batch.results[i].cycles)
+            if i == 0:
+                case.cycles_run = got[2]
+            detail = self._diff(ref, got)
+            if detail is None and plan is None and ref[2] != got[2]:
+                # Fault-free batching claims bit identity, cycles
+                # included; under a plan only behavior must hold.
+                detail = {"cycles": {"want": ref[2], "got": got[2]}}
+            if detail is not None:
+                detail["lane"] = i
+        if detail is None:
+            return "", ""
+        case.last_detail = detail
+        exc = LIViolationError(
+            f"{workload}/{variant} [batch] diverged "
+            f"{'under ' + plan.describe() if plan else 'fault-free'}",
+            detail)
+        case.last_exc = exc
+        case.exit_code = exit_code_for(exc)
+        return type(exc).__name__, str(exc)
+
     # -- the fuzz loop ------------------------------------------------------
     def fuzz(self, workloads: Optional[Sequence[str]] = None,
              n_plans: int = 5, seed: int = 0, intensity: float = 1.0,
@@ -375,12 +448,20 @@ class ConformanceFuzzer:
                 report.cases.append(case)
                 if progress is not None:
                     progress(case)
+            if self.batch:
+                # Fault-free batched bit-identity per lane.
+                case = self.run_case(name, None, mode="batch")
+                report.cases.append(case)
+                if progress is not None:
+                    progress(case)
             for plan in plans:
                 modes = ["fault"]
                 if self.differential and self.pass_spec:
                     modes.append("differential")
                 if self.compare_kernel:
                     modes.append("kernel")
+                if self.batch:
+                    modes.append("batch")
                 for mode in modes:
                     case = self.run_case(name, plan, mode=mode)
                     report.cases.append(case)

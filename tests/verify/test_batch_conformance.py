@@ -1,0 +1,67 @@
+"""Batch conformance mode of the fuzzer.
+
+The documented policy (DESIGN.md section 9): fault-free batched runs
+claim bit identity per lane (cycles included); under an active fault
+plan the driver must fall back to sequential per-lane runs, each of
+which upholds the LI invariant.  The fuzzer's "batch" mode asserts
+both; these tests pin the mode itself plus its failure reporting.
+"""
+
+import pytest
+
+from repro.sim.faults import FaultPlan
+from repro.verify import ConformanceFuzzer
+
+
+@pytest.fixture(scope="module")
+def fuzzer():
+    return ConformanceFuzzer(pass_spec="", batch=True)
+
+
+def test_batch_case_fault_free(fuzzer):
+    case = fuzzer.run_case("saxpy", None, mode="batch")
+    assert case.ok, case.message
+    assert case.mode == "batch"
+    # Fault-free batching is bit-identical, cycles included.
+    assert case.cycles_run == case.cycles_ref
+
+
+def test_batch_case_under_plan(fuzzer):
+    plan = FaultPlan.generate(3)
+    case = fuzzer.run_case("fib", plan, mode="batch")
+    assert case.ok, case.message
+
+
+def test_fuzz_loop_emits_batch_cases(fuzzer):
+    report = fuzzer.fuzz(workloads=["saxpy"], n_plans=2, seed=0)
+    modes = [c.mode for c in report.cases]
+    # One fault-free batch case plus one per plan, alongside the
+    # ordinary fault cases.
+    assert modes.count("batch") == 3
+    assert report.ok, [c.message for c in report.failures()]
+
+
+def test_policy_violation_is_reported(monkeypatch, fuzzer):
+    # Force the driver to vectorize under a plan and check the fuzzer
+    # flags the policy breach (this is what "enforced+tested" means).
+    import repro.sim.engine as engine
+    import repro.verify.conformance as conformance
+
+    real = engine.simulate_batch
+
+    def vectorize_anyway(circuit, memories, args_lanes=None,
+                         params=None):
+        from dataclasses import replace
+        stripped = replace(params, faults=None)
+        return real(circuit, memories, args_lanes, stripped)
+
+    monkeypatch.setattr(conformance, "simulate_batch", vectorize_anyway,
+                        raising=False)
+    monkeypatch.setattr("repro.sim.simulate_batch", vectorize_anyway)
+    fz = ConformanceFuzzer(pass_spec="", batch=True, minimize=False)
+    plan = FaultPlan.generate(1)
+    case = fz.run_case("saxpy", plan, mode="batch")
+    assert not case.ok
+    assert case.error == "LIViolationError"
+    assert case.last_detail["policy"] == {"want": "sequential",
+                                          "got": "vectorized"}
