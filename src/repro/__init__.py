@@ -37,3 +37,4 @@ from .opt import (  # noqa: E402,F401
     parse_passes,
 )
 from .rtl import emit_chisel, synthesize  # noqa: E402,F401
+from . import telemetry  # noqa: E402,F401

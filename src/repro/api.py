@@ -33,6 +33,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence
 
+from . import telemetry
 from .errors import ReproError, WorkloadError
 from .frontend import compile_minic, translate_module
 from .frontend.interp import Interpreter, Memory
@@ -88,7 +89,8 @@ class Evaluation:
             "passes": self.passes,
             "verified": self.verified,
             "pass_log": [{"name": r.pass_name, "changed": r.changed,
-                          "dN": r.delta_nodes, "dE": r.delta_edges}
+                          "dN": r.delta_nodes, "dE": r.delta_edges,
+                          "wall_ms": round(r.wall_ms, 3)}
                          for r in self.pass_log],
         }
         if self.sim is not None:
@@ -119,36 +121,43 @@ class Pipeline:
                  name: Optional[str] = None):
         self.workload: Optional[Workload] = None
         self.variant = variant
-        if isinstance(workload, Workload):
-            self.workload = workload
-        elif isinstance(workload, Module):
-            self.module = workload
-        elif isinstance(workload, str):
-            if _looks_like_source(workload):
-                self.module = compile_minic(
-                    workload, filename=name or "<pipeline>")
-            elif workload in WORKLOADS:
-                self.workload = WORKLOADS[workload]
+        with telemetry.tracer().span("pipeline.frontend") as _sp:
+            if isinstance(workload, Workload):
+                self.workload = workload
+            elif isinstance(workload, Module):
+                self.module = workload
+            elif isinstance(workload, str):
+                if _looks_like_source(workload):
+                    self.module = compile_minic(
+                        workload, filename=name or "<pipeline>")
+                elif workload in WORKLOADS:
+                    self.workload = WORKLOADS[workload]
+                else:
+                    raise ReproError(
+                        f"{workload!r} is neither a known workload "
+                        f"({', '.join(sorted(WORKLOADS))}) nor MiniC "
+                        f"source text")
             else:
                 raise ReproError(
-                    f"{workload!r} is neither a known workload "
-                    f"({', '.join(sorted(WORKLOADS))}) nor MiniC "
-                    f"source text")
-        else:
-            raise ReproError(
-                f"cannot build a Pipeline from {type(workload).__name__}")
-        if self.workload is not None:
-            if variant != "base" and variant not in self.workload.variants:
-                raise ReproError(
-                    f"workload {self.workload.name!r} has no variant "
-                    f"{variant!r}")
-            self.module = self.workload.module(variant)
-            default = self.workload.name if variant == "base" \
-                else f"{self.workload.name}_{variant}"
-        else:
-            default = "pipeline"
-        self.name = name or default
-        self.circuit = translate_module(self.module, name=self.name)
+                    f"cannot build a Pipeline from "
+                    f"{type(workload).__name__}")
+            if self.workload is not None:
+                if variant != "base" and \
+                        variant not in self.workload.variants:
+                    raise ReproError(
+                        f"workload {self.workload.name!r} has no "
+                        f"variant {variant!r}")
+                self.module = self.workload.module(variant)
+                default = self.workload.name if variant == "base" \
+                    else f"{self.workload.name}_{variant}"
+            else:
+                default = "pipeline"
+            self.name = name or default
+            self.circuit = translate_module(self.module, name=self.name)
+            _sp.set(name=self.name)
+        if telemetry.enabled():
+            telemetry.annotate("workload", self.workload.name
+                               if self.workload else self.name)
         self.pass_log: List[PassResult] = []
         #: Canonical spec of everything optimize() ran, None once a
         #: non-spec pass instance slips in.
@@ -185,7 +194,10 @@ class Pipeline:
         instances, label = coerce_passes(passes)
         manager = PassManager(instances, validate=validate,
                               validate_each=validate_each)
-        self.pass_log.extend(manager.run(self.circuit))
+        with telemetry.tracer().span("pipeline.optimize",
+                                     passes=label or "") as _sp:
+            self.pass_log.extend(manager.run(self.circuit))
+            _sp.set(n_passes=len(manager.log))
         if self.pass_spec is None or label is None:
             self.pass_spec = None
         else:
@@ -223,27 +235,38 @@ class Pipeline:
         if check and self.workload is None:
             golden = Memory(self.module)
             golden.words[:] = memory.words
-        self.sim = simulate(self.circuit, memory, list(args), params)
+        tel = telemetry.tracer()
+        with tel.span("pipeline.simulate",
+                      kernel=(params.kernel if params
+                              else "event")) as _sp:
+            self.sim = simulate(self.circuit, memory, list(args),
+                                params)
+            _sp.set(cycles=self.sim.cycles)
+        if telemetry.enabled():
+            from .core.serialize import circuit_fingerprint
+            telemetry.note_fingerprint(circuit_fingerprint(self.circuit))
         self.memory = memory
         if not check:
             self.verified = None
-        elif self.workload is not None:
-            self.workload.verify(memory, self.variant)  # raises on fail
-            self.verified = True
-        else:
-            returned = Interpreter(self.module, golden).run(*args)
-            if returned is None:
-                expected: List = []
-            elif isinstance(returned, (list, tuple)):
-                expected = list(returned)
+            return self
+        with tel.span("pipeline.verify"):
+            if self.workload is not None:
+                self.workload.verify(memory, self.variant)  # raises
+                self.verified = True
             else:
-                expected = [returned]
-            self.verified = (memory.words == golden.words
-                             and list(self.sim.results) == expected)
-            if not self.verified:
-                raise WorkloadError(
-                    f"{self.name}: simulated memory/results diverge "
-                    f"from the reference interpreter")
+                returned = Interpreter(self.module, golden).run(*args)
+                if returned is None:
+                    expected: List = []
+                elif isinstance(returned, (list, tuple)):
+                    expected = list(returned)
+                else:
+                    expected = [returned]
+                self.verified = (memory.words == golden.words
+                                 and list(self.sim.results) == expected)
+                if not self.verified:
+                    raise WorkloadError(
+                        f"{self.name}: simulated memory/results "
+                        f"diverge from the reference interpreter")
         return self
 
     # -- stage "sim", batched --------------------------------------------
@@ -288,8 +311,12 @@ class Pipeline:
         else:
             memories = [Memory(self.module) for _ in range(n)]
         snapshots = [list(m.words) for m in memories] if check else None
-        batch = simulate_batch(self.circuit, memories, args_list,
-                               replace(params, batch=n))
+        with telemetry.tracer().span("pipeline.simulate_batch",
+                                     lanes=n) as _sp:
+            batch = simulate_batch(self.circuit, memories, args_list,
+                                   replace(params, batch=n))
+            _sp.set(mode=batch.mode,
+                    ok=sum(e is None for e in batch.errors))
         if not check:
             return batch
         verified = [False] * n
@@ -322,7 +349,9 @@ class Pipeline:
     # -- stage 3: synthesis ----------------------------------------------
     def synthesize(self, name: Optional[str] = None) -> Evaluation:
         """Estimate FPGA/ASIC quality and return the full Evaluation."""
-        self.synth = synthesize(self.circuit, name=name or self.name)
+        with telemetry.tracer().span("pipeline.synthesize") as _sp:
+            self.synth = synthesize(self.circuit, name=name or self.name)
+            _sp.set(alms=self.synth.alms, fpga_mhz=self.synth.fpga_mhz)
         return self.evaluation()
 
     def evaluation(self) -> Evaluation:

@@ -10,3 +10,4 @@ from .configs import (  # noqa: F401
     tiling_stack,
 )
 from .reporting import format_table, normalize  # noqa: F401
+from .regression import check_throughput, render_check  # noqa: F401

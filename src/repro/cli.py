@@ -6,10 +6,19 @@ translate   MiniC file -> uIR; print stats, optionally dump JSON/dot/Chisel
 simulate    compile + optimize + cycle-simulate + verify vs interpreter
 synth       report the analytic FPGA/ASIC synthesis estimate
 workloads   list the built-in paper workloads
-bench       run one built-in workload through a pass stack
+bench       run one built-in workload through a pass stack (--check
+            diffs fresh throughput against the committed baseline)
 report      cross-layer bottleneck report (sim + opt + synth)
 explore     parallel design-space exploration with caching
 fuzz        LI-conformance fuzzing under seeded fault plans
+runs        browse the telemetry run ledger (list | show | diff)
+
+Telemetry: ``--telemetry`` (or ``REPRO_TELEMETRY=1``) traces every
+stage, collects metrics, and appends one record per invocation to the
+run ledger under ``--telemetry-dir`` (default ``.repro``);
+``--telemetry-trace FILE`` additionally writes a unified Perfetto
+trace (pipeline spans + cycle-level sim events on one timeline).  The
+flags work both globally and after the subcommand.
 
 Pass stacks use the spec mini-language: comma-separated registry names
 or aliases, with optional knob arguments — e.g. ``--passes
@@ -29,8 +38,10 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import time
 from typing import List, Optional, Sequence
 
+from . import telemetry
 from .errors import ReproError, error_document, exit_code_for
 from .frontend import compile_minic, translate_module
 from .frontend.interp import Interpreter, Memory
@@ -285,6 +296,20 @@ def cmd_workloads(_args) -> int:
 
 def cmd_bench(args) -> int:
     from .bench import run_workload
+    if args.check:
+        from .bench import check_throughput, render_check
+        doc = check_throughput(
+            args.baseline,
+            workloads=[args.workload] if args.workload else None,
+            repeat=args.repeat, threshold=args.threshold)
+        print(render_check(doc))
+        if args.json:
+            with open(args.json, "w") as fh:
+                json.dump(doc, fh, indent=1, sort_keys=True)
+            print(f"wrote {args.json}")
+        return 0 if doc["ok"] else 1
+    if not args.workload:
+        raise ReproError("bench needs a workload name (or --check)")
     params = SimParams(observe=_resolve_observe(args),
                        kernel=args.kernel,
                        trace_capacity=args.trace_capacity)
@@ -328,10 +353,34 @@ def cmd_report(args) -> int:
     from .bench import run_workload
     from .report import build_report, dump_report, render_markdown
     passes = _parse_passes(args.passes)
-    result = run_workload(args.workload, passes,
-                          config=args.passes or "baseline",
-                          variant=args.variant)
-    report = build_report(result, top_n=args.top)
+    batch = None
+    if args.batch and args.batch > 1:
+        from .api import Pipeline
+        from .bench.harness import RunResult
+
+        config = args.passes or "baseline"
+        pipe = Pipeline(args.workload, variant=args.variant,
+                        name=f"{args.workload}_{config}")
+        pipe.optimize(list(passes))
+        batch = pipe.evaluate_many(
+            params=SimParams(batch=args.batch, observe="counters"))
+        pipe.synthesize(name=args.workload)
+        first = next((r for r in batch.results if r is not None), None)
+        if first is None:
+            raise ReproError(
+                f"{args.workload}: every batch lane failed "
+                f"({(batch.errors[0] or {}).get('message', '?')})")
+        result = RunResult(
+            workload=args.workload, config=config,
+            cycles=first.cycles, fpga_mhz=pipe.synth.fpga_mhz,
+            stats=batch.stats, synth=pipe.synth,
+            pass_log=list(pipe.pass_log), variant=args.variant,
+            circuit=pipe.circuit)
+    else:
+        result = run_workload(args.workload, passes,
+                              config=args.passes or "baseline",
+                              variant=args.variant)
+    report = build_report(result, top_n=args.top, batch=batch)
     if args.json or args.md:
         dump_report(report, json_path=args.json, md_path=args.md)
         for path in (args.json, args.md):
@@ -445,6 +494,118 @@ def cmd_fuzz(args) -> int:
     return failures[0].exit_code or 7
 
 
+def _print_run(record: dict) -> None:
+    """Human view of one ledger record (``repro runs show``)."""
+    print(f"run {record['run_id']}")
+    print(f"  ts:      {record['ts']}")
+    print(f"  command: {record['command']} "
+          f"({' '.join(record['argv'])})")
+    print(f"  status:  {record['status']} "
+          f"(exit {record['exit_code']}), "
+          f"{record['wall_s']:.3f}s wall")
+    for key, value in sorted(record.get("annotations", {}).items()):
+        print(f"  {key}: {value}")
+    if record.get("fingerprints"):
+        for fp in record["fingerprints"]:
+            print(f"  circuit: {fp}")
+    if record.get("stages"):
+        print("  stages:")
+        for name, ms in sorted(record["stages"].items(),
+                               key=lambda kv: -kv[1]):
+            print(f"    {name:<28} {ms:>10.3f} ms")
+    if record.get("passes"):
+        print("  passes:")
+        for row in record["passes"]:
+            extra = " ".join(f"{k}={v}" for k, v in sorted(row.items())
+                             if k not in ("pass", "wall_ms"))
+            print(f"    {row['pass']:<28} {row['wall_ms']:>10.3f} ms"
+                  f"  {extra}")
+    metrics = (record.get("metrics") or {}).get("metrics", [])
+    if metrics:
+        print("  metrics:")
+        for metric in metrics:
+            if metric.get("type") == "histogram":
+                print(f"    {metric['name']:<36} "
+                      f"count={metric['count']} sum={metric['sum']}")
+                continue
+            for sample in metric.get("samples", []):
+                labels = sample.get("labels") or {}
+                body = "{" + ",".join(
+                    f"{k}={v}" for k, v in sorted(labels.items())) \
+                    + "}" if labels else ""
+                print(f"    {metric['name'] + body:<36} "
+                      f"{sample['value']}")
+    if record.get("error"):
+        err = record["error"]
+        print(f"  error: {err.get('error')}: {err.get('message')}")
+
+
+def cmd_runs(args) -> int:
+    from .telemetry import RunLedger, diff_records
+
+    ledger = RunLedger(args.dir or getattr(args, "telemetry_dir",
+                                           None))
+    try:
+        if args.action == "list":
+            records, skipped = ledger.records()
+            if args.json:
+                print(json.dumps(records, indent=1, sort_keys=True))
+                return 0
+            if not records:
+                print(f"(run ledger {ledger.path} is empty)")
+                return 0
+            for i, r in enumerate(records):
+                marker = "" if r["status"] == "ok" \
+                    else f"  [{r['status']} exit {r['exit_code']}]"
+                print(f"  {i - len(records):>4}  {r['run_id']}  "
+                      f"{r['ts']}  {r['command']:<10} "
+                      f"{r['wall_s']:>8.3f}s{marker}")
+            if skipped:
+                print(f"  ({skipped} corrupt line(s) skipped)",
+                      file=sys.stderr)
+            return 0
+        if args.action == "show":
+            record = ledger.find(args.refs[0] if args.refs else "last")
+            if args.json:
+                print(json.dumps(record, indent=1, sort_keys=True))
+            else:
+                _print_run(record)
+            return 0
+        if args.action == "diff":
+            if len(args.refs) != 2:
+                raise ReproError(
+                    "runs diff needs exactly two run references "
+                    "(run_id prefix, index, or 'last')")
+            diff = diff_records(ledger.find(args.refs[0]),
+                                ledger.find(args.refs[1]))
+            if args.json:
+                print(json.dumps(diff, indent=1, sort_keys=True))
+                return 0
+            print(f"a: {diff['a']['run_id']} ({diff['a']['command']}, "
+                  f"{diff['a']['wall_s']}s)")
+            print(f"b: {diff['b']['run_id']} ({diff['b']['command']}, "
+                  f"{diff['b']['wall_s']}s)")
+            for title, rows in (("stages (ms)", diff["stages_ms"]),
+                                ("metrics", diff["metrics"])):
+                if not rows:
+                    continue
+                print(f"  {title}:")
+                for row in rows:
+                    delta = f"  d={row['delta']:+}" \
+                        if "delta" in row else ""
+                    ratio = f"  x{row['ratio']}" \
+                        if "ratio" in row else ""
+                    print(f"    {row['key']:<40} "
+                          f"{row['a'] if row['a'] is not None else '-':>12} "
+                          f"-> "
+                          f"{row['b'] if row['b'] is not None else '-':>12}"
+                          f"{delta}{ratio}")
+            return 0
+    except LookupError as exc:
+        raise ReproError(str(exc)) from exc
+    raise ReproError(f"unknown runs action {args.action!r}")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description=__doc__,
@@ -453,12 +614,35 @@ def build_parser() -> argparse.ArgumentParser:
                         help="print failures as a JSON error document "
                              "(global flag; give it before the "
                              "subcommand)")
+    parser.add_argument("--telemetry", action="store_true",
+                        help="trace stages, collect metrics, and "
+                             "append this run to the run ledger")
+    parser.add_argument("--telemetry-dir", default=None, metavar="DIR",
+                        help="run-ledger directory (default: .repro)")
+    parser.add_argument("--telemetry-trace", default=None,
+                        metavar="FILE",
+                        help="write a unified Perfetto trace of the "
+                             "run (implies --telemetry)")
     sub = parser.add_subparsers(dest="command", required=True)
 
     def add_common(p):
         p.add_argument("file", help="MiniC source file")
         p.add_argument("--passes", default="",
                        help="comma-separated uopt pass names")
+
+    def add_telemetry(p):
+        # Mirrors of the global flags so ``repro report --telemetry``
+        # works too; SUPPRESS keeps an omitted sub-level flag from
+        # clobbering the globally parsed value.
+        p.add_argument("--telemetry", action="store_true",
+                       default=argparse.SUPPRESS,
+                       help=argparse.SUPPRESS)
+        p.add_argument("--telemetry-dir", metavar="DIR",
+                       default=argparse.SUPPRESS,
+                       help=argparse.SUPPRESS)
+        p.add_argument("--telemetry-trace", metavar="FILE",
+                       default=argparse.SUPPRESS,
+                       help=argparse.SUPPRESS)
 
     p = sub.add_parser("translate", help="MiniC -> uIR (+dumps)")
     add_common(p)
@@ -520,6 +704,7 @@ def build_parser() -> argparse.ArgumentParser:
                         "batched run (each verified vs the "
                         "interpreter)")
     add_observe(p)
+    add_telemetry(p)
     p.set_defaults(fn=cmd_simulate)
 
     p = sub.add_parser("synth", help="FPGA/ASIC quality estimate")
@@ -529,8 +714,12 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("workloads", help="list built-in workloads")
     p.set_defaults(fn=cmd_workloads)
 
-    p = sub.add_parser("bench", help="run a built-in workload")
-    p.add_argument("workload")
+    p = sub.add_parser("bench", help="run a built-in workload, or "
+                                     "--check fresh throughput vs the "
+                                     "committed baseline")
+    p.add_argument("workload", nargs="?", default=None,
+                   help="workload name (optional with --check: "
+                        "default is every baseline workload)")
     p.add_argument("--passes", default="")
     p.add_argument("--variant", default="base")
     p.add_argument("--kernel", default="event",
@@ -538,7 +727,25 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--batch", type=int, default=None, metavar="N",
                    help="run N instances through one batched "
                         "simulation and report sims/s")
+    p.add_argument("--check", action="store_true",
+                   help="re-measure kernel throughput and fail if it "
+                        "regresses against the committed "
+                        "BENCH_sim_throughput.json baseline")
+    p.add_argument("--baseline", default=None, metavar="FILE",
+                   help="committed baseline JSON for --check "
+                        "(default: benchmarks/results/"
+                        "BENCH_sim_throughput.json)")
+    p.add_argument("--threshold", type=float, default=0.2,
+                   metavar="X",
+                   help="--check tolerance: fresh speedup geomeans "
+                        "may lag the committed ones by this fraction "
+                        "(default 0.2)")
+    p.add_argument("--repeat", type=int, default=3, metavar="N",
+                   help="--check timing rounds per kernel (default 3)")
+    p.add_argument("--json", default=None, metavar="FILE",
+                   help="write the --check document here")
     add_observe(p)
+    add_telemetry(p)
     p.set_defaults(fn=cmd_bench)
 
     p = sub.add_parser(
@@ -556,6 +763,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="write the markdown report here")
     p.add_argument("--stats-json", default=None, metavar="FILE",
                    help="also dump the raw SimStats document")
+    p.add_argument("--batch", type=int, default=None, metavar="N",
+                   help="report on a batched run of N lanes "
+                        "(adds the sim.batch section)")
+    add_telemetry(p)
     p.set_defaults(fn=cmd_report)
 
     p = sub.add_parser(
@@ -604,6 +815,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="write the markdown report here")
     p.add_argument("--quiet", action="store_true",
                    help="suppress per-point progress lines")
+    add_telemetry(p)
     p.set_defaults(fn=cmd_explore)
 
     p = sub.add_parser(
@@ -648,22 +860,85 @@ def build_parser() -> argparse.ArgumentParser:
                    help="add batch-conformance cases: per-lane "
                         "identity of batched runs, and the enforced "
                         "scalar fallback under fault plans")
+    add_telemetry(p)
     p.set_defaults(fn=cmd_fuzz)
+
+    p = sub.add_parser(
+        "runs", help="browse the telemetry run ledger")
+    p.add_argument("action", choices=("list", "show", "diff"),
+                   help="list all runs / show one / diff two")
+    p.add_argument("refs", nargs="*",
+                   help="run reference(s): run_id prefix, index "
+                        "(-2 = second newest), or 'last'")
+    p.add_argument("--dir", default=None, metavar="DIR",
+                   help="ledger directory (default: .repro, or "
+                        "--telemetry-dir)")
+    p.add_argument("--json", action="store_true",
+                   help="print records as JSON")
+    p.set_defaults(fn=cmd_runs)
     return parser
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    trace_out = getattr(args, "telemetry_trace", None)
+    wants_telemetry = bool(getattr(args, "telemetry", False)
+                           or trace_out
+                           or telemetry.env_requests_telemetry())
+    if wants_telemetry:
+        telemetry.enable()
+    started = time.time()
+    t0 = time.perf_counter()
+    status, code, err_doc = "ok", 0, None
     try:
-        return args.fn(args)
+        code = args.fn(args)
+        if code != 0:
+            status = "failed"
     except ReproError as exc:
         if getattr(args, "json_errors", False):
             print(json.dumps(error_document(exc), indent=1,
                              default=str))
         else:
             print(f"error: {exc}", file=sys.stderr)
-        return exit_code_for(exc)
+        status, code = "error", exit_code_for(exc)
+        err_doc = error_document(exc)
+    if wants_telemetry:
+        _finish_telemetry(args, argv, status=status, code=code,
+                          wall_s=time.perf_counter() - t0,
+                          started=started, error=err_doc,
+                          trace_out=trace_out)
+    return code
+
+
+def _finish_telemetry(args, argv, *, status: str, code: int,
+                      wall_s: float, started: float, error,
+                      trace_out: Optional[str]) -> None:
+    """Append this invocation to the run ledger (+ optional Perfetto
+    trace).  Browsing the ledger is not itself a run worth recording,
+    so ``repro runs`` skips the append."""
+    from .telemetry import RunLedger
+
+    try:
+        if trace_out:
+            telemetry.write_perfetto(trace_out)
+            print(f"wrote {trace_out} (open in ui.perfetto.dev "
+                  f"or chrome://tracing)", file=sys.stderr)
+        if args.command != "runs":
+            record = telemetry.collect_record(
+                command=args.command,
+                argv=list(argv) if argv is not None else sys.argv[1:],
+                status=status, exit_code=code, wall_s=wall_s,
+                started=started, error=error)
+            ledger = RunLedger(getattr(args, "telemetry_dir", None))
+            run_id = ledger.append(record)
+            print(f"telemetry: recorded run {run_id} "
+                  f"({ledger.path})", file=sys.stderr)
+    except OSError as exc:
+        print(f"telemetry: could not persist run data: {exc}",
+              file=sys.stderr)
+    finally:
+        telemetry.disable()
 
 
 if __name__ == "__main__":

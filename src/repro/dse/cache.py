@@ -78,8 +78,21 @@ def request_key(workload: str, variant: str, pass_spec: str,
     })
 
 
+#: Keys of :attr:`ResultCache.counts` (all always present, start at 0).
+COUNT_KEYS = ("object_hits", "object_misses", "object_corrupt",
+              "index_hits", "index_misses")
+
+
 class ResultCache:
-    """On-disk object store + request index (see module docstring)."""
+    """On-disk object store + request index (see module docstring).
+
+    Every lookup is tallied in :attr:`counts`: object-store hits,
+    misses (no file), corrupt reads (unparsable or wrong-schema
+    documents — served as misses but counted separately so a decaying
+    cache is visible), and request-index hits/misses.  Workers ship
+    their counts back to the sweep coordinator, which aggregates them
+    into the explore report and the telemetry metrics registry.
+    """
 
     def __init__(self, root: str):
         self.root = root
@@ -87,6 +100,7 @@ class ResultCache:
         self.index_path = os.path.join(root, "index.json")
         os.makedirs(self.objects_dir, exist_ok=True)
         self._index: Optional[Dict[str, str]] = None
+        self.counts: Dict[str, int] = {k: 0 for k in COUNT_KEYS}
 
     # -- object store ----------------------------------------------------
     def _object_path(self, key: str) -> str:
@@ -98,10 +112,16 @@ class ResultCache:
         try:
             with open(path) as fh:
                 doc = json.load(fh)
+        except FileNotFoundError:
+            self.counts["object_misses"] += 1
+            return None
         except (OSError, json.JSONDecodeError):
+            self.counts["object_corrupt"] += 1
             return None
         if doc.get("schema") != CACHE_SCHEMA:
+            self.counts["object_corrupt"] += 1
             return None
+        self.counts["object_hits"] += 1
         return doc
 
     def put(self, key: str, doc: Dict) -> None:
@@ -138,7 +158,9 @@ class ResultCache:
         """Request key -> object document, via the index (None = miss)."""
         ckey = self._load_index().get(req_key)
         if ckey is None:
+            self.counts["index_misses"] += 1
             return None
+        self.counts["index_hits"] += 1
         return self.get(ckey)
 
     def record_request(self, req_key: str, ckey: str) -> None:

@@ -32,11 +32,13 @@ from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Union
 
+from .. import telemetry
 from ..errors import ReproError, error_document
 from ..opt import parse_pass_specs, spec_to_string
 from ..sim import SimParams
 from ..workloads import get_workload
 from .cache import (
+    COUNT_KEYS,
     ResultCache,
     content_key,
     request_key,
@@ -160,6 +162,9 @@ class ExploreReport:
     workers: int
     points: List[PointResult] = field(default_factory=list)
     wall_s: float = 0.0
+    #: Aggregated :attr:`ResultCache.counts` over the parent process
+    #: and every worker (empty when the sweep ran uncached).
+    cache: Dict[str, int] = field(default_factory=dict)
 
     @property
     def counts(self) -> Dict[str, int]:
@@ -193,17 +198,25 @@ class ExploreReport:
             "workers": self.workers,
             "wall_s": round(self.wall_s, 4),
             "counts": self.counts,
+            "cache": dict(self.cache),
             "pareto": self.pareto,
             "points": [p.to_json() for p in self.points],
         }
 
     def summary(self) -> str:
         c = self.counts
-        return (f"{self.workload}: {c['points']} points "
+        line = (f"{self.workload}: {c['points']} points "
                 f"({c['ok']} ok, {c['failed']} failed, "
                 f"{c['cache_hits']} cached, {c['fresh']} fresh) "
                 f"in {self.wall_s:.2f}s with {self.workers} worker(s); "
                 f"pareto: {len(self.pareto)} point(s)")
+        if self.cache:
+            k = self.cache
+            line += (f"; cache: {k.get('object_hits', 0)} obj hits / "
+                     f"{k.get('object_misses', 0)} misses / "
+                     f"{k.get('object_corrupt', 0)} corrupt, "
+                     f"{k.get('index_hits', 0)} index hits")
+        return line
 
 
 # ---------------------------------------------------------------------------
@@ -309,6 +322,11 @@ def _evaluate_group(payloads: Sequence[Dict]) -> List[Dict]:
             out["error"] = {"error": type(exc).__name__,
                             "message": str(exc), "exit_code": 1}
         out["wall_s"] = front_share + time.perf_counter() - t1
+    if cache is not None:
+        # Ship the worker-local cache tallies home: metrics registries
+        # don't cross process boundaries, so the coordinating parent
+        # aggregates these into the explore report and telemetry.
+        outs[-1]["cache_counts"] = dict(cache.counts)
     return outs
 
 
@@ -418,7 +436,15 @@ def explore(workload, space: Union[DesignSpace, Iterable[Dict]], *,
             "_rkey": rkey,
         })
 
+    cache_counts: Dict[str, int] = {k: 0 for k in COUNT_KEYS} \
+        if cache is not None else {}
+
+    def merge_counts(out: Dict) -> None:
+        for key, n in (out.pop("cache_counts", None) or {}).items():
+            cache_counts[key] = cache_counts.get(key, 0) + n
+
     def finish(payload: Dict, out: Dict) -> None:
+        merge_counts(out)
         point: PointResult = payload["_point"]
         point.key = out.get("key", "")
         point.fingerprint = out.get("fingerprint", "")
@@ -448,49 +474,80 @@ def explore(workload, space: Union[DesignSpace, Iterable[Dict]], *,
         ways = min(max(1, workers), len(group))
         chunks.extend([group[i::ways] for i in range(ways)])
 
+    met = telemetry.metrics()
+    group_sizes = met.histogram("dse.group_size",
+                                buckets=(1, 2, 4, 8, 16, 32, 64))
+    for chunk in chunks:
+        group_sizes.observe(len(chunk))
+
     def sendable(chunk: List[Dict]) -> List[Dict]:
         return [{k: v for k, v in p.items() if not k.startswith("_")}
                 for p in chunk]
 
-    if len(pending) <= 1 or workers <= 1:
-        for chunk in chunks:
-            for payload, out in zip(chunk,
-                                    _evaluate_group(sendable(chunk))):
-                finish(payload, out)
-    else:
-        pool_size = min(workers, len(chunks))
-        with ProcessPoolExecutor(max_workers=pool_size) as pool:
-            futures = {pool.submit(_evaluate_group, sendable(chunk)):
-                       chunk for chunk in chunks}
-            remaining = set(futures)
-            while remaining:
-                done, remaining = wait(remaining,
-                                       return_when=FIRST_COMPLETED)
-                for future in done:
-                    chunk = futures[future]
-                    exc = future.exception()
-                    if exc is not None:
-                        # Worker process died (OOM, signal...): the
-                        # chunk's points fail, the sweep continues.
-                        for payload in chunk:
-                            finish(payload, {
-                                "index": payload["index"], "ok": False,
-                                "error": {"error": type(exc).__name__,
-                                          "message": str(exc),
-                                          "exit_code": 1}})
-                    else:
-                        for payload, out in zip(chunk,
-                                                future.result()):
-                            finish(payload, out)
-    if cache is not None:
-        cache.save_index()
+    with telemetry.tracer().span("dse.explore", category="dse",
+                                 workload=w.name,
+                                 points=len(params_list),
+                                 workers=workers) as _sp:
+        if len(pending) <= 1 or workers <= 1:
+            for chunk in chunks:
+                for payload, out in zip(
+                        chunk, _evaluate_group(sendable(chunk))):
+                    finish(payload, out)
+        else:
+            pool_size = min(workers, len(chunks))
+            with ProcessPoolExecutor(max_workers=pool_size) as pool:
+                futures = {pool.submit(_evaluate_group,
+                                       sendable(chunk)): chunk
+                           for chunk in chunks}
+                remaining = set(futures)
+                while remaining:
+                    done, remaining = wait(remaining,
+                                           return_when=FIRST_COMPLETED)
+                    for future in done:
+                        chunk = futures[future]
+                        exc = future.exception()
+                        if exc is not None:
+                            # Worker process died (OOM, signal...): the
+                            # chunk's points fail, the sweep continues.
+                            met.counter("dse.worker_deaths").inc()
+                            for payload in chunk:
+                                finish(payload, {
+                                    "index": payload["index"],
+                                    "ok": False,
+                                    "error": {
+                                        "error": type(exc).__name__,
+                                        "message": str(exc),
+                                        "exit_code": 1}})
+                        else:
+                            for payload, out in zip(chunk,
+                                                    future.result()):
+                                finish(payload, out)
+        if cache is not None:
+            cache.save_index()
+            for key, n in cache.counts.items():
+                cache_counts[key] = cache_counts.get(key, 0) + n
 
-    report = ExploreReport(
-        workload=w.name, variant=variant,
-        template=pipeline if isinstance(pipeline, str) else None,
-        objectives=list(objectives), sim=base_sim, workers=workers,
-        points=[results[i] for i in sorted(results)],
-        wall_s=time.perf_counter() - t0)
+        report = ExploreReport(
+            workload=w.name, variant=variant,
+            template=pipeline if isinstance(pipeline, str) else None,
+            objectives=list(objectives), sim=base_sim, workers=workers,
+            points=[results[i] for i in sorted(results)],
+            wall_s=time.perf_counter() - t0,
+            cache=dict(cache_counts) if cache is not None else {})
+        c = report.counts
+        _sp.set(ok=c["ok"], failed=c["failed"],
+                cache_hits=c["cache_hits"], groups=len(chunks))
+
+    if telemetry.enabled():
+        met.counter("dse.points.dispatched").inc(len(pending))
+        met.counter("dse.points.ok").inc(c["ok"])
+        met.counter("dse.points.failed").inc(c["failed"])
+        met.counter("dse.points.cached").inc(c["cache_hits"])
+        for key, n in report.cache.items():
+            met.counter(f"dse.cache.{key}").inc(n)
+        for p in report.points:
+            if p.fingerprint:
+                telemetry.note_fingerprint(p.fingerprint)
     return report
 
 

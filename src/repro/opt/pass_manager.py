@@ -10,6 +10,7 @@ from typing import Dict, List, Sequence
 from ..core.circuit import AcceleratorCircuit
 from ..core.validate import validate_circuit
 from ..errors import PassError
+from ..telemetry import tracer
 
 logger = logging.getLogger(__name__)
 
@@ -103,22 +104,26 @@ class PassManager:
         self.log = []
         for pass_ in self.passes:
             t0 = time.perf_counter()
-            try:
-                result = pass_.run(circuit)
-            except PassError:
-                raise
-            except Exception as exc:
-                raise PassError(
-                    f"pass {pass_.name} failed on {circuit.name}: "
-                    f"{exc}") from exc
-            result.wall_ms = (time.perf_counter() - t0) * 1e3
-            if self.validate or self.validate_each:
-                problems = validate_circuit(circuit,
-                                            raise_on_error=False)
-                if problems:
+            with tracer().span(f"opt.{pass_.name}",
+                               category="opt") as _sp:
+                try:
+                    result = pass_.run(circuit)
+                except PassError:
+                    raise
+                except Exception as exc:
                     raise PassError(
-                        f"pass {pass_.name} broke circuit "
-                        f"{circuit.name}: {problems[:3]}")
+                        f"pass {pass_.name} failed on {circuit.name}: "
+                        f"{exc}") from exc
+                result.wall_ms = (time.perf_counter() - t0) * 1e3
+                if self.validate or self.validate_each:
+                    problems = validate_circuit(circuit,
+                                                raise_on_error=False)
+                    if problems:
+                        raise PassError(
+                            f"pass {pass_.name} broke circuit "
+                            f"{circuit.name}: {problems[:3]}")
+                _sp.set(changed=result.changed,
+                        dN=result.delta_nodes, dE=result.delta_edges)
             logger.debug(
                 "%s: %s %.1fms dN=+%d/-%d dE=+%d/-%d%s",
                 circuit.name, pass_.name, result.wall_ms,
@@ -128,14 +133,23 @@ class PassManager:
             self.log.append(result)
         return self.log
 
+    def timings(self) -> List[Dict[str, object]]:
+        """Structured per-pass timing/delta rows for the last run —
+        the machine-readable twin of :meth:`timing_report`, and the
+        shape the run ledger's ``passes`` section uses."""
+        return [{"pass": r.pass_name,
+                 "wall_ms": round(r.wall_ms, 3),
+                 "changed": r.changed,
+                 "dN": r.nodes_added - r.nodes_removed,
+                 "dE": r.edges_added - r.edges_removed}
+                for r in self.log]
+
     def timing_report(self) -> str:
         """Human-readable per-pass wall-time / graph-delta table."""
         lines = ["pass                      wall_ms   dN      dE"]
-        for r in self.log:
-            dn = r.nodes_added - r.nodes_removed
-            de = r.edges_added - r.edges_removed
-            lines.append(f"{r.pass_name:<25} {r.wall_ms:>7.1f} "
-                         f"{dn:>+5d}   {de:>+5d}")
+        for row in self.timings():
+            lines.append(f"{row['pass']:<25} {row['wall_ms']:>7.1f} "
+                         f"{row['dN']:>+5d}   {row['dE']:>+5d}")
         total = sum(r.wall_ms for r in self.log)
         lines.append(f"{'total':<25} {total:>7.1f}")
         return "\n".join(lines)

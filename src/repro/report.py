@@ -90,8 +90,59 @@ def _counter_values(circuit, stats: SimStats) -> Dict[str, Dict[str, int]]:
     return out
 
 
-def build_report(run, top_n: int = 10) -> Dict:
-    """Assemble the cross-layer report document for one RunResult."""
+def _batch_layer(stats: SimStats, batch=None) -> Optional[Dict]:
+    """The ``sim.batch`` section: how a batched run actually executed.
+
+    ``batch`` is an optional :class:`repro.sim.BatchResult` for the
+    richer live view (deopt cause, per-lane errors and verification);
+    without it the section is rebuilt from the SimStats batch fields,
+    so saved stats documents render too.
+    """
+    if batch is not None:
+        doc: Dict = {
+            "lanes": batch.lanes,
+            "mode": batch.mode,
+            "lane_cycles": list(batch.stats.lane_cycles),
+            "failed_lanes": [i for i, e in enumerate(batch.errors)
+                             if e is not None],
+        }
+        if batch.deopt is not None:
+            doc["deopt"] = {
+                "error": batch.deopt.get("error"),
+                "message": batch.deopt.get("message"),
+            }
+        if batch.verified is not None:
+            doc["verified_lanes"] = sum(batch.verified)
+        return doc
+    if not getattr(stats, "batch_lanes", 0):
+        return None
+    return {
+        "lanes": stats.batch_lanes,
+        "mode": stats.batch_mode,
+        "lane_cycles": list(stats.lane_cycles),
+    }
+
+
+def _telemetry_layer() -> Optional[Dict]:
+    """Live telemetry snapshot (stage spans + metrics), when enabled."""
+    from . import telemetry
+    if not telemetry.enabled():
+        return None
+    tr = telemetry.tracer()
+    return {
+        "stages_ms": {name: round(sec * 1e3, 3)
+                      for name, sec in tr.stage_durations().items()},
+        "spans": len(tr.finished()),
+        "metrics": telemetry.metrics().snapshot(),
+    }
+
+
+def build_report(run, top_n: int = 10, batch=None) -> Dict:
+    """Assemble the cross-layer report document for one RunResult.
+
+    ``batch`` optionally attaches a :class:`repro.sim.BatchResult`
+    whose lanes this run represents (``repro report --batch N``).
+    """
     stats: SimStats = run.stats
     circuit = run.circuit
     tasks = sorted(circuit.tasks) if circuit is not None else []
@@ -117,6 +168,9 @@ def build_report(run, top_n: int = 10) -> Dict:
         "top_nodes": top_nodes,
         "counters": _counter_values(circuit, stats),
     }
+    batch_layer = _batch_layer(stats, batch)
+    if batch_layer is not None:
+        sim_layer["batch"] = batch_layer
 
     opt_layer = {
         "passes": [
@@ -145,7 +199,7 @@ def build_report(run, top_n: int = 10) -> Dict:
         },
     }
 
-    return {
+    doc = {
         "schema": REPORT_SCHEMA,
         "workload": run.workload,
         "config": run.config,
@@ -157,6 +211,10 @@ def build_report(run, top_n: int = 10) -> Dict:
         },
         "verdicts": _task_verdicts(stats, tasks),
     }
+    tele = _telemetry_layer()
+    if tele is not None:
+        doc["telemetry"] = tele
+    return doc
 
 
 # -- markdown rendering -----------------------------------------------------
@@ -184,6 +242,26 @@ def render_markdown(report: Dict) -> str:
                f"**{sim['total_stall_cycles']}** node-cycles were "
                f"spent stalled.")
     out.append("")
+
+    if sim.get("batch"):
+        b = sim["batch"]
+        out.append("## Batched simulation")
+        out.append("")
+        line = (f"{b['lanes']} lanes ran in **{b['mode']}** mode; "
+                f"lane cycles: "
+                f"{', '.join(str(c) for c in b['lane_cycles'])}.")
+        if b.get("failed_lanes"):
+            line += (" Failed lanes: "
+                     f"{', '.join(str(i) for i in b['failed_lanes'])}.")
+        if "verified_lanes" in b:
+            line += (f" {b['verified_lanes']}/{b['lanes']} lanes "
+                     f"verified against the golden reference.")
+        out.append(line)
+        if b.get("deopt"):
+            out.append("")
+            out.append(f"Deopt cause: `{b['deopt'].get('error')}` — "
+                       f"{b['deopt'].get('message')}")
+        out.append("")
 
     out.append("## Bound-by verdicts")
     out.append("")
@@ -250,6 +328,20 @@ def render_markdown(report: Dict) -> str:
                    f"{pmu['area_kum2']} kum2 ASIC area "
                    f"(included in the totals above).")
     out.append("")
+
+    tele = report.get("telemetry")
+    if tele:
+        out.append("## Telemetry")
+        out.append("")
+        if tele["stages_ms"]:
+            out.extend(_md_table(
+                ["stage", "wall ms"],
+                [[f"`{name}`", ms]
+                 for name, ms in sorted(tele["stages_ms"].items())]))
+            out.append("")
+        out.append(f"{tele['spans']} spans recorded; "
+                   f"{len(tele['metrics']['metrics'])} metric(s).")
+        out.append("")
     return "\n".join(out)
 
 
@@ -285,6 +377,14 @@ def render_explore_markdown(doc: Dict) -> str:
     if doc.get("template"):
         out.append("")
         out.append(f"Pipeline template: `{doc['template']}`")
+    cache = doc.get("cache")
+    if cache:
+        out.append("")
+        out.append(f"Result cache: {cache.get('object_hits', 0)} "
+                   f"object hits, {cache.get('object_misses', 0)} "
+                   f"misses, {cache.get('object_corrupt', 0)} corrupt; "
+                   f"{cache.get('index_hits', 0)} request-index hits, "
+                   f"{cache.get('index_misses', 0)} index misses.")
     out.append("")
 
     axes = sorted({k for p in doc["points"] for k in p["params"]})

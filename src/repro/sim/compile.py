@@ -1561,21 +1561,30 @@ def compiled_for(circuit,
     all), then the fingerprint cache (one canonical-form hash, no
     compilation) — each hit verified against the structural signature.
     """
+    from .. import telemetry
+    met = telemetry.metrics()
     try:
-        return _BY_OBJECT[circuit]
+        compiled = _BY_OBJECT[circuit]
     except (KeyError, TypeError):
         pass
+    else:
+        met.counter("sim.compile.memo_hits").inc()
+        return compiled
     if fingerprint is None:
         fingerprint = circuit_fingerprint(circuit)
     compiled = _CACHE.get(fingerprint)
     if compiled is not None and \
             compiled.signature != circuit_signature(circuit):
         compiled = None         # equal fingerprint, different node order
+        met.counter("sim.compile.signature_mismatches").inc()
     if compiled is None:
+        met.counter("sim.compile.compiles").inc()
         compiled = CompiledCircuit(circuit, fingerprint)
         if len(_CACHE) >= _CACHE_LIMIT:
             _CACHE.pop(next(iter(_CACHE)))
         _CACHE[fingerprint] = compiled
+    else:
+        met.counter("sim.compile.cache_hits").inc()
     try:
         _BY_OBJECT[circuit] = compiled
     except TypeError:

@@ -32,6 +32,7 @@ import time
 from dataclasses import dataclass, replace
 from typing import Callable, List, Optional, Sequence
 
+from .. import telemetry
 from ..core.circuit import AcceleratorCircuit
 from ..core.lanes import (BatchContext, LaneImage, LaneValues, _same,
                           lane_fingerprint, lane_row)
@@ -368,7 +369,21 @@ class Simulator:
 def simulate(circuit: AcceleratorCircuit, memory, args: Sequence = (),
              params: Optional[SimParams] = None) -> SimResult:
     """One-shot helper: run the circuit to completion."""
-    return Simulator(circuit, memory, params).run(args)
+    if not telemetry.enabled():
+        return Simulator(circuit, memory, params).run(args)
+    with telemetry.tracer().span(
+            "sim.run", category="sim", circuit=circuit.name,
+            kernel=(params.kernel if params else "event")) as sp:
+        result = Simulator(circuit, memory, params).run(args)
+        sp.set(cycles=result.cycles)
+        from ..core.serialize import circuit_fingerprint
+        telemetry.note_fingerprint(circuit_fingerprint(circuit))
+        if result.observer is not None and result.observer.tracing:
+            # Register the cycle-level trace for the unified Perfetto
+            # export; this span anchors its wall-clock window.
+            telemetry.attach_sim_trace(circuit.name, result.observer,
+                                       sp, result.cycles)
+    return result
 
 
 # ---------------------------------------------------------------------------
@@ -412,6 +427,18 @@ class BatchResult:
         return all(e is None for e in self.errors)
 
 
+def _count_batch(mode: str, lanes: int, deopt=None) -> None:
+    """Tally one simulate_batch outcome in the metrics registry."""
+    if not telemetry.enabled():
+        return
+    met = telemetry.metrics()
+    met.counter("sim.batch.runs").inc(mode=mode)
+    met.counter("sim.batch.lanes").inc(lanes, mode=mode)
+    if deopt is not None:
+        met.counter("sim.batch.deopts").inc(
+            cause=deopt.get("error", "?"))
+
+
 def simulate_batch(circuit: AcceleratorCircuit, memories: Sequence,
                    args_lanes: Optional[Sequence[Sequence]] = None,
                    params: Optional[SimParams] = None) -> BatchResult:
@@ -444,6 +471,7 @@ def simulate_batch(circuit: AcceleratorCircuit, memories: Sequence,
     # (enforced scalar fallback — see DESIGN.md section 9), and the
     # dense reference kernel all run per lane.
     if n == 1 or params.faults is not None or params.kernel == "dense":
+        _count_batch("sequential", n)
         return _run_lanes_sequential(circuit, memories, args_lanes,
                                      scalar, "sequential")
 
@@ -457,9 +485,10 @@ def simulate_batch(circuit: AcceleratorCircuit, memories: Sequence,
         # reaching an unprepared scalar site surfaces as TypeError,
         # and a divergence-induced stall as DeadlockError; sequential
         # re-runs on the untouched originals answer all of them.
+        doc = error_document(exc)
+        _count_batch("deopt", n, deopt=doc)
         return _run_lanes_sequential(circuit, memories, args_lanes,
-                                     scalar, "deopt",
-                                     deopt=error_document(exc))
+                                     scalar, "deopt", deopt=doc)
 
     for i, mem in enumerate(memories):
         mem.words[:] = image.lanes[i]
@@ -472,6 +501,7 @@ def simulate_batch(circuit: AcceleratorCircuit, memories: Sequence,
                   observer=result.observer,
                   compile_error=result.compile_error)
         for i in range(n)]
+    _count_batch("vectorized", n)
     return BatchResult(n, "vectorized", results, [None] * n, stats)
 
 

@@ -1,0 +1,206 @@
+"""The persistent run ledger: one JSONL record per CLI invocation.
+
+Every telemetry-enabled ``repro`` command appends exactly one record
+to ``<dir>/runs/ledger.jsonl`` (default dir ``.repro``): the command
+and argv, wall time, the stage-span table, per-pass timings, circuit
+fingerprints, the full metrics snapshot, and — on failure — the PR-3
+error document.  Appends are **atomic**: the record is serialized to
+one line and written with a single ``os.write`` on an
+``O_APPEND``-opened descriptor, so concurrent processes sharing a
+ledger (parallel sweeps, CI shards) interleave whole records, never
+bytes.  A reader skips lines it cannot parse and reports how many it
+skipped, so one torn write can never poison the history.
+
+Browsable via ``repro runs list | show | diff`` (see
+:mod:`repro.cli`); records are self-describing through
+``schema: repro.run/v1``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Dict, List, Optional, Tuple
+
+LEDGER_SCHEMA = "repro.run/v1"
+DEFAULT_DIR = ".repro"
+LEDGER_NAME = "ledger.jsonl"
+
+#: Every v1 record carries exactly these keys (schema-stability tests
+#: pin the set; extend only with a schema bump or additive keys noted
+#: in DESIGN.md section 10).
+RECORD_KEYS = (
+    "schema", "run_id", "ts", "command", "argv", "status", "exit_code",
+    "wall_s", "stages", "spans", "passes", "fingerprints",
+    "annotations", "metrics", "error",
+)
+
+
+def runs_dir(root: Optional[str] = None) -> str:
+    return os.path.join(root or DEFAULT_DIR, "runs")
+
+
+def new_run_id() -> str:
+    """Sortable, collision-safe id: utc timestamp + pid + entropy."""
+    stamp = time.strftime("%Y%m%dT%H%M%S", time.gmtime())
+    return f"{stamp}-{os.getpid():05d}-{os.urandom(3).hex()}"
+
+
+def build_record(*, run_id: str, command: str, argv: List[str],
+                 status: str, exit_code: int, wall_s: float,
+                 started: float,
+                 stages: Optional[Dict[str, float]] = None,
+                 spans: Optional[List[Dict]] = None,
+                 passes: Optional[List[Dict]] = None,
+                 fingerprints: Optional[List[str]] = None,
+                 annotations: Optional[Dict] = None,
+                 metrics: Optional[Dict] = None,
+                 error: Optional[Dict] = None) -> Dict:
+    """Assemble a v1 ledger record (all keys always present)."""
+    return {
+        "schema": LEDGER_SCHEMA,
+        "run_id": run_id,
+        "ts": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime(started)),
+        "command": command,
+        "argv": list(argv),
+        "status": status,
+        "exit_code": exit_code,
+        "wall_s": round(wall_s, 4),
+        "stages": {name: round(sec * 1e3, 3)
+                   for name, sec in sorted((stages or {}).items())},
+        "spans": list(spans or []),
+        "passes": list(passes or []),
+        "fingerprints": list(fingerprints or []),
+        "annotations": dict(annotations or {}),
+        "metrics": metrics if metrics is not None else {},
+        "error": error,
+    }
+
+
+class RunLedger:
+    """Append-only JSONL store of run records under one directory."""
+
+    def __init__(self, root: Optional[str] = None):
+        self.dir = runs_dir(root)
+        self.path = os.path.join(self.dir, LEDGER_NAME)
+
+    # -- writing -----------------------------------------------------------
+    def append(self, record: Dict) -> str:
+        """Atomically append one record; returns its ``run_id``."""
+        os.makedirs(self.dir, exist_ok=True)
+        line = json.dumps(record, sort_keys=True,
+                          separators=(",", ":"), default=str) + "\n"
+        fd = os.open(self.path,
+                     os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
+        try:
+            os.write(fd, line.encode("utf-8"))
+        finally:
+            os.close(fd)
+        return record.get("run_id", "")
+
+    # -- reading -----------------------------------------------------------
+    def records(self) -> Tuple[List[Dict], int]:
+        """All parsable records in append order, plus the count of
+        skipped (torn / corrupt / wrong-schema) lines."""
+        out: List[Dict] = []
+        skipped = 0
+        try:
+            with open(self.path, encoding="utf-8") as fh:
+                for line in fh:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        doc = json.loads(line)
+                    except json.JSONDecodeError:
+                        skipped += 1
+                        continue
+                    if not isinstance(doc, dict) or \
+                            doc.get("schema") != LEDGER_SCHEMA:
+                        skipped += 1
+                        continue
+                    out.append(doc)
+        except OSError:
+            pass
+        return out, skipped
+
+    def find(self, ref: str) -> Dict:
+        """Resolve ``ref`` to one record: ``last``, a negative index
+        (``-2`` = second newest), or a unique ``run_id`` prefix."""
+        records, _skipped = self.records()
+        if not records:
+            raise LookupError(f"run ledger {self.path} is empty")
+        if ref in ("last", "latest", "-1"):
+            return records[-1]
+        # Prefix match wins over index parsing: run ids start with a
+        # numeric date stamp, so "20260808" must find runs, not be
+        # read as index twenty million.
+        matches = [r for r in records
+                   if r.get("run_id", "").startswith(ref)]
+        if not matches:
+            try:
+                index = int(ref)
+            except ValueError:
+                raise LookupError(f"no run matching {ref!r}") from None
+            try:
+                return records[index]
+            except IndexError:
+                raise LookupError(
+                    f"run index {ref} out of range "
+                    f"(ledger has {len(records)} records)") from None
+        ids = {r["run_id"] for r in matches}
+        if len(ids) > 1:
+            raise LookupError(
+                f"{ref!r} is ambiguous: {', '.join(sorted(ids)[:5])}")
+        return matches[-1]
+
+
+# -- diffing ----------------------------------------------------------------
+
+def _metric_values(record: Dict) -> Dict[str, float]:
+    """Flatten a record's metrics snapshot to ``{name{labels}: value}``
+    (histograms contribute their sum and count)."""
+    out: Dict[str, float] = {}
+    for metric in (record.get("metrics") or {}).get("metrics", []):
+        name = metric.get("name", "?")
+        if metric.get("type") == "histogram":
+            out[f"{name}.sum"] = metric.get("sum", 0)
+            out[f"{name}.count"] = metric.get("count", 0)
+            continue
+        for sample in metric.get("samples", []):
+            labels = sample.get("labels") or {}
+            if labels:
+                body = ",".join(f"{k}={v}"
+                                for k, v in sorted(labels.items()))
+                key = f"{name}{{{body}}}"
+            else:
+                key = name
+            out[key] = sample.get("value", 0)
+    return out
+
+
+def diff_records(a: Dict, b: Dict) -> Dict:
+    """Structured comparison of two ledger records: per-stage wall
+    times and per-metric values, with deltas (b - a)."""
+
+    def table(av: Dict[str, float], bv: Dict[str, float]) -> List[Dict]:
+        rows = []
+        for key in sorted(set(av) | set(bv)):
+            x, y = av.get(key), bv.get(key)
+            row = {"key": key, "a": x, "b": y}
+            if x is not None and y is not None:
+                row["delta"] = round(y - x, 3)
+                if x:
+                    row["ratio"] = round(y / x, 3)
+            rows.append(row)
+        return rows
+
+    return {
+        "a": {"run_id": a.get("run_id"), "command": a.get("command"),
+              "wall_s": a.get("wall_s")},
+        "b": {"run_id": b.get("run_id"), "command": b.get("command"),
+              "wall_s": b.get("wall_s")},
+        "stages_ms": table(a.get("stages") or {}, b.get("stages") or {}),
+        "metrics": table(_metric_values(a), _metric_values(b)),
+    }

@@ -1,0 +1,264 @@
+"""Metrics registry: counters, gauges, histograms.
+
+Instrument call sites look like::
+
+    from ..telemetry import metrics
+    metrics().counter("dse.cache.object_hits").inc()
+    metrics().histogram("dse.group_size", buckets=(1, 2, 4, 8)).observe(n)
+
+Instruments are memoized by name, accept optional ``**labels`` on
+every sample, and export two ways: :meth:`MetricsRegistry.snapshot`
+(versioned JSON, the run ledger's ``metrics`` section) and
+:meth:`MetricsRegistry.render_prometheus` (the text exposition format,
+ready for a future serving daemon's ``/metrics`` endpoint).
+
+When telemetry is disabled the active registry is
+:data:`NULL_METRICS`: ``counter()`` & co. return shared no-op
+instrument singletons, so disabled instrumentation neither allocates
+nor records.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Optional, Sequence, Tuple
+
+METRICS_SCHEMA = "repro.telemetry.metrics/v1"
+
+#: Generic latency-ish bucket ladder (seconds or counts alike).
+DEFAULT_BUCKETS = (0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0,
+                   10.0, 50.0, 100.0)
+
+
+def _label_key(labels: Dict[str, object]) -> Tuple:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+class _Instrument:
+    """Shared machinery: per-label-set sample storage."""
+
+    kind = "instrument"
+
+    def __init__(self, name: str, help: str = ""):
+        self.name = name
+        self.help = help
+        self._lock = threading.Lock()
+        self._samples: Dict[Tuple, float] = {}
+
+    def samples(self) -> List[Dict[str, object]]:
+        with self._lock:
+            items = sorted(self._samples.items())
+        return [{"labels": dict(key), "value": value}
+                for key, value in items]
+
+    def to_json(self) -> Dict[str, object]:
+        return {"name": self.name, "type": self.kind,
+                "help": self.help, "samples": self.samples()}
+
+
+class Counter(_Instrument):
+    """Monotonically increasing count."""
+
+    kind = "counter"
+
+    def inc(self, n: float = 1, **labels) -> None:
+        key = _label_key(labels)
+        with self._lock:
+            self._samples[key] = self._samples.get(key, 0) + n
+
+    def value(self, **labels) -> float:
+        return self._samples.get(_label_key(labels), 0)
+
+
+class Gauge(_Instrument):
+    """Point-in-time value (workers alive, queue depth...)."""
+
+    kind = "gauge"
+
+    def set(self, value: float, **labels) -> None:
+        with self._lock:
+            self._samples[_label_key(labels)] = value
+
+    def inc(self, n: float = 1, **labels) -> None:
+        key = _label_key(labels)
+        with self._lock:
+            self._samples[key] = self._samples.get(key, 0) + n
+
+    def dec(self, n: float = 1, **labels) -> None:
+        self.inc(-n, **labels)
+
+    def value(self, **labels) -> float:
+        return self._samples.get(_label_key(labels), 0)
+
+
+class Histogram(_Instrument):
+    """Cumulative-bucket histogram (Prometheus semantics: each bucket
+    counts observations ``<= le``, plus ``+Inf``, ``sum`` and
+    ``count``)."""
+
+    kind = "histogram"
+
+    def __init__(self, name: str, help: str = "",
+                 buckets: Sequence[float] = DEFAULT_BUCKETS):
+        super().__init__(name, help)
+        self.buckets = tuple(sorted(buckets))
+        self._counts = [0] * (len(self.buckets) + 1)
+        self._sum = 0.0
+        self._count = 0
+
+    def observe(self, value: float) -> None:
+        with self._lock:
+            self._sum += value
+            self._count += 1
+            for i, le in enumerate(self.buckets):
+                if value <= le:
+                    self._counts[i] += 1
+                    break
+            else:
+                self._counts[-1] += 1
+
+    def to_json(self) -> Dict[str, object]:
+        with self._lock:
+            counts = list(self._counts)
+            total, sum_ = self._count, self._sum
+        cumulative = []
+        running = 0
+        for le, n in zip(self.buckets, counts):
+            running += n
+            cumulative.append({"le": le, "count": running})
+        cumulative.append({"le": "+Inf", "count": total})
+        return {"name": self.name, "type": self.kind, "help": self.help,
+                "buckets": cumulative, "sum": round(sum_, 6),
+                "count": total}
+
+
+class MetricsRegistry:
+    """Name-memoized instrument factory + exporters."""
+
+    enabled = True
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._instruments: Dict[str, _Instrument] = {}
+
+    def _get(self, cls, name: str, help: str, **kwargs) -> _Instrument:
+        with self._lock:
+            inst = self._instruments.get(name)
+            if inst is None:
+                inst = self._instruments[name] = cls(name, help,
+                                                    **kwargs)
+            elif not isinstance(inst, cls):
+                raise ValueError(
+                    f"metric {name!r} already registered as "
+                    f"{inst.kind}, not {cls.kind}")
+            return inst
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._get(Counter, name, help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._get(Gauge, name, help)
+
+    def histogram(self, name: str, help: str = "",
+                  buckets: Sequence[float] = DEFAULT_BUCKETS
+                  ) -> Histogram:
+        return self._get(Histogram, name, help, buckets=buckets)
+
+    def get(self, name: str) -> Optional[_Instrument]:
+        return self._instruments.get(name)
+
+    # -- exports -----------------------------------------------------------
+    def snapshot(self) -> Dict[str, object]:
+        """Versioned JSON document of every instrument and sample."""
+        with self._lock:
+            instruments = sorted(self._instruments.items())
+        return {
+            "schema": METRICS_SCHEMA,
+            "metrics": [inst.to_json() for _, inst in instruments],
+        }
+
+    def render_prometheus(self) -> str:
+        """Prometheus text exposition format."""
+        lines: List[str] = []
+        with self._lock:
+            instruments = sorted(self._instruments.items())
+        for _, inst in instruments:
+            pname = "repro_" + inst.name.replace(".", "_")
+            if inst.help:
+                lines.append(f"# HELP {pname} {inst.help}")
+            lines.append(f"# TYPE {pname} {inst.kind}")
+            if isinstance(inst, Histogram):
+                doc = inst.to_json()
+                for bucket in doc["buckets"]:
+                    lines.append(f'{pname}_bucket{{le="{bucket["le"]}"}}'
+                                 f' {bucket["count"]}')
+                lines.append(f"{pname}_sum {doc['sum']}")
+                lines.append(f"{pname}_count {doc['count']}")
+                continue
+            for sample in inst.samples():
+                labels = sample["labels"]
+                if labels:
+                    body = ",".join(f'{k}="{v}"'
+                                    for k, v in sorted(labels.items()))
+                    lines.append(f"{pname}{{{body}}} {sample['value']}")
+                else:
+                    lines.append(f"{pname} {sample['value']}")
+        return "\n".join(lines) + ("\n" if lines else "")
+
+
+class _NullInstrument:
+    """Shared no-op counter/gauge/histogram for disabled telemetry."""
+
+    __slots__ = ()
+    kind = "null"
+
+    def inc(self, n: float = 1, **labels) -> None:
+        pass
+
+    def dec(self, n: float = 1, **labels) -> None:
+        pass
+
+    def set(self, value: float, **labels) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+    def value(self, **labels) -> float:
+        return 0
+
+    def samples(self) -> List:
+        return []
+
+
+NULL_INSTRUMENT = _NullInstrument()
+
+
+class NullMetrics:
+    """Disabled-telemetry registry: hands out the shared no-op
+    instrument and records nothing."""
+
+    enabled = False
+
+    def counter(self, _name: str, help: str = "") -> _NullInstrument:
+        return NULL_INSTRUMENT
+
+    def gauge(self, _name: str, help: str = "") -> _NullInstrument:
+        return NULL_INSTRUMENT
+
+    def histogram(self, _name: str, help: str = "",
+                  buckets: Sequence[float] = DEFAULT_BUCKETS
+                  ) -> _NullInstrument:
+        return NULL_INSTRUMENT
+
+    def get(self, _name: str) -> None:
+        return None
+
+    def snapshot(self) -> Dict[str, object]:
+        return {"schema": METRICS_SCHEMA, "metrics": []}
+
+    def render_prometheus(self) -> str:
+        return ""
+
+
+NULL_METRICS = NullMetrics()

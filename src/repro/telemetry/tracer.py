@@ -1,0 +1,260 @@
+"""Nested wall-clock span tracing.
+
+A :class:`Span` is one timed region of the toolflow — a Pipeline
+stage, a uopt pass, a simulation run.  Spans nest: the tracer keeps a
+per-thread stack so ``with tracer.span("pipeline.optimize"): ...``
+parents every span opened inside it, across the whole call tree, and
+ids stay unique across threads *and* processes (pid + monotonic
+counter).
+
+Cost model: everything here is *per stage*, never per simulated
+cycle.  When telemetry is disabled the active tracer is
+:data:`NULL_TRACER`, whose ``span()`` returns the shared
+:data:`NULL_SPAN` singleton — no allocation, no lock, no record —
+so instrumented call sites are safe to leave in hot-ish code.
+
+Spans export two ways:
+
+* :meth:`Tracer.to_json` — the flat span list (ledger / tests);
+* :meth:`Tracer.perfetto_trace` — Chrome/Perfetto ``traceEvents``;
+  cycle-level simulation traces registered via the runtime
+  (:func:`repro.telemetry.attach_sim_trace`) are scaled into their
+  owning ``sim.run`` span's wall-clock window so pipeline stages and
+  sim stall events share one timeline.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import threading
+import time
+from typing import Dict, List, Optional
+
+TRACE_SCHEMA = "repro.telemetry.trace/v1"
+
+
+class Span:
+    """One timed region; also its own context manager."""
+
+    __slots__ = ("tracer", "span_id", "parent_id", "name", "category",
+                 "start", "end", "attrs", "thread", "pid")
+
+    def __init__(self, tracer: "Tracer", span_id: str,
+                 parent_id: Optional[str], name: str, category: str,
+                 attrs: Dict[str, object]):
+        self.tracer = tracer
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.name = name
+        self.category = category
+        self.attrs = attrs
+        self.thread = threading.get_ident()
+        self.pid = os.getpid()
+        self.start = time.perf_counter()
+        self.end: Optional[float] = None
+
+    # -- context manager --------------------------------------------------
+    def __enter__(self) -> "Span":
+        return self
+
+    def __exit__(self, exc_type, exc, _tb) -> bool:
+        if exc is not None and "error" not in self.attrs:
+            self.attrs["error"] = type(exc).__name__
+        self.tracer._finish(self)
+        return False
+
+    def set(self, **attrs) -> "Span":
+        """Attach result attributes (cycles, hit counts...) mid-span."""
+        self.attrs.update(attrs)
+        return self
+
+    # -- views -------------------------------------------------------------
+    @property
+    def wall_s(self) -> float:
+        end = self.end if self.end is not None else time.perf_counter()
+        return end - self.start
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "id": self.span_id,
+            "parent": self.parent_id,
+            "name": self.name,
+            "cat": self.category,
+            "wall_ms": round(self.wall_s * 1e3, 3),
+            "args": dict(self.attrs),
+        }
+
+    def __repr__(self) -> str:
+        return (f"Span({self.name}, {self.wall_s * 1e3:.1f}ms, "
+                f"cat={self.category})")
+
+
+class _NullSpan:
+    """Shared do-nothing span; identity-stable so disabled telemetry
+    provably allocates nothing per call."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, _exc_type, _exc, _tb) -> bool:
+        return False
+
+    def set(self, **_attrs) -> "_NullSpan":
+        return self
+
+
+NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Collects nested spans; thread-safe, one instance per run."""
+
+    enabled = True
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._ids = itertools.count(1)
+        self._tls = threading.local()
+        self._spans: List[Span] = []
+        #: perf_counter / wall-clock anchor pair: exports place span
+        #: starts on the wall clock without calling time.time per span.
+        self.t0 = time.perf_counter()
+        self.wall0 = time.time()
+
+    # -- recording ---------------------------------------------------------
+    def _stack(self) -> List[Span]:
+        stack = getattr(self._tls, "stack", None)
+        if stack is None:
+            stack = self._tls.stack = []
+        return stack
+
+    def span(self, name: str, category: str = "pipeline",
+             **attrs) -> Span:
+        """Open a span; close it via ``with`` (or ``__exit__``)."""
+        stack = self._stack()
+        parent = stack[-1].span_id if stack else None
+        span_id = f"{os.getpid():x}.{next(self._ids):x}"
+        sp = Span(self, span_id, parent, name, category, attrs)
+        stack.append(sp)
+        return sp
+
+    def _finish(self, span: Span) -> None:
+        span.end = time.perf_counter()
+        stack = self._stack()
+        if span in stack:               # tolerate out-of-order exits
+            while stack and stack[-1] is not span:
+                stack.pop()
+            if stack:
+                stack.pop()
+        with self._lock:
+            self._spans.append(span)
+
+    # -- views -------------------------------------------------------------
+    def finished(self) -> List[Span]:
+        with self._lock:
+            return list(self._spans)
+
+    def stage_durations(self) -> Dict[str, float]:
+        """``{name: wall_seconds}`` over *top-level* spans (repeated
+        names accumulate) — the run ledger's stage table."""
+        out: Dict[str, float] = {}
+        for sp in self.finished():
+            if sp.parent_id is None:
+                out[sp.name] = out.get(sp.name, 0.0) + sp.wall_s
+        return out
+
+    def to_json(self, limit: int = 500) -> Dict[str, object]:
+        spans = self.finished()
+        dropped = max(0, len(spans) - limit)
+        return {
+            "schema": TRACE_SCHEMA,
+            "spans": [sp.to_json() for sp in spans[:limit]],
+            "dropped_spans": dropped,
+        }
+
+    # -- Perfetto export ---------------------------------------------------
+    def _us(self, t: float) -> float:
+        return (t - self.t0) * 1e6
+
+    def perfetto_trace(self, sim_traces=()) -> Dict[str, object]:
+        """Chrome/Perfetto ``traceEvents`` with pipeline spans and any
+        registered cycle-level sim traces on one timeline.
+
+        ``sim_traces`` is a sequence of ``(label, events, span,
+        cycles)`` tuples (see :func:`repro.telemetry.attach_sim_trace`):
+        each sim event's cycle is scaled into its owning span's
+        wall-clock window, so a 40%-of-the-run stall episode renders
+        as 40% of the simulate stage's width.
+        """
+        events = []
+        for sp in self.finished():
+            events.append({
+                "name": sp.name, "cat": sp.category, "ph": "X",
+                "pid": "pipeline", "tid": f"thread-{sp.thread:x}",
+                "ts": round(self._us(sp.start), 3),
+                "dur": round(self._us(sp.end) - self._us(sp.start), 3),
+                "args": dict(sp.attrs),
+            })
+        for label, sim_events, span, cycles in sim_traces:
+            if span.end is None:
+                continue
+            base = self._us(span.start)
+            scale = (self._us(span.end) - base) / max(1, cycles)
+            pid = f"sim:{label}"
+            for ev in sim_events:
+                args = dict(ev.get("args") or {})
+                args["cycle"] = ev["cycle"]
+                out = {
+                    "name": args.get("cause", ev["name"]),
+                    "cat": f"sim.{ev['cat']}",
+                    "pid": pid, "tid": ev["name"],
+                    "ts": round(base + ev["cycle"] * scale, 3),
+                    "args": args,
+                }
+                if ev.get("dur"):
+                    out["ph"] = "X"
+                    out["dur"] = round(ev["dur"] * scale, 3)
+                else:
+                    out["ph"] = "i"
+                    out["s"] = "t"
+                events.append(out)
+        events.sort(key=lambda e: e["ts"])
+        return {
+            "traceEvents": events,
+            "displayTimeUnit": "ms",
+            "otherData": {
+                "schema": TRACE_SCHEMA,
+                "wall_epoch": self.wall0,
+                "note": "sim:* tracks are cycle events scaled into "
+                        "their sim.run span's wall-clock window",
+            },
+        }
+
+
+class NullTracer:
+    """Disabled-telemetry tracer: every operation is a no-op."""
+
+    enabled = False
+
+    def span(self, _name: str, category: str = "pipeline",
+             **_attrs) -> _NullSpan:
+        return NULL_SPAN
+
+    def finished(self) -> List[Span]:
+        return []
+
+    def stage_durations(self) -> Dict[str, float]:
+        return {}
+
+    def to_json(self, limit: int = 500) -> Dict[str, object]:
+        return {"schema": TRACE_SCHEMA, "spans": [], "dropped_spans": 0}
+
+    def perfetto_trace(self, sim_traces=()) -> Dict[str, object]:
+        return {"traceEvents": [], "displayTimeUnit": "ms",
+                "otherData": {"schema": TRACE_SCHEMA}}
+
+
+NULL_TRACER = NullTracer()

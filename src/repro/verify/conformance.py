@@ -43,6 +43,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from .. import telemetry
 from ..errors import LIViolationError, ReproError, exit_code_for
 from ..frontend import translate_module
 from ..opt import PassManager, parse_passes
@@ -173,11 +174,13 @@ def minimize_plan(plan: FaultPlan,
     result is the smallest category set that still reproduces — the
     bundle a human actually wants to stare at.
     """
+    steps = telemetry.metrics().counter("fuzz.minimizer_steps")
     changed = True
     while changed:
         changed = False
         for cat in plan.active_categories():
             candidate = plan.without(cat)
+            steps.inc()
             if still_fails(candidate):
                 plan = candidate
                 changed = True
@@ -291,8 +294,12 @@ class ConformanceFuzzer:
         case.error, case.message = self._verdict(
             workload, variant, mode, plan, case)
         case.ok = not case.error
+        met = telemetry.metrics()
+        met.counter("fuzz.cases").inc(mode=mode)
         if case.ok:
             return case
+        met.counter("fuzz.violations").inc(mode=mode,
+                                           error=case.error)
         case.exit_code = case.exit_code or 7
         if plan is None:
             case.minimized = []
@@ -440,6 +447,15 @@ class ConformanceFuzzer:
                                     intensity)
                  for i in range(n_plans)]
         report.plan_seeds = [p.seed for p in plans]
+        with telemetry.tracer().span("fuzz.run", category="verify",
+                                     seed=seed, plans=n_plans,
+                                     workloads=len(names)) as _sp:
+            self._fuzz_cases(names, plans, report, progress)
+            _sp.set(cases=len(report.cases),
+                    failed=len(report.failures()))
+        return report
+
+    def _fuzz_cases(self, names, plans, report, progress) -> None:
         for name in names:
             if self.compare_kernel:
                 # Fault-free bit-identity first: the cheapest, most
@@ -467,7 +483,6 @@ class ConformanceFuzzer:
                     report.cases.append(case)
                     if progress is not None:
                         progress(case)
-        return report
 
 
 def replay_bundle(path: str, kernel: str = "event",

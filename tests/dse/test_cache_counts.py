@@ -1,0 +1,65 @@
+"""ResultCache hit/miss/corrupt accounting surfaced by explore()."""
+
+import json
+import os
+
+from repro.dse import GridSpace, explore
+from repro.dse.cache import COUNT_KEYS, ResultCache
+from repro.report import render_explore_markdown
+
+TEMPLATE = "localize,banking={banks}"
+SPACE = {"banks": [1, 2]}
+
+
+def _explore(cache):
+    return explore("saxpy", GridSpace(SPACE), pipeline=TEMPLATE,
+                   workers=1, cache=cache)
+
+
+class TestCacheCounts:
+    def test_counts_start_at_zero(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        assert cache.counts == {k: 0 for k in COUNT_KEYS}
+
+    def test_cold_sweep_counts_misses(self, tmp_path):
+        report = _explore(ResultCache(str(tmp_path)))
+        assert report.cache["object_hits"] == 0
+        assert report.cache["object_misses"] == 2
+        assert report.cache["object_corrupt"] == 0
+
+    def test_warm_sweep_counts_hits(self, tmp_path):
+        _explore(ResultCache(str(tmp_path)))
+        report = _explore(ResultCache(str(tmp_path)))
+        assert report.cache["object_hits"] == 2
+        assert report.cache["object_misses"] == 0
+        assert all(p.cached for p in report.points)
+
+    def test_corrupt_object_counts_and_recovers(self, tmp_path):
+        _explore(ResultCache(str(tmp_path)))
+        # smash every cached object; the warm sweep must re-evaluate
+        objects = os.path.join(str(tmp_path), "objects")
+        for sub, _dirs, files in os.walk(objects):
+            for name in files:
+                with open(os.path.join(sub, name), "w") as fh:
+                    fh.write("{not json")
+        report = _explore(ResultCache(str(tmp_path)))
+        # every probe of a smashed object counts (points may probe
+        # via the request index and again via fingerprint)
+        assert report.cache["object_corrupt"] >= 2
+        assert report.cache["object_hits"] == 0
+        assert all(p.status == "ok" for p in report.points)
+
+    def test_counts_in_json_and_markdown(self, tmp_path):
+        _explore(ResultCache(str(tmp_path)))
+        report = _explore(ResultCache(str(tmp_path)))
+        doc = report.to_json()
+        assert doc["cache"]["object_hits"] == 2
+        json.dumps(doc)                       # serializable
+        md = render_explore_markdown(doc)
+        assert "Result cache: 2 object hits" in md
+        assert "cache" in report.summary()
+
+    def test_uncached_sweep_reports_empty(self):
+        report = _explore(None)
+        assert report.cache == {}
+        assert "Result cache" not in render_explore_markdown(report.to_json())

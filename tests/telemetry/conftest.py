@@ -1,0 +1,13 @@
+"""Telemetry tests share one invariant: the process-global switch
+must be off again when each test ends, whatever the test did."""
+
+import pytest
+
+from repro import telemetry
+
+
+@pytest.fixture(autouse=True)
+def _reset_telemetry():
+    telemetry.disable()
+    yield
+    telemetry.disable()

@@ -1,0 +1,175 @@
+"""Tests for the persistent run ledger (repro.telemetry.ledger)."""
+
+import json
+import multiprocessing
+import os
+
+import pytest
+
+from repro.telemetry import (
+    LEDGER_SCHEMA,
+    RECORD_KEYS,
+    RunLedger,
+    build_record,
+    diff_records,
+    new_run_id,
+)
+
+
+def _record(run_id="r1", command="simulate", status="ok", **over):
+    base = dict(run_id=run_id, command=command, argv=["x.mc"],
+                status=status, exit_code=0, wall_s=1.25,
+                started=1754000000.0)
+    base.update(over)
+    return build_record(**base)
+
+
+class TestRecordSchema:
+    def test_golden_key_set(self):
+        """The v1 record's key set is pinned: changing it is a schema
+        bump, not a drive-by (see DESIGN.md section 10)."""
+        rec = _record()
+        assert tuple(rec) == RECORD_KEYS == (
+            "schema", "run_id", "ts", "command", "argv", "status",
+            "exit_code", "wall_s", "stages", "spans", "passes",
+            "fingerprints", "annotations", "metrics", "error",
+        )
+        assert rec["schema"] == LEDGER_SCHEMA == "repro.run/v1"
+
+    def test_all_keys_present_even_when_empty(self):
+        rec = _record()
+        assert rec["stages"] == {}
+        assert rec["spans"] == [] and rec["passes"] == []
+        assert rec["fingerprints"] == []
+        assert rec["metrics"] == {} and rec["error"] is None
+
+    def test_stages_exported_in_ms(self):
+        rec = _record(stages={"pipeline.simulate": 0.25})
+        assert rec["stages"] == {"pipeline.simulate": 250.0}
+
+    def test_json_round_trip(self):
+        rec = _record(error={"kind": "ReproError", "message": "boom"},
+                      metrics={"schema": "s", "metrics": []})
+        assert json.loads(json.dumps(rec)) == rec
+
+    def test_run_ids_sortable_and_unique(self):
+        ids = {new_run_id() for _ in range(20)}
+        assert len(ids) == 20
+
+
+class TestAppendAndRead:
+    def test_append_then_records(self, tmp_path):
+        ledger = RunLedger(str(tmp_path))
+        ledger.append(_record("a"))
+        ledger.append(_record("b"))
+        records, skipped = ledger.records()
+        assert [r["run_id"] for r in records] == ["a", "b"]
+        assert skipped == 0
+
+    def test_reader_skips_torn_and_foreign_lines(self, tmp_path):
+        ledger = RunLedger(str(tmp_path))
+        ledger.append(_record("a"))
+        with open(ledger.path, "a") as fh:
+            fh.write('{"torn": \n')              # torn write
+            fh.write('{"schema": "other/v9"}\n')  # foreign schema
+            fh.write("not json at all\n")
+        ledger.append(_record("b"))
+        records, skipped = ledger.records()
+        assert [r["run_id"] for r in records] == ["a", "b"]
+        assert skipped == 3
+
+    def test_missing_file_is_empty_not_error(self, tmp_path):
+        records, skipped = RunLedger(str(tmp_path)).records()
+        assert records == [] and skipped == 0
+
+
+class TestFind:
+    def test_resolution_modes(self, tmp_path):
+        ledger = RunLedger(str(tmp_path))
+        for rid in ("20260101-a", "20260102-b", "20260103-c"):
+            ledger.append(_record(rid))
+        assert ledger.find("last")["run_id"] == "20260103-c"
+        assert ledger.find("-2")["run_id"] == "20260102-b"
+        assert ledger.find("0")["run_id"] == "20260101-a"
+        assert ledger.find("20260102")["run_id"] == "20260102-b"
+
+    def test_errors(self, tmp_path):
+        ledger = RunLedger(str(tmp_path))
+        with pytest.raises(LookupError, match="empty"):
+            ledger.find("last")
+        ledger.append(_record("20260101-a"))
+        ledger.append(_record("20260102-b"))
+        with pytest.raises(LookupError, match="out of range"):
+            ledger.find("-5")
+        with pytest.raises(LookupError, match="no run matching"):
+            ledger.find("zzz")
+        with pytest.raises(LookupError, match="ambiguous"):
+            ledger.find("2026010")
+
+
+def _append_worker(root, tag, n):
+    ledger = RunLedger(root)
+    for i in range(n):
+        ledger.append(_record(f"{tag}-{i:03d}"))
+
+
+class TestConcurrency:
+    def test_parallel_appends_never_tear(self, tmp_path):
+        """N processes x M appends must yield N*M parsable records —
+        the O_APPEND single-write contract."""
+        procs, each = 4, 25
+        ctx = multiprocessing.get_context("spawn")
+        workers = [ctx.Process(target=_append_worker,
+                               args=(str(tmp_path), f"p{i}", each))
+                   for i in range(procs)]
+        for w in workers:
+            w.start()
+        for w in workers:
+            w.join()
+        assert all(w.exitcode == 0 for w in workers)
+        records, skipped = RunLedger(str(tmp_path)).records()
+        assert skipped == 0
+        assert len(records) == procs * each
+        ids = [r["run_id"] for r in records]
+        assert len(set(ids)) == len(ids)
+        # each writer's own records stay in its append order
+        for i in range(procs):
+            mine = [x for x in ids if x.startswith(f"p{i}-")]
+            assert mine == sorted(mine)
+
+
+class TestDiff:
+    def test_stage_and_metric_deltas(self):
+        met_a = {"schema": "s", "metrics": [
+            {"name": "dse.cache.object_hits", "type": "counter",
+             "samples": [{"labels": {}, "value": 0}]}]}
+        met_b = {"schema": "s", "metrics": [
+            {"name": "dse.cache.object_hits", "type": "counter",
+             "samples": [{"labels": {}, "value": 2}]}]}
+        a = _record("a", stages={"dse.explore": 0.4}, metrics=met_a)
+        b = _record("b", stages={"dse.explore": 0.1}, metrics=met_b)
+        doc = diff_records(a, b)
+        (stage,) = doc["stages_ms"]
+        assert stage["key"] == "dse.explore"
+        assert stage["a"] == 400.0 and stage["b"] == 100.0
+        assert stage["delta"] == -300.0 and stage["ratio"] == 0.25
+        (metric,) = doc["metrics"]
+        assert metric["key"] == "dse.cache.object_hits"
+        assert metric["delta"] == 2
+
+    def test_histogram_flattens_to_sum_and_count(self):
+        met = {"schema": "s", "metrics": [
+            {"name": "dse.group_size", "type": "histogram",
+             "buckets": [], "sum": 6.0, "count": 3}]}
+        doc = diff_records(_record("a", metrics=met),
+                           _record("b", metrics=met))
+        keys = {m["key"] for m in doc["metrics"]}
+        assert keys == {"dse.group_size.sum", "dse.group_size.count"}
+
+    def test_labelled_samples_keyed_with_labels(self):
+        met = {"schema": "s", "metrics": [
+            {"name": "sim.batch.runs", "type": "counter",
+             "samples": [{"labels": {"mode": "vector"}, "value": 1}]}]}
+        doc = diff_records(_record("a", metrics=met),
+                           _record("b", metrics=met))
+        assert doc["metrics"][0]["key"] == "sim.batch.runs{mode=vector}"

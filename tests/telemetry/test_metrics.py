@@ -1,0 +1,107 @@
+"""Tests for repro.telemetry.metrics (counters/gauges/histograms)."""
+
+import pytest
+
+from repro.telemetry import NULL_METRICS, MetricsRegistry
+from repro.telemetry.metrics import (
+    METRICS_SCHEMA,
+    NULL_INSTRUMENT,
+)
+
+
+class TestCounter:
+    def test_inc_and_value(self):
+        reg = MetricsRegistry()
+        c = reg.counter("dse.cache.object_hits")
+        c.inc()
+        c.inc(2)
+        assert c.value() == 3
+
+    def test_labels_keep_separate_samples(self):
+        reg = MetricsRegistry()
+        c = reg.counter("sim.batch.runs")
+        c.inc(mode="vector")
+        c.inc(mode="vector")
+        c.inc(mode="deopt")
+        assert c.value(mode="vector") == 2
+        assert c.value(mode="deopt") == 1
+        assert c.value(mode="missing") == 0
+
+    def test_memoized_by_name(self):
+        reg = MetricsRegistry()
+        assert reg.counter("x") is reg.counter("x")
+
+    def test_kind_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(ValueError, match="already registered"):
+            reg.gauge("x")
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        reg = MetricsRegistry()
+        g = reg.gauge("dse.workers_alive")
+        g.set(4)
+        g.dec()
+        g.inc(2)
+        assert g.value() == 5
+
+
+class TestHistogram:
+    def test_cumulative_buckets(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("dse.group_size", buckets=(1, 4, 16))
+        for v in (1, 2, 3, 20):
+            h.observe(v)
+        doc = h.to_json()
+        assert doc["count"] == 4
+        assert doc["sum"] == 26
+        by_le = {b["le"]: b["count"] for b in doc["buckets"]}
+        assert by_le == {1: 1, 4: 3, 16: 3, "+Inf": 4}
+
+
+class TestExports:
+    def test_snapshot_shape(self):
+        reg = MetricsRegistry()
+        reg.counter("b").inc()
+        reg.counter("a").inc(2, kind="x")
+        snap = reg.snapshot()
+        assert snap["schema"] == METRICS_SCHEMA
+        # sorted by name, every sample dict-shaped
+        assert [m["name"] for m in snap["metrics"]] == ["a", "b"]
+        assert snap["metrics"][0]["samples"] == [
+            {"labels": {"kind": "x"}, "value": 2}]
+
+    def test_prometheus_text(self):
+        reg = MetricsRegistry()
+        reg.counter("dse.cache.object_hits", help="hits").inc(3)
+        reg.histogram("lat", buckets=(1,)).observe(0.5)
+        text = reg.render_prometheus()
+        assert "# HELP repro_dse_cache_object_hits hits" in text
+        assert "# TYPE repro_dse_cache_object_hits counter" in text
+        assert "repro_dse_cache_object_hits 3" in text
+        assert 'repro_lat_bucket{le="1"} 1' in text
+        assert "repro_lat_count 1" in text
+
+    def test_labelled_prometheus_sample(self):
+        reg = MetricsRegistry()
+        reg.counter("fuzz.violations").inc(mode="batch", error="sim")
+        text = reg.render_prometheus()
+        assert ('repro_fuzz_violations{error="sim",mode="batch"} 1'
+                in text)
+
+
+class TestNullMetrics:
+    def test_hands_out_shared_instrument(self):
+        assert NULL_METRICS.counter("a") is NULL_INSTRUMENT
+        assert NULL_METRICS.gauge("b") is NULL_INSTRUMENT
+        assert NULL_METRICS.histogram("c") is NULL_INSTRUMENT
+
+    def test_records_nothing(self):
+        NULL_METRICS.counter("a").inc(5, mode="x")
+        NULL_METRICS.histogram("c").observe(1.0)
+        assert NULL_METRICS.counter("a").value() == 0
+        assert NULL_METRICS.snapshot() == {"schema": METRICS_SCHEMA,
+                                           "metrics": []}
+        assert NULL_METRICS.render_prometheus() == ""

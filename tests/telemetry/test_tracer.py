@@ -1,0 +1,136 @@
+"""Tests for repro.telemetry.tracer (nested wall-clock spans)."""
+
+import threading
+
+from repro.telemetry import NULL_SPAN, NULL_TRACER, Tracer
+from repro.telemetry.tracer import TRACE_SCHEMA
+
+
+class TestSpans:
+    def test_nesting_sets_parent(self):
+        tr = Tracer()
+        with tr.span("outer") as outer:
+            with tr.span("inner") as inner:
+                assert inner.parent_id == outer.span_id
+        assert outer.parent_id is None
+        names = [sp.name for sp in tr.finished()]
+        assert names == ["inner", "outer"]  # finish order
+
+    def test_ids_unique_and_pid_tagged(self):
+        import os
+        tr = Tracer()
+        ids = set()
+        for _ in range(50):
+            with tr.span("s") as sp:
+                ids.add(sp.span_id)
+        assert len(ids) == 50
+        assert all(i.startswith(f"{os.getpid():x}.") for i in ids)
+
+    def test_set_attaches_attrs(self):
+        tr = Tracer()
+        with tr.span("sim.run", kernel="event") as sp:
+            sp.set(cycles=183)
+        doc = tr.finished()[0].to_json()
+        assert doc["args"] == {"kernel": "event", "cycles": 183}
+        assert doc["wall_ms"] >= 0
+
+    def test_exception_recorded_and_propagated(self):
+        tr = Tracer()
+        try:
+            with tr.span("boom"):
+                raise ValueError("x")
+        except ValueError:
+            pass
+        else:  # pragma: no cover
+            raise AssertionError("span swallowed the exception")
+        assert tr.finished()[0].attrs["error"] == "ValueError"
+
+    def test_stage_durations_accumulate_top_level(self):
+        tr = Tracer()
+        for _ in range(3):
+            with tr.span("pipeline.simulate"):
+                with tr.span("sim.run"):
+                    pass
+        stages = tr.stage_durations()
+        assert set(stages) == {"pipeline.simulate"}  # no nested spans
+        assert stages["pipeline.simulate"] >= 0
+
+    def test_threads_keep_separate_stacks(self):
+        tr = Tracer()
+        seen = {}
+
+        def worker(tag):
+            with tr.span(f"t.{tag}") as sp:
+                seen[tag] = sp.parent_id
+
+        with tr.span("main"):
+            threads = [threading.Thread(target=worker, args=(i,))
+                       for i in range(4)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        # worker spans must NOT parent under the main thread's span
+        assert all(parent is None for parent in seen.values())
+        assert len(tr.finished()) == 5
+
+    def test_to_json_caps_spans(self):
+        tr = Tracer()
+        for i in range(10):
+            with tr.span(f"s{i}"):
+                pass
+        doc = tr.to_json(limit=4)
+        assert doc["schema"] == TRACE_SCHEMA
+        assert len(doc["spans"]) == 4
+        assert doc["dropped_spans"] == 6
+
+
+class TestPerfetto:
+    def test_spans_become_complete_events(self):
+        tr = Tracer()
+        with tr.span("pipeline.simulate"):
+            pass
+        doc = tr.perfetto_trace()
+        (ev,) = doc["traceEvents"]
+        assert ev["ph"] == "X" and ev["pid"] == "pipeline"
+        assert ev["name"] == "pipeline.simulate"
+        assert ev["dur"] >= 0
+
+    def test_sim_trace_scaled_into_span_window(self):
+        tr = Tracer()
+        with tr.span("sim.run") as sp:
+            for _ in range(1000):
+                pass
+        sim_events = [
+            {"cycle": 0, "name": "mul0", "cat": "stall",
+             "dur": 50, "args": {"cause": "mem"}},
+            {"cycle": 100, "name": "add0", "cat": "park", "args": {}},
+        ]
+        doc = tr.perfetto_trace([("sax", sim_events, sp, 100)])
+        sim = [e for e in doc["traceEvents"] if e["pid"] == "sim:sax"]
+        assert len(sim) == 2
+        span_ev = next(e for e in doc["traceEvents"]
+                       if e["pid"] == "pipeline")
+        lo = span_ev["ts"]
+        hi = span_ev["ts"] + span_ev["dur"]
+        # cycle 0 maps to span start, last cycle to span end
+        assert lo <= sim[0]["ts"] <= hi
+        assert lo <= sim[1]["ts"] <= hi + 1e-6
+        stall = next(e for e in sim if e["cat"] == "sim.stall")
+        assert stall["ph"] == "X" and stall["name"] == "mem"
+        park = next(e for e in sim if e["cat"] == "sim.park")
+        assert park["ph"] == "i"
+
+
+class TestNullTracer:
+    def test_span_returns_shared_singleton(self):
+        a = NULL_TRACER.span("anything", category="sim", k=1)
+        b = NULL_TRACER.span("other")
+        assert a is b is NULL_SPAN
+
+    def test_null_span_api_is_inert(self):
+        with NULL_TRACER.span("x") as sp:
+            assert sp.set(cycles=9) is sp
+        assert NULL_TRACER.finished() == []
+        assert NULL_TRACER.stage_durations() == {}
+        assert NULL_TRACER.perfetto_trace()["traceEvents"] == []
