@@ -9,9 +9,11 @@ workloads   list the built-in paper workloads
 bench       run one built-in workload through a pass stack (--check
             diffs fresh throughput against the committed baseline)
 report      cross-layer bottleneck report (sim + opt + synth)
-explore     parallel design-space exploration with caching
+explore     parallel design-space exploration with caching; sweeps
+            journal to ``.repro/sweeps`` and resume with ``--resume``
 fuzz        LI-conformance fuzzing under seeded fault plans
 runs        browse the telemetry run ledger (list | show | diff)
+sweeps      browse sweep journals (list | show)
 
 Telemetry: ``--telemetry`` (or ``REPRO_TELEMETRY=1``) traces every
 stage, collects metrics, and appends one record per invocation to the
@@ -28,9 +30,10 @@ Failures exit with a per-error-family code (see
 ``repro.errors.EXIT_CODES``): parse errors 2, IR/translation 3,
 deadlock 4, workload mismatch 5, simulation limits 6, LI-conformance
 violations 7, pass errors 8, kernel compilation 10 (with
-``--no-kernel-fallback``).  ``--json-errors`` (global flag, before
-the subcommand) prints a machine-readable error document instead of
-the one-line message.
+``--no-kernel-fallback``), quarantined poison points 11, interrupted
+sweeps 130 (checkpointed; the message carries the ``--resume`` hint).
+``--json-errors`` (global flag, before the subcommand) prints a
+machine-readable error document instead of the one-line message.
 """
 
 from __future__ import annotations
@@ -42,7 +45,8 @@ import time
 from typing import List, Optional, Sequence
 
 from . import telemetry
-from .errors import ReproError, error_document, exit_code_for
+from .errors import EXIT_CODES, ReproError, error_document, \
+    exit_code_for
 from .frontend import compile_minic, translate_module
 from .frontend.interp import Interpreter, Memory
 from .opt import PassManager
@@ -402,27 +406,49 @@ DEFAULT_EXPLORE_TEMPLATE = (
 
 
 def cmd_explore(args) -> int:
-    from .dse import GridSpace, RandomSpace, explore, parse_axis
+    from .dse import (DEFAULT_LEASE_TTL, DEFAULT_SWEEPS_DIR,
+                      GridSpace, RandomSpace, RetryPolicy, explore,
+                      parse_axis, resume)
     from .report import render_explore_markdown
 
-    axes = dict(parse_axis(text) for text in args.grid)
-    if not axes:
-        raise ReproError(
-            "explore needs at least one --grid AXIS=V1,V2,...")
-    space = RandomSpace(axes, args.random, seed=args.seed) \
-        if args.random else GridSpace(axes)
-    objectives = [o.strip() for o in args.objectives.split(",")
-                  if o.strip()]
-    params = SimParams(kernel=args.kernel, max_cycles=args.max_cycles,
-                       wallclock_timeout=args.timeout)
+    retry = RetryPolicy(max_attempts=max(1, args.retries),
+                        base_delay=args.retry_delay)
+    sweeps_dir = args.sweeps_dir or DEFAULT_SWEEPS_DIR
+    lease_ttl = args.lease_ttl if args.lease_ttl is not None \
+        else DEFAULT_LEASE_TTL
     cache = None if args.no_cache else args.cache_dir
     progress = None if args.quiet else \
         (lambda point: print(point.describe()))
-    report = explore(
-        args.workload, space, pipeline=args.pipeline,
-        variant=args.variant, sim=params, workers=args.workers,
-        cache=cache, objectives=objectives, check=not args.no_check,
-        progress=progress)
+    if args.resume:
+        report = resume(
+            args.resume, sweeps_dir=sweeps_dir,
+            workers=args.workers, cache=cache, progress=progress,
+            retry=retry, point_timeout=args.point_timeout,
+            lease_ttl=lease_ttl)
+        objectives = list(report.objectives)
+    else:
+        if not args.workload:
+            raise ReproError(
+                "explore needs a WORKLOAD (or --resume SWEEP)")
+        axes = dict(parse_axis(text) for text in args.grid)
+        if not axes:
+            raise ReproError(
+                "explore needs at least one --grid AXIS=V1,V2,...")
+        space = RandomSpace(axes, args.random, seed=args.seed) \
+            if args.random else GridSpace(axes)
+        objectives = [o.strip() for o in args.objectives.split(",")
+                      if o.strip()]
+        params = SimParams(kernel=args.kernel,
+                           max_cycles=args.max_cycles,
+                           wallclock_timeout=args.timeout)
+        journal = None if args.no_journal else sweeps_dir
+        report = explore(
+            args.workload, space, pipeline=args.pipeline,
+            variant=args.variant, sim=params, workers=args.workers,
+            cache=cache, objectives=objectives,
+            check=not args.no_check, progress=progress,
+            journal=journal, sweep_id=args.sweep_id, retry=retry,
+            point_timeout=args.point_timeout, lease_ttl=lease_ttl)
     print(report.summary())
     doc = report.to_json()
     print(f"\nPareto frontier ({' / '.join(objectives)}, minimized):")
@@ -446,6 +472,10 @@ def cmd_explore(args) -> int:
         return 0
     if len(failures) == len(report.points):
         return failures[0].error.get("exit_code", 1) or 1
+    if any(p.quarantined for p in failures):
+        # Distinct exit so CI can tell "a point is poison" apart from
+        # ordinary partial failure.
+        return EXIT_CODES["PoisonPointError"]
     return 1
 
 
@@ -604,6 +634,75 @@ def cmd_runs(args) -> int:
     except LookupError as exc:
         raise ReproError(str(exc)) from exc
     raise ReproError(f"unknown runs action {args.action!r}")
+
+
+def cmd_sweeps(args) -> int:
+    from .dse import DEFAULT_SWEEPS_DIR, list_sweeps, resolve_sweep
+
+    sweeps_dir = args.dir or DEFAULT_SWEEPS_DIR
+    if args.action == "list":
+        rows = list_sweeps(sweeps_dir)
+        if args.json:
+            print(json.dumps(rows, indent=1, sort_keys=True))
+            return 0
+        if not rows:
+            print(f"(no sweep journals under {sweeps_dir})")
+            return 0
+        for i, r in enumerate(rows):
+            print(f"  {i - len(rows):>4}  {r['sweep_id']}  "
+                  f"{r['ts']}  {r['workload']:<12} "
+                  f"{r['status']:<12} {r['done']}/{r['planned']} "
+                  f"done, {r['failed']} failed, "
+                  f"{r['quarantined']} quarantined")
+        return 0
+    if args.action == "show":
+        journal = resolve_sweep(args.refs[0] if args.refs else "last",
+                                sweeps_dir)
+        state = journal.state()
+        if args.json:
+            doc = {
+                "summary": state.summary(),
+                "journal": journal.path,
+                "points": [{
+                    "key": ps.key, "index": ps.index,
+                    "params": ps.params, "pass_spec": ps.pass_spec,
+                    "status": ps.status, "attempts": ps.attempts,
+                    "error": ps.error,
+                } for ps in state.ordered()],
+            }
+            print(json.dumps(doc, indent=1, sort_keys=True))
+            return 0
+        s = state.summary()
+        plan = state.plan or {}
+        print(f"sweep {state.sweep_id}")
+        print(f"  ts:       {s['ts']}")
+        print(f"  workload: {s['workload']} "
+              f"(variant {s['variant']})")
+        if plan.get("template"):
+            print(f"  template: {plan['template']}")
+        print(f"  status:   {s['status']}")
+        print(f"  points:   {s['planned']} planned, {s['done']} done, "
+              f"{s['failed']} failed, {s['quarantined']} quarantined, "
+              f"{s['todo']} todo")
+        if s["interrupts"]:
+            print(f"  interrupts: {s['interrupts']}")
+        if state.skipped_lines:
+            print(f"  ({state.skipped_lines} corrupt journal "
+                  f"line(s) skipped)", file=sys.stderr)
+        for ps in state.ordered():
+            label = " ".join(f"{k}={v}" for k, v in ps.params.items())
+            line = f"  [{ps.index}] {label}: {ps.status}"
+            if ps.attempts:
+                line += f" ({ps.attempts} failed attempt(s))"
+            if ps.error:
+                line += (f" -- {ps.error.get('error')}: "
+                         f"{ps.error.get('message')}")
+            print(line)
+        if s["status"] != "complete":
+            print(f"\nresume with: repro explore --resume "
+                  f"{state.sweep_id}")
+        return 0
+    raise ReproError(f"unknown sweeps action {args.action!r}")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -772,7 +871,7 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser(
         "explore",
         help="parallel design-space exploration with caching")
-    p.add_argument("workload")
+    p.add_argument("workload", nargs="?", default=None)
     p.add_argument("--grid", action="append", default=[],
                    metavar="AXIS=V1,V2,...",
                    help="one design axis (repeatable), e.g. "
@@ -815,6 +914,38 @@ def build_parser() -> argparse.ArgumentParser:
                    help="write the markdown report here")
     p.add_argument("--quiet", action="store_true",
                    help="suppress per-point progress lines")
+    p.add_argument("--resume", default=None, metavar="SWEEP",
+                   help="finish an interrupted sweep from its journal "
+                        "(sweep id, unique prefix, or 'last'); "
+                        "re-evaluates only missing points")
+    p.add_argument("--sweeps-dir", default=None, metavar="DIR",
+                   help="sweep-journal directory (default: "
+                        ".repro/sweeps)")
+    p.add_argument("--no-journal", action="store_true",
+                   help="do not journal this sweep (it cannot be "
+                        "resumed or sharded)")
+    p.add_argument("--sweep-id", default=None, metavar="ID",
+                   help="explicit sweep id (default: generated); "
+                        "concurrent processes given the same id and "
+                        "sweeps dir shard one sweep by lease")
+    p.add_argument("--retries", type=int, default=3, metavar="N",
+                   help="max attempts per point for transient "
+                        "failures (worker death, watchdog, OSError); "
+                        "deterministic failures never retry "
+                        "(default: 3)")
+    p.add_argument("--retry-delay", type=float, default=0.25,
+                   metavar="SECONDS",
+                   help="base exponential-backoff delay between "
+                        "retries (default: 0.25)")
+    p.add_argument("--point-timeout", type=float, default=None,
+                   metavar="SECONDS",
+                   help="supervisor-side wall-clock deadline per "
+                        "point; a hung worker is killed and the "
+                        "point retried")
+    p.add_argument("--lease-ttl", type=float, default=None,
+                   metavar="SECONDS",
+                   help="journal lease TTL for multi-process "
+                        "sharding (default: 300)")
     add_telemetry(p)
     p.set_defaults(fn=cmd_explore)
 
@@ -876,6 +1007,18 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--json", action="store_true",
                    help="print records as JSON")
     p.set_defaults(fn=cmd_runs)
+
+    p = sub.add_parser(
+        "sweeps", help="browse sweep journals")
+    p.add_argument("action", choices=("list", "show"),
+                   help="list all sweeps / show one")
+    p.add_argument("refs", nargs="*",
+                   help="sweep reference: id prefix or 'last'")
+    p.add_argument("--dir", default=None, metavar="DIR",
+                   help="sweeps directory (default: .repro/sweeps)")
+    p.add_argument("--json", action="store_true",
+                   help="print records as JSON")
+    p.set_defaults(fn=cmd_sweeps)
     return parser
 
 
@@ -915,8 +1058,9 @@ def _finish_telemetry(args, argv, *, status: str, code: int,
                       wall_s: float, started: float, error,
                       trace_out: Optional[str]) -> None:
     """Append this invocation to the run ledger (+ optional Perfetto
-    trace).  Browsing the ledger is not itself a run worth recording,
-    so ``repro runs`` skips the append."""
+    trace).  Browsing the ledger (or the sweep journals) is not
+    itself a run worth recording, so ``repro runs`` and ``repro
+    sweeps`` skip the append."""
     from .telemetry import RunLedger
 
     try:
@@ -924,7 +1068,7 @@ def _finish_telemetry(args, argv, *, status: str, code: int,
             telemetry.write_perfetto(trace_out)
             print(f"wrote {trace_out} (open in ui.perfetto.dev "
                   f"or chrome://tracing)", file=sys.stderr)
-        if args.command != "runs":
+        if args.command not in ("runs", "sweeps"):
             record = telemetry.collect_record(
                 command=args.command,
                 argv=list(argv) if argv is not None else sys.argv[1:],

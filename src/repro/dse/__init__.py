@@ -27,13 +27,26 @@ from .cache import (  # noqa: F401
     sim_key_dict,
 )
 from .engine import (  # noqa: F401
+    DURABILITY_KEYS,
     EXPLORE_SCHEMA,
     METRICS,
     ExploreReport,
     PointResult,
+    RetryPolicy,
     default_workers,
     explore,
     pareto_frontier,
+    resume,
+)
+from .journal import (  # noqa: F401
+    DEFAULT_LEASE_TTL,
+    DEFAULT_SWEEPS_DIR,
+    SWEEP_SCHEMA,
+    SweepJournal,
+    list_sweeps,
+    new_sweep_id,
+    point_key,
+    resolve_sweep,
 )
 from .space import (  # noqa: F401
     DesignSpace,

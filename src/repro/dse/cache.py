@@ -29,6 +29,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import sys
 import tempfile
 from typing import Dict, Optional
 
@@ -80,7 +81,7 @@ def request_key(workload: str, variant: str, pass_spec: str,
 
 #: Keys of :attr:`ResultCache.counts` (all always present, start at 0).
 COUNT_KEYS = ("object_hits", "object_misses", "object_corrupt",
-              "index_hits", "index_misses")
+              "index_hits", "index_misses", "write_errors")
 
 
 class ResultCache:
@@ -89,25 +90,69 @@ class ResultCache:
     Every lookup is tallied in :attr:`counts`: object-store hits,
     misses (no file), corrupt reads (unparsable or wrong-schema
     documents — served as misses but counted separately so a decaying
-    cache is visible), and request-index hits/misses.  Workers ship
-    their counts back to the sweep coordinator, which aggregates them
-    into the explore report and the telemetry metrics registry.
+    cache is visible), request-index hits/misses, and write errors.
+    Workers ship their counts back to the sweep coordinator, which
+    aggregates them into the explore report and the telemetry metrics
+    registry.
+
+    Two robustness behaviors:
+
+    * a **corrupt object is quarantined on first read** — the file is
+      renamed to ``<key>.json.corrupt`` so each corruption is counted
+      once and every later lookup is an ordinary miss that re-evaluates
+      and overwrites, instead of re-parsing the same bad bytes forever;
+    * **write failures degrade, never abort** — if the disk is full or
+      the directory unwritable, ``put``/``save_index`` fall back to an
+      in-memory overlay with a one-time warning (``write_errors``
+      counts every failed write).  The sweep completes; only
+      persistence is lost.
     """
 
     def __init__(self, root: str):
         self.root = root
         self.objects_dir = os.path.join(root, "objects")
         self.index_path = os.path.join(root, "index.json")
-        os.makedirs(self.objects_dir, exist_ok=True)
         self._index: Optional[Dict[str, str]] = None
         self.counts: Dict[str, int] = {k: 0 for k in COUNT_KEYS}
+        #: In-memory overlay used when disk writes fail (degraded mode).
+        self._mem: Dict[str, Dict] = {}
+        self._warned_degraded = False
+        try:
+            os.makedirs(self.objects_dir, exist_ok=True)
+        except OSError as exc:
+            self._degrade(exc)
+
+    def _degrade(self, exc: OSError) -> None:
+        self.counts["write_errors"] += 1
+        if not self._warned_degraded:
+            self._warned_degraded = True
+            print(f"warning: result cache {self.root} is not "
+                  f"writable ({exc}); caching in memory only for "
+                  f"this process", file=sys.stderr)
+
+    @property
+    def degraded(self) -> bool:
+        """True once any disk write failed and the in-memory overlay
+        took over persistence for this process."""
+        return self._warned_degraded
 
     # -- object store ----------------------------------------------------
     def _object_path(self, key: str) -> str:
         return os.path.join(self.objects_dir, key[:2], f"{key}.json")
 
+    def _quarantine(self, path: str) -> None:
+        """Rename a corrupt object out of the lookup path (best
+        effort): later reads miss instead of re-counting corruption."""
+        try:
+            os.replace(path, path + ".corrupt")
+        except OSError:
+            pass
+
     def get(self, key: str) -> Optional[Dict]:
         """Object document for ``key``, or None (corrupt = miss)."""
+        if key in self._mem:
+            self.counts["object_hits"] += 1
+            return self._mem[key]
         path = self._object_path(key)
         try:
             with open(path) as fh:
@@ -117,16 +162,29 @@ class ResultCache:
             return None
         except (OSError, json.JSONDecodeError):
             self.counts["object_corrupt"] += 1
+            self._quarantine(path)
             return None
         if doc.get("schema") != CACHE_SCHEMA:
             self.counts["object_corrupt"] += 1
+            self._quarantine(path)
             return None
         self.counts["object_hits"] += 1
         return doc
 
     def put(self, key: str, doc: Dict) -> None:
-        """Atomically store ``doc`` under ``key`` (last writer wins)."""
+        """Atomically store ``doc`` under ``key`` (last writer wins).
+
+        Degrades to the in-memory overlay on any filesystem error
+        (disk full, permissions): a sweep never aborts because its
+        cache stopped persisting."""
         doc = dict(doc, schema=CACHE_SCHEMA, key=key)
+        try:
+            self._put_disk(key, doc)
+        except OSError as exc:
+            self._mem[key] = doc
+            self._degrade(exc)
+
+    def _put_disk(self, key: str, doc: Dict) -> None:
         path = self._object_path(key)
         os.makedirs(os.path.dirname(path), exist_ok=True)
         fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path),
@@ -168,8 +226,11 @@ class ResultCache:
 
     def save_index(self) -> None:
         index = self._load_index()
-        fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
-        with os.fdopen(fd, "w") as fh:
-            json.dump({"schema": CACHE_SCHEMA, "requests": index},
-                      fh, indent=1, sort_keys=True)
-        os.replace(tmp, self.index_path)
+        try:
+            fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+            with os.fdopen(fd, "w") as fh:
+                json.dump({"schema": CACHE_SCHEMA, "requests": index},
+                          fh, indent=1, sort_keys=True)
+            os.replace(tmp, self.index_path)
+        except OSError as exc:
+            self._degrade(exc)

@@ -2,38 +2,62 @@
 points.
 
 The paper's pitch is that uIR turns microarchitecture into a
-*searchable* space; this engine does the searching at scale:
+*searchable* space; this engine does the searching at scale — and
+keeps searching when the environment misbehaves:
 
 * points come from a :class:`~repro.dse.space.DesignSpace` (grid or
   seeded random sample) and are mapped to pass-spec strings by a
   pipeline template — only picklable primitives ever cross process
   boundaries;
-* evaluation fans out over a ``ProcessPoolExecutor``; each worker
-  drives the ordinary :class:`repro.api.Pipeline` facade on the
-  **canonical form** of the optimized circuit (see
-  :func:`repro.core.serialize.canonical_circuit` — canonical-form
-  execution is what makes content-addressed caching sound);
+* evaluation fans out over a ``ProcessPoolExecutor`` supervised for
+  fault tolerance: a dying worker (OOM, signal) breaks the pool, so
+  the supervisor respawns it and re-enqueues the in-flight points as
+  isolated single-point chunks; transient failures (worker death,
+  wall-clock watchdogs, ``OSError``) retry with exponential backoff +
+  jitter up to :class:`RetryPolicy` limits, while deterministic error
+  families (deadlock, LI violation, pass errors...) are never
+  retried; a point implicated in **two** worker deaths is quarantined
+  as poison (:class:`~repro.errors.PoisonPointError`, exit code 11);
+* every sweep can write a :class:`~repro.dse.journal.SweepJournal` —
+  an append-only JSONL record of planned points, TTL leases,
+  completions and failures — so ``SIGINT``/``SIGTERM`` checkpoint the
+  sweep instead of losing it (:class:`~repro.errors.SweepInterrupted`
+  carries the ``--resume`` hint), :func:`resume` completes only the
+  missing points with a byte-identical report, and multiple processes
+  can shard one journal by claiming leases;
 * results land in a persistent :class:`~repro.dse.cache.ResultCache`;
   warm re-runs are served from the request index without touching the
   front-end, and overlapping sweeps share objects by content;
-* a failing point (deadlock, watchdog timeout, pass error, behavior
-  mismatch...) degrades to a recorded failure carrying its full
-  error document — exit-code family, message, and provenance-aware
-  diagnostics — and the sweep continues;
 * surviving points feed an n-objective Pareto-frontier extraction
   over latency / area / power metrics.
 """
 
 from __future__ import annotations
 
+import json
 import os
+import random
+import signal
+import threading
 import time
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, \
+    wait
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Union
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, \
+    Union
 
 from .. import telemetry
-from ..errors import ReproError, error_document
+from ..errors import (
+    PoisonPointError,
+    ReproError,
+    SweepInterrupted,
+    error_document,
+    error_family,
+    family_for,
+    unexpected_error_document,
+)
 from ..opt import parse_pass_specs, spec_to_string
 from ..sim import SimParams
 from ..workloads import get_workload
@@ -43,6 +67,15 @@ from .cache import (
     content_key,
     request_key,
     sim_key_dict,
+)
+from .journal import (
+    DEFAULT_LEASE_TTL,
+    DEFAULT_SWEEPS_DIR,
+    PointState,
+    SweepJournal,
+    new_sweep_id,
+    point_key,
+    resolve_sweep,
 )
 from .space import DesignSpace, render_pipeline
 
@@ -54,17 +87,49 @@ EXPLORE_SCHEMA = "repro.explore/v1"
 METRICS = ("time_us", "cycles", "alms", "regs", "dsps", "fpga_mw",
            "asic_area_kum2", "asic_mw")
 
+#: Durability counters an :class:`ExploreReport` always carries (all
+#: zero for an uneventful sweep).
+DURABILITY_KEYS = ("retries", "worker_deaths", "timeouts",
+                   "quarantined", "lease_reclaims", "resumed")
+
+
+@dataclass
+class RetryPolicy:
+    """How the supervisor retries transient point failures.
+
+    ``max_attempts`` bounds total tries per point (1 = never retry);
+    delays grow exponentially from ``base_delay`` up to ``max_delay``,
+    each multiplied by a uniform jitter in ``[1 - jitter, 1 + jitter]``
+    so respawned workers don't stampede."""
+
+    max_attempts: int = 3
+    base_delay: float = 0.25
+    max_delay: float = 5.0
+    jitter: float = 0.5
+
+    def delay(self, attempt: int) -> float:
+        """Backoff before attempt ``attempt + 1`` (attempts are
+        1-based; called with the attempt that just failed)."""
+        base = min(self.max_delay,
+                   self.base_delay * (2.0 ** max(0, attempt - 1)))
+        # Timing-only jitter: results are unaffected, so the shared
+        # deterministic RNG (repro.util.rng) is deliberately not used.
+        return base * random.uniform(1.0 - self.jitter,
+                                     1.0 + self.jitter)
+
 
 @dataclass
 class PointResult:
-    """Outcome of one design point (fresh, cached, or failed)."""
+    """Outcome of one design point (fresh, cached, resumed, or
+    failed)."""
 
     index: int
     params: Dict[str, object]
     pass_spec: Optional[str]
     status: str = "failed"              # "ok" | "failed"
     #: "fresh" | "cache" (content hit in a worker) | "cache-index"
-    #: (request hit in the parent; front-end never ran).
+    #: (request hit in the parent; front-end never ran) | "journal"
+    #: (restored from a sweep journal on resume).
     source: str = "fresh"
     key: str = ""                       # content key, when known
     fingerprint: str = ""               # canonical circuit fingerprint
@@ -74,6 +139,7 @@ class PointResult:
     synth: Optional[Dict] = None        # SynthesisReport.to_json()
     error: Optional[Dict] = None        # repro.errors.error_document
     wall_s: float = 0.0
+    attempts: int = 1                   # evaluation tries, 1-based
 
     @property
     def ok(self) -> bool:
@@ -81,7 +147,11 @@ class PointResult:
 
     @property
     def cached(self) -> bool:
-        return self.source != "fresh"
+        return self.source in ("cache", "cache-index")
+
+    @property
+    def quarantined(self) -> bool:
+        return (self.error or {}).get("error") == "PoisonPointError"
 
     def metric(self, name: str) -> Optional[float]:
         if not self.ok:
@@ -106,6 +176,7 @@ class PointResult:
             "key": self.key,
             "fingerprint": self.fingerprint,
             "wall_s": round(self.wall_s, 4),
+            "attempts": self.attempts,
         }
         if self.ok:
             doc.update(cycles=self.cycles, verified=self.verified,
@@ -118,6 +189,29 @@ class PointResult:
             doc["error"] = self.error
         return doc
 
+    @classmethod
+    def from_json(cls, doc: Dict) -> "PointResult":
+        """Rebuild a point from its :meth:`to_json` document (used by
+        journal restores — a resumed point is byte-identical to the
+        run that produced it)."""
+        point = cls(index=doc["index"],
+                    params=dict(doc.get("params") or {}),
+                    pass_spec=doc.get("passes"))
+        point.status = doc.get("status", "failed")
+        point.source = doc.get("source", "fresh")
+        point.key = doc.get("key", "")
+        point.fingerprint = doc.get("fingerprint", "")
+        point.wall_s = doc.get("wall_s", 0.0)
+        point.attempts = doc.get("attempts", 1)
+        if point.ok:
+            point.cycles = doc["cycles"]
+            point.verified = doc.get("verified")
+            point.stats = doc.get("stats")
+            point.synth = doc.get("synth")
+        else:
+            point.error = doc.get("error")
+        return point
+
     def describe(self) -> str:
         label = " ".join(f"{k}={v}" for k, v in self.params.items())
         if self.ok:
@@ -125,7 +219,10 @@ class PointResult:
                     f"{self.metric('time_us'):.2f} us, "
                     f"{self.synth['alms']} ALMs ({self.source})")
         err = (self.error or {}).get("error", "?")
-        return f"[{self.index}] {label}: FAILED[{err}]"
+        tag = "QUARANTINED" if self.quarantined else "FAILED"
+        retry = f" after {self.attempts} attempts" \
+            if self.attempts > 1 else ""
+        return f"[{self.index}] {label}: {tag}[{err}]{retry}"
 
 
 def pareto_frontier(points: Sequence[PointResult],
@@ -165,6 +262,10 @@ class ExploreReport:
     #: Aggregated :attr:`ResultCache.counts` over the parent process
     #: and every worker (empty when the sweep ran uncached).
     cache: Dict[str, int] = field(default_factory=dict)
+    #: Sweep-journal id when the sweep was journaled ("" otherwise).
+    sweep_id: str = ""
+    #: Fault-tolerance counters (see :data:`DURABILITY_KEYS`).
+    durability: Dict[str, int] = field(default_factory=dict)
 
     @property
     def counts(self) -> Dict[str, int]:
@@ -175,6 +276,8 @@ class ExploreReport:
             "failed": sum(not p.ok for p in pts),
             "fresh": sum(p.source == "fresh" and p.ok for p in pts),
             "cache_hits": sum(p.cached and p.ok for p in pts),
+            "resumed": sum(p.source == "journal" for p in pts),
+            "quarantined": sum(p.quarantined for p in pts),
         }
 
     @property
@@ -199,6 +302,8 @@ class ExploreReport:
             "wall_s": round(self.wall_s, 4),
             "counts": self.counts,
             "cache": dict(self.cache),
+            "sweep_id": self.sweep_id,
+            "durability": dict(self.durability),
             "pareto": self.pareto,
             "points": [p.to_json() for p in self.points],
         }
@@ -216,12 +321,60 @@ class ExploreReport:
                      f"{k.get('object_misses', 0)} misses / "
                      f"{k.get('object_corrupt', 0)} corrupt, "
                      f"{k.get('index_hits', 0)} index hits")
+        d = self.durability
+        if d and any(d.values()):
+            line += ("; durability: "
+                     + ", ".join(f"{v} {k.replace('_', ' ')}"
+                                 for k, v in d.items() if v))
+        if self.sweep_id:
+            line += f"; sweep {self.sweep_id}"
         return line
 
 
 # ---------------------------------------------------------------------------
 # Worker side
 # ---------------------------------------------------------------------------
+
+#: Test/CI-only chaos injection: when the environment variable
+#: ``REPRO_DSE_CHAOS`` holds ``{"kill_point": {"index": N,
+#: "flag": PATH}}``, a worker evaluating point N SIGKILLs itself —
+#: once if ``flag`` is given (the flag file marks the kill as spent,
+#: so the retry survives), on every attempt otherwise (a poison
+#: point).  ``{"hang_point": {"index": N, "seconds": S, "flag":
+#: PATH}}`` sleeps instead of killing, to exercise the supervisor's
+#: per-point deadline.  This is how the failure-injection tests and
+#: the CI chaos job exercise the supervisor without patching worker
+#: internals.
+CHAOS_ENV = "REPRO_DSE_CHAOS"
+
+
+def _spend_flag(flag: Optional[str]) -> bool:
+    """True if the fault should fire (no flag, or flag not yet
+    spent); creating the flag marks it spent for later attempts."""
+    if not flag:
+        return True
+    if os.path.exists(flag):
+        return False
+    with open(flag, "w"):
+        pass
+    return True
+
+
+def _maybe_chaos(index: int) -> None:
+    spec = os.environ.get(CHAOS_ENV)
+    if not spec:
+        return
+    try:
+        doc = json.loads(spec)
+    except ValueError:
+        return
+    hang = doc.get("hang_point") or {}
+    if hang.get("index") == index and _spend_flag(hang.get("flag")):
+        time.sleep(float(hang.get("seconds", 3600)))
+    kill = doc.get("kill_point") or {}
+    if kill.get("index") == index and _spend_flag(kill.get("flag")):
+        os.kill(os.getpid(), signal.SIGKILL)
+
 
 def _evaluate_group(payloads: Sequence[Dict]) -> List[Dict]:
     """Evaluate a group of points sharing one pass spec in a worker.
@@ -235,6 +388,9 @@ def _evaluate_group(payloads: Sequence[Dict]) -> List[Dict]:
 
     Returns one plain dict per payload (never raises): ``{"index",
     "ok", "source", "key", "fingerprint", "doc" | "error", "wall_s"}``.
+    Error documents always carry a retry ``family`` and — for
+    unexpected exceptions — the traceback tail, so the supervisor can
+    classify them and ``repro sweeps show`` can display them.
     """
     t0 = time.perf_counter()
     outs: List[Dict] = [
@@ -263,13 +419,13 @@ def _evaluate_group(payloads: Sequence[Dict]) -> List[Dict]:
             precompile(canon, fingerprint)
     except ReproError as exc:
         doc = error_document(exc)
+        doc["family"] = family_for(exc)
         share = (time.perf_counter() - t0) / len(payloads)
         for out in outs:
             out.update(error=dict(doc), wall_s=share)
         return outs
     except Exception as exc:  # noqa: BLE001 - sweep must survive
-        doc = {"error": type(exc).__name__, "message": str(exc),
-               "exit_code": 1}
+        doc = unexpected_error_document(exc)
         share = (time.perf_counter() - t0) / len(payloads)
         for out in outs:
             out.update(error=dict(doc), wall_s=share)
@@ -280,6 +436,7 @@ def _evaluate_group(payloads: Sequence[Dict]) -> List[Dict]:
         if first.get("cache_root") else None
     for payload, out in zip(payloads, outs):
         t1 = time.perf_counter()
+        _maybe_chaos(payload["index"])
         out["fingerprint"] = fingerprint
         try:
             ckey = content_key(fingerprint, w.name, variant, args,
@@ -317,10 +474,11 @@ def _evaluate_group(payloads: Sequence[Dict]) -> List[Dict]:
                 cache.put(ckey, doc)
             out.update(ok=True, doc=doc)
         except ReproError as exc:
-            out["error"] = error_document(exc)
+            doc = error_document(exc)
+            doc["family"] = family_for(exc)
+            out["error"] = doc
         except Exception as exc:  # noqa: BLE001 - sweep must survive
-            out["error"] = {"error": type(exc).__name__,
-                            "message": str(exc), "exit_code": 1}
+            out["error"] = unexpected_error_document(exc)
         out["wall_s"] = front_share + time.perf_counter() - t1
     if cache is not None:
         # Ship the worker-local cache tallies home: metrics registries
@@ -336,7 +494,7 @@ def _evaluate_point(payload: Dict) -> Dict:
 
 
 # ---------------------------------------------------------------------------
-# Parent side
+# Parent side: the sweep supervisor
 # ---------------------------------------------------------------------------
 
 PipelineTemplate = Union[str, Callable[[Dict], str]]
@@ -345,6 +503,464 @@ PipelineTemplate = Union[str, Callable[[Dict], str]]
 def default_workers() -> int:
     return max(1, min(4, os.cpu_count() or 1))
 
+
+def _sendable(payloads: List[Dict]) -> List[Dict]:
+    return [{k: v for k, v in p.items() if not k.startswith("_")}
+            for p in payloads]
+
+
+class _Chunk:
+    """A unit of dispatch: payloads sharing one pass spec, plus the
+    attempt this dispatch represents (1-based)."""
+
+    __slots__ = ("payloads", "attempt", "suspect")
+
+    def __init__(self, payloads: List[Dict], attempt: int = 1,
+                 suspect: bool = False):
+        self.payloads = payloads
+        self.attempt = attempt
+        self.suspect = suspect
+
+
+class _Supervisor:
+    """Drives chunks to completion through retries, worker deaths,
+    supervisor timeouts, poison quarantine, journal leases, and
+    SIGINT/SIGTERM checkpointing (see the module docstring for the
+    policy; this class is the mechanism)."""
+
+    def __init__(self, *, chunks: List[List[Dict]], workers: int,
+                 retry: RetryPolicy, point_timeout: Optional[float],
+                 journal: Optional[SweepJournal], lease_ttl: float,
+                 settle_ok, settle_fail, restore, met):
+        self.queue = deque(_Chunk(c) for c in chunks)
+        self.delayed: List[tuple] = []   # (ready_monotonic, _Chunk)
+        self.suspects: deque = deque()   # chunks run in isolation
+        self.external: Dict[str, Dict] = {}  # leased to another process
+        self.deaths: Dict[str, int] = {}
+        self.workers = workers
+        self.retry = retry
+        self.point_timeout = point_timeout
+        self.journal = journal
+        self.lease_ttl = lease_ttl
+        self.owner = f"{os.getpid()}-{os.urandom(2).hex()}"
+        self.settle_ok = settle_ok       # (payload, out, attempts) -> doc
+        self.settle_fail = settle_fail   # (payload, doc, attempts) -> doc
+        self.restore = restore           # (payload, PointState) -> None
+        self.met = met
+        self.durability: Dict[str, int] = {k: 0 for k in
+                                           DURABILITY_KEYS}
+        self.interrupted: Optional[str] = None
+        self._ext_poll = 0.0
+
+    # -- signals -----------------------------------------------------------
+    def install_signals(self):
+        """Route SIGINT/SIGTERM to a checkpoint flag (main thread
+        only; returns the restore map)."""
+        if threading.current_thread() is not threading.main_thread():
+            return {}
+        saved = {}
+
+        def handler(signum, _frame):
+            try:
+                self.interrupted = signal.Signals(signum).name
+            except ValueError:
+                self.interrupted = f"signal {signum}"
+
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            try:
+                saved[sig] = signal.signal(sig, handler)
+            except (ValueError, OSError):
+                pass
+        return saved
+
+    def _check_interrupt(self, pool=None):
+        if not self.interrupted:
+            return
+        if pool is not None:
+            _kill_pool(pool)
+        if self.journal is not None:
+            self.journal.record_interrupt(self.interrupted)
+        settled = self._settled_count()
+        raise SweepInterrupted(
+            self.journal.sweep_id if self.journal else "<unjournaled>",
+            settled, self._total_points(), self.interrupted)
+
+    def _settled_count(self) -> int:
+        return self._settled
+
+    # populated by run(); the engine passes totals in.
+    _settled = 0
+    _total = 0
+
+    def _total_points(self) -> int:
+        return self._total
+
+    def note_settled(self) -> None:
+        self._settled += 1
+
+    # -- journal leases ----------------------------------------------------
+    def _claim(self, chunk: _Chunk) -> List[Dict]:
+        """Take journal leases for a chunk; returns the payloads this
+        process actually owns (settled ones are restored, lost races
+        and live foreign leases are parked as external)."""
+        if self.journal is None:
+            return chunk.payloads
+        now = time.time()
+        pre = self.journal.state()
+        claimable: List[Dict] = []
+        for payload in chunk.payloads:
+            key = payload["_jkey"]
+            ps = pre.points.get(key)
+            if ps is None:
+                claimable.append(payload)
+                continue
+            if ps.settled:
+                self.restore(payload, ps)
+                self.note_settled()
+                continue
+            owner = ps.lease_owner(now)
+            if owner is not None and owner != self.owner:
+                self.external[key] = payload
+                continue
+            if ps.claims and owner is None:
+                self.durability["lease_reclaims"] += 1
+                self.met.counter("dse.lease_reclaims").inc()
+            claimable.append(payload)
+        if not claimable:
+            return []
+        self.journal.claim([p["_jkey"] for p in claimable],
+                           self.owner, self.lease_ttl)
+        post = self.journal.state()
+        mine: List[Dict] = []
+        for payload in claimable:
+            ps = post.points.get(payload["_jkey"])
+            if ps is None or ps.lease_owner(now) == self.owner:
+                mine.append(payload)
+            else:
+                self.external[payload["_jkey"]] = payload
+        return mine
+
+    def _poll_external(self) -> None:
+        """Check points leased to other processes: restore the ones
+        they settled; reclaim the ones whose lease expired."""
+        if not self.external or self.journal is None:
+            return
+        now_m = time.monotonic()
+        if now_m - self._ext_poll < 0.2:
+            return
+        self._ext_poll = now_m
+        state = self.journal.state()
+        now = time.time()
+        for key, payload in list(self.external.items()):
+            ps = state.points.get(key)
+            if ps is None:
+                del self.external[key]
+                continue
+            if ps.settled:
+                self.restore(payload, ps)
+                self.note_settled()
+                del self.external[key]
+            elif ps.lease_owner(now) is None:
+                del self.external[key]
+                self.durability["lease_reclaims"] += 1
+                self.met.counter("dse.lease_reclaims").inc()
+                self.queue.append(_Chunk([payload]))
+
+    # -- settlement --------------------------------------------------------
+    def _settle(self, chunk: _Chunk, payload: Dict, out: Dict) -> None:
+        if out.get("ok"):
+            doc = self.settle_ok(payload, out, chunk.attempt)
+            if self.journal is not None:
+                self.journal.record_done(payload["_jkey"], self.owner,
+                                         doc)
+            self.note_settled()
+        else:
+            self._settle_error(chunk, payload, out.get("error") or {})
+
+    def _settle_error(self, chunk: _Chunk, payload: Dict,
+                      doc: Dict) -> None:
+        family = doc.get("family") or error_family(doc.get("error", ""))
+        if family == "transient" and \
+                chunk.attempt < self.retry.max_attempts:
+            if self.journal is not None:
+                self.journal.record_error(payload["_jkey"], self.owner,
+                                          chunk.attempt, doc,
+                                          final=False)
+            self._requeue(payload, chunk.attempt + 1,
+                          suspect=chunk.suspect)
+            return
+        self.settle_fail(payload, doc, chunk.attempt)
+        if self.journal is not None:
+            self.journal.record_error(payload["_jkey"], self.owner,
+                                      chunk.attempt, doc, final=True)
+        self.note_settled()
+
+    def _requeue(self, payload: Dict, attempt: int,
+                 suspect: bool = False) -> None:
+        self.durability["retries"] += 1
+        self.met.counter("dse.retries").inc()
+        ready = time.monotonic() + self.retry.delay(attempt - 1)
+        self.delayed.append((ready, _Chunk([payload], attempt,
+                                           suspect)))
+
+    def _quarantine(self, payload: Dict, deaths: int) -> None:
+        index = payload["index"]
+        exc = PoisonPointError(
+            f"point {index} quarantined: evaluating it killed "
+            f"{deaths} worker process(es)", index=index, deaths=deaths)
+        doc = error_document(exc)
+        doc["family"] = "poison"
+        doc["deaths"] = deaths
+        self.durability["quarantined"] += 1
+        self.met.counter("dse.quarantined").inc()
+        self.settle_fail(payload, doc, self.deaths.get(
+            payload.get("_jkey") or f"i{index}", deaths))
+        if self.journal is not None:
+            self.journal.record_quarantine(payload["_jkey"], deaths,
+                                           doc)
+        self.note_settled()
+
+    def _note_death(self) -> None:
+        """One worker-process death (pool break) — counted per break
+        event, not per chunk it took down."""
+        self.durability["worker_deaths"] += 1
+        self.met.counter("dse.worker_deaths").inc()
+
+    def _dead(self, chunk: _Chunk, timed_out: bool) -> None:
+        """A chunk's worker died under it (or we killed the pool for a
+        deadline): classify each point and retry / quarantine / fail."""
+        if timed_out:
+            doc = {"error": "SupervisorTimeout",
+                   "message": f"point exceeded the supervisor's "
+                              f"{self.point_timeout}s wall-clock "
+                              f"deadline (worker killed)",
+                   "exit_code": 6, "family": "transient"}
+            self.durability["timeouts"] += len(chunk.payloads)
+            self.met.counter("dse.timeouts").inc(len(chunk.payloads))
+            for payload in chunk.payloads:
+                self._settle_error(chunk, payload, dict(doc))
+            return
+        for payload in chunk.payloads:
+            key = payload.get("_jkey") or f"i{payload['index']}"
+            self.deaths[key] = self.deaths.get(key, 0) + 1
+            if self.deaths[key] >= 2:
+                self._quarantine(payload, self.deaths[key])
+            elif chunk.attempt < self.retry.max_attempts:
+                # Suspects re-run in isolation (one at a time, alone
+                # in the pool) so the next death names its killer.
+                self.durability["retries"] += 1
+                self.met.counter("dse.retries").inc()
+                ready = time.monotonic() + \
+                    self.retry.delay(chunk.attempt)
+                self.delayed.append(
+                    (ready, _Chunk([payload], chunk.attempt + 1,
+                                   suspect=True)))
+            else:
+                doc = {"error": "WorkerDeath",
+                       "message": "worker process died while "
+                                  "evaluating this point",
+                       "exit_code": 1, "family": "transient",
+                       "deaths": self.deaths[key]}
+                self.settle_fail(payload, doc, chunk.attempt)
+                if self.journal is not None:
+                    self.journal.record_error(
+                        payload["_jkey"], self.owner, chunk.attempt,
+                        doc, final=True)
+                self.note_settled()
+
+    # -- scheduling --------------------------------------------------------
+    def _promote_delayed(self) -> None:
+        now = time.monotonic()
+        still = []
+        for ready, chunk in self.delayed:
+            if ready <= now:
+                (self.suspects if chunk.suspect
+                 else self.queue).append(chunk)
+            else:
+                still.append((ready, chunk))
+        self.delayed = still
+
+    def _next_wait(self) -> float:
+        if not self.delayed:
+            return 0.25
+        now = time.monotonic()
+        return max(0.01, min(0.25,
+                             min(r for r, _ in self.delayed) - now))
+
+    def _idle(self) -> bool:
+        return not (self.queue or self.delayed or self.suspects
+                    or self.external)
+
+    # -- serial driver -----------------------------------------------------
+    def run_serial(self) -> None:
+        """In-process evaluation (workers <= 1): same retry and
+        journal semantics, no pool to die."""
+        while not self._idle():
+            self._check_interrupt()
+            self._promote_delayed()
+            self._poll_external()
+            chunk = None
+            if self.suspects:
+                chunk = self.suspects.popleft()
+            elif self.queue:
+                chunk = self.queue.popleft()
+            if chunk is None:
+                time.sleep(min(0.05, self._next_wait()))
+                continue
+            payloads = self._claim(chunk)
+            if not payloads:
+                continue
+            chunk.payloads = payloads
+            for payload, out in zip(payloads,
+                                    _evaluate_group(
+                                        _sendable(payloads))):
+                self._settle(chunk, payload, out)
+
+    # -- pooled driver -----------------------------------------------------
+    def run_pooled(self) -> None:
+        pool: Optional[ProcessPoolExecutor] = None
+        inflight: Dict = {}   # future -> (chunk, start_monotonic)
+        pool_size = min(self.workers,
+                        max(1, len(self.queue) + len(self.suspects)))
+        try:
+            while not self._idle() or inflight:
+                try:
+                    self._check_interrupt(pool)
+                except SweepInterrupted:
+                    pool = _drop_pool(pool)
+                    raise
+                self._promote_delayed()
+                self._poll_external()
+                pool, broken_at_submit = self._submit_ready(
+                    pool, pool_size, inflight)
+                if not inflight:
+                    if not self._idle():
+                        time.sleep(min(0.05, self._next_wait()))
+                    continue
+                done, _pending = wait(set(inflight),
+                                      timeout=self._wait_timeout(
+                                          inflight),
+                                      return_when=FIRST_COMPLETED)
+                broken = broken_at_submit
+                for future in done:
+                    chunk, _t0 = inflight.pop(future)
+                    exc = future.exception()
+                    if exc is None:
+                        for payload, out in zip(chunk.payloads,
+                                                future.result()):
+                            self._settle(chunk, payload, out)
+                    elif isinstance(exc, BrokenProcessPool):
+                        if not broken:
+                            broken = True
+                            self._note_death()
+                        self._dead(chunk, timed_out=False)
+                    else:
+                        doc = unexpected_error_document(exc)
+                        for payload in chunk.payloads:
+                            self._settle_error(chunk, payload,
+                                               dict(doc))
+                if self.point_timeout is not None and inflight:
+                    overdue = [
+                        (future, chunk)
+                        for future, (chunk, t0) in inflight.items()
+                        if time.monotonic() - t0 >
+                        self.point_timeout * len(chunk.payloads)]
+                    if overdue:
+                        _kill_pool(pool)
+                        overdue_set = {future for future, _ in overdue}
+                        for future, chunk in overdue:
+                            inflight.pop(future)
+                            self._dead(chunk, timed_out=True)
+                        # Innocent bystanders of our own kill: re-run
+                        # at the same attempt, no death on their record.
+                        for future, (chunk, _t0) in inflight.items():
+                            if future not in overdue_set:
+                                (self.suspects if chunk.suspect
+                                 else self.queue).append(chunk)
+                        inflight.clear()
+                        pool = _drop_pool(pool)
+                        continue
+                if broken:
+                    for future, (chunk, _t0) in list(inflight.items()):
+                        self._dead(chunk, timed_out=False)
+                    inflight.clear()
+                    pool = _drop_pool(pool)
+        finally:
+            if pool is not None:
+                pool.shutdown(wait=False, cancel_futures=True)
+
+    def _submit_ready(self, pool, pool_size, inflight):
+        """Submit work respecting the isolation rule: while suspects
+        exist, exactly one runs, alone in the pool."""
+        broken = False
+        while True:
+            if self.suspects:
+                if inflight:
+                    break
+                chunk = self.suspects.popleft()
+            elif self.queue and len(inflight) < pool_size * 2:
+                chunk = self.queue.popleft()
+            else:
+                break
+            payloads = self._claim(chunk)
+            if not payloads:
+                continue
+            chunk.payloads = payloads
+            if pool is None:
+                pool = ProcessPoolExecutor(max_workers=pool_size)
+            try:
+                future = pool.submit(_evaluate_group,
+                                     _sendable(payloads))
+            except BrokenProcessPool:
+                if not broken:
+                    broken = True
+                    self._note_death()
+                self.queue.appendleft(chunk)
+                pool = _drop_pool(pool)
+                break
+            inflight[future] = (chunk, time.monotonic())
+            if chunk.suspect:
+                break
+        return pool, broken
+
+    def _wait_timeout(self, inflight) -> float:
+        timeout = self._next_wait()
+        if self.point_timeout is not None:
+            now = time.monotonic()
+            for chunk, t0 in inflight.values():
+                deadline = t0 + self.point_timeout \
+                    * len(chunk.payloads)
+                timeout = min(timeout, max(0.01, deadline - now))
+        if self.external:
+            timeout = min(timeout, 0.2)
+        return timeout
+
+
+def _kill_pool(pool) -> None:
+    """Forcibly terminate a pool's worker processes (best effort —
+    ``shutdown`` alone would wait for running tasks)."""
+    if pool is None:
+        return
+    procs = getattr(pool, "_processes", None) or {}
+    for proc in list(procs.values()):
+        try:
+            proc.terminate()
+        except (OSError, AttributeError):
+            pass
+
+
+def _drop_pool(pool):
+    if pool is not None:
+        try:
+            pool.shutdown(wait=False, cancel_futures=True)
+        except Exception:  # noqa: BLE001 - already broken
+            pass
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Planning + execution
+# ---------------------------------------------------------------------------
 
 def explore(workload, space: Union[DesignSpace, Iterable[Dict]], *,
             pipeline: PipelineTemplate,
@@ -355,6 +971,11 @@ def explore(workload, space: Union[DesignSpace, Iterable[Dict]], *,
             objectives: Sequence[str] = ("time_us", "alms"),
             check: bool = True,
             progress: Optional[Callable[[PointResult], None]] = None,
+            journal: Union[None, str, SweepJournal] = None,
+            sweep_id: Optional[str] = None,
+            retry: Optional[RetryPolicy] = None,
+            point_timeout: Optional[float] = None,
+            lease_ttl: float = DEFAULT_LEASE_TTL,
             ) -> ExploreReport:
     """Sweep ``space`` for ``workload`` and return the report.
 
@@ -364,6 +985,18 @@ def explore(workload, space: Union[DesignSpace, Iterable[Dict]], *,
     path or :class:`ResultCache`; None disables caching.  ``workers``
     defaults to ``min(4, cpu_count)``; 0/1 evaluates serially
     in-process.
+
+    ``journal`` — a sweeps directory path or :class:`SweepJournal` —
+    makes the sweep durable: planned points, leases, completions and
+    failures are appended to
+    ``<journal>/<sweep_id>/journal.jsonl``; SIGINT/SIGTERM then
+    checkpoint instead of losing work, :func:`resume` completes only
+    the missing points, and concurrent processes given the same
+    journal shard the sweep by lease.  ``retry`` bounds transient-
+    failure retries (worker death, watchdog, OSError — deterministic
+    failures never retry); ``point_timeout`` is a supervisor-side
+    wall-clock deadline per point that kills and retries hung
+    workers.
     """
     t0 = time.perf_counter()
     w = get_workload(workload)
@@ -378,21 +1011,19 @@ def explore(workload, space: Union[DesignSpace, Iterable[Dict]], *,
     if not params_list:
         raise ReproError("design space is empty")
     sim = sim or SimParams()
-    if workers is None:
-        workers = default_workers()
-    if isinstance(cache, str):
-        cache = ResultCache(cache)
-
     base_sim = sim_key_dict(sim)
-    args = list(w.args_for(variant))
-    results: Dict[int, PointResult] = {}
-    pending: List[Dict] = []
+    template = pipeline if isinstance(pipeline, str) else None
 
+    # Plan every point: params -> pass spec + per-point sim dict +
+    # journal key.  Planning failures (bad template, unknown axis) are
+    # settled immediately as deterministic point failures.
+    planned: List[Dict] = []
     for index, params in enumerate(params_list):
         point = PointResult(index=index, params=params, pass_spec=None)
         sim_over = {str(k)[4:]: v for k, v in params.items()
                     if str(k).startswith("sim.")}
         point_sim = dict(base_sim, **sim_over)
+        plan_error = None
         try:
             if callable(pipeline):
                 raw_spec = pipeline(params)
@@ -407,34 +1038,132 @@ def explore(workload, space: Union[DesignSpace, Iterable[Dict]], *,
                     f"{', '.join(sorted(unknown))}; known: "
                     f"{', '.join(sorted(base_sim))}")
         except ReproError as exc:
-            point.error = error_document(exc)
-            results[index] = point
-            if progress:
-                progress(point)
-            continue
-        rkey = None
-        if cache is not None:
-            rkey = request_key(w.name, variant, point.pass_spec,
-                               args, point_sim)
-            doc = cache.lookup_request(rkey)
-            if doc is not None:
-                _apply_doc(point, doc, source="cache-index")
-                results[index] = point
-                if progress:
-                    progress(point)
-                continue
-        pending.append({
+            plan_error = error_document(exc)
+            plan_error["family"] = "deterministic"
+        planned.append({
             "index": index,
-            "workload": w.name,
-            "variant": variant,
+            "params": params,
             "pass_spec": point.pass_spec,
             "sim": point_sim,
-            "wallclock_timeout": sim.wallclock_timeout,
-            "check": check,
-            "cache_root": cache.root if cache is not None else None,
+            "key": point_key(w.name, variant, params,
+                             point.pass_spec, point_sim),
             "_point": point,
-            "_rkey": rkey,
+            "_plan_error": plan_error,
         })
+
+    journal = _open_journal(journal, sweep_id)
+    attached = journal is not None and journal.exists()
+    if journal is not None and not attached:
+        journal.write_plan(
+            workload=w.name, variant=variant, template=template,
+            objectives=list(objectives), sim=base_sim,
+            points=[{"key": row["key"], "index": row["index"],
+                     "params": row["params"],
+                     "pass_spec": row["pass_spec"],
+                     "sim": row["sim"],
+                     "wallclock_timeout": sim.wallclock_timeout,
+                     "check": check}
+                    for row in planned])
+    journal_state = journal.state() if attached else None
+    if journal_state is not None:
+        ours = {row["key"] for row in planned}
+        theirs = set(journal_state.points)
+        if theirs and ours != theirs:
+            raise ReproError(
+                f"sweep journal {journal.sweep_id} does not match "
+                f"this sweep ({len(ours - theirs)} new / "
+                f"{len(theirs - ours)} missing point(s)); start a "
+                f"fresh sweep or resume with matching parameters")
+
+    return _execute(
+        w=w, variant=variant, template=template,
+        objectives=list(objectives), sim=sim, base_sim=base_sim,
+        workers=workers, cache=cache, check=check, progress=progress,
+        planned=planned, journal=journal,
+        journal_state=journal_state, retry=retry,
+        point_timeout=point_timeout, lease_ttl=lease_ttl, t0=t0)
+
+
+def resume(ref: str, *,
+           sweeps_dir: str = DEFAULT_SWEEPS_DIR,
+           workers: Optional[int] = None,
+           cache: Union[None, str, ResultCache] = None,
+           progress: Optional[Callable[[PointResult], None]] = None,
+           retry: Optional[RetryPolicy] = None,
+           point_timeout: Optional[float] = None,
+           lease_ttl: float = DEFAULT_LEASE_TTL,
+           ) -> ExploreReport:
+    """Finish an interrupted sweep from its journal alone.
+
+    ``ref`` is a sweep id, unique prefix, or ``last``.  The journal's
+    plan carries everything — workload, variant, per-point params and
+    rendered pass specs, sim config — so no grid or template needs to
+    be re-supplied, and completed points are restored byte-identically
+    from their recorded result documents."""
+    t0 = time.perf_counter()
+    journal = resolve_sweep(ref, sweeps_dir)
+    state = journal.state()
+    if state.plan is None:
+        raise ReproError(
+            f"sweep journal {journal.sweep_id} has no plan record "
+            f"(torn write at creation?); it cannot be resumed")
+    plan = state.plan
+    w = get_workload(plan["workload"])
+    base_sim = dict(plan.get("sim") or {})
+    rows = state.ordered()
+    planned: List[Dict] = []
+    for ps in rows:
+        point = PointResult(index=ps.index, params=dict(ps.params),
+                            pass_spec=ps.pass_spec)
+        planned.append({
+            "index": ps.index,
+            "params": dict(ps.params),
+            "pass_spec": ps.pass_spec,
+            "sim": dict(ps.sim),
+            "key": ps.key,
+            "_point": point,
+            "_plan_error": None,
+        })
+    # The plan's point rows also carried the watchdog + check flags.
+    wallclock = None
+    check = True
+    records, _ = journal.records()
+    for rec in records:
+        if rec.get("ev") == "point":
+            wallclock = rec.get("wallclock_timeout", wallclock)
+            check = rec.get("check", check)
+            break
+    sim = SimParams(wallclock_timeout=wallclock, **base_sim)
+    return _execute(
+        w=w, variant=plan.get("variant", "base"),
+        template=plan.get("template"),
+        objectives=list(plan.get("objectives") or ("time_us", "alms")),
+        sim=sim, base_sim=base_sim, workers=workers, cache=cache,
+        check=check, progress=progress, planned=planned,
+        journal=journal, journal_state=state, retry=retry,
+        point_timeout=point_timeout, lease_ttl=lease_ttl, t0=t0)
+
+
+def _open_journal(journal, sweep_id) -> Optional[SweepJournal]:
+    if journal is None or isinstance(journal, SweepJournal):
+        return journal
+    return SweepJournal(str(journal), sweep_id or new_sweep_id())
+
+
+def _execute(*, w, variant, template, objectives, sim, base_sim,
+             workers, cache, check, progress, planned, journal,
+             journal_state, retry, point_timeout, lease_ttl,
+             t0) -> ExploreReport:
+    """Shared sweep driver behind :func:`explore` and :func:`resume`."""
+    if workers is None:
+        workers = default_workers()
+    if isinstance(cache, str):
+        cache = ResultCache(cache)
+    retry = retry or RetryPolicy()
+    args = list(w.args_for(variant))
+    results: Dict[int, PointResult] = {}
+    pending: List[Dict] = []
+    resumed = 0
 
     cache_counts: Dict[str, int] = {k: 0 for k in COUNT_KEYS} \
         if cache is not None else {}
@@ -443,22 +1172,93 @@ def explore(workload, space: Union[DesignSpace, Iterable[Dict]], *,
         for key, n in (out.pop("cache_counts", None) or {}).items():
             cache_counts[key] = cache_counts.get(key, 0) + n
 
-    def finish(payload: Dict, out: Dict) -> None:
+    def emit(point: PointResult) -> None:
+        results[point.index] = point
+        if progress:
+            progress(point)
+
+    def settle_ok(payload: Dict, out: Dict, attempts: int) -> Dict:
         merge_counts(out)
         point: PointResult = payload["_point"]
         point.key = out.get("key", "")
         point.fingerprint = out.get("fingerprint", "")
         point.wall_s = out.get("wall_s", 0.0)
-        if out["ok"]:
-            _apply_doc(point, out["doc"], source=out["source"])
-            if cache is not None and payload["_rkey"]:
-                cache.record_request(payload["_rkey"], point.key)
+        point.attempts = attempts
+        _apply_doc(point, out["doc"], source=out["source"])
+        if cache is not None and payload.get("_rkey"):
+            cache.record_request(payload["_rkey"], point.key)
+        emit(point)
+        return point.to_json()
+
+    def settle_fail(payload: Dict, doc: Dict, attempts: int) -> Dict:
+        point: PointResult = payload["_point"]
+        point.status = "failed"
+        point.error = doc
+        point.attempts = attempts
+        emit(point)
+        return point.to_json()
+
+    def restore(payload: Dict, ps: PointState) -> None:
+        nonlocal resumed
+        point: PointResult = payload["_point"]
+        if ps.status == "done" and ps.doc:
+            restored = PointResult.from_json(ps.doc)
+            restored.index = point.index
+            restored.params = point.params
+            restored.source = "journal"
+            emit(restored)
         else:
             point.status = "failed"
-            point.error = out.get("error")
-        results[point.index] = point
-        if progress:
-            progress(point)
+            point.error = ps.error or {
+                "error": "ReproError",
+                "message": "journal records a failure with no "
+                           "document", "exit_code": 2}
+            point.source = "journal"
+            point.attempts = max(1, ps.attempts)
+            emit(point)
+        resumed += 1
+
+    # Settle what we can without dispatching: planning failures,
+    # journal restores, request-index cache hits.
+    for row in planned:
+        point: PointResult = row["_point"]
+        ps = journal_state.points.get(row["key"]) \
+            if journal_state is not None else None
+        if ps is not None and ps.settled:
+            restore(row, ps)
+            continue
+        if row["_plan_error"] is not None:
+            point.error = row["_plan_error"]
+            emit(point)
+            if journal is not None:
+                journal.record_error(row["key"], "planner", 1,
+                                     row["_plan_error"], final=True)
+            continue
+        rkey = None
+        if cache is not None:
+            rkey = request_key(w.name, variant, row["pass_spec"],
+                               args, row["sim"])
+            doc = cache.lookup_request(rkey)
+            if doc is not None:
+                _apply_doc(point, doc, source="cache-index")
+                emit(point)
+                if journal is not None:
+                    journal.record_done(row["key"], "index",
+                                        point.to_json())
+                continue
+        pending.append({
+            "index": row["index"],
+            "workload": w.name,
+            "variant": variant,
+            "pass_spec": row["pass_spec"],
+            "sim": row["sim"],
+            "wallclock_timeout": sim.wallclock_timeout,
+            "check": check,
+            "cache_root": cache.root if cache is not None else None,
+            "_point": point,
+            "_rkey": rkey,
+            "_jkey": row["key"],
+        })
 
     # Batched dispatch: points sharing a pass spec share a canonical
     # circuit fingerprint, so they ship to workers as *groups* and the
@@ -480,69 +1280,59 @@ def explore(workload, space: Union[DesignSpace, Iterable[Dict]], *,
     for chunk in chunks:
         group_sizes.observe(len(chunk))
 
-    def sendable(chunk: List[Dict]) -> List[Dict]:
-        return [{k: v for k, v in p.items() if not k.startswith("_")}
-                for p in chunk]
+    sup = _Supervisor(
+        chunks=chunks, workers=workers, retry=retry,
+        point_timeout=point_timeout, journal=journal,
+        lease_ttl=lease_ttl, settle_ok=settle_ok,
+        settle_fail=settle_fail, restore=restore, met=met)
+    sup._settled = len(results)
+    sup._total = len(planned)
 
-    with telemetry.tracer().span("dse.explore", category="dse",
-                                 workload=w.name,
-                                 points=len(params_list),
-                                 workers=workers) as _sp:
-        if len(pending) <= 1 or workers <= 1:
-            for chunk in chunks:
-                for payload, out in zip(
-                        chunk, _evaluate_group(sendable(chunk))):
-                    finish(payload, out)
-        else:
-            pool_size = min(workers, len(chunks))
-            with ProcessPoolExecutor(max_workers=pool_size) as pool:
-                futures = {pool.submit(_evaluate_group,
-                                       sendable(chunk)): chunk
-                           for chunk in chunks}
-                remaining = set(futures)
-                while remaining:
-                    done, remaining = wait(remaining,
-                                           return_when=FIRST_COMPLETED)
-                    for future in done:
-                        chunk = futures[future]
-                        exc = future.exception()
-                        if exc is not None:
-                            # Worker process died (OOM, signal...): the
-                            # chunk's points fail, the sweep continues.
-                            met.counter("dse.worker_deaths").inc()
-                            for payload in chunk:
-                                finish(payload, {
-                                    "index": payload["index"],
-                                    "ok": False,
-                                    "error": {
-                                        "error": type(exc).__name__,
-                                        "message": str(exc),
-                                        "exit_code": 1}})
-                        else:
-                            for payload, out in zip(chunk,
-                                                    future.result()):
-                                finish(payload, out)
-        if cache is not None:
-            cache.save_index()
-            for key, n in cache.counts.items():
-                cache_counts[key] = cache_counts.get(key, 0) + n
+    saved_signals = sup.install_signals() if journal is not None \
+        else {}
+    try:
+        with telemetry.tracer().span("dse.explore", category="dse",
+                                     workload=w.name,
+                                     points=len(planned),
+                                     workers=workers) as _sp:
+            if len(pending) <= 1 or workers <= 1:
+                sup.run_serial()
+            else:
+                sup.run_pooled()
+            if cache is not None:
+                cache.save_index()
+                for key, n in cache.counts.items():
+                    cache_counts[key] = cache_counts.get(key, 0) + n
 
-        report = ExploreReport(
-            workload=w.name, variant=variant,
-            template=pipeline if isinstance(pipeline, str) else None,
-            objectives=list(objectives), sim=base_sim, workers=workers,
-            points=[results[i] for i in sorted(results)],
-            wall_s=time.perf_counter() - t0,
-            cache=dict(cache_counts) if cache is not None else {})
-        c = report.counts
-        _sp.set(ok=c["ok"], failed=c["failed"],
-                cache_hits=c["cache_hits"], groups=len(chunks))
+            durability = dict(sup.durability)
+            durability["resumed"] = resumed
+            report = ExploreReport(
+                workload=w.name, variant=variant, template=template,
+                objectives=list(objectives), sim=base_sim,
+                workers=workers,
+                points=[results[i] for i in sorted(results)],
+                wall_s=time.perf_counter() - t0,
+                cache=dict(cache_counts) if cache is not None else {},
+                sweep_id=journal.sweep_id if journal else "",
+                durability=durability)
+            c = report.counts
+            _sp.set(ok=c["ok"], failed=c["failed"],
+                    cache_hits=c["cache_hits"], groups=len(chunks),
+                    resumed=c["resumed"],
+                    quarantined=c["quarantined"])
+    finally:
+        for sig, old in saved_signals.items():
+            try:
+                signal.signal(sig, old)
+            except (ValueError, OSError):
+                pass
 
     if telemetry.enabled():
         met.counter("dse.points.dispatched").inc(len(pending))
         met.counter("dse.points.ok").inc(c["ok"])
         met.counter("dse.points.failed").inc(c["failed"])
         met.counter("dse.points.cached").inc(c["cache_hits"])
+        met.counter("dse.points.resumed").inc(c["resumed"])
         for key, n in report.cache.items():
             met.counter(f"dse.cache.{key}").inc(n)
         for p in report.points:

@@ -1,0 +1,319 @@
+"""The sweep journal: a crash-resumable record of one design sweep.
+
+One append-only JSONL file per sweep under
+``.repro/sweeps/<sweep-id>/journal.jsonl``, written with the same
+atomic ``O_APPEND`` single-write + torn-line-skipping discipline as
+the telemetry run ledger (shared via :mod:`repro.util.jsonl`).  The
+journal records everything needed to finish an interrupted sweep —
+or to shard one sweep across many processes — without re-evaluating
+a single completed point:
+
+* ``plan`` — the sweep header: workload, variant, template,
+  objectives, the base sim config, and the planned point count;
+* ``point`` — one per planned point: its fingerprint-stable ``key``
+  (a digest of workload/variant/params/pass-spec/sim — stable across
+  processes and re-runs), index, params, and rendered pass spec;
+* ``claim`` — a TTL lease taken by a worker process before it
+  evaluates a point.  Claims race benignly: every claimant re-reads
+  the journal after appending, and the **earliest unexpired claim in
+  file order wins** (file order is total under ``O_APPEND``), so
+  concurrent processes sharding one journal evaluate each point
+  exactly once.  A crashed owner's lease simply expires and the point
+  becomes claimable again;
+* ``done`` — the point's full result document (so a resume rebuilds
+  a byte-identical report without touching the cache);
+* ``error`` — one per failed attempt, carrying the structured error
+  document and whether the failure is final (deterministic error
+  families and exhausted retry budgets) or will be retried;
+* ``quarantine`` — poison points that killed worker processes twice;
+* ``interrupt`` — a SIGINT/SIGTERM checkpoint marker.
+
+Replaying the journal (:meth:`SweepJournal.state`) folds those events
+into per-point statuses; ``repro explore --resume <sweep>`` executes
+only points that are not ``done``/``failed``/``quarantined`` and not
+under a live lease.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import ReproError
+from ..util.jsonl import append_jsonl, read_jsonl
+
+SWEEP_SCHEMA = "repro.sweep/v1"
+DEFAULT_SWEEPS_DIR = os.path.join(".repro", "sweeps")
+JOURNAL_NAME = "journal.jsonl"
+
+#: Default lease TTL.  Generous: a lease only matters when its owner
+#: died without writing ``done``/``error``, and reclaiming too eagerly
+#: risks double evaluation during long points.
+DEFAULT_LEASE_TTL = 300.0
+
+
+def new_sweep_id() -> str:
+    """Sortable, collision-safe id (same shape as run ids)."""
+    stamp = time.strftime("%Y%m%dT%H%M%S", time.gmtime())
+    return f"{stamp}-{os.getpid():05d}-{os.urandom(3).hex()}"
+
+
+def point_key(workload: str, variant: str, params: Dict,
+              pass_spec: Optional[str], sim: Dict) -> str:
+    """Fingerprint-stable identity of one planned point.
+
+    Hashes the *request*, not the result: the same grid re-planned by
+    another process (or a resume) derives the same keys, which is what
+    lets journals match points across runs."""
+    payload = json.dumps({
+        "schema": SWEEP_SCHEMA,
+        "workload": workload,
+        "variant": variant,
+        "params": params,
+        "passes": pass_spec,
+        "sim": sim,
+    }, sort_keys=True, separators=(",", ":"), default=str)
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+@dataclass
+class PointState:
+    """Folded journal view of one planned point."""
+
+    key: str
+    index: int
+    params: Dict = field(default_factory=dict)
+    pass_spec: Optional[str] = None
+    sim: Dict = field(default_factory=dict)
+    status: str = "todo"        # todo | done | failed | quarantined
+    attempts: int = 0           # error events recorded so far
+    doc: Optional[Dict] = None  # PointResult.to_json() once done
+    error: Optional[Dict] = None
+    #: Claims since the last settle event: (owner, ts, ttl).
+    claims: List[Tuple[str, float, float]] = field(default_factory=list)
+
+    def lease_owner(self, now: Optional[float] = None) -> Optional[str]:
+        """Owner of the winning live lease, or None.  The earliest
+        unexpired claim in append order wins."""
+        now = time.time() if now is None else now
+        for owner, ts, ttl in self.claims:
+            if ts + ttl > now:
+                return owner
+        return None
+
+    def runnable(self, now: Optional[float] = None) -> bool:
+        return self.status == "todo" and self.lease_owner(now) is None
+
+    @property
+    def settled(self) -> bool:
+        return self.status in ("done", "failed", "quarantined")
+
+
+@dataclass
+class SweepState:
+    """Everything a resume (or ``repro sweeps show``) needs."""
+
+    sweep_id: str
+    plan: Optional[Dict] = None
+    points: Dict[str, PointState] = field(default_factory=dict)
+    interrupted: int = 0
+    skipped_lines: int = 0
+
+    def ordered(self) -> List[PointState]:
+        return sorted(self.points.values(), key=lambda p: p.index)
+
+    @property
+    def counts(self) -> Dict[str, int]:
+        pts = self.points.values()
+        return {
+            "planned": len(self.points),
+            "done": sum(p.status == "done" for p in pts),
+            "failed": sum(p.status == "failed" for p in pts),
+            "quarantined": sum(p.status == "quarantined" for p in pts),
+            "todo": sum(p.status == "todo" for p in pts),
+            "interrupts": self.interrupted,
+        }
+
+    @property
+    def complete(self) -> bool:
+        return bool(self.points) and \
+            all(p.settled for p in self.points.values())
+
+    def summary(self) -> Dict:
+        c = self.counts
+        plan = self.plan or {}
+        status = "complete" if self.complete else \
+            ("interrupted" if self.interrupted else "partial")
+        return {
+            "sweep_id": self.sweep_id,
+            "ts": plan.get("start_ts", ""),
+            "workload": plan.get("workload", "?"),
+            "variant": plan.get("variant", "?"),
+            "status": status,
+            **c,
+        }
+
+
+class SweepJournal:
+    """Append-only event store for one sweep (see module docstring)."""
+
+    def __init__(self, sweeps_dir: str, sweep_id: str):
+        self.sweeps_dir = sweeps_dir
+        self.sweep_id = sweep_id
+        self.dir = os.path.join(sweeps_dir, sweep_id)
+        self.path = os.path.join(self.dir, JOURNAL_NAME)
+
+    def exists(self) -> bool:
+        return os.path.exists(self.path)
+
+    # -- writing -----------------------------------------------------------
+    def append(self, ev: str, **fields) -> None:
+        record = {"schema": SWEEP_SCHEMA, "ev": ev,
+                  "ts": round(time.time(), 3), **fields}
+        append_jsonl(self.path, record)
+
+    def write_plan(self, *, workload: str, variant: str,
+                   template: Optional[str], objectives: List[str],
+                   sim: Dict, points: List[Dict]) -> None:
+        """Append the sweep header + one ``point`` event per planned
+        point.  ``points`` rows carry index/params/pass_spec/sim/key."""
+        self.append("plan", sweep_id=self.sweep_id, workload=workload,
+                    variant=variant, template=template,
+                    objectives=list(objectives), sim=dict(sim),
+                    n_points=len(points),
+                    start_ts=time.strftime("%Y-%m-%dT%H:%M:%SZ",
+                                           time.gmtime()))
+        for row in points:
+            self.append("point", **row)
+
+    def claim(self, keys: List[str], owner: str,
+              ttl: float = DEFAULT_LEASE_TTL) -> None:
+        for key in keys:
+            self.append("claim", key=key, owner=owner, ttl=ttl)
+
+    def record_done(self, key: str, owner: str, doc: Dict) -> None:
+        self.append("done", key=key, owner=owner, point=doc)
+
+    def record_error(self, key: str, owner: str, attempt: int,
+                     error: Dict, final: bool) -> None:
+        self.append("error", key=key, owner=owner, attempt=attempt,
+                    error=error, final=final)
+
+    def record_quarantine(self, key: str, deaths: int,
+                          error: Dict) -> None:
+        self.append("quarantine", key=key, deaths=deaths, error=error)
+
+    def record_interrupt(self, signal_name: str) -> None:
+        self.append("interrupt", signal=signal_name)
+
+    # -- reading -----------------------------------------------------------
+    def records(self) -> Tuple[List[Dict], int]:
+        return read_jsonl(self.path, schema=SWEEP_SCHEMA)
+
+    def state(self) -> SweepState:
+        """Fold the event log into per-point statuses.
+
+        Duplicate ``plan``/``point`` events (two processes planning the
+        same sweep concurrently — benign under O_APPEND) collapse to
+        the first occurrence; settle events (`done`/final `error`/
+        `quarantine`) clear outstanding claims; the first settle event
+        for a key wins."""
+        records, skipped = self.records()
+        state = SweepState(sweep_id=self.sweep_id,
+                           skipped_lines=skipped)
+        for rec in records:
+            ev = rec.get("ev")
+            if ev == "plan":
+                if state.plan is None:
+                    state.plan = rec
+                continue
+            if ev == "interrupt":
+                state.interrupted += 1
+                continue
+            key = rec.get("key")
+            if ev == "point":
+                if key and key not in state.points:
+                    state.points[key] = PointState(
+                        key=key, index=rec.get("index", -1),
+                        params=rec.get("params") or {},
+                        pass_spec=rec.get("pass_spec"),
+                        sim=rec.get("sim") or {})
+                continue
+            point = state.points.get(key)
+            if point is None:
+                continue  # claim/done for an unplanned key: ignore
+            if ev == "claim":
+                point.claims.append((rec.get("owner", "?"),
+                                     rec.get("ts", 0.0),
+                                     rec.get("ttl", DEFAULT_LEASE_TTL)))
+            elif ev == "done":
+                if not point.settled:
+                    point.status = "done"
+                    point.doc = rec.get("point")
+                point.claims.clear()
+            elif ev == "error":
+                point.attempts += 1
+                point.claims.clear()
+                if rec.get("final") and not point.settled:
+                    point.status = "failed"
+                    point.error = rec.get("error")
+            elif ev == "quarantine":
+                if not point.settled:
+                    point.status = "quarantined"
+                    point.error = rec.get("error")
+                point.claims.clear()
+        return state
+
+    def won_claim(self, key: str, owner: str,
+                  now: Optional[float] = None) -> bool:
+        """Re-read the journal and report whether ``owner`` holds the
+        winning lease on ``key`` (call after :meth:`claim` to settle
+        races; the earliest unexpired claim in file order wins)."""
+        point = self.state().points.get(key)
+        if point is None or point.settled:
+            return False
+        return point.lease_owner(now) == owner
+
+
+# -- directory-level helpers -------------------------------------------------
+
+def list_sweeps(sweeps_dir: str = DEFAULT_SWEEPS_DIR) -> List[Dict]:
+    """Summaries of every journal under ``sweeps_dir``, oldest first."""
+    try:
+        ids = sorted(os.listdir(sweeps_dir))
+    except OSError:
+        return []
+    out = []
+    for sweep_id in ids:
+        journal = SweepJournal(sweeps_dir, sweep_id)
+        if journal.exists():
+            out.append(journal.state().summary())
+    return out
+
+
+def resolve_sweep(ref: str,
+                  sweeps_dir: str = DEFAULT_SWEEPS_DIR) -> SweepJournal:
+    """Resolve ``ref`` (``last``, a unique id prefix, or a full id)
+    to an existing journal."""
+    try:
+        ids = sorted(name for name in os.listdir(sweeps_dir)
+                     if SweepJournal(sweeps_dir, name).exists())
+    except OSError:
+        ids = []
+    if not ids:
+        raise ReproError(f"no sweep journals under {sweeps_dir}")
+    if ref in ("last", "latest", "-1"):
+        return SweepJournal(sweeps_dir, ids[-1])
+    matches = [name for name in ids if name.startswith(ref)]
+    if not matches:
+        raise ReproError(
+            f"no sweep matching {ref!r} under {sweeps_dir} "
+            f"(try 'repro sweeps list')")
+    if len(matches) > 1:
+        raise ReproError(f"{ref!r} is ambiguous: "
+                         f"{', '.join(matches[:5])}")
+    return SweepJournal(sweeps_dir, matches[0])

@@ -147,6 +147,38 @@ class DeadlockError(SimulationError):
         self.diagnostics = list(diagnostics or [])
 
 
+class PoisonPointError(ReproError):
+    """Raised for a design point quarantined by the sweep supervisor:
+    evaluating it killed a worker process twice, so retrying it again
+    would only keep tearing the pool down.  Carries the point's index
+    and how many worker deaths it was implicated in."""
+
+    def __init__(self, message: str, index: int = -1, deaths: int = 0):
+        super().__init__(message)
+        self.index = index
+        self.deaths = deaths
+
+
+class SweepInterrupted(ReproError):
+    """Raised when a design-space sweep is stopped by SIGINT/SIGTERM.
+
+    Not a failure of any point: the supervisor checkpoints the sweep
+    journal first, so the message carries the ``--resume`` hint and
+    ``sweep_id``/``completed``/``total`` let callers report progress.
+    """
+
+    def __init__(self, sweep_id: str, completed: int, total: int,
+                 signal_name: str = "SIGINT"):
+        super().__init__(
+            f"sweep interrupted by {signal_name} after "
+            f"{completed}/{total} point(s); resume with: "
+            f"repro explore --resume {sweep_id}")
+        self.sweep_id = sweep_id
+        self.completed = completed
+        self.total = total
+        self.signal_name = signal_name
+
+
 class RTLError(ReproError):
     """Raised when uIR cannot be lowered to Chisel/FIRRTL/Verilog."""
 
@@ -197,6 +229,8 @@ EXIT_CODES = {
     "RTLError": 9,
     "SchedulingError": 9,
     "InterpreterError": 6,
+    "PoisonPointError": 11,   # point quarantined after killing workers
+    "SweepInterrupted": 130,  # SIGINT/SIGTERM checkpoint (shell idiom)
 }
 
 
@@ -231,3 +265,71 @@ def error_document(exc: BaseException) -> dict:
     if detail:
         doc["detail"] = detail
     return doc
+
+
+# ---------------------------------------------------------------------------
+# Retry classification (sweep supervision)
+# ---------------------------------------------------------------------------
+# The sweep supervisor retries only failures whose cause lives in the
+# *environment* — a worker killed by the OS, a wall-clock watchdog on a
+# loaded box, a filesystem hiccup.  Failures that are a property of the
+# design point itself (a deadlock, an LI violation, a pass that cannot
+# apply, a parse error) are deterministic: re-running them burns budget
+# to reproduce the same document, so they are never retried.
+
+#: Error names (exception class names as they appear in error
+#: documents) whose failures are considered transient.
+TRANSIENT_ERROR_NAMES = frozenset({
+    "WatchdogTimeout",        # wall-clock limit on a loaded machine
+    "WorkerDeath",            # worker process died (OOM, signal)
+    "BrokenProcessPool",
+    "SupervisorTimeout",      # supervisor-side per-point deadline
+    "OSError", "IOError", "FileNotFoundError", "PermissionError",
+    "BlockingIOError", "InterruptedError", "BrokenPipeError",
+    "ConnectionError", "ConnectionResetError", "ConnectionRefusedError",
+    "TimeoutError", "EOFError", "MemoryError",
+})
+
+
+def error_family(name: str) -> str:
+    """Retry family of an error *name*: ``"transient"`` failures may
+    be retried with backoff; ``"deterministic"`` ones never are."""
+    return "transient" if name in TRANSIENT_ERROR_NAMES \
+        else "deterministic"
+
+
+def family_for(exc: BaseException) -> str:
+    """Retry family of a live exception (isinstance-aware, so an
+    ``errno``-carrying OSError subclass classifies correctly even if
+    its name is not in the table)."""
+    if isinstance(exc, WatchdogTimeout):
+        return "transient"
+    if isinstance(exc, ReproError):
+        return "deterministic"
+    if isinstance(exc, (OSError, TimeoutError, EOFError, MemoryError,
+                        ConnectionError)):
+        return "transient"
+    return error_family(type(exc).__name__)
+
+
+def unexpected_error_document(exc: BaseException,
+                              traceback_tail: int = 8) -> dict:
+    """Structured document for a *non*-ReproError escaping a worker.
+
+    The blanket ``except Exception`` in sweep workers must hand the
+    supervisor something it can classify and ``repro sweeps show`` can
+    display: the exception name and message, the retry family, and the
+    tail of the traceback (the last ``traceback_tail`` lines — where
+    the raise actually happened)."""
+    import traceback
+
+    lines = traceback.format_exception(type(exc), exc,
+                                       exc.__traceback__)
+    tail = "".join(lines).rstrip("\n").split("\n")[-traceback_tail:]
+    return {
+        "error": type(exc).__name__,
+        "message": str(exc),
+        "exit_code": 1,
+        "family": family_for(exc),
+        "traceback": tail,
+    }

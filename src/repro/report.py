@@ -385,6 +385,26 @@ def render_explore_markdown(doc: Dict) -> str:
                    f"misses, {cache.get('object_corrupt', 0)} corrupt; "
                    f"{cache.get('index_hits', 0)} request-index hits, "
                    f"{cache.get('index_misses', 0)} index misses.")
+    durability = doc.get("durability") or {}
+    if any(durability.values()) or doc.get("sweep_id"):
+        out.append("")
+        out.append("## Durability")
+        out.append("")
+        if doc.get("sweep_id"):
+            out.append(f"Sweep journal `{doc['sweep_id']}` "
+                       f"(`repro sweeps show {doc['sweep_id']}`; "
+                       f"resumable with `repro explore --resume "
+                       f"{doc['sweep_id']}`).")
+            out.append("")
+        out.append(f"{durability.get('retries', 0)} retries, "
+                   f"{durability.get('worker_deaths', 0)} worker "
+                   f"deaths, {durability.get('timeouts', 0)} "
+                   f"supervisor timeouts, "
+                   f"{durability.get('quarantined', 0)} quarantined "
+                   f"poison points, "
+                   f"{durability.get('lease_reclaims', 0)} lease "
+                   f"reclaims, {durability.get('resumed', 0)} points "
+                   f"restored from the journal.")
     out.append("")
 
     axes = sorted({k for p in doc["points"] for k in p["params"]})

@@ -4,12 +4,10 @@ Every telemetry-enabled ``repro`` command appends exactly one record
 to ``<dir>/runs/ledger.jsonl`` (default dir ``.repro``): the command
 and argv, wall time, the stage-span table, per-pass timings, circuit
 fingerprints, the full metrics snapshot, and — on failure — the PR-3
-error document.  Appends are **atomic**: the record is serialized to
-one line and written with a single ``os.write`` on an
-``O_APPEND``-opened descriptor, so concurrent processes sharing a
-ledger (parallel sweeps, CI shards) interleave whole records, never
-bytes.  A reader skips lines it cannot parse and reports how many it
-skipped, so one torn write can never poison the history.
+error document.  The write/read discipline (atomic ``O_APPEND``
+single-write appends, torn-line-skipping reads) lives in
+:mod:`repro.util.jsonl` and is shared with the sweep journal
+(:mod:`repro.dse.journal`); a golden test pins the byte format.
 
 Browsable via ``repro runs list | show | diff`` (see
 :mod:`repro.cli`); records are self-describing through
@@ -18,10 +16,11 @@ Browsable via ``repro runs list | show | diff`` (see
 
 from __future__ import annotations
 
-import json
 import os
 import time
 from typing import Dict, List, Optional, Tuple
+
+from ..util.jsonl import append_jsonl, read_jsonl
 
 LEDGER_SCHEMA = "repro.run/v1"
 DEFAULT_DIR = ".repro"
@@ -88,42 +87,14 @@ class RunLedger:
     # -- writing -----------------------------------------------------------
     def append(self, record: Dict) -> str:
         """Atomically append one record; returns its ``run_id``."""
-        os.makedirs(self.dir, exist_ok=True)
-        line = json.dumps(record, sort_keys=True,
-                          separators=(",", ":"), default=str) + "\n"
-        fd = os.open(self.path,
-                     os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
-        try:
-            os.write(fd, line.encode("utf-8"))
-        finally:
-            os.close(fd)
+        append_jsonl(self.path, record)
         return record.get("run_id", "")
 
     # -- reading -----------------------------------------------------------
     def records(self) -> Tuple[List[Dict], int]:
         """All parsable records in append order, plus the count of
         skipped (torn / corrupt / wrong-schema) lines."""
-        out: List[Dict] = []
-        skipped = 0
-        try:
-            with open(self.path, encoding="utf-8") as fh:
-                for line in fh:
-                    line = line.strip()
-                    if not line:
-                        continue
-                    try:
-                        doc = json.loads(line)
-                    except json.JSONDecodeError:
-                        skipped += 1
-                        continue
-                    if not isinstance(doc, dict) or \
-                            doc.get("schema") != LEDGER_SCHEMA:
-                        skipped += 1
-                        continue
-                    out.append(doc)
-        except OSError:
-            pass
-        return out, skipped
+        return read_jsonl(self.path, schema=LEDGER_SCHEMA)
 
     def find(self, ref: str) -> Dict:
         """Resolve ``ref`` to one record: ``last``, a negative index

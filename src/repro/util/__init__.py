@@ -1,4 +1,6 @@
-"""Shared utilities (deterministic RNG plumbing, small helpers)."""
+"""Shared utilities (deterministic RNG plumbing, durable JSONL,
+small helpers)."""
 
+from .jsonl import append_jsonl, dumps_line, read_jsonl  # noqa: F401
 from .rng import (derive_seed, rng_for, seed_memory, site_fraction,
                   site_int)  # noqa: F401

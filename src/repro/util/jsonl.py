@@ -1,0 +1,80 @@
+"""Durable JSONL: atomic appends and torn-line-tolerant reads.
+
+The shared write/read discipline behind every append-only store in the
+toolchain — the telemetry run ledger (:mod:`repro.telemetry.ledger`)
+and the sweep journal (:mod:`repro.dse.journal`):
+
+* **appends are atomic** — a record is serialized to exactly one line
+  and written with a single ``os.write`` on an ``O_APPEND``-opened
+  descriptor.  POSIX guarantees the kernel applies each such write at
+  the current end of file, so concurrent processes sharing a file
+  (parallel sweeps, CI shards, multi-host journals) interleave whole
+  records, never bytes;
+* **reads skip what they cannot parse** — blank lines, torn writes,
+  foreign or wrong-schema documents are counted and skipped, so one
+  bad line can never poison the history behind it.
+
+The serialization is canonical (sorted keys, compact separators,
+``default=str``) so two processes appending the same logical record
+produce the same bytes — tests pin this format.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List, Optional, Tuple
+
+
+def dumps_line(record: Dict) -> str:
+    """Canonical one-line serialization of ``record`` (newline
+    included).  This is the byte format of every JSONL store."""
+    return json.dumps(record, sort_keys=True, separators=(",", ":"),
+                      default=str) + "\n"
+
+
+def append_jsonl(path: str, record: Dict) -> None:
+    """Atomically append ``record`` as one line to ``path``.
+
+    Creates the parent directory on demand.  The single-``os.write``
+    on an ``O_APPEND`` descriptor is the whole concurrency story: no
+    locks, no partial interleavings.
+    """
+    parent = os.path.dirname(path)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    line = dumps_line(record)
+    fd = os.open(path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
+    try:
+        os.write(fd, line.encode("utf-8"))
+    finally:
+        os.close(fd)
+
+
+def read_jsonl(path: str,
+               schema: Optional[str] = None) -> Tuple[List[Dict], int]:
+    """All parsable records in append order, plus the count of skipped
+    lines (torn, corrupt, non-dict, or — when ``schema`` is given —
+    wrong-schema).  A missing file reads as empty, not as an error."""
+    out: List[Dict] = []
+    skipped = 0
+    try:
+        with open(path, encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    doc = json.loads(line)
+                except json.JSONDecodeError:
+                    skipped += 1
+                    continue
+                if not isinstance(doc, dict) or \
+                        (schema is not None
+                         and doc.get("schema") != schema):
+                    skipped += 1
+                    continue
+                out.append(doc)
+    except OSError:
+        pass
+    return out, skipped

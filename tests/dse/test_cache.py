@@ -178,6 +178,61 @@ class TestResultCache:
             fh.write("{not json")
         assert cache.get(key) is None
 
+    def test_corrupt_object_quarantined_on_first_read(self, tmp_path):
+        cache = ResultCache(str(tmp_path / "c"))
+        key = "ab" + "0" * 62
+        cache.put(key, {"cycles": 1})
+        path = cache._object_path(key)
+        with open(path, "w") as fh:
+            fh.write("{not json")
+        assert cache.get(key) is None
+        # renamed out of the lookup path: counted once, then a miss
+        assert not os.path.exists(path)
+        assert os.path.exists(path + ".corrupt")
+        assert cache.get(key) is None
+        assert cache.counts["object_corrupt"] == 1
+        assert cache.counts["object_misses"] == 1
+        # re-evaluation overwrites cleanly
+        cache.put(key, {"cycles": 2})
+        assert cache.get(key)["cycles"] == 2
+
+    def test_schema_mismatch_also_quarantined(self, tmp_path):
+        cache = ResultCache(str(tmp_path / "c"))
+        key = "ab" + "0" * 62
+        cache.put(key, {"cycles": 1})
+        path = cache._object_path(key)
+        doc = json.load(open(path))
+        doc["schema"] = "something/else"
+        json.dump(doc, open(path, "w"))
+        assert cache.get(key) is None
+        assert os.path.exists(path + ".corrupt")
+
+    def test_write_failure_degrades_to_memory(self, tmp_path,
+                                              monkeypatch, capsys):
+        import repro.dse.cache as cache_mod
+
+        cache = ResultCache(str(tmp_path / "c"))
+
+        def denied(*args, **kwargs):
+            raise OSError(28, "No space left on device")
+
+        monkeypatch.setattr(cache_mod.tempfile, "mkstemp", denied)
+        key = "ab" + "0" * 62
+        cache.put(key, {"cycles": 9})          # does not raise
+        assert cache.degraded
+        assert cache.counts["write_errors"] == 1
+        assert cache.get(key)["cycles"] == 9   # served from memory
+        assert cache.counts["object_hits"] == 1
+        cache.record_request("req1", key)
+        cache.save_index()                     # also degrades quietly
+        assert cache.counts["write_errors"] == 2
+        # one-time warning only
+        cache.put("cd" + "0" * 62, {"cycles": 1})
+        err = capsys.readouterr().err
+        assert err.count("caching in memory") == 1
+        # nothing reached disk
+        assert ResultCache(cache.root).get(key) is None
+
     def test_schema_mismatch_is_a_miss(self, tmp_path):
         cache = ResultCache(str(tmp_path / "c"))
         key = "ab" + "0" * 62

@@ -60,7 +60,7 @@ class TestExploreSerial:
         assert isinstance(report, ExploreReport)
         c = report.counts
         assert c == {"points": 2, "ok": 2, "failed": 0, "fresh": 2,
-                     "cache_hits": 0}
+                     "cache_hits": 0, "resumed": 0, "quarantined": 0}
         for p in report.points:
             assert p.verified is True
             assert p.source == "fresh"

@@ -1,0 +1,236 @@
+"""Sweep-journal unit tests: event folding, lease arbitration,
+resolution — the single-process half of the durability story
+(tests/dse/test_supervision.py has the end-to-end half)."""
+
+import json
+
+import pytest
+
+from repro.dse.journal import (
+    DEFAULT_LEASE_TTL,
+    SWEEP_SCHEMA,
+    SweepJournal,
+    list_sweeps,
+    new_sweep_id,
+    point_key,
+    resolve_sweep,
+)
+from repro.errors import ReproError
+
+
+def _journal(tmp_path, sweep_id="20260101T000000-00001-aaaaaa"):
+    return SweepJournal(str(tmp_path / "sweeps"), sweep_id)
+
+
+def _plan(journal, n=2):
+    rows = [{"key": f"k{i}", "index": i, "params": {"banks": 2 ** i},
+             "pass_spec": f"banking={2 ** i}", "sim": {"kernel": "event"}}
+            for i in range(n)]
+    journal.write_plan(workload="saxpy", variant="base",
+                       template="banking={banks}",
+                       objectives=["time_us", "alms"],
+                       sim={"kernel": "event"}, points=rows)
+    return rows
+
+
+class TestPointKey:
+    def test_stable_across_processes(self):
+        a = point_key("saxpy", "base", {"banks": 2}, "banking=2",
+                      {"kernel": "event"})
+        b = point_key("saxpy", "base", {"banks": 2}, "banking=2",
+                      {"kernel": "event"})
+        assert a == b and len(a) == 64
+
+    def test_any_request_field_changes_key(self):
+        base = point_key("saxpy", "base", {"banks": 2}, "banking=2",
+                         {"kernel": "event"})
+        assert point_key("saxpy", "base", {"banks": 4}, "banking=2",
+                         {"kernel": "event"}) != base
+        assert point_key("saxpy", "base", {"banks": 2}, "banking=4",
+                         {"kernel": "event"}) != base
+        assert point_key("saxpy", "base", {"banks": 2}, "banking=2",
+                         {"kernel": "dense"}) != base
+        assert point_key("saxpy", "wide", {"banks": 2}, "banking=2",
+                         {"kernel": "event"}) != base
+
+
+class TestStateFolding:
+    def test_plan_and_points(self, tmp_path):
+        journal = _journal(tmp_path)
+        _plan(journal, n=3)
+        state = journal.state()
+        assert state.plan["workload"] == "saxpy"
+        assert state.counts == {"planned": 3, "done": 0, "failed": 0,
+                                "quarantined": 0, "todo": 3,
+                                "interrupts": 0}
+        assert not state.complete
+        assert state.summary()["status"] == "partial"
+
+    def test_done_settles_and_wins_over_later_events(self, tmp_path):
+        journal = _journal(tmp_path)
+        _plan(journal)
+        journal.record_done("k0", "me", {"index": 0, "status": "ok"})
+        journal.record_error("k0", "other", 1, {"error": "X"},
+                             final=True)  # late loser: ignored
+        state = journal.state()
+        assert state.points["k0"].status == "done"
+        assert state.points["k0"].doc == {"index": 0, "status": "ok"}
+
+    def test_final_error_fails_point(self, tmp_path):
+        journal = _journal(tmp_path)
+        _plan(journal)
+        journal.record_error("k0", "me", 1, {"error": "DeadlockError"},
+                             final=True)
+        point = journal.state().points["k0"]
+        assert point.status == "failed"
+        assert point.error["error"] == "DeadlockError"
+        assert point.attempts == 1
+
+    def test_nonfinal_errors_count_attempts_only(self, tmp_path):
+        journal = _journal(tmp_path)
+        _plan(journal)
+        journal.record_error("k0", "me", 1, {"error": "WorkerDeath"},
+                             final=False)
+        journal.record_error("k0", "me", 2, {"error": "WorkerDeath"},
+                             final=False)
+        point = journal.state().points["k0"]
+        assert point.status == "todo"
+        assert point.attempts == 2
+
+    def test_quarantine(self, tmp_path):
+        journal = _journal(tmp_path)
+        _plan(journal)
+        journal.record_quarantine("k1", 2,
+                                  {"error": "PoisonPointError"})
+        state = journal.state()
+        assert state.points["k1"].status == "quarantined"
+        assert state.counts["quarantined"] == 1
+
+    def test_interrupts_counted(self, tmp_path):
+        journal = _journal(tmp_path)
+        _plan(journal)
+        journal.record_interrupt("SIGINT")
+        state = journal.state()
+        assert state.interrupted == 1
+        assert state.summary()["status"] == "interrupted"
+
+    def test_duplicate_plans_collapse_to_first(self, tmp_path):
+        # Two processes planning the same sweep concurrently is benign.
+        journal = _journal(tmp_path)
+        _plan(journal)
+        _plan(journal)
+        state = journal.state()
+        assert len(state.points) == 2
+        assert state.counts["planned"] == 2
+
+    def test_torn_line_skipped(self, tmp_path):
+        journal = _journal(tmp_path)
+        _plan(journal)
+        with open(journal.path, "a") as fh:
+            fh.write('{"schema": "' + SWEEP_SCHEMA + '", "ev": "do')
+        state = journal.state()
+        assert state.skipped_lines == 1
+        assert len(state.points) == 2
+
+    def test_events_for_unplanned_keys_ignored(self, tmp_path):
+        journal = _journal(tmp_path)
+        _plan(journal)
+        journal.record_done("kZZZ", "me", {"status": "ok"})
+        assert "kZZZ" not in journal.state().points
+
+
+class TestLeases:
+    def test_claim_and_win(self, tmp_path):
+        journal = _journal(tmp_path)
+        _plan(journal)
+        journal.claim(["k0"], "alice", ttl=60.0)
+        assert journal.won_claim("k0", "alice")
+        assert not journal.won_claim("k0", "bob")
+
+    def test_earliest_claim_in_file_order_wins(self, tmp_path):
+        journal = _journal(tmp_path)
+        _plan(journal)
+        journal.claim(["k0"], "alice", ttl=60.0)
+        journal.claim(["k0"], "bob", ttl=60.0)
+        assert journal.won_claim("k0", "alice")
+        assert not journal.won_claim("k0", "bob")
+
+    def test_expired_lease_loses_to_live_one(self, tmp_path):
+        journal = _journal(tmp_path)
+        _plan(journal)
+        journal.claim(["k0"], "alice", ttl=0.0)   # instantly expired
+        journal.claim(["k0"], "bob", ttl=60.0)
+        assert journal.won_claim("k0", "bob")
+        assert not journal.won_claim("k0", "alice")
+
+    def test_settle_clears_claims(self, tmp_path):
+        journal = _journal(tmp_path)
+        _plan(journal)
+        journal.claim(["k0"], "alice", ttl=60.0)
+        journal.record_done("k0", "alice", {"status": "ok"})
+        point = journal.state().points["k0"]
+        assert point.claims == []
+        assert not journal.won_claim("k0", "alice")  # settled: no lease
+
+    def test_runnable(self, tmp_path):
+        journal = _journal(tmp_path)
+        _plan(journal)
+        state = journal.state()
+        assert state.points["k0"].runnable()
+        journal.claim(["k0"], "alice", ttl=60.0)
+        assert not journal.state().points["k0"].runnable()
+        journal.record_done("k1", "x", {})
+        assert not journal.state().points["k1"].runnable()
+
+
+class TestResolution:
+    def test_list_sweeps(self, tmp_path):
+        a = _journal(tmp_path, "20260101T000000-00001-aaaaaa")
+        _plan(a)
+        b = _journal(tmp_path, "20260102T000000-00002-bbbbbb")
+        _plan(b, n=1)
+        b.record_done("k0", "me", {"status": "ok"})
+        rows = list_sweeps(str(tmp_path / "sweeps"))
+        assert [r["sweep_id"] for r in rows] == [a.sweep_id, b.sweep_id]
+        assert rows[0]["status"] == "partial"
+        assert rows[1]["status"] == "complete"
+
+    def test_resolve_last_prefix_ambiguous(self, tmp_path):
+        sweeps = str(tmp_path / "sweeps")
+        a = _journal(tmp_path, "20260101T000000-00001-aaaaaa")
+        _plan(a)
+        b = _journal(tmp_path, "20260102T000000-00002-bbbbbb")
+        _plan(b)
+        assert resolve_sweep("last", sweeps).sweep_id == b.sweep_id
+        assert resolve_sweep("20260101", sweeps).sweep_id == a.sweep_id
+        with pytest.raises(ReproError, match="ambiguous"):
+            resolve_sweep("2026", sweeps)
+        with pytest.raises(ReproError, match="no sweep matching"):
+            resolve_sweep("zzz", sweeps)
+
+    def test_resolve_empty_dir(self, tmp_path):
+        with pytest.raises(ReproError, match="no sweep journals"):
+            resolve_sweep("last", str(tmp_path / "void"))
+
+    def test_new_sweep_ids_unique(self):
+        ids = {new_sweep_id() for _ in range(32)}
+        assert len(ids) == 32
+
+
+class TestJournalFile:
+    def test_records_are_schema_stamped_canonical_lines(self, tmp_path):
+        journal = _journal(tmp_path)
+        _plan(journal, n=1)
+        with open(journal.path) as fh:
+            for line in fh:
+                doc = json.loads(line)
+                assert doc["schema"] == SWEEP_SCHEMA
+                assert "ts" in doc
+
+    def test_default_ttl_used(self, tmp_path):
+        journal = _journal(tmp_path)
+        _plan(journal)
+        journal.claim(["k0"], "alice")
+        records, _ = journal.records()
+        claim = [r for r in records if r["ev"] == "claim"][0]
+        assert claim["ttl"] == DEFAULT_LEASE_TTL

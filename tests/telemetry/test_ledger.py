@@ -82,6 +82,22 @@ class TestAppendAndRead:
         records, skipped = RunLedger(str(tmp_path)).records()
         assert records == [] and skipped == 0
 
+    def test_golden_bytes_on_disk(self, tmp_path):
+        # Pins the ledger's byte format through the shared
+        # repro.util.jsonl writer: canonical one-line JSON (sorted
+        # keys, compact separators) + newline, nothing else.  A change
+        # here breaks append-only compatibility with old ledgers.
+        from repro.util.jsonl import dumps_line
+
+        ledger = RunLedger(str(tmp_path))
+        record = _record("golden")
+        ledger.append(record)
+        with open(ledger.path, "rb") as fh:
+            raw = fh.read()
+        assert raw == dumps_line(record).encode("utf-8")
+        assert raw.endswith(b"}\n")
+        assert b": " not in raw and b", " not in raw
+
 
 class TestFind:
     def test_resolution_modes(self, tmp_path):

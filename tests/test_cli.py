@@ -248,7 +248,7 @@ class TestFuzzCommand:
 class TestExploreCommand:
     ARGS = ["explore", "saxpy", "--grid", "banks=1,2",
             "--pipeline", "localize,banking={banks}",
-            "--workers", "1", "--quiet"]
+            "--workers", "1", "--quiet", "--no-journal"]
 
     def test_cold_then_warm(self, tmp_path, capsys):
         cache = str(tmp_path / "cache")
@@ -260,7 +260,8 @@ class TestExploreCommand:
         cold = json.load(open(jsonp))
         assert cold["schema"] == "repro.explore/v1"
         assert cold["counts"] == {"points": 2, "ok": 2, "failed": 0,
-                                  "fresh": 2, "cache_hits": 0}
+                                  "fresh": 2, "cache_hits": 0,
+                                  "resumed": 0, "quarantined": 0}
         md = open(mdp).read()
         assert "## Pareto frontier" in md
 
@@ -294,6 +295,65 @@ class TestExploreCommand:
     def test_all_points_failing_exit_code(self, tmp_path, capsys):
         rc = main(["explore", "saxpy", "--grid", "banks=1",
                    "--pipeline", "warp_drive", "--workers", "1",
-                   "--cache-dir", str(tmp_path / "c"), "--quiet"])
+                   "--cache-dir", str(tmp_path / "c"), "--quiet",
+                   "--no-journal"])
         assert rc == 2  # usage-error family from the failing point
         assert "unknown pass" in capsys.readouterr().err
+
+    def test_resume_without_workload(self, tmp_path, capsys):
+        sweeps = str(tmp_path / "sweeps")
+        assert main(["explore", "saxpy", "--grid", "banks=1,2",
+                     "--pipeline", "localize,banking={banks}",
+                     "--workers", "1", "--quiet", "--no-cache",
+                     "--sweeps-dir", sweeps]) == 0
+        capsys.readouterr()
+        # No workload, no grid: the journal's plan carries everything.
+        assert main(["explore", "--resume", "last", "--sweeps-dir",
+                     sweeps, "--no-cache", "--quiet",
+                     "--workers", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "2 resumed" in out
+
+    def test_explore_needs_workload_or_resume(self, capsys):
+        assert main(["explore", "--grid", "banks=1"]) == 2
+        assert "WORKLOAD" in capsys.readouterr().err
+
+
+class TestSweepsCommand:
+    def _sweep(self, tmp_path):
+        sweeps = str(tmp_path / "sweeps")
+        assert main(["explore", "saxpy", "--grid", "banks=1",
+                     "--pipeline", "localize,banking={banks}",
+                     "--workers", "1", "--quiet", "--no-cache",
+                     "--sweeps-dir", sweeps]) == 0
+        return sweeps
+
+    def test_list_and_show(self, tmp_path, capsys):
+        sweeps = self._sweep(tmp_path)
+        capsys.readouterr()
+        assert main(["sweeps", "list", "--dir", sweeps]) == 0
+        out = capsys.readouterr().out
+        assert "complete" in out and "1/1 done" in out
+        assert main(["sweeps", "show", "last", "--dir", sweeps]) == 0
+        out = capsys.readouterr().out
+        assert "workload: saxpy" in out
+        assert "[0] banks=1: done" in out
+
+    def test_list_json(self, tmp_path, capsys):
+        sweeps = self._sweep(tmp_path)
+        capsys.readouterr()
+        assert main(["sweeps", "list", "--dir", sweeps,
+                     "--json"]) == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert rows[0]["status"] == "complete"
+        assert rows[0]["planned"] == 1
+
+    def test_empty_dir(self, tmp_path, capsys):
+        assert main(["sweeps", "list", "--dir",
+                     str(tmp_path / "nope")]) == 0
+        assert "no sweep journals" in capsys.readouterr().out
+
+    def test_unknown_ref(self, tmp_path, capsys):
+        sweeps = self._sweep(tmp_path)
+        capsys.readouterr()
+        assert main(["sweeps", "show", "zzz", "--dir", sweeps]) == 2

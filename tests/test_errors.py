@@ -118,3 +118,51 @@ class TestErrorDocument:
         doc = errors.error_document(err)
         assert doc["exit_code"] == 7
         assert doc["detail"]["memory"]["mismatched_words"] == 3
+
+
+class TestRetryClassification:
+    def test_error_family_by_name(self):
+        assert errors.error_family("WorkerDeath") == "transient"
+        assert errors.error_family("WatchdogTimeout") == "transient"
+        assert errors.error_family("SupervisorTimeout") == "transient"
+        assert errors.error_family("OSError") == "transient"
+        assert errors.error_family("DeadlockError") == "deterministic"
+        assert errors.error_family("LIViolationError") == \
+            "deterministic"
+        assert errors.error_family("PassError") == "deterministic"
+        assert errors.error_family("SomethingNovel") == "deterministic"
+
+    def test_family_for_is_isinstance_aware(self):
+        assert errors.family_for(
+            errors.WatchdogTimeout(1, 2.0, 1.0)) == "transient"
+        assert errors.family_for(
+            errors.DeadlockError(10)) == "deterministic"
+        assert errors.family_for(PermissionError("nope")) == \
+            "transient"  # an OSError subclass
+        assert errors.family_for(ValueError("x")) == "deterministic"
+
+    def test_unexpected_error_document_shape(self):
+        try:
+            raise KeyError("missing")
+        except KeyError as exc:
+            doc = errors.unexpected_error_document(exc)
+        assert doc["error"] == "KeyError"
+        assert doc["exit_code"] == 1
+        assert doc["family"] == "deterministic"
+        assert any("KeyError" in line for line in doc["traceback"])
+        assert len(doc["traceback"]) <= 8
+
+
+class TestSweepErrors:
+    def test_poison_point_error(self):
+        err = errors.PoisonPointError("bad point", index=3, deaths=2)
+        assert errors.exit_code_for(err) == 11
+        assert err.index == 3 and err.deaths == 2
+        assert isinstance(err, errors.ReproError)
+
+    def test_sweep_interrupted_carries_resume_hint(self):
+        err = errors.SweepInterrupted("sweep-xyz", 2, 10, "SIGTERM")
+        assert errors.exit_code_for(err) == 130
+        assert "repro explore --resume sweep-xyz" in str(err)
+        assert "2/10" in str(err)
+        assert err.signal_name == "SIGTERM"

@@ -1,0 +1,98 @@
+"""Tests for the shared durable-JSONL primitive.
+
+This module backs both the telemetry run ledger and the sweep
+journal, so its byte format is pinned: one canonical (sorted-key,
+no-whitespace) JSON object per line, written with a single O_APPEND
+``os.write``.  Torn trailing lines — a writer killed mid-append — are
+skipped on read, never fatal.
+"""
+
+import json
+import multiprocessing as mp
+import os
+
+from repro.util.jsonl import append_jsonl, dumps_line, read_jsonl
+
+
+class TestDumpsLine:
+    def test_golden_bytes(self):
+        # Pinned: sorted keys, compact separators, trailing newline.
+        line = dumps_line({"b": 1, "a": [2, 3], "c": {"y": 0, "x": 1}})
+        assert line == '{"a":[2,3],"b":1,"c":{"x":1,"y":0}}\n'
+
+    def test_non_json_values_stringified(self):
+        line = dumps_line({"p": os})  # a module: not JSON-able
+        assert line.startswith('{"p":"')
+
+
+class TestAppendRead:
+    def test_round_trip(self, tmp_path):
+        path = str(tmp_path / "x.jsonl")
+        append_jsonl(path, {"n": 1})
+        append_jsonl(path, {"n": 2})
+        records, skipped = read_jsonl(path)
+        assert [r["n"] for r in records] == [1, 2]
+        assert skipped == 0
+
+    def test_creates_parent_dirs(self, tmp_path):
+        path = str(tmp_path / "a" / "b" / "x.jsonl")
+        append_jsonl(path, {"n": 1})
+        assert read_jsonl(path)[0] == [{"n": 1}]
+
+    def test_missing_file_is_empty(self, tmp_path):
+        records, skipped = read_jsonl(str(tmp_path / "nope.jsonl"))
+        assert records == [] and skipped == 0
+
+    def test_torn_and_foreign_lines_skipped(self, tmp_path):
+        path = str(tmp_path / "x.jsonl")
+        append_jsonl(path, {"n": 1, "schema": "s/v1"})
+        with open(path, "a") as fh:
+            fh.write("[1, 2, 3]\n")        # non-dict
+            fh.write("{\"n\": 2, \"schema\"")  # torn mid-record
+        records, skipped = read_jsonl(path)
+        assert [r["n"] for r in records] == [1]
+        assert skipped == 2
+
+    def test_schema_filter(self, tmp_path):
+        path = str(tmp_path / "x.jsonl")
+        append_jsonl(path, {"n": 1, "schema": "a/v1"})
+        append_jsonl(path, {"n": 2, "schema": "b/v1"})
+        records, skipped = read_jsonl(path, schema="a/v1")
+        assert [r["n"] for r in records] == [1]
+        assert skipped == 1
+
+    def test_blank_lines_ignored_silently(self, tmp_path):
+        path = str(tmp_path / "x.jsonl")
+        with open(path, "w") as fh:
+            fh.write("\n\n")
+        append_jsonl(path, {"n": 1})
+        records, skipped = read_jsonl(path)
+        assert [r["n"] for r in records] == [1]
+        assert skipped == 0
+
+
+def _hammer(path: str, tag: int) -> None:
+    for i in range(50):
+        append_jsonl(path, {"tag": tag, "i": i,
+                            "pad": "x" * 256})
+
+
+class TestAtomicity:
+    def test_parallel_appends_never_tear(self, tmp_path):
+        path = str(tmp_path / "x.jsonl")
+        procs = [mp.Process(target=_hammer, args=(path, t))
+                 for t in range(4)]
+        for p in procs:
+            p.start()
+        for p in procs:
+            p.join()
+        records, skipped = read_jsonl(path)
+        assert skipped == 0
+        assert len(records) == 200
+        # every (tag, i) pair exactly once: no interleaved writes
+        seen = {(r["tag"], r["i"]) for r in records}
+        assert len(seen) == 200
+        # and every line is parseable canonical JSON
+        with open(path) as fh:
+            for line in fh:
+                json.loads(line)
