@@ -25,7 +25,15 @@ __version__ = "0.1.0"
 # Convenience top-level API (the quickstart surface).  The Pipeline
 # facade is the front door; the hand-wired building blocks below it
 # remain public as thin compatibility shims.
-from .api import Evaluation, Pipeline, evaluate  # noqa: E402,F401
+from .api import (  # noqa: E402,F401
+    Evaluation,
+    EvaluationRequest,
+    EvaluationResponse,
+    Pipeline,
+    evaluate,
+    evaluate_many,
+    execute,
+)
 from .frontend import compile_minic, translate_module  # noqa: E402,F401
 from .frontend.interp import Interpreter, Memory  # noqa: E402,F401
 from .sim import (BatchResult, SimParams, simulate,  # noqa: E402,F401

@@ -30,19 +30,29 @@ this facade.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
-from . import telemetry
-from .errors import ReproError, WorkloadError
-from .frontend import compile_minic, translate_module
-from .frontend.interp import Interpreter, Memory
-from .frontend.ir import Module
-from .opt import PassManager, PassResult, coerce_passes
-from .rtl import SynthesisReport, synthesize
-from .sim import (BatchResult, SimParams, SimResult, simulate,
-                  simulate_batch)
-from .workloads import WORKLOADS, Workload
+from .. import telemetry
+from ..errors import (ReproError, WorkloadError, error_document,
+                      family_for)
+from ..frontend import compile_minic, translate_module
+from ..frontend.interp import Interpreter, Memory
+from ..frontend.ir import Module
+from ..opt import PassManager, PassResult, coerce_passes
+from ..rtl import SynthesisReport, synthesize
+from ..sim import (BatchResult, SimParams, SimResult, simulate,
+                   simulate_batch)
+from ..types import FloatType
+from ..workloads import WORKLOADS, Workload
+from .requests import (  # noqa: F401  (re-exported wire schema)
+    EVAL_SCHEMA,
+    SIM_FIELDS,
+    EvaluationRequest,
+    EvaluationResponse,
+    evaluation_doc,
+)
 
 
 @dataclass
@@ -243,7 +253,7 @@ class Pipeline:
                                 params)
             _sp.set(cycles=self.sim.cycles)
         if telemetry.enabled():
-            from .core.serialize import circuit_fingerprint
+            from ..core.serialize import circuit_fingerprint
             telemetry.note_fingerprint(circuit_fingerprint(self.circuit))
         self.memory = memory
         if not check:
@@ -391,11 +401,241 @@ def _looks_like_source(text: str) -> bool:
     return any(ch in text for ch in "\n{};(")
 
 
+# ---------------------------------------------------------------------------
+# The request/response execution layer (wire schema: repro.eval/v1)
+# ---------------------------------------------------------------------------
+#
+# EvaluationRequest is the one serialized shape of an evaluation; the
+# CLI, the examples, and the repro.serve daemon all construct it and
+# funnel through run_request/execute below, so a local call and a
+# served call are the same typed computation.
+
+def sim_wire_dict(params: Optional[SimParams]) -> Dict[str, object]:
+    """A SimParams as a wire-safe ``sim`` dict (non-default fields
+    only, fault plans as JSON).  Raises for host-local callbacks that
+    cannot cross a process boundary."""
+    if params is None:
+        return {}
+    if params.heartbeat is not None or params.heartbeat_cycles:
+        raise ReproError(
+            "SimParams.heartbeat is host-local and cannot be "
+            "serialized into an EvaluationRequest")
+    defaults = SimParams()
+    sim: Dict[str, object] = {}
+    for name in SIM_FIELDS:
+        value = getattr(params, name)
+        if value == getattr(defaults, name):
+            continue
+        sim[name] = value.to_json() if name == "faults" else value
+    return sim
+
+
+def request_for(workload, passes=None,
+                params: Optional[SimParams] = None, *,
+                variant: str = "base", check: bool = True,
+                name: Optional[str] = None,
+                args: Optional[Sequence] = None,
+                args_list: Optional[Sequence[Sequence]] = None,
+                seed: Optional[int] = None) -> EvaluationRequest:
+    """Build the :class:`EvaluationRequest` for one evaluation.
+
+    ``workload`` is a workload name, :class:`Workload`, or MiniC
+    source text; ``passes`` must be spec-recoverable (a spec string,
+    specs, or None — pre-built pass instances cannot be serialized).
+    """
+    from ..opt import coerce_passes as _coerce
+    if isinstance(workload, Workload):
+        target, source = workload.name, None
+    elif isinstance(workload, str) and _looks_like_source(workload):
+        target, source = None, workload
+    elif isinstance(workload, str):
+        target, source = workload, None
+    else:
+        raise ReproError(
+            f"cannot build an EvaluationRequest from "
+            f"{type(workload).__name__}")
+    if passes is None or isinstance(passes, str):
+        spec = passes or ""
+    else:
+        _instances, spec = _coerce(passes)
+        if spec is None:
+            raise ReproError(
+                "pass instances are not spec-recoverable; give "
+                "request_for a spec string (see repro.opt.specs)")
+    return EvaluationRequest(
+        workload=target, source=source, variant=variant, passes=spec,
+        args=args, args_list=args_list, sim=sim_wire_dict(params),
+        check=check, seed=seed, name=name)
+
+
+def coerce_request_args(module: Module, raw: Sequence) -> List:
+    """Type raw (possibly textual) root arguments against @main."""
+    main = module.main
+    if len(raw) != len(main.args):
+        raise ReproError(
+            f"@main takes {len(main.args)} argument(s) "
+            f"({', '.join(f'{a.name}: {a.type}' for a in main.args)}), "
+            f"got {len(raw)}")
+    values: List = []
+    for value, arg in zip(raw, main.args):
+        if isinstance(arg.type, FloatType):
+            values.append(float(value))
+        else:
+            values.append(int(value))
+    return values
+
+
+def build_front(request: EvaluationRequest) -> Pipeline:
+    """The reusable front half of a request: frontend + optimize.
+
+    Everything up to (not including) simulation is a pure function of
+    the request's :meth:`~EvaluationRequest.group_key` fields, so the
+    serve worker caches the result across requests (the hot-circuit
+    LRU) and re-simulates the same circuit object — which also keeps
+    the object-identity compiled-kernel memo warm.
+    """
+    pipe = Pipeline(request.workload if request.workload is not None
+                    else request.source,
+                    variant=request.variant, name=request.name)
+    pipe.optimize(request.passes or None)
+    return pipe
+
+
+def run_request(request: EvaluationRequest, *,
+                pipeline: Optional[Pipeline] = None
+                ) -> Tuple[Pipeline, Union[Evaluation, BatchResult]]:
+    """Execute a request in-process; the one evaluation code path.
+
+    Returns the driven :class:`Pipeline` (so local callers keep full
+    access to stats, observers, and the optimized circuit) plus the
+    :class:`Evaluation` (scalar requests) or :class:`BatchResult`
+    (batched requests; the pipeline is synthesized either way).
+    Raises :class:`~repro.errors.ReproError` subclasses on failure —
+    :func:`execute` is the wrapper that converts them into error
+    responses.
+
+    ``pipeline`` short-circuits the front end with an already
+    optimized pipeline for this request's group (must match the
+    request's workload/source, variant, and passes — the caller owns
+    that contract; the serve worker keys its LRU on ``group_key``).
+    """
+    params = request.sim_params()
+    pipe = pipeline if pipeline is not None else build_front(request)
+    if request.is_batch:
+        args_list = None
+        if request.args_list is not None:
+            args_list = [coerce_request_args(pipe.module, lane)
+                         for lane in request.args_list]
+        elif request.args is not None:
+            # sim.batch lanes replicating the request's (typed) args.
+            args_list = [coerce_request_args(pipe.module, request.args)
+                         ] * (params.batch or 1)
+        batch = pipe.evaluate_many(args_list, params,
+                                   check=request.check)
+        pipe.synthesize()
+        return pipe, batch
+    args = None
+    memory = None
+    if request.args is not None:
+        args = coerce_request_args(pipe.module, request.args)
+    if request.source is not None and request.seed is not None:
+        from ..util.rng import seed_memory
+        memory = Memory(pipe.module)
+        seed_memory(memory, request.seed)
+    pipe.simulate(params, args=args, memory=memory,
+                  check=request.check)
+    return pipe, pipe.synthesize()
+
+
+def batch_evaluation_docs(pipe: Pipeline, batch: BatchResult
+                          ) -> List[Dict]:
+    """Per-lane deterministic evaluation documents of a batched run.
+
+    Each surviving lane's document is **bit-identical** to the
+    document a scalar run of that lane would produce (PR-6's per-lane
+    identity guarantee carried up to the wire schema); failed lanes
+    yield ``{"lane": i, "error": <doc>}`` instead.
+    """
+    docs: List[Dict] = []
+    for i in range(batch.lanes):
+        if batch.results[i] is None:
+            docs.append({"lane": i, "error": batch.errors[i]})
+            continue
+        verified = batch.verified[i] if batch.verified is not None \
+            else None
+        lane_ev = Evaluation(
+            name=pipe.name, workload=pipe.workload.name
+            if pipe.workload else None, variant=pipe.variant,
+            passes=pipe.pass_spec, pass_log=list(pipe.pass_log),
+            sim=batch.results[i], synth=pipe.synth,
+            verified=verified)
+        docs.append(evaluation_doc(lane_ev, lane=i))
+    return docs
+
+
+def execute(request: EvaluationRequest, *,
+            pipeline: Optional[Pipeline] = None) -> EvaluationResponse:
+    """Run one request to a typed response (never raises ReproError).
+
+    This is the server's worker entry point and the client-visible
+    semantics of local execution: errors become PR-3 style documents
+    with a retry ``family``; success carries the deterministic
+    evaluation payload(s).
+    """
+    key = request.canonical_key()
+    t0 = time.perf_counter()
+    try:
+        pipe, result = run_request(request, pipeline=pipeline)
+    except ReproError as exc:
+        doc = error_document(exc)
+        doc["family"] = family_for(exc)
+        return EvaluationResponse(
+            status="error", request_key=key, error=doc,
+            meta={"wall_s": round(time.perf_counter() - t0, 4)})
+    meta = {"wall_s": round(time.perf_counter() - t0, 4)}
+    if isinstance(result, BatchResult):
+        meta["batch_mode"] = result.mode
+        return EvaluationResponse(
+            status="ok", request_key=key,
+            lanes=batch_evaluation_docs(pipe, result), meta=meta)
+    return EvaluationResponse(
+        status="ok", request_key=key,
+        evaluation=evaluation_doc(result), meta=meta)
+
+
 def evaluate(workload, passes=None, params: Optional[SimParams] = None,
              *, variant: str = "base", check: bool = True,
-             name: Optional[str] = None) -> Evaluation:
-    """One-call convenience: build, optimize, simulate, synthesize."""
-    pipe = Pipeline(workload, variant=variant, name=name)
-    pipe.optimize(passes)
-    pipe.simulate(params, check=check)
-    return pipe.synthesize()
+             name: Optional[str] = None,
+             args: Optional[Sequence] = None) -> Evaluation:
+    """One-call convenience: build, optimize, simulate, synthesize.
+
+    Spec-recoverable calls are routed through the typed
+    :class:`EvaluationRequest` — the exact object the CLI and the
+    ``repro.serve`` daemon exchange — so a local ``evaluate`` and a
+    served one are the same computation.  Pre-built pass instances
+    (not serializable) keep the direct chain.
+    """
+    try:
+        request = request_for(workload, passes, params,
+                              variant=variant, check=check,
+                              name=name, args=args)
+    except ReproError:
+        pipe = Pipeline(workload, variant=variant, name=name)
+        pipe.optimize(passes)
+        pipe.simulate(params, args=args, check=check)
+        return pipe.synthesize()
+    return run_request(request)[1]
+
+
+def evaluate_many(workload, args_list=None,
+                  params: Optional[SimParams] = None, *,
+                  passes=None, variant: str = "base",
+                  check: bool = True,
+                  name: Optional[str] = None) -> BatchResult:
+    """One-call batched convenience over the typed request path."""
+    request = request_for(workload, passes, params, variant=variant,
+                          check=check, name=name, args_list=args_list)
+    if not request.is_batch:
+        raise ReproError(
+            "evaluate_many needs args_list or SimParams.batch")
+    return run_request(request)[1]

@@ -50,9 +50,18 @@ def run_workload(workload, passes: Sequence[Pass] = (),
     ``check=False`` (every uopt configuration must preserve behavior —
     that is the paper's core claim, so we always assert it in anger).
 
-    Compatibility shim: this predates :class:`repro.api.Pipeline` and
-    now simply drives it, returning the same :class:`RunResult`.
+    .. deprecated::
+        This predates :class:`repro.api.Pipeline` and now simply
+        drives it, returning the same :class:`RunResult`.  New code
+        should use :class:`repro.api.Pipeline` (or
+        :func:`repro.api.evaluate`, which routes through the typed
+        ``repro.eval/v1`` request the serve daemon speaks).
     """
+    import warnings
+    warnings.warn(
+        "repro.bench.run_workload is deprecated; drive "
+        "repro.api.Pipeline (or repro.api.evaluate) instead",
+        DeprecationWarning, stacklevel=2)
     w: Workload = get_workload(workload) if isinstance(workload, str) \
         else workload
     pipe = Pipeline(w, variant=variant, name=f"{w.name}_{config}")

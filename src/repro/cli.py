@@ -14,6 +14,12 @@ explore     parallel design-space exploration with caching; sweeps
 fuzz        LI-conformance fuzzing under seeded fault plans
 runs        browse the telemetry run ledger (list | show | diff)
 sweeps      browse sweep journals (list | show)
+serve       run the evaluation daemon (dedups identical in-flight
+            requests, coalesces compatible ones into batched runs,
+            streams NDJSON heartbeats + results)
+client      talk to a daemon (evaluate | explore | report | health |
+            shutdown); `client evaluate` shares its flags with
+            `simulate`, so the same invocation runs locally or served
 
 Telemetry: ``--telemetry`` (or ``REPRO_TELEMETRY=1``) traces every
 stage, collects metrics, and appends one record per invocation to the
@@ -142,8 +148,41 @@ def cmd_translate(args) -> int:
     return 0
 
 
+def simulate_request_from(args, source: str):
+    """Build the typed :class:`~repro.api.EvaluationRequest` for a
+    ``repro simulate`` (or ``repro client evaluate``) invocation.
+
+    This is the API-redesign seam: CLI flags become the same wire
+    document the serve daemon accepts, so a local simulate and a
+    served one serialize — and therefore dedup and batch — identically.
+    """
+    from .api import request_for
+    observe = _resolve_observe(args)
+    plan = _fault_plan_from(args)
+    batch_n = args.batch if getattr(args, "batch", None) \
+        and args.batch > 1 else None
+    params = SimParams(max_cycles=args.max_cycles, kernel=args.kernel,
+                       observe=observe,
+                       trace_capacity=args.trace_capacity,
+                       faults=plan,
+                       compile_fallback=not getattr(
+                           args, "no_kernel_fallback", False),
+                       wallclock_timeout=args.timeout,
+                       batch=batch_n)
+    raw_args = getattr(args, "args", None)
+    return request_for(
+        source, args.passes or None, params,
+        variant=getattr(args, "variant", "base"),
+        check=not getattr(args, "no_check", False),
+        name=getattr(args, "file", None),
+        args=list(raw_args) if raw_args is not None else None,
+        seed=getattr(args, "seed", None)), plan
+
+
 def cmd_simulate(args) -> int:
     import time
+
+    from .api import Pipeline, run_request
 
     if args.trace_out and args.kernel == "dense":
         raise ReproError(
@@ -151,56 +190,50 @@ def cmd_simulate(args) -> int:
             "(rerun without --kernel dense)")
     with open(args.file) as fh:
         source = fh.read()
-    module = compile_minic(source, filename=args.file)
-    circuit = translate_module(module, name=args.file)
-    manager = PassManager(_parse_passes(args.passes),
-                          validate_each=args.validate_each)
-    t_passes = time.perf_counter()
-    manager.run(circuit)
-    t_passes = time.perf_counter() - t_passes
-    values = _parse_args_values(module, args.args)
-
-    golden = Memory(module)
-    _seed_memory(golden, args.seed)
-    Interpreter(module, golden).run(*values)
-
-    mem = Memory(module)
-    _seed_memory(mem, args.seed)
-    observe = _resolve_observe(args)
-    plan = _fault_plan_from(args)
-    params = SimParams(max_cycles=args.max_cycles, kernel=args.kernel,
-                       observe=observe,
-                       trace_capacity=args.trace_capacity,
-                       faults=plan,
-                       compile_fallback=not args.no_kernel_fallback,
-                       wallclock_timeout=args.timeout)
+    if args.batch and args.batch > 1 and args.seed is not None:
+        # Seeded batches are not wire-expressible (every lane owns its
+        # memory image), so this combination keeps the direct path.
+        return _simulate_batched_seeded(args, source)
+    request, plan = simulate_request_from(args, source)
     if plan is not None:
         print(f"faults: {plan.describe()}")
-    if args.batch and args.batch > 1:
-        return _simulate_batched(args, module, circuit, values,
-                                 golden, params)
+    pipeline = None
+    if args.validate_each:
+        # Host-local option: run the front end ourselves with per-pass
+        # validation, then hand the pipeline to the request executor.
+        pipeline = Pipeline(source, name=args.file)
+        pipeline.optimize(args.passes or None, validate_each=True)
     t_sim = time.perf_counter()
-    result = simulate(circuit, mem, values, params)
+    pipe, result = run_request(request, pipeline=pipeline)
     t_sim = time.perf_counter() - t_sim
-    ok = mem.words == golden.words
-    if result.compile_error is not None:
-        err = result.compile_error
+    if request.is_batch:
+        return _print_batch(args, pipe, result, t_sim)
+    sim = pipe.sim
+    if sim.compile_error is not None:
+        err = sim.compile_error
         print(f"note: compiled kernel unavailable "
               f"({err.get('error')}: {err.get('message')}); "
               f"ran the event kernel instead", file=sys.stderr)
-    print(f"cycles: {result.cycles}")
-    if result.results:
-        print(f"returned: {result.results}")
-    print(f"behavior vs interpreter: {'OK' if ok else 'MISMATCH'}")
-    for key, value in sorted(result.stats.summary().items()):
+    print(f"cycles: {sim.cycles}")
+    if sim.results:
+        print(f"returned: {sim.results}")
+    # run_request verifies against the interpreter (a divergence
+    # raises WorkloadError, exit 5), so reaching here means OK.
+    print("behavior vs interpreter: OK")
+    for key, value in sorted(sim.stats.summary().items()):
         print(f"  {key}: {value}")
     if args.profile:
-        print(f"\nthroughput: {result.cycles / t_sim:,.0f} simulated "
+        print(f"\nthroughput: {sim.cycles / t_sim:,.0f} simulated "
               f"cycles/s ({args.kernel} kernel, {t_sim:.3f}s wall)")
-        if manager.log:
-            print(f"\npass pipeline ({t_passes * 1e3:.1f}ms):")
-            print(manager.timing_report())
-        stalls = result.stats.stall_cycles
+        if pipe.pass_log:
+            total_ms = sum(r.wall_ms for r in pipe.pass_log)
+            print(f"\npass pipeline ({total_ms:.1f}ms):")
+            print("pass                      wall_ms   dN      dE")
+            for r in pipe.pass_log:
+                print(f"{r.pass_name:<25} {r.wall_ms:>7.1f} "
+                      f"{r.delta_nodes:>+5d}   {r.delta_edges:>+5d}")
+            print(f"{'total':<25} {total_ms:>7.1f}")
+        stalls = sim.stats.stall_cycles
         if stalls:
             total = sum(stalls.values())
             print("\nstall attribution (instance-cycles):")
@@ -208,25 +241,82 @@ def cmd_simulate(args) -> int:
                 print(f"  {cause:<16} {cyc:>8}  "
                       f"({100.0 * cyc / total:.1f}%)")
             print("top stalled nodes:")
-            for label, cause, cyc in result.stats.top_stalled_nodes(8):
+            for label, cause, cyc in sim.stats.top_stalled_nodes(8):
                 print(f"  {label:<32} {cause:<16} {cyc:>8}")
-        sources = result.stats.top_stalled_sources(8)
+        sources = sim.stats.top_stalled_sources(8)
         if sources:
             print("top stalled source lines:")
             for loc, cause, cyc in sources:
                 print(f"  {loc:<36} {cause:<16} {cyc:>8}")
     if args.stats_json:
-        result.stats.dump_json(args.stats_json)
+        sim.stats.dump_json(args.stats_json)
         print(f"wrote {args.stats_json}")
     if args.trace_out:
-        if result.observer is None:
+        if sim.observer is None:
             raise ReproError(
                 "--trace-out requires the event or compiled kernel "
                 "(rerun without --kernel dense)")
-        result.observer.write_chrome_trace(args.trace_out)
+        sim.observer.write_chrome_trace(args.trace_out)
         print(f"wrote {args.trace_out} "
               f"(load in chrome://tracing or Perfetto)")
+    return 0
+
+
+def _print_batch(args, pipe, batch, t_sim: float) -> int:
+    """Report a request-path batched simulate (lanes already verified
+    by ``run_request``; a diverging lane raised)."""
+    from .core.lanes import numpy_note
+
+    note = numpy_note()
+    if note:
+        print(f"note: {note}", file=sys.stderr)
+    ok = True
+    for i in range(batch.lanes):
+        if batch.errors[i] is not None:
+            err = batch.errors[i]
+            print(f"lane {i}: FAILED[{err.get('error')}] "
+                  f"fingerprint={err.get('input_fingerprint')}",
+                  file=sys.stderr)
+            ok = False
+    cycles = [r.cycles if r is not None else None
+              for r in batch.results]
+    print(f"batch: {batch.lanes} lanes, mode={batch.mode}")
+    print(f"cycles: {cycles[0] if len(set(cycles)) == 1 else cycles}")
+    first = next((r for r in batch.results if r is not None), None)
+    if first is not None and first.results:
+        print(f"returned: {first.results}")
+    print(f"behavior vs interpreter: "
+          f"{'OK (all lanes)' if ok else 'MISMATCH'}")
+    print(f"throughput: {batch.lanes / t_sim:,.1f} sims/s "
+          f"({args.kernel} kernel, {t_sim:.3f}s wall)")
+    if args.stats_json:
+        batch.stats.dump_json(args.stats_json)
+        print(f"wrote {args.stats_json}")
     return 0 if ok else 1
+
+
+def _simulate_batched_seeded(args, source: str) -> int:
+    """``repro simulate --batch N --seed S``: the legacy direct path
+    (seeded lane memories cannot cross the request wire)."""
+    module = compile_minic(source, filename=args.file)
+    circuit = translate_module(module, name=args.file)
+    PassManager(_parse_passes(args.passes),
+                validate_each=args.validate_each).run(circuit)
+    values = _parse_args_values(module, args.args)
+    golden = Memory(module)
+    _seed_memory(golden, args.seed)
+    Interpreter(module, golden).run(*values)
+    plan = _fault_plan_from(args)
+    params = SimParams(max_cycles=args.max_cycles, kernel=args.kernel,
+                       observe=_resolve_observe(args),
+                       trace_capacity=args.trace_capacity,
+                       faults=plan,
+                       compile_fallback=not args.no_kernel_fallback,
+                       wallclock_timeout=args.timeout)
+    if plan is not None:
+        print(f"faults: {plan.describe()}")
+    return _simulate_batched(args, module, circuit, values, golden,
+                             params)
 
 
 def _simulate_batched(args, module, circuit, values, golden,
@@ -299,7 +389,6 @@ def cmd_workloads(_args) -> int:
 
 
 def cmd_bench(args) -> int:
-    from .bench import run_workload
     if args.check:
         from .bench import check_throughput, render_check
         doc = check_throughput(
@@ -342,30 +431,27 @@ def cmd_bench(args) -> int:
         print("behavior verified against the workload golden check "
               "(every lane)")
         return 0 if batch.ok else 1
-    result = run_workload(args.workload,
-                          _parse_passes(args.passes),
-                          config=args.passes or "baseline",
-                          variant=args.variant,
-                          params=params)
-    print(f"{result.workload}/{result.config}: {result.cycles} cycles "
-          f"@ {result.fpga_mhz:.0f} MHz = {result.time_us:.2f} us")
+    from .api import evaluate
+    ev = evaluate(args.workload, args.passes or None, params,
+                  variant=args.variant)
+    print(f"{ev.workload}/{args.passes or 'baseline'}: "
+          f"{ev.cycles} cycles "
+          f"@ {ev.synth.fpga_mhz:.0f} MHz = {ev.time_us:.2f} us")
     print("behavior verified against the reference interpreter")
     return 0
 
 
 def cmd_report(args) -> int:
-    from .bench import run_workload
+    from .api import Pipeline
+    from .bench.harness import RunResult
     from .report import build_report, dump_report, render_markdown
     passes = _parse_passes(args.passes)
+    config = args.passes or "baseline"
     batch = None
+    pipe = Pipeline(args.workload, variant=args.variant,
+                    name=f"{args.workload}_{config}")
+    pipe.optimize(list(passes))
     if args.batch and args.batch > 1:
-        from .api import Pipeline
-        from .bench.harness import RunResult
-
-        config = args.passes or "baseline"
-        pipe = Pipeline(args.workload, variant=args.variant,
-                        name=f"{args.workload}_{config}")
-        pipe.optimize(list(passes))
         batch = pipe.evaluate_many(
             params=SimParams(batch=args.batch, observe="counters"))
         pipe.synthesize(name=args.workload)
@@ -381,9 +467,14 @@ def cmd_report(args) -> int:
             pass_log=list(pipe.pass_log), variant=args.variant,
             circuit=pipe.circuit)
     else:
-        result = run_workload(args.workload, passes,
-                              config=args.passes or "baseline",
-                              variant=args.variant)
+        pipe.simulate()
+        pipe.synthesize(name=args.workload)
+        result = RunResult(
+            workload=args.workload, config=config,
+            cycles=pipe.sim.cycles, fpga_mhz=pipe.synth.fpga_mhz,
+            stats=pipe.sim.stats, synth=pipe.synth,
+            pass_log=list(pipe.pass_log), variant=args.variant,
+            circuit=pipe.circuit)
     report = build_report(result, top_n=args.top, batch=batch)
     if args.json or args.md:
         dump_report(report, json_path=args.json, md_path=args.md)
@@ -705,6 +796,197 @@ def cmd_sweeps(args) -> int:
     raise ReproError(f"unknown sweeps action {args.action!r}")
 
 
+DEFAULT_SERVE_ADDRESS = "127.0.0.1:8651"
+
+
+def cmd_serve(args) -> int:
+    import asyncio
+
+    from .dse.engine import RetryPolicy
+    from .serve import PROTOCOL, ServeServer
+
+    retry = RetryPolicy(max_attempts=max(1, args.retries),
+                        base_delay=args.retry_delay)
+    # With telemetry on, the scheduler appends one ledger record per
+    # served request (the CLI's own per-invocation record still covers
+    # the daemon process itself).
+    ledger_root = None
+    if telemetry.enabled():
+        ledger_root = getattr(args, "telemetry_dir", None) or ".repro"
+    server = ServeServer(
+        host=args.host, port=args.port, socket_path=args.socket,
+        workers=args.workers, executor=args.executor,
+        max_batch=args.max_batch, heartbeat_s=args.heartbeat,
+        retry=retry, job_timeout=args.job_timeout,
+        ledger_root=ledger_root)
+
+    async def _main():
+        await server.start()
+        print(f"serving {PROTOCOL} on {server.address} "
+              f"({server.scheduler.workers} worker(s), "
+              f"executor={server.scheduler.executor_kind}, "
+              f"max-batch={args.max_batch})", flush=True)
+        await server.serve_until_stopped()
+
+    try:
+        asyncio.run(_main())
+    except KeyboardInterrupt:
+        print("serve: interrupted", file=sys.stderr)
+        return 130
+    return 0
+
+
+def _make_client(args):
+    from .serve import ServeClient
+    on_heartbeat = None
+    if not args.quiet:
+        def on_heartbeat(event):
+            state = event.get("state", "?")
+            extra = f" {event.get('done')}/{event.get('total')}" \
+                if event.get("total") is not None else ""
+            print(f"  .. {state}{extra} "
+                  f"(elapsed {event.get('elapsed_s', 0.0):g}s, "
+                  f"queue {event.get('queue_depth', 0)})",
+                  file=sys.stderr)
+    return ServeClient(args.address, timeout=args.client_timeout,
+                       connect_timeout=args.connect_timeout,
+                       on_heartbeat=on_heartbeat)
+
+
+def cmd_client_evaluate(args) -> int:
+    import os
+
+    client = _make_client(args)
+    target = args.target
+    if os.path.exists(target):
+        with open(target) as fh:
+            source = fh.read()
+        args.file = target  # names the request after the source file
+    else:
+        source = target  # a workload name
+        if not args.args:
+            args.args = None  # workload defaults (golden check)
+    request, plan = simulate_request_from(args, source)
+    if plan is not None:
+        print(f"faults: {plan.describe()}")
+    response = client.evaluate(request)
+    if args.json:
+        print(json.dumps(response.to_json(), indent=1,
+                         sort_keys=True))
+    if response.status != "ok":
+        err = response.error or {}
+        print(f"error: {err.get('error')}: {err.get('message')} "
+              f"(family {err.get('family')})", file=sys.stderr)
+        return int(err.get("exit_code") or 1)
+    meta = response.meta or {}
+    served = f"served in {meta.get('wall_s', 0.0):g}s"
+    if meta.get("lru"):
+        served += f", circuit cache {meta['lru']}"
+    if response.lanes is not None:
+        ok = [doc for doc in response.lanes if "error" not in doc]
+        cycles = sorted({doc.get("cycles") for doc in ok})
+        print(f"batch: {len(response.lanes)} lanes, "
+              f"{len(response.lanes) - len(ok)} failed ({served})")
+        if cycles:
+            print(f"cycles: "
+                  f"{cycles[0] if len(cycles) == 1 else cycles}")
+        return 0 if len(ok) == len(response.lanes) else 1
+    ev = response.evaluation or {}
+    print(f"{ev.get('name')}: {ev.get('cycles')} cycles"
+          + (f" = {ev.get('time_us'):.2f} us"
+             if ev.get("time_us") is not None else "")
+          + f" ({served})")
+    if ev.get("verified"):
+        print("behavior verified (server-side golden check)")
+    return 0
+
+
+def cmd_client_explore(args) -> int:
+    from .dse import parse_axis
+    from .dse.engine import PointResult
+
+    client = _make_client(args)
+    axes = dict(parse_axis(text) for text in args.grid)
+    if not axes:
+        raise ReproError(
+            "client explore needs at least one --grid AXIS=V1,V2,...")
+    sim = {}
+    if args.kernel != "event":
+        sim["kernel"] = args.kernel
+    if args.max_cycles != 5_000_000:
+        sim["max_cycles"] = args.max_cycles
+    spec = {"workload": args.workload, "grid": axes,
+            "pipeline": args.pipeline, "variant": args.variant,
+            "check": not args.no_check,
+            "objectives": [o.strip() for o in
+                           args.objectives.split(",") if o.strip()]}
+    if sim:
+        spec["sim"] = sim
+    report = client.explore(spec)
+    points = [PointResult.from_json(doc) for doc in report["points"]]
+    for point in points:
+        print(point.describe())
+    print(f"\nPareto frontier "
+          f"({' / '.join(report['objectives'])}, minimized):")
+    for index in report["pareto"]:
+        print(f"  {points[index].describe()}")
+    sched = report.get("scheduler", {})
+    counters = sched.get("counters", {})
+    print(f"served in {report.get('wall_s', 0.0):g}s "
+          f"(dedup {counters.get('dedup_hits', 0)}, "
+          f"batches {counters.get('batches', 0)}, "
+          f"coalesced lanes {counters.get('coalesced_lanes', 0)})")
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(report, fh, indent=1, sort_keys=True)
+        print(f"wrote {args.json}")
+    failures = [p for p in points if not p.ok]
+    for point in failures:
+        err = point.error or {}
+        print(f"  point {point.index} {point.params}: "
+              f"{err.get('error')}: {err.get('message')}",
+              file=sys.stderr)
+    if not failures:
+        return 0
+    if len(failures) == len(points):
+        return (failures[0].error or {}).get("exit_code", 1) or 1
+    return 1
+
+
+def cmd_client_report(args) -> int:
+    client = _make_client(args)
+    doc = client.report()
+    if args.json:
+        print(json.dumps(doc, indent=1, sort_keys=True))
+        return 0
+    sched = doc.get("scheduler", {})
+    print(f"daemon pid {doc.get('pid')} ({doc.get('protocol')}), "
+          f"up {sched.get('uptime_s', 0.0):g}s")
+    print(f"  workers: {sched.get('workers')} "
+          f"({sched.get('executor')}), max-batch "
+          f"{sched.get('max_batch')}")
+    print(f"  queue depth: {sched.get('queue_depth')}, inflight: "
+          f"{sched.get('inflight')}")
+    for key, value in sorted(sched.get("counters", {}).items()):
+        print(f"  {key}: {value}")
+    return 0
+
+
+def cmd_client_shutdown(args) -> int:
+    client = _make_client(args)
+    doc = client.shutdown()
+    print(doc.get("status", "ok"))
+    return 0
+
+
+def cmd_client_health(args) -> int:
+    client = _make_client(args)
+    doc = client.health()
+    print(f"{doc.get('status')} (pid {doc.get('pid')}, "
+          f"up {doc.get('uptime_s', 0.0):g}s)")
+    return 0 if doc.get("status") == "ok" else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description=__doc__,
@@ -724,10 +1006,69 @@ def build_parser() -> argparse.ArgumentParser:
                              "run (implies --telemetry)")
     sub = parser.add_subparsers(dest="command", required=True)
 
+    # Shared flag groups, declared once as parent parsers so sibling
+    # subcommands (simulate / bench / report / explore / client ...)
+    # cannot drift apart: the same flag always spells and parses the
+    # same way everywhere it appears.
+    passes_flags = argparse.ArgumentParser(add_help=False)
+    passes_flags.add_argument(
+        "--passes", default="",
+        help="comma-separated uopt pass spec, e.g. "
+             "localize,banking=4,fusion (see repro.opt.specs)")
+    variant_flags = argparse.ArgumentParser(add_help=False)
+    variant_flags.add_argument("--variant", default="base",
+                               help="workload source variant")
+    kernel_flags = argparse.ArgumentParser(add_help=False)
+    kernel_flags.add_argument("--kernel", default="event",
+                              choices=("event", "dense", "compiled"),
+                              help="simulation kernel "
+                                   "(default: event)")
+    batch_flags = argparse.ArgumentParser(add_help=False)
+    batch_flags.add_argument(
+        "--batch", type=int, default=None, metavar="N",
+        help="simulate N independent instances in one batched run")
+    limit_flags = argparse.ArgumentParser(add_help=False)
+    limit_flags.add_argument("--max-cycles", type=int,
+                             default=5_000_000)
+    limit_flags.add_argument("--timeout", type=float, default=None,
+                             metavar="SECONDS",
+                             help="wall-clock watchdog for the "
+                                  "simulation")
+    fault_flags = argparse.ArgumentParser(add_help=False)
+    fault_flags.add_argument("--faults", action="store_true",
+                             help="inject a generated fault plan "
+                                  "(LI check: cycles change, "
+                                  "behavior must not)")
+    fault_flags.add_argument("--fault-seed", type=int, default=None,
+                             metavar="N",
+                             help="fault plan seed (implies "
+                                  "--faults; default 0)")
+    fault_flags.add_argument("--fault-plan", default=None,
+                             metavar="FILE",
+                             help="load a fault plan JSON (e.g. from "
+                                  "a repro bundle) instead of "
+                                  "generating one")
+    fault_flags.add_argument("--fault-intensity", type=float,
+                             default=1.0, metavar="X",
+                             help="scale generated fault rates and "
+                                  "magnitudes")
+    client_flags = argparse.ArgumentParser(add_help=False)
+    client_flags.add_argument(
+        "--address", default=DEFAULT_SERVE_ADDRESS, metavar="ADDR",
+        help="daemon address: host:port, :port, or unix:/path "
+             f"(default {DEFAULT_SERVE_ADDRESS})")
+    client_flags.add_argument("--client-timeout", type=float,
+                              default=300.0, metavar="SECONDS",
+                              help="max silence (no event, not even "
+                                   "a heartbeat) before giving up")
+    client_flags.add_argument("--connect-timeout", type=float,
+                              default=5.0, metavar="SECONDS")
+    client_flags.add_argument("--quiet", action="store_true",
+                              help="suppress heartbeat progress "
+                                   "lines")
+
     def add_common(p):
         p.add_argument("file", help="MiniC source file")
-        p.add_argument("--passes", default="",
-                       help="comma-separated uopt pass names")
 
     def add_telemetry(p):
         # Mirrors of the global flags so ``repro report --telemetry``
@@ -743,7 +1084,8 @@ def build_parser() -> argparse.ArgumentParser:
                        default=argparse.SUPPRESS,
                        help=argparse.SUPPRESS)
 
-    p = sub.add_parser("translate", help="MiniC -> uIR (+dumps)")
+    p = sub.add_parser("translate", parents=[passes_flags],
+                       help="MiniC -> uIR (+dumps)")
     add_common(p)
     p.add_argument("--json", help="write circuit JSON here")
     p.add_argument("--dot", help="write Graphviz dot here")
@@ -760,16 +1102,16 @@ def build_parser() -> argparse.ArgumentParser:
                        metavar="N",
                        help="trace ring-buffer capacity in events")
 
-    p = sub.add_parser("simulate", help="cycle-simulate + verify")
+    p = sub.add_parser("simulate",
+                       parents=[passes_flags, kernel_flags,
+                                batch_flags, fault_flags,
+                                limit_flags],
+                       help="cycle-simulate + verify")
     add_common(p)
     p.add_argument("--args", nargs="*", default=[],
                    help="main() arguments")
     p.add_argument("--seed", type=int, default=None,
                    help="seed array contents pseudo-randomly")
-    p.add_argument("--max-cycles", type=int, default=5_000_000)
-    p.add_argument("--kernel", default="event",
-                   choices=("event", "dense", "compiled"),
-                   help="simulation kernel (default: event)")
     p.add_argument("--no-kernel-fallback", action="store_true",
                    help="with --kernel compiled, raise (exit code 10) "
                         "instead of falling back to the event kernel "
@@ -783,49 +1125,27 @@ def build_parser() -> argparse.ArgumentParser:
                    help="dump SimStats (schema repro.simstats/v3)")
     p.add_argument("--validate-each", action="store_true",
                    help="validate the circuit after every pass")
-    p.add_argument("--faults", action="store_true",
-                   help="inject a generated fault plan (LI check: "
-                        "cycles change, behavior must not)")
-    p.add_argument("--fault-seed", type=int, default=None,
-                   metavar="N", help="fault plan seed (implies "
-                                     "--faults; default 0)")
-    p.add_argument("--fault-plan", default=None, metavar="FILE",
-                   help="load a fault plan JSON (e.g. from a repro "
-                        "bundle) instead of generating one")
-    p.add_argument("--fault-intensity", type=float, default=1.0,
-                   metavar="X", help="scale generated fault rates "
-                                     "and magnitudes")
-    p.add_argument("--timeout", type=float, default=None,
-                   metavar="SECONDS",
-                   help="wall-clock watchdog for the simulation")
-    p.add_argument("--batch", type=int, default=None, metavar="N",
-                   help="simulate N independent instances in one "
-                        "batched run (each verified vs the "
-                        "interpreter)")
     add_observe(p)
     add_telemetry(p)
     p.set_defaults(fn=cmd_simulate)
 
-    p = sub.add_parser("synth", help="FPGA/ASIC quality estimate")
+    p = sub.add_parser("synth", parents=[passes_flags],
+                       help="FPGA/ASIC quality estimate")
     add_common(p)
     p.set_defaults(fn=cmd_synth)
 
     p = sub.add_parser("workloads", help="list built-in workloads")
     p.set_defaults(fn=cmd_workloads)
 
-    p = sub.add_parser("bench", help="run a built-in workload, or "
-                                     "--check fresh throughput vs the "
-                                     "committed baseline")
+    p = sub.add_parser("bench",
+                       parents=[passes_flags, variant_flags,
+                                kernel_flags, batch_flags],
+                       help="run a built-in workload, or "
+                            "--check fresh throughput vs the "
+                            "committed baseline")
     p.add_argument("workload", nargs="?", default=None,
                    help="workload name (optional with --check: "
                         "default is every baseline workload)")
-    p.add_argument("--passes", default="")
-    p.add_argument("--variant", default="base")
-    p.add_argument("--kernel", default="event",
-                   choices=("event", "dense", "compiled"))
-    p.add_argument("--batch", type=int, default=None, metavar="N",
-                   help="run N instances through one batched "
-                        "simulation and report sims/s")
     p.add_argument("--check", action="store_true",
                    help="re-measure kernel throughput and fail if it "
                         "regresses against the committed "
@@ -848,12 +1168,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(fn=cmd_bench)
 
     p = sub.add_parser(
-        "report", help="cross-layer bottleneck report for a workload")
+        "report", parents=[passes_flags, variant_flags, batch_flags],
+        help="cross-layer bottleneck report for a workload "
+             "(add perf_counters to --passes for hardware counters)")
     p.add_argument("workload")
-    p.add_argument("--passes", default="",
-                   help="comma-separated uopt pass names "
-                        "(add perf_counters for hardware counters)")
-    p.add_argument("--variant", default="base")
     p.add_argument("--top", type=int, default=10,
                    help="rows in the top-stalled-sources table")
     p.add_argument("--json", default=None, metavar="FILE",
@@ -862,14 +1180,11 @@ def build_parser() -> argparse.ArgumentParser:
                    help="write the markdown report here")
     p.add_argument("--stats-json", default=None, metavar="FILE",
                    help="also dump the raw SimStats document")
-    p.add_argument("--batch", type=int, default=None, metavar="N",
-                   help="report on a batched run of N lanes "
-                        "(adds the sim.batch section)")
     add_telemetry(p)
     p.set_defaults(fn=cmd_report)
 
     p = sub.add_parser(
-        "explore",
+        "explore", parents=[variant_flags, kernel_flags, limit_flags],
         help="parallel design-space exploration with caching")
     p.add_argument("workload", nargs="?", default=None)
     p.add_argument("--grid", action="append", default=[],
@@ -887,7 +1202,6 @@ def build_parser() -> argparse.ArgumentParser:
                    help="pass-spec template; {axis} substitutes, "
                         "'seg?axis>1' guards a segment (default: "
                         "the img_scale banks x tiles sweep)")
-    p.add_argument("--variant", default="base")
     p.add_argument("--workers", type=int, default=None, metavar="N",
                    help="worker processes (default: min(4, cpus))")
     p.add_argument("--cache-dir", default=".repro-cache",
@@ -900,12 +1214,6 @@ def build_parser() -> argparse.ArgumentParser:
                         "Pareto frontier (time_us, cycles, alms, "
                         "regs, dsps, fpga_mw, asic_area_kum2, "
                         "asic_mw)")
-    p.add_argument("--kernel", default="event",
-                   choices=("event", "dense", "compiled"))
-    p.add_argument("--max-cycles", type=int, default=5_000_000)
-    p.add_argument("--timeout", type=float, default=None,
-                   metavar="SECONDS",
-                   help="wall-clock watchdog per point")
     p.add_argument("--no-check", action="store_true",
                    help="skip behavior verification per point")
     p.add_argument("--json", default=None, metavar="FILE",
@@ -950,7 +1258,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(fn=cmd_explore)
 
     p = sub.add_parser(
-        "fuzz", help="LI-conformance fuzzing under seeded fault plans")
+        "fuzz", parents=[kernel_flags, limit_flags],
+        help="LI-conformance fuzzing under seeded fault plans")
+    # fuzz defaults a shorter cycle budget than the other commands.
+    p.set_defaults(max_cycles=2_000_000)
     p.add_argument("--workloads", default="all",
                    help="comma-separated workload names (default: all)")
     p.add_argument("--plans", type=int, default=5, metavar="N",
@@ -968,17 +1279,11 @@ def build_parser() -> argparse.ArgumentParser:
                         "under the same plan")
     p.add_argument("--artifacts-dir", default=None, metavar="DIR",
                    help="write replayable repro bundles for failures")
-    p.add_argument("--kernel", default="event",
-                   choices=("event", "dense", "compiled"))
     p.add_argument("--compare-kernel", default=None,
                    choices=("event", "dense", "compiled"),
                    help="also run every case on this kernel and "
                         "require bit-identical behavior including "
                         "cycle counts")
-    p.add_argument("--max-cycles", type=int, default=2_000_000)
-    p.add_argument("--timeout", type=float, default=None,
-                   metavar="SECONDS",
-                   help="wall-clock watchdog per simulation")
     p.add_argument("--json", default=None, metavar="FILE",
                    help="write the fuzz report JSON here")
     p.add_argument("--no-minimize", action="store_true",
@@ -1019,6 +1324,98 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--json", action="store_true",
                    help="print records as JSON")
     p.set_defaults(fn=cmd_sweeps)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the evaluation daemon (HTTP-lite/NDJSON; dedups "
+             "identical in-flight requests, coalesces compatible "
+             "ones into batched runs)")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8651,
+                   help="TCP port (0 picks a free one; default 8651)")
+    p.add_argument("--socket", default=None, metavar="PATH",
+                   help="serve on a Unix socket instead of TCP")
+    p.add_argument("--workers", type=int, default=None, metavar="N",
+                   help="worker pool size (default: min(4, cpus))")
+    p.add_argument("--executor", default="process",
+                   choices=("process", "thread"),
+                   help="worker pool kind (process pools survive "
+                        "worker crashes; default process)")
+    p.add_argument("--max-batch", type=int, default=8, metavar="N",
+                   help="max compatible scalar requests coalesced "
+                        "into one batched simulation (default 8)")
+    p.add_argument("--heartbeat", type=float, default=2.0,
+                   metavar="SECONDS",
+                   help="heartbeat interval on open connections")
+    p.add_argument("--job-timeout", type=float, default=None,
+                   metavar="SECONDS",
+                   help="supervisor-side deadline per execution; a "
+                        "hung worker is killed and the job retried")
+    p.add_argument("--retries", type=int, default=3, metavar="N",
+                   help="max attempts per job for transient failures "
+                        "(default: 3)")
+    p.add_argument("--retry-delay", type=float, default=0.25,
+                   metavar="SECONDS",
+                   help="base exponential-backoff delay (default: "
+                        "0.25)")
+    add_telemetry(p)
+    p.set_defaults(fn=cmd_serve)
+
+    p = sub.add_parser(
+        "client",
+        help="talk to a repro serve daemon")
+    csub = p.add_subparsers(dest="action", required=True)
+
+    c = csub.add_parser(
+        "evaluate",
+        parents=[client_flags, passes_flags, variant_flags,
+                 kernel_flags, batch_flags, fault_flags, limit_flags],
+        help="evaluate a workload or MiniC file on the daemon")
+    c.add_argument("target",
+                   help="workload name or MiniC source file")
+    c.add_argument("--args", nargs="*", default=[],
+                   help="main() arguments (source files only)")
+    c.add_argument("--seed", type=int, default=None,
+                   help="seed array contents pseudo-randomly "
+                        "(source files only)")
+    c.add_argument("--no-check", action="store_true",
+                   help="skip server-side behavior verification")
+    c.add_argument("--json", action="store_true",
+                   help="print the full response document")
+    add_observe(c)
+    c.set_defaults(fn=cmd_client_evaluate)
+
+    c = csub.add_parser(
+        "explore",
+        parents=[client_flags, variant_flags, kernel_flags],
+        help="run a sweep through the daemon's queue")
+    c.add_argument("workload")
+    c.add_argument("--grid", action="append", default=[],
+                   metavar="AXIS=V1,V2,...",
+                   help="one design axis (repeatable)")
+    c.add_argument("--pipeline", default=DEFAULT_EXPLORE_TEMPLATE,
+                   metavar="TEMPLATE",
+                   help="pass-spec template ({axis} substitutes, "
+                        "'seg?axis>1' guards)")
+    c.add_argument("--objectives", default="time_us,alms")
+    c.add_argument("--max-cycles", type=int, default=5_000_000)
+    c.add_argument("--no-check", action="store_true")
+    c.add_argument("--json", default=None, metavar="FILE",
+                   help="write the explore report JSON here")
+    c.set_defaults(fn=cmd_client_explore)
+
+    c = csub.add_parser("report", parents=[client_flags],
+                        help="scheduler counters + queue state")
+    c.add_argument("--json", action="store_true")
+    c.set_defaults(fn=cmd_client_report)
+
+    c = csub.add_parser("health", parents=[client_flags],
+                        help="liveness probe")
+    c.set_defaults(fn=cmd_client_health)
+
+    c = csub.add_parser("shutdown", parents=[client_flags],
+                        help="stop the daemon gracefully")
+    c.set_defaults(fn=cmd_client_shutdown)
     return parser
 
 

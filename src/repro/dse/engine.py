@@ -962,6 +962,55 @@ def _drop_pool(pool):
 # Planning + execution
 # ---------------------------------------------------------------------------
 
+def plan_points(workload_name: str, params_list: Sequence[Dict],
+                pipeline: PipelineTemplate,
+                base_sim: Dict[str, object], *,
+                variant: str = "base") -> List[Dict]:
+    """Plan a sweep: params -> pass spec + per-point sim dict + key.
+
+    One planned row per point: ``{index, params, pass_spec, sim, key,
+    _point, _plan_error}``.  Planning failures (bad template, unknown
+    ``sim.*`` axis) are recorded as deterministic point errors rather
+    than raised, so one bad axis value doesn't sink the sweep.  Shared
+    by :func:`explore` and the ``repro.serve`` daemon, which plans
+    here and then funnels each point through its request queue.
+    """
+    planned: List[Dict] = []
+    for index, params in enumerate(params_list):
+        point = PointResult(index=index, params=params, pass_spec=None)
+        sim_over = {str(k)[4:]: v for k, v in params.items()
+                    if str(k).startswith("sim.")}
+        point_sim = dict(base_sim, **sim_over)
+        plan_error = None
+        try:
+            if callable(pipeline):
+                raw_spec = pipeline(params)
+            else:
+                raw_spec = render_pipeline(pipeline, params)
+            specs = parse_pass_specs(raw_spec)
+            point.pass_spec = spec_to_string(specs)
+            unknown = set(sim_over) - set(base_sim)
+            if unknown:
+                raise ReproError(
+                    f"unknown sim.* axis(es): "
+                    f"{', '.join(sorted(unknown))}; known: "
+                    f"{', '.join(sorted(base_sim))}")
+        except ReproError as exc:
+            plan_error = error_document(exc)
+            plan_error["family"] = "deterministic"
+        planned.append({
+            "index": index,
+            "params": params,
+            "pass_spec": point.pass_spec,
+            "sim": point_sim,
+            "key": point_key(workload_name, variant, params,
+                             point.pass_spec, point_sim),
+            "_point": point,
+            "_plan_error": plan_error,
+        })
+    return planned
+
+
 def explore(workload, space: Union[DesignSpace, Iterable[Dict]], *,
             pipeline: PipelineTemplate,
             variant: str = "base",
@@ -1014,42 +1063,8 @@ def explore(workload, space: Union[DesignSpace, Iterable[Dict]], *,
     base_sim = sim_key_dict(sim)
     template = pipeline if isinstance(pipeline, str) else None
 
-    # Plan every point: params -> pass spec + per-point sim dict +
-    # journal key.  Planning failures (bad template, unknown axis) are
-    # settled immediately as deterministic point failures.
-    planned: List[Dict] = []
-    for index, params in enumerate(params_list):
-        point = PointResult(index=index, params=params, pass_spec=None)
-        sim_over = {str(k)[4:]: v for k, v in params.items()
-                    if str(k).startswith("sim.")}
-        point_sim = dict(base_sim, **sim_over)
-        plan_error = None
-        try:
-            if callable(pipeline):
-                raw_spec = pipeline(params)
-            else:
-                raw_spec = render_pipeline(pipeline, params)
-            specs = parse_pass_specs(raw_spec)
-            point.pass_spec = spec_to_string(specs)
-            unknown = set(sim_over) - set(base_sim)
-            if unknown:
-                raise ReproError(
-                    f"unknown sim.* axis(es): "
-                    f"{', '.join(sorted(unknown))}; known: "
-                    f"{', '.join(sorted(base_sim))}")
-        except ReproError as exc:
-            plan_error = error_document(exc)
-            plan_error["family"] = "deterministic"
-        planned.append({
-            "index": index,
-            "params": params,
-            "pass_spec": point.pass_spec,
-            "sim": point_sim,
-            "key": point_key(w.name, variant, params,
-                             point.pass_spec, point_sim),
-            "_point": point,
-            "_plan_error": plan_error,
-        })
+    planned = plan_points(w.name, params_list, pipeline, base_sim,
+                          variant=variant)
 
     journal = _open_journal(journal, sweep_id)
     attached = journal is not None and journal.exists()

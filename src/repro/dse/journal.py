@@ -172,8 +172,10 @@ class SweepJournal:
 
     # -- writing -----------------------------------------------------------
     def append(self, ev: str, **fields) -> None:
+        # Floor, don't round: a ts rounded up to 0.5ms into the future
+        # keeps a zero-TTL lease alive past its claim time.
         record = {"schema": SWEEP_SCHEMA, "ev": ev,
-                  "ts": round(time.time(), 3), **fields}
+                  "ts": int(time.time() * 1000) / 1000, **fields}
         append_jsonl(self.path, record)
 
     def write_plan(self, *, workload: str, variant: str,

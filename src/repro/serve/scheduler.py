@@ -1,0 +1,433 @@
+"""The serve scheduler: request queue, dedup, coalescing, supervision.
+
+One :class:`Scheduler` per daemon.  Connections :meth:`submit`
+requests and get back a :class:`Job`; the scheduler's asyncio worker
+loops drain the queue into a supervised executor pool:
+
+* **Dedup** — a request whose ``canonical_key`` matches a queued or
+  running job attaches to that job instead of enqueuing a second
+  execution: one computation, N subscribers, all of whom receive the
+  *same serialized payload bytes* (the response is serialized exactly
+  once, at finalization).
+* **Coalescing** — when a worker picks up a coalescible scalar
+  request it drains every queued request with the same ``group_key``
+  (same design/variant/passes/sim/check, differing only in root
+  arguments) into one ``simulate_batch`` lane-group, up to
+  ``max_batch`` lanes: one front end and one compiled circuit for
+  the whole group.
+* **Supervision** — PR 8's machinery, re-aimed at serving: transient
+  failures retry with :class:`~repro.dse.engine.RetryPolicy` backoff,
+  a ``BrokenProcessPool`` respawns the pool and re-enqueues the
+  group's members as singletons, and a request that kills workers
+  twice is quarantined with a ``PoisonPointError`` document instead
+  of taking the daemon down with it.
+
+Scheduling counters are plain dict state (always on — ``report``
+must work without telemetry); when telemetry is enabled they are
+mirrored into the metrics registry and every finalized request also
+appends one ledger record.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from collections import deque
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import Deque, Dict, List, Optional
+
+from .. import telemetry
+from ..dse.engine import (RetryPolicy, _drop_pool, _kill_pool,
+                          default_workers)
+from ..errors import PoisonPointError, ReproError, error_document
+from . import worker as _worker
+from .protocol import event_bytes
+
+EXECUTORS = ("process", "thread")
+
+#: Scheduler counters, all always-on.  ``dedup_hits`` counts requests
+#: answered by an already in-flight computation; ``coalesced_lanes``
+#: counts requests that rode a shared lane-group beyond its first.
+COUNTER_KEYS = (
+    "requests", "dedup_hits", "executions", "batches",
+    "coalesced_lanes", "ok", "errors", "retries", "worker_deaths",
+    "timeouts", "quarantined", "lru_hits",
+)
+
+
+class Job:
+    """One deduplicated unit of queued/running/finished work."""
+
+    __slots__ = ("request", "doc", "key", "group", "verb",
+                 "coalescible", "state", "done", "response_doc",
+                 "payload_bytes", "enqueued", "started", "finished",
+                 "attempts", "deaths", "subscribers")
+
+    def __init__(self, request, doc: Dict):
+        self.request = request
+        self.doc = doc                      # request wire document
+        self.key = request.canonical_key()
+        self.group = request.group_key()
+        self.verb = request.kind
+        self.coalescible = request.coalescible
+        self.state = "queued"               # queued | running | done
+        self.done = asyncio.Event()
+        self.response_doc: Optional[Dict] = None
+        self.payload_bytes: Optional[bytes] = None
+        self.enqueued = time.monotonic()
+        self.started: Optional[float] = None
+        self.finished: Optional[float] = None
+        self.attempts = 0
+        self.deaths = 0
+        self.subscribers = 1
+
+    @property
+    def wait_s(self) -> float:
+        return (self.started or time.monotonic()) - self.enqueued
+
+
+class Scheduler:
+    """Owns the queue, the dedup table, and the executor pool."""
+
+    def __init__(self, *, workers: Optional[int] = None,
+                 executor: str = "process", max_batch: int = 8,
+                 retry: Optional[RetryPolicy] = None,
+                 job_timeout: Optional[float] = None,
+                 ledger_root: Optional[str] = None):
+        if executor not in EXECUTORS:
+            raise ReproError(
+                f"unknown executor {executor!r}; "
+                f"known: {', '.join(EXECUTORS)}")
+        self.workers = workers or default_workers()
+        self.executor_kind = executor
+        self.max_batch = max(1, max_batch)
+        self.retry = retry or RetryPolicy()
+        self.job_timeout = job_timeout
+        self.counters: Dict[str, int] = dict.fromkeys(COUNTER_KEYS, 0)
+        self.started_at = time.time()
+        self._queue: Deque[Job] = deque()
+        self._inflight: Dict[str, Job] = {}
+        self._wakeup: Optional[asyncio.Condition] = None
+        self._pool = None
+        self._pool_lock: Optional[asyncio.Lock] = None
+        self._tasks: List[asyncio.Task] = []
+        self._closing = False
+        self._ledger = None
+        if ledger_root is not None:
+            from ..telemetry.ledger import RunLedger
+            self._ledger = RunLedger(ledger_root)
+
+    # -- lifecycle ---------------------------------------------------------
+    async def start(self) -> None:
+        self._wakeup = asyncio.Condition()
+        self._pool_lock = asyncio.Lock()
+        self._pool = self._new_pool()
+        self._tasks = [
+            asyncio.create_task(self._worker_loop(i),
+                                name=f"serve-worker-{i}")
+            for i in range(self.workers)]
+
+    def _new_pool(self):
+        if self.executor_kind == "process":
+            return ProcessPoolExecutor(max_workers=self.workers)
+        return ThreadPoolExecutor(max_workers=self.workers,
+                                  thread_name_prefix="serve")
+
+    async def close(self) -> None:
+        self._closing = True
+        for task in self._tasks:
+            task.cancel()
+        for task in self._tasks:
+            try:
+                await task
+            except (asyncio.CancelledError, Exception):  # noqa: BLE001
+                pass
+        self._tasks = []
+        if self.executor_kind == "process":
+            _kill_pool(self._pool)
+        self._pool = _drop_pool(self._pool)
+        # Fail anything still queued so no subscriber hangs.
+        shutdown_doc = error_document(
+            ReproError("server shut down before this request ran"))
+        shutdown_doc["family"] = "transient"
+        for job in list(self._inflight.values()):
+            if not job.done.is_set():
+                self._finalize_error(job, shutdown_doc)
+
+    # -- submission --------------------------------------------------------
+    async def submit(self, request, doc: Optional[Dict] = None) -> Job:
+        """Enqueue (or attach to) the job for ``request``; the caller
+        awaits ``job.done`` and streams ``job.payload_bytes``."""
+        if self._closing:
+            raise ReproError("server is shutting down")
+        self.counters["requests"] += 1
+        key = request.canonical_key()
+        job = self._inflight.get(key)
+        if job is not None:
+            job.subscribers += 1
+            self.counters["dedup_hits"] += 1
+            self._mirror("serve.dedup.hits")
+            return job
+        job = Job(request, doc if doc is not None
+                  else request.to_json())
+        self._inflight[key] = job
+        self._queue.append(job)
+        self._gauge_depth()
+        async with self._wakeup:
+            self._wakeup.notify()
+        return job
+
+    def queue_depth(self) -> int:
+        return len(self._queue)
+
+    def snapshot(self) -> Dict:
+        """The ``report`` verb's scheduler section."""
+        return {
+            "counters": dict(self.counters),
+            "queue_depth": len(self._queue),
+            "inflight": sum(1 for j in self._inflight.values()
+                            if j.state != "done"),
+            "workers": self.workers,
+            "executor": self.executor_kind,
+            "max_batch": self.max_batch,
+            "uptime_s": round(time.time() - self.started_at, 3),
+        }
+
+    async def drain(self) -> None:
+        """Wait until every accepted request has finalized (tests)."""
+        while any(not j.done.is_set()
+                  for j in self._inflight.values()) or self._queue:
+            await asyncio.sleep(0.01)
+
+    # -- the worker loops --------------------------------------------------
+    async def _worker_loop(self, slot: int) -> None:
+        while True:
+            async with self._wakeup:
+                while not self._queue:
+                    await self._wakeup.wait()
+                job = self._queue.popleft()
+                group = self._coalesce(job)
+            self._gauge_depth()
+            try:
+                await self._run_group(group)
+            except asyncio.CancelledError:
+                raise
+            except Exception as exc:  # noqa: BLE001 - loop must live
+                doc = error_document(exc) if isinstance(exc, ReproError) \
+                    else {"error": type(exc).__name__,
+                          "message": str(exc), "exit_code": 1}
+                doc["family"] = "deterministic"
+                for member in group:
+                    if not member.done.is_set():
+                        self._finalize_error(member, doc)
+
+    def _coalesce(self, job: Job) -> List[Job]:
+        """Drain queued jobs compatible with ``job`` into one
+        lane-group (caller holds the wakeup lock)."""
+        group = [job]
+        if not job.coalescible or self.max_batch < 2:
+            return group
+        keep: Deque[Job] = deque()
+        while self._queue and len(group) < self.max_batch:
+            other = self._queue.popleft()
+            if other.coalescible and other.group == job.group:
+                group.append(other)
+            else:
+                keep.append(other)
+        self._queue.extendleft(reversed(keep))
+        return group
+
+    async def _run_group(self, group: List[Job]) -> None:
+        for job in group:
+            job.state = "running"
+            job.started = time.monotonic()
+            job.attempts += 1
+        loop = asyncio.get_running_loop()
+        docs = [job.doc for job in group]
+        try:
+            if len(group) == 1:
+                future = loop.run_in_executor(
+                    self._pool, _worker.run_payload, docs[0])
+            else:
+                future = loop.run_in_executor(
+                    self._pool, _worker.run_group_payload, docs)
+            if self.job_timeout:
+                outs = await asyncio.wait_for(future, self.job_timeout)
+            else:
+                outs = await future
+        except BrokenProcessPool:
+            await self._handle_deaths(group)
+            return
+        except asyncio.TimeoutError:
+            await self._handle_timeout(group, future)
+            return
+        if len(group) == 1:
+            outs = [outs]
+        self.counters["executions"] += 1
+        if len(group) > 1:
+            self.counters["batches"] += 1
+            self.counters["coalesced_lanes"] += len(group) - 1
+            self._mirror("serve.batch.lanes", len(group) - 1)
+            if telemetry.enabled():
+                telemetry.metrics().histogram(
+                    "serve.batch.size",
+                    buckets=(1, 2, 4, 8, 16)).observe(len(group))
+        for job, out in zip(group, outs):
+            if out.get("meta", {}).get("lru") == "hit":
+                self.counters["lru_hits"] += 1
+                self._mirror("serve.lru.hits")
+            error = out.get("error") or {}
+            if out.get("status") == "error" \
+                    and error.get("family") == "transient" \
+                    and job.attempts < self.retry.max_attempts:
+                await self._requeue(job)
+            else:
+                self._finalize(job, out)
+
+    # -- supervision -------------------------------------------------------
+    async def _handle_deaths(self, group: List[Job]) -> None:
+        """The pool broke under this group: respawn it, quarantine
+        repeat offenders, retry the rest as singletons."""
+        async with self._pool_lock:
+            _kill_pool(self._pool)
+            self._pool = _drop_pool(self._pool)
+            self._pool = self._new_pool()
+        self.counters["worker_deaths"] += 1
+        self._mirror("serve.worker.deaths")
+        for job in group:
+            job.deaths += 1
+            if job.deaths >= 2:
+                exc = PoisonPointError(
+                    f"request {job.key[:12]} killed {job.deaths} "
+                    f"worker(s); quarantined", deaths=job.deaths)
+                doc = error_document(exc)
+                doc["family"] = "poison"
+                doc["deaths"] = job.deaths
+                self.counters["quarantined"] += 1
+                self._mirror("serve.quarantined")
+                self._finalize_error(job, doc)
+            else:
+                await self._requeue(job, singleton=True)
+
+    async def _handle_timeout(self, group: List[Job], future) -> None:
+        """Supervisor-side deadline fired.  Process pools are killed
+        and respawned (the hung worker cannot be cancelled); thread
+        pools can only abandon the future."""
+        self.counters["timeouts"] += 1
+        self._mirror("serve.timeouts")
+        if self.executor_kind == "process":
+            async with self._pool_lock:
+                _kill_pool(self._pool)
+                self._pool = _drop_pool(self._pool)
+                self._pool = self._new_pool()
+        doc = {"error": "SupervisorTimeout",
+               "message": f"request exceeded the server deadline "
+                          f"({self.job_timeout:g}s)",
+               "exit_code": 6, "family": "transient"}
+        for job in group:
+            if job.attempts < self.retry.max_attempts:
+                await self._requeue(job, singleton=True)
+            else:
+                self._finalize_error(job, doc)
+
+    async def _requeue(self, job: Job, *,
+                       singleton: bool = False) -> None:
+        self.counters["retries"] += 1
+        self._mirror("serve.retries")
+        job.state = "queued"
+        if singleton:
+            # A request that broke a shared group retries alone so it
+            # cannot take innocent lane-mates down a second time.
+            job.coalescible = False
+        delay = self.retry.delay(job.attempts)
+
+        async def _delayed():
+            await asyncio.sleep(delay)
+            if job.done.is_set():
+                return
+            self._queue.append(job)
+            async with self._wakeup:
+                self._wakeup.notify()
+
+        asyncio.get_running_loop().create_task(_delayed())
+
+    # -- finalization ------------------------------------------------------
+    def _finalize(self, job: Job, out: Dict) -> None:
+        job.response_doc = out
+        ok = out.get("status") == "ok"
+        self.counters["ok" if ok else "errors"] += 1
+        self._mirror("serve.ok" if ok else "serve.errors")
+        self._seal(job)
+
+    def _finalize_error(self, job: Job, error_doc: Dict) -> None:
+        from ..api.requests import EVAL_SCHEMA
+        job.response_doc = {
+            "schema": EVAL_SCHEMA, "status": "error",
+            "request_key": job.key, "evaluation": None, "lanes": None,
+            "error": dict(error_doc),
+            "meta": {"wall_s": round(time.monotonic()
+                                     - job.enqueued, 4)}}
+        self.counters["errors"] += 1
+        self._mirror("serve.errors")
+        self._seal(job)
+
+    def _seal(self, job: Job) -> None:
+        """Serialize ONCE; every subscriber streams the same bytes."""
+        job.state = "done"
+        job.finished = time.monotonic()
+        doc = dict(job.response_doc)
+        payload = {k: v for k, v in doc.items() if k != "meta"}
+        job.payload_bytes = event_bytes(
+            {"event": "result", "response": doc,
+             "payload_sha": _sha(payload)})
+        self._inflight.pop(job.key, None)
+        self._record(job)
+        job.done.set()
+
+    # -- telemetry glue ----------------------------------------------------
+    def _mirror(self, name: str, n: int = 1) -> None:
+        if telemetry.enabled():
+            telemetry.metrics().counter(name).inc(n)
+
+    def _gauge_depth(self) -> None:
+        if telemetry.enabled():
+            telemetry.metrics().gauge(
+                "serve.queue.depth").set(len(self._queue))
+
+    def _record(self, job: Job) -> None:
+        """One ledger record + one span per finalized request."""
+        wall = (job.finished or time.monotonic()) - job.enqueued
+        if telemetry.enabled():
+            with telemetry.tracer().span(
+                    "serve.request", verb=job.verb,
+                    key=job.key[:12]) as sp:
+                sp.set(attempts=job.attempts,
+                       subscribers=job.subscribers,
+                       wait_ms=round(job.wait_s * 1e3, 3))
+        if self._ledger is None:
+            return
+        from ..telemetry.ledger import build_record, new_run_id
+        out = job.response_doc or {}
+        error = out.get("error")
+        try:
+            self._ledger.append(build_record(
+                run_id=new_run_id(), command="serve",
+                argv=[job.verb, job.request.describe()],
+                status="ok" if out.get("status") == "ok" else "error",
+                exit_code=0 if out.get("status") == "ok"
+                else int((error or {}).get("exit_code", 1)),
+                wall_s=wall, started=time.time() - wall,
+                annotations={"request_key": job.key,
+                             "attempts": job.attempts,
+                             "subscribers": job.subscribers},
+                error=error))
+        except OSError:
+            pass  # ledger I/O must never fail a request
+
+
+def _sha(doc: Dict) -> str:
+    import hashlib
+    payload = json.dumps(doc, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()

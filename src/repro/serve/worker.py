@@ -1,0 +1,285 @@
+"""The serve worker: pool entry points + the hot-circuit LRU.
+
+Each pool worker (process or thread) keeps a process-global LRU of
+evaluation *front ends* — translated + optimized circuit objects with
+their pass logs — keyed by the request's group identity.  A warm
+request skips MiniC -> uIR -> uopt entirely, and because the circuit
+*object* is reused, :mod:`repro.sim.compile`'s object-identity memo
+keeps the specialized compiled kernel pinned too: the expensive half
+of an evaluation amortizes across every request for the same design.
+
+Only plain JSON documents cross the process boundary (request docs
+in, response docs out); everything stateful stays worker-local.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import threading
+import time
+from collections import OrderedDict
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..api import (EvaluationRequest, Pipeline, batch_evaluation_docs,
+                   build_front, coerce_request_args, execute)
+from ..api.requests import EVAL_SCHEMA
+from ..errors import (ReproError, error_document, error_family,
+                      family_for, unexpected_error_document)
+
+#: Chaos-injection env var (test/CI only): ``{"kill_request":
+#: {"substr": ..., "flag": ...}}`` SIGKILLs the worker the first time
+#: it picks up a request whose describe() contains the substring —
+#: the supervision tests drive worker-death recovery with it.
+CHAOS_ENV = "REPRO_SERVE_CHAOS"
+
+#: Hot front-ends kept per worker.  Front ends are a few MB each at
+#: most (graph + pass log); 32 designs comfortably covers a serving
+#: mix while bounding a long-lived daemon's footprint.
+LRU_CAPACITY = 32
+
+
+class _FrontLRU:
+    """A tiny thread-safe LRU of evaluation front ends."""
+
+    def __init__(self, capacity: int = LRU_CAPACITY):
+        self.capacity = capacity
+        self._entries: "OrderedDict[str, Dict]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key: str) -> Optional[Dict]:
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return entry
+
+    def put(self, key: str, entry: Dict) -> None:
+        with self._lock:
+            self._entries[key] = entry
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self.hits = self.misses = 0
+
+
+_LRU = _FrontLRU()
+
+
+def front_key(request: EvaluationRequest) -> str:
+    """LRU identity of a request's front end: everything the
+    translate+optimize stages depend on (and ``name``, which flows
+    into the evaluation document)."""
+    import hashlib
+    doc = json.dumps(
+        [request.workload, request.source, request.variant,
+         request.passes, request.name],
+        sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(doc.encode("utf-8")).hexdigest()
+
+
+def _pipeline_for(request: EvaluationRequest) -> Tuple[Pipeline, str]:
+    """A fresh :class:`Pipeline` over the (possibly cached) front end.
+
+    The cached circuit/module/pass-log are shared across requests; the
+    Pipeline wrapper is rebuilt per request so mutable result state
+    (sim, memory, synth) never leaks between evaluations.
+    """
+    key = front_key(request)
+    entry = _LRU.get(key)
+    if entry is None:
+        pipe = build_front(request)
+        _LRU.put(key, {
+            "workload": pipe.workload,
+            "module": pipe.module,
+            "circuit": pipe.circuit,
+            "pass_log": tuple(pipe.pass_log),
+            "pass_spec": pipe.pass_spec,
+            "name": pipe.name,
+            "variant": pipe.variant,
+        })
+        return pipe, "miss"
+    pipe = Pipeline.from_circuit(entry["circuit"],
+                                 workload=entry["workload"],
+                                 variant=entry["variant"])
+    pipe.module = entry["module"]
+    pipe.name = entry["name"]
+    pipe.pass_log = list(entry["pass_log"])
+    pipe.pass_spec = entry["pass_spec"]
+    return pipe, "hit"
+
+
+def _spend_flag(flag: Optional[str]) -> bool:
+    if not flag:
+        return True
+    if os.path.exists(flag):
+        return False
+    with open(flag, "w"):
+        pass
+    return True
+
+
+def _maybe_chaos(request: EvaluationRequest) -> None:
+    spec = os.environ.get(CHAOS_ENV)
+    if not spec:
+        return
+    try:
+        doc = json.loads(spec)
+    except ValueError:
+        return
+    kill = doc.get("kill_request") or {}
+    substr = kill.get("substr")
+    if substr and substr in request.describe() \
+            and _spend_flag(kill.get("flag")):
+        os.kill(os.getpid(), signal.SIGKILL)
+
+
+def run_payload(doc: Dict) -> Dict:
+    """Pool entry point for one request document.
+
+    Never raises: malformed requests and evaluation failures come
+    back as error response documents (with a retry ``family``), so
+    the scheduler can classify them.  ``meta.lru`` records whether
+    the front end was served warm.
+    """
+    t0 = time.perf_counter()
+    try:
+        request = EvaluationRequest.from_json(doc)
+    except ReproError as exc:
+        return _error_response(exc, t0)
+    _maybe_chaos(request)
+    try:
+        pipe, lru = _pipeline_for(request)
+        response = execute(request, pipeline=pipe)
+    except ReproError as exc:  # front-end failure outside execute()
+        out = _error_response(exc, t0)
+        out["request_key"] = request.canonical_key()
+        return out
+    except Exception as exc:  # noqa: BLE001 - the daemon must survive
+        out = {"schema": EVAL_SCHEMA, "status": "error",
+               "request_key": request.canonical_key(),
+               "evaluation": None, "lanes": None,
+               "error": unexpected_error_document(exc),
+               "meta": {"wall_s": round(time.perf_counter() - t0, 4)}}
+        out["error"].setdefault("family", family_for(exc))
+        return out
+    out = response.to_json()
+    out["meta"]["lru"] = lru
+    out["meta"]["pid"] = os.getpid()
+    return out
+
+
+def run_group_payload(docs: Sequence[Dict]) -> List[Dict]:
+    """Pool entry point for a coalesced lane-group.
+
+    Every document shares one :meth:`EvaluationRequest.group_key`
+    (the scheduler guarantees it): same design, variant, passes, sim
+    config and check policy, differing only in root arguments.  The
+    group runs as ONE ``simulate_batch`` over a shared front end, and
+    each request gets back the response document a scalar
+    :func:`repro.api.execute` of that request would have produced —
+    bit-identical payload, including the request's own
+    ``canonical_key`` (PR-6's per-lane identity carried to the wire).
+
+    A front-end failure fails every request in the group with the
+    same error document; per-lane simulation failures fail only their
+    own request.
+    """
+    t0 = time.perf_counter()
+    requests: List[Optional[EvaluationRequest]] = []
+    outs: List[Optional[Dict]] = []
+    for doc in docs:
+        try:
+            requests.append(EvaluationRequest.from_json(doc))
+            outs.append(None)
+        except ReproError as exc:
+            requests.append(None)
+            outs.append(_error_response(exc, t0))
+    live = [(i, r) for i, r in enumerate(requests) if r is not None]
+    if not live:
+        return [out for out in outs if out is not None]
+    base = live[0][1]
+    for _, request in live:
+        _maybe_chaos(request)
+    try:
+        params = base.sim_params()
+        pipe, lru = _pipeline_for(base)
+        args_list = []
+        for _, request in live:
+            if request.args is not None:
+                args_list.append(
+                    coerce_request_args(pipe.module, request.args))
+            elif pipe.workload is not None:
+                args_list.append(
+                    list(pipe.workload.args_for(pipe.variant)))
+            else:
+                args_list.append([])
+        batch = pipe.evaluate_many(args_list, params, check=base.check)
+        pipe.synthesize()
+    except ReproError as exc:
+        shared = _error_response(exc, t0)
+        for i, request in live:
+            out = dict(shared)
+            out["request_key"] = request.canonical_key()
+            outs[i] = out
+        return [out for out in outs if out is not None]
+    except Exception as exc:  # noqa: BLE001 - the daemon must survive
+        doc = unexpected_error_document(exc)
+        doc.setdefault("family", family_for(exc))
+        wall = round(time.perf_counter() - t0, 4)
+        for i, request in live:
+            outs[i] = {"schema": EVAL_SCHEMA, "status": "error",
+                       "request_key": request.canonical_key(),
+                       "evaluation": None, "lanes": None,
+                       "error": dict(doc), "meta": {"wall_s": wall}}
+        return [out for out in outs if out is not None]
+    lane_docs = batch_evaluation_docs(pipe, batch)
+    wall = round(time.perf_counter() - t0, 4)
+    for lane, (i, request) in enumerate(live):
+        lane_doc = dict(lane_docs[lane])
+        lane_doc.pop("lane", None)
+        meta = {"wall_s": wall, "lru": lru, "pid": os.getpid(),
+                "coalesced": len(live), "lane": lane}
+        if "error" in lane_doc and "name" not in lane_doc:
+            err = dict(lane_doc["error"])
+            err.setdefault("family",
+                           error_family(err.get("error", "")))
+            outs[i] = {"schema": EVAL_SCHEMA, "status": "error",
+                       "request_key": request.canonical_key(),
+                       "evaluation": None, "lanes": None,
+                       "error": err, "meta": meta}
+        else:
+            outs[i] = {"schema": EVAL_SCHEMA, "status": "ok",
+                       "request_key": request.canonical_key(),
+                       "evaluation": lane_doc, "lanes": None,
+                       "error": None, "meta": meta}
+    return [out for out in outs if out is not None]
+
+
+def lru_counts() -> Dict[str, int]:
+    """This worker's LRU tallies (test/debug introspection)."""
+    return {"hits": _LRU.hits, "misses": _LRU.misses,
+            "entries": len(_LRU._entries)}
+
+
+def reset_lru() -> None:
+    _LRU.clear()
+
+
+def _error_response(exc: BaseException, t0: float) -> Dict:
+    doc = error_document(exc)
+    doc["family"] = family_for(exc)
+    return {"schema": EVAL_SCHEMA, "status": "error",
+            "request_key": "", "evaluation": None, "lanes": None,
+            "error": doc,
+            "meta": {"wall_s": round(time.perf_counter() - t0, 4)}}

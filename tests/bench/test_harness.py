@@ -16,39 +16,68 @@ from repro.bench import (
 )
 from repro.bench.configs import CILK_SET
 from repro.bench.reporting import emit, results_dir
-from repro.errors import WorkloadError
+from repro.errors import ReproError, WorkloadError
 
 
-class TestRunWorkload:
+class TestEvaluate:
+    """The harness surface, via its replacement (repro.api)."""
+
     def test_baseline_run(self):
-        r = run_workload("spmv")
-        assert r.workload == "spmv"
-        assert r.cycles > 0
-        assert 200 < r.fpga_mhz <= 500
-        assert r.time_us == pytest.approx(r.cycles / r.fpga_mhz)
+        from repro.api import evaluate
+        ev = evaluate("spmv")
+        assert ev.workload == "spmv"
+        assert ev.cycles > 0
+        assert 200 < ev.synth.fpga_mhz <= 500
+        assert ev.time_us == pytest.approx(ev.cycles
+                                           / ev.synth.fpga_mhz)
 
     def test_accepts_workload_object(self):
+        from repro.api import Pipeline
         from repro.workloads import get_workload
-        r = run_workload(get_workload("spmv"))
-        assert r.workload == "spmv"
+        pipe = Pipeline(get_workload("spmv"))
+        ev = pipe.optimize(None).simulate().synthesize()
+        assert ev.workload == "spmv"
 
     def test_pass_log_captured(self):
-        r = run_workload("spmv", fusion_stack(), "fusion")
-        assert r.pass_log and r.pass_log[0].pass_name == "op_fusion"
+        from repro.api import Pipeline
+        pipe = Pipeline("spmv")
+        pipe.optimize(fusion_stack())
+        pipe.simulate()
+        ev = pipe.synthesize()
+        assert ev.pass_log and ev.pass_log[0].pass_name == "op_fusion"
 
     def test_unknown_workload(self):
-        with pytest.raises(WorkloadError):
-            run_workload("nope")
+        from repro.api import evaluate
+        with pytest.raises((WorkloadError, ReproError)):
+            evaluate("nope")
 
     def test_verification_always_on(self):
-        # run_workload verifies against the interpreter; a pass stack
+        # The pipeline verifies against the interpreter; a pass stack
         # that changed behavior would raise.  (Exercise a deep stack.)
-        r = run_workload("spmv", all_opts_for("spmv"), "stacked")
-        assert r.cycles > 0
+        from repro.api import Pipeline
+        pipe = Pipeline("spmv")
+        pipe.optimize(all_opts_for("spmv"))
+        ev = pipe.simulate().synthesize()
+        assert ev.cycles > 0
 
     def test_tensor_variant(self):
-        r = run_workload("relu_t", config="t", variant="tensor")
-        assert r.variant == "tensor"
+        from repro.api import evaluate
+        ev = evaluate("relu_t", variant="tensor")
+        assert ev.variant == "tensor"
+
+
+class TestRunWorkloadShim:
+    """run_workload is deprecated but must keep working (one
+    compatibility test, per the deprecation contract)."""
+
+    def test_shim_warns_and_matches_pipeline(self):
+        with pytest.warns(DeprecationWarning, match="run_workload"):
+            r = run_workload("spmv", fusion_stack(), "fusion")
+        assert r.workload == "spmv"
+        assert r.config == "fusion"
+        assert r.cycles > 0
+        assert r.pass_log and r.pass_log[0].pass_name == "op_fusion"
+        assert r.time_us == pytest.approx(r.cycles / r.fpga_mhz)
 
 
 class TestConfigs:

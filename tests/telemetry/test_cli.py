@@ -44,7 +44,10 @@ class TestLedgerViaCli:
         assert rec["command"] == "simulate"
         assert rec["status"] == "ok" and rec["exit_code"] == 0
         assert rec["argv"][0] == "--telemetry"
-        assert "sim.run" in rec["stages"]
+        # simulate drives the Pipeline facade now: the stage table
+        # holds the pipeline.* top-level spans, sim.run nests inside.
+        assert "pipeline.simulate" in rec["stages"]
+        assert any(sp["name"] == "sim.run" for sp in rec["spans"])
         assert [p["pass"] for p in rec["passes"]] == \
             ["memory_localization", "scratchpad_banking"]
         assert all(p["wall_ms"] >= 0 for p in rec["passes"])
@@ -101,7 +104,7 @@ class TestRunsCommand:
         assert main(["runs", "show", "last",
                      "--dir", str(tmp_path)]) == 0
         out = capsys.readouterr().out
-        assert "sim.run" in out               # stage timing replayed
+        assert "pipeline.simulate" in out     # stage timing replayed
         assert "memory_localization" in out   # per-pass timing
 
     def test_show_json(self, tmp_path, src_file, capsys):
@@ -118,7 +121,7 @@ class TestRunsCommand:
         assert main(["runs", "diff", "-2", "-1",
                      "--dir", str(tmp_path)]) == 0
         out = capsys.readouterr().out
-        assert "sim.run" in out
+        assert "pipeline.simulate" in out
 
     def test_bad_ref_is_repro_error(self, tmp_path, src_file, capsys):
         self._seed(tmp_path, src_file, n=1)

@@ -11,7 +11,8 @@ import json
 
 import pytest
 
-from repro.bench import run_workload
+from repro.api import Pipeline
+from repro.bench.harness import RunResult
 from repro.cli import main
 from repro.opt import PASS_REGISTRY
 from repro.report import (
@@ -28,7 +29,16 @@ REPORT_PASSES = ["memory_localization", "scratchpad_banking",
 @pytest.fixture(scope="module")
 def gemm_report():
     passes = [PASS_REGISTRY[name]() for name in REPORT_PASSES]
-    run = run_workload("gemm", passes, config="report-test")
+    pipe = Pipeline("gemm", name="gemm_report-test")
+    pipe.optimize(passes)
+    pipe.simulate()
+    pipe.synthesize(name="gemm")
+    run = RunResult(workload="gemm", config="report-test",
+                    cycles=pipe.sim.cycles,
+                    fpga_mhz=pipe.synth.fpga_mhz,
+                    stats=pipe.sim.stats, synth=pipe.synth,
+                    pass_log=list(pipe.pass_log),
+                    circuit=pipe.circuit)
     return build_report(run), run
 
 
