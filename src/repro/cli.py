@@ -453,7 +453,8 @@ def cmd_report(args) -> int:
     pipe.optimize(list(passes))
     if args.batch and args.batch > 1:
         batch = pipe.evaluate_many(
-            params=SimParams(batch=args.batch, observe="counters"))
+            params=SimParams(batch=args.batch, observe="counters",
+                             kernel=args.kernel))
         pipe.synthesize(name=args.workload)
         first = next((r for r in batch.results if r is not None), None)
         if first is None:
@@ -467,7 +468,7 @@ def cmd_report(args) -> int:
             pass_log=list(pipe.pass_log), variant=args.variant,
             circuit=pipe.circuit)
     else:
-        pipe.simulate()
+        pipe.simulate(kernel=args.kernel)
         pipe.synthesize(name=args.workload)
         result = RunResult(
             workload=args.workload, config=config,
@@ -475,7 +476,9 @@ def cmd_report(args) -> int:
             stats=pipe.sim.stats, synth=pipe.synth,
             pass_log=list(pipe.pass_log), variant=args.variant,
             circuit=pipe.circuit)
-    report = build_report(result, top_n=args.top, batch=batch)
+    trace = pipe.sim.trace if pipe.sim is not None else None
+    report = build_report(result, top_n=args.top, batch=batch,
+                          trace=trace)
     if args.json or args.md:
         dump_report(report, json_path=args.json, md_path=args.md)
         for path in (args.json, args.md):
@@ -1020,7 +1023,8 @@ def build_parser() -> argparse.ArgumentParser:
                                help="workload source variant")
     kernel_flags = argparse.ArgumentParser(add_help=False)
     kernel_flags.add_argument("--kernel", default="event",
-                              choices=("event", "dense", "compiled"),
+                              choices=("event", "dense", "compiled",
+                                       "trace"),
                               help="simulation kernel "
                                    "(default: event)")
     batch_flags = argparse.ArgumentParser(add_help=False)
@@ -1168,9 +1172,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(fn=cmd_bench)
 
     p = sub.add_parser(
-        "report", parents=[passes_flags, variant_flags, batch_flags],
+        "report", parents=[passes_flags, variant_flags, batch_flags,
+                           kernel_flags],
         help="cross-layer bottleneck report for a workload "
-             "(add perf_counters to --passes for hardware counters)")
+             "(add perf_counters to --passes for hardware counters; "
+             "--kernel trace adds the trace-tier subsection)")
     p.add_argument("workload")
     p.add_argument("--top", type=int, default=10,
                    help="rows in the top-stalled-sources table")
@@ -1280,7 +1286,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--artifacts-dir", default=None, metavar="DIR",
                    help="write replayable repro bundles for failures")
     p.add_argument("--compare-kernel", default=None,
-                   choices=("event", "dense", "compiled"),
+                   choices=("event", "dense", "compiled", "trace"),
                    help="also run every case on this kernel and "
                         "require bit-identical behavior including "
                         "cycle counts")

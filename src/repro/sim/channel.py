@@ -128,6 +128,13 @@ class EventChannel(Channel):
         self.owner.wake_node(self.producer_idx)
         return self.queue.popleft()
 
+    def clear(self) -> None:
+        # Instance recycling resets channels in place (step closures
+        # capture the deques); a stale dirty flag would make the next
+        # owner skip re-registering the channel for commit.
+        super().clear()
+        self.dirty = False
+
 
 class LatchedChannel:
     """A set-once value register readable without consumption."""

@@ -50,6 +50,11 @@ class TimingWheel:
     are bursty (a compute fire schedules its retirement, a loop issue
     schedules its next slot) and the simulated horizon is unbounded,
     so a ring of fixed size would need a spill path anyway.
+
+    The wheel maintains ``instance._wheel_refs``, the count of
+    not-yet-dispatched entries pointing at an instance: the block
+    instance pool must not recycle a completed instance that a stale
+    timer could still wake.
     """
 
     __slots__ = ("_slots",)
@@ -58,6 +63,7 @@ class TimingWheel:
         self._slots: Dict[int, List[Tuple[object, int]]] = {}
 
     def schedule(self, cycle: int, instance, idx: int) -> None:
+        instance._wheel_refs += 1
         slot = self._slots.get(cycle)
         if slot is None:
             self._slots[cycle] = [(instance, idx)]
@@ -67,6 +73,12 @@ class TimingWheel:
     def pop(self, cycle: int):
         """Remove and return this cycle's wakeups (possibly empty)."""
         return self._slots.pop(cycle, ())
+
+    def next_cycle(self):
+        """Earliest cycle holding a wakeup, or None.  The slot dict is
+        small (a handful of distinct retire/issue/park-check cycles),
+        so a min over the keys beats maintaining an ordered index."""
+        return min(self._slots) if self._slots else None
 
     def __bool__(self) -> bool:
         return bool(self._slots)
@@ -87,4 +99,5 @@ class EventScheduler:
     def dispatch(self, now: int) -> None:
         """Deliver every timer wake registered for ``now``."""
         for instance, idx in self.wheel.pop(now):
+            instance._wheel_refs -= 1
             instance.timer_wake(idx)

@@ -162,6 +162,20 @@ class NodeSim:
     def busy(self) -> bool:
         return False
 
+    def reset(self) -> None:
+        """Return to the just-constructed state for instance recycling.
+
+        Static wiring (channel lists, fork buffers, latencies) is
+        invocation-invariant and survives; only dynamic state is
+        cleared.  Subclasses extend this for their own state fields.
+        The caller guarantees the instance is complete: no in-flight
+        memory requests, timers or enqueue registrations point here.
+        """
+        self.sink_count = 0
+        for fork in self._fork_list:
+            fork.pending = []
+            fork.value = None
+
 
 class ConstSim(NodeSim):
     """Constant source.  In loop tasks its connections are latched (set
@@ -187,6 +201,11 @@ class ConstSim(NodeSim):
                 remaining.append(conn)
         self._pending = remaining
 
+    def reset(self) -> None:
+        super().reset()
+        self._pending = [c for c in self.node.out.outgoing
+                         if not c.latched]
+
 
 class LiveInSim(NodeSim):
     """Invocation argument source (same emission rule as ConstSim)."""
@@ -197,6 +216,12 @@ class LiveInSim(NodeSim):
         super().__init__(node, instance)
         self.value = instance.args[node.index]
         self._pending = [c for c in node.out.outgoing if not c.latched]
+
+    def reset(self) -> None:
+        super().reset()
+        self.value = self.instance.args[self.node.index]
+        self._pending = [c for c in self.node.out.outgoing
+                         if not c.latched]
 
     def tick(self, now: int) -> None:
         if not self._pending:
@@ -300,6 +325,11 @@ class ComputeSim(NodeSim):
     def busy(self) -> bool:
         return bool(self.pipe)
 
+    def reset(self) -> None:
+        super().reset()
+        self.pipe.clear()
+        self.next_fire = 0
+
 
 class FusedSim(NodeSim):
     """One-stage evaluation of a fused expression DAG.
@@ -366,6 +396,10 @@ class FusedSim(NodeSim):
     def busy(self) -> bool:
         return bool(self.pipe)
 
+    def reset(self) -> None:
+        super().reset()
+        self.pipe.clear()
+
 
 class SelectSim(NodeSim):
     __slots__ = ("pipe", "in_chans", "out_fork")
@@ -409,6 +443,10 @@ class SelectSim(NodeSim):
 
     def busy(self) -> bool:
         return bool(self.pipe)
+
+    def reset(self) -> None:
+        super().reset()
+        self.pipe.clear()
 
 
 class PhiSim(NodeSim):
@@ -511,6 +549,19 @@ class PhiSim(NodeSim):
         # A phi holding state is not "outstanding work"; completion is
         # gated by loop_finished + liveouts instead.
         return False
+
+    def reset(self) -> None:
+        super().reset()
+        self.inited = False
+        self.init_val = None
+        self.next_val = None
+        self.have_next = False
+        self.emitted = 0
+        self.backs = 0
+        self.last_back = None
+        self.last_emitted = None
+        self.final_pushed = False
+        self.emit_history = []
 
 
 class LoopControlSim(NodeSim):
@@ -662,6 +713,18 @@ class LoopControlSim(NodeSim):
     def busy(self) -> bool:
         return self.started and not self.finished
 
+    def reset(self) -> None:
+        super().reset()
+        self.started = False
+        self.finished = False
+        self.issued = 0
+        self.trips = None
+        self.next_issue = 0
+        self.start_v = 0
+        self.step_v = 1
+        self.done_pushed = False
+        self.final_pushed = False
+
 
 class _MemRecord:
     __slots__ = ("remaining", "words", "poison", "value")
@@ -754,6 +817,10 @@ class LoadSim(NodeSim):
     def busy(self) -> bool:
         return bool(self.records)
 
+    def reset(self) -> None:
+        super().reset()
+        self.records.clear()
+
 
 class StoreSim(NodeSim):
     __slots__ = ("records", "junction_sim", "words", "req_chans",
@@ -823,6 +890,10 @@ class StoreSim(NodeSim):
 
     def busy(self) -> bool:
         return bool(self.records)
+
+    def reset(self) -> None:
+        super().reset()
+        self.records.clear()
 
 
 class _CallRecord:
@@ -911,6 +982,12 @@ class CallSim(NodeSim):
     def busy(self) -> bool:
         return bool(self.records)
 
+    def reset(self) -> None:
+        super().reset()
+        self.records.clear()
+        self._eq_blocked = False
+        self._eq_registered = False
+
 
 class SpawnSim(NodeSim):
     __slots__ = ("req_chans", "n_args", "has_pred",
@@ -961,6 +1038,11 @@ class SpawnSim(NodeSim):
         self.instance.note_enqueue_ok(self)
         self.instance._act += 1
 
+    def reset(self) -> None:
+        super().reset()
+        self._eq_blocked = False
+        self._eq_registered = False
+
 
 class SyncSim(NodeSim):
     """Barrier: fires once all children spawned so far have completed."""
@@ -992,6 +1074,10 @@ class SyncSim(NodeSim):
 
     def busy(self) -> bool:
         return False
+
+    def reset(self) -> None:
+        super().reset()
+        self.fired = False
 
 
 SIM_CLASSES = {

@@ -1,0 +1,266 @@
+"""Steady-state trace tier for the compiled kernel (kernel="trace").
+
+Pipelined loops replay the same firing pattern for thousands of
+cycles, yet the event kernel still pays scheduler dispatch — heap
+pushes, phase checks, wheel traffic — on every one of them.  This
+module hosts the two engine-level pieces of the trace tier (the
+per-instance piece lives on :class:`repro.sim.task.DataflowInstance`
+as ``process_trace``):
+
+**Superblock stepping** (:func:`steady_loop`): once any instance is
+in trace mode, whole cycles are stepped through
+:meth:`TaskBlockSim.tick_steady` — the instance phase alone, with the
+unpark / start / retry phases proven no-ops by the entry guard
+(:func:`_phases_quiet`) instead of re-checked per block per cycle.
+Anything phase-relevant (an enqueue, a completion, a park) is handled
+*exactly* by falling back to the full ``tick_event`` for the rest of
+that cycle and returning control to the ordinary engine loop — the
+deoptimization path is a plain function return, never a state fixup.
+
+**Time jump** (:func:`_quiet_target`): when every instance is asleep
+and the memory system holds only fixed-latency in-flight completions
+(heaps of known ready cycles — no queued arbitration, which would
+accrue per-cycle stall statistics), the next observable event is the
+minimum of the timing-wheel horizon, the memory completion heads and
+the park-retry deadlines.  The engine can advance straight to it,
+applying the per-cycle accounting (``dram_busy_cycles``, engine idle
+bookkeeping, deadlock/timeout bounds) arithmetically.  This is the
+classic event-driven skip, admissible here because the event kernel's
+own correctness argument already proves skipped components are strict
+no-ops; it is gated to kernel="trace" so the reference kernels stay
+byte-identical.
+
+Both pieces preserve bit-identical results, memory images and
+:class:`SimStats` against the event kernel; fault plans disable the
+tier entirely (``SimRuntime.trace_enabled``), which is the forced
+mid-run deopt policy — fault seams inject at wake sources the trace
+tier would bypass.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from .memory import ScratchpadSim
+from .task import PARK_RETRY_CYCLES
+
+
+def _phases_quiet(blocks) -> bool:
+    """True when every block's unpark / start / retry phase is a
+    provable no-op: no *startable* invocation and no park that could
+    act while a tile is free.  A ready backlog behind full capacity is
+    fine — so are parks that could not act — because capacity only
+    frees through a completion or a park, both of which exit
+    superblock mode before the next phase run."""
+    for block in blocks:
+        if block.ready and len(block.active) < block.capacity:
+            return False
+        if block.parked and len(block.active) < block.capacity:
+            for inst in block.parked:
+                if inst.response_arrived or inst.enqueue_blocked:
+                    return False
+    return True
+
+
+def _quiet_target(runtime, memsys, wheel, now: int, idle_cycles: int,
+                  deadlock_window: int,
+                  max_cycles: int) -> Optional[Tuple[int, bool]]:
+    """Earliest future cycle at which anything can happen, if the
+    world is provably quiescent right now; else None.
+
+    Quiescent means: no instance holds a pending wake, no block phase
+    can act, and the memory system has nothing queued — only
+    fixed-latency completions in flight (their per-cycle effect while
+    waiting is ``dram_busy_cycles``, which the caller bulk-adds).
+    Every future wake source is then time-known: the timing wheel,
+    the completion heaps, and park-retry deadlines.
+
+    Returns ``(target, mem_active)``; ``mem_active`` tells the caller
+    whether the skipped cycles would have reported memory-commit
+    activity (they all would, or none — nothing drains mid-span), for
+    exact engine idle accounting.
+    """
+    cands: List[int] = []
+    for block in runtime.block_list:
+        cap_free = len(block.active) < block.capacity
+        if block.ready and cap_free:
+            return None             # a start happens next tick
+        for inst in block.active:
+            if (inst._ready or inst._defer or inst._full_next
+                    or inst.full_wake or inst.force_check
+                    or inst._carry):
+                return None         # wakes next tick
+        if block.parked:
+            for inst in block.parked:
+                if inst.response_arrived:
+                    if cap_free:
+                        return None
+                elif inst.enqueue_blocked and cap_free and \
+                        not block.ready:
+                    t = inst.park_cycle + PARK_RETRY_CYCLES
+                    if t <= now + 1:
+                        return None
+                    cands.append(t)
+    for jsim in memsys._jsims:
+        if jsim.queue or jsim._staged:
+            return None             # arbitration accrues stalls/cycle
+    mem_active = False
+    for ssim in memsys._ssims:
+        if ssim._staged:
+            return None
+        if isinstance(ssim, ScratchpadSim):
+            if any(ssim.read_queues) or any(ssim.write_queues) or \
+                    ssim.write_buffer:
+                return None
+        elif any(ssim.bank_queues):
+            return None
+        if ssim.busy():             # pending heap and/or MSHR fills
+            mem_active = True
+        pend = ssim.pending
+        if pend:
+            cands.append(pend[0][0])
+    dram = memsys.dram
+    if dram.queue or dram._staged:
+        return None
+    if dram.pending:
+        mem_active = True
+        cands.append(dram.pending[0][0])
+    nxt = wheel.next_cycle()
+    if nxt is not None:
+        cands.append(nxt)
+    if cands:
+        target = min(cands)
+    elif mem_active:
+        return None                 # unreachable; refuse defensively
+    else:
+        # Nothing scheduled anywhere: idle straight toward the
+        # deadlock bound (the clamp below) so the engine raises on
+        # schedule without spinning the window cycle by cycle.
+        target = max_cycles
+    if not mem_active:
+        # Skipped cycles count as engine-idle: stop at the cycle
+        # whose processing would trip the deadlock detector so the
+        # normal loop raises with bit-identical state.
+        target = min(target, now + (deadlock_window - idle_cycles))
+    target = min(target, max_cycles)
+    if target <= now + 1:
+        return None                 # nothing to skip
+    return target, mem_active
+
+
+def steady_loop(runtime, memsys, sched, stats, watchdog, now: int,
+                idle_cycles: int, fail_deadlock,
+                fail_timeout) -> Tuple[int, int]:
+    """Run trace-tier cycles until the world needs the full engine.
+
+    Called from the event-kernel loop each iteration (trace kernel
+    only).  Alternates the two mechanisms — jump over provably
+    quiescent spans, slim-step steady cycles — and returns
+    ``(now, idle_cycles)`` the moment a cycle needs the full phase
+    structure (or immediately, if neither mechanism applies).  All
+    engine bookkeeping (idle window, deadlock, max-cycles, watchdog,
+    heartbeat) is replicated per cycle; the jump is disabled when a
+    heartbeat is configured so its cadence stays exact.
+    """
+    wheel = sched.wheel
+    blocks = runtime.block_list
+    dram = memsys.dram
+    params = runtime.params
+    deadlock_window = params.deadlock_window
+    max_cycles = params.max_cycles
+    jump_ok = watchdog.hb_every == 0
+    verified = False
+    try_jump = True
+    while True:
+        if jump_ok and try_jump:
+            quiet = _quiet_target(runtime, memsys, wheel, now,
+                                  idle_cycles, deadlock_window,
+                                  max_cycles)
+            if quiet is not None:
+                target, mem_active = quiet
+                k = target - now
+                runtime.trace_jumped += k
+                if dram.pending:
+                    stats.dram_busy_cycles += k
+                if mem_active:
+                    idle_cycles = 0
+                else:
+                    idle_cycles += k
+                    stats.idle_engine_cycles += k
+                now = target
+                if now >= max_cycles:
+                    fail_timeout(now)
+                verified = False
+        if not runtime.trace_live:
+            return now, idle_cycles
+        if not verified:
+            if not _phases_quiet(blocks):
+                return now, idle_cycles
+            verified = True
+        sched.now = now
+        if wheel:
+            sched.dispatch(now)
+        runtime.now = now
+        active = False
+        clean = True
+        for i, block in enumerate(blocks):
+            act, ok = block.tick_steady(now)
+            active |= act
+            if not ok:
+                clean = False
+                for later in blocks[i + 1:]:
+                    active |= later.tick_event(now)
+                break
+        # An instance-active cycle leaves live wake state (the acting
+        # instance's keepalive at minimum), so a jump attempt would
+        # refuse — skip the world scan until instances go quiet.
+        # Memory-only activity must NOT gate this: a pure DRAM drain
+        # span is exactly what the jump skips.
+        try_jump = not active
+        active |= memsys.tick_active(now)
+        now += 1
+        if runtime.root_done:
+            return now, idle_cycles
+        if active:
+            idle_cycles = 0
+        else:
+            idle_cycles += 1
+            stats.idle_engine_cycles += 1
+            if idle_cycles > deadlock_window:
+                fail_deadlock(now)
+        if now >= max_cycles:
+            fail_timeout(now)
+        watchdog.check(now, stats)
+        if not clean:
+            return now, idle_cycles
+        for block in blocks:
+            if block.ready and len(block.active) < block.capacity:
+                # A processed instance enqueued a startable
+                # invocation: the start phase must run next cycle.
+                return now, idle_cycles
+
+
+def trace_report(runtime, stats) -> dict:
+    """Aggregate the run's trace-tier behavior for ``SimResult.trace``
+    (the ``repro report`` "trace" subsection reads this).  Folds
+    still-tracing instances first so coverage counts their cycles."""
+    for block in runtime.block_list:
+        for inst in block.active:
+            if inst._tracing:
+                inst._exit_trace("run_end")
+        for inst in block.parked:
+            if inst._tracing:
+                inst._exit_trace("run_end")
+    ts = runtime.trace_stats
+    total = stats.cycles or 1
+    covered = ts["cycles"] + runtime.trace_jumped
+    return {
+        "formed": ts["formed"],
+        "warm": ts["warm"],
+        "deopts": dict(ts["deopts"]),
+        "trace_cycles": ts["cycles"],
+        "jumped_cycles": runtime.trace_jumped,
+        "coverage": round(min(1.0, covered / total), 4),
+        "per_task": {name: dict(d)
+                     for name, d in sorted(ts["per_task"].items())},
+    }

@@ -1,9 +1,9 @@
 """Kernel equivalence, stall attribution, and stats schema.
 
-The equivalence matrix pins the event-driven and compiled kernels
-against cycle counts, memory digests, and results recorded from the
-seed (dense) engine on every built-in workload, under both the
-baseline and the full optimization stack.  Any wakeup that is dropped
+The equivalence matrix pins the event-driven, compiled, and trace
+kernels against cycle counts, memory digests, and results recorded
+from the seed (dense) engine on every built-in workload, under both
+the baseline and the full optimization stack.  Any wakeup that is dropped
 or delivered in the wrong cycle — or any compiled specialization that
 diverges from the reference step semantics — shows up as a
 cycle-count or memory mismatch here.
@@ -58,7 +58,7 @@ def _run_config(name: str, config: str, kernel: str = "event"):
 
 
 class TestEventKernelEquivalence:
-    @pytest.mark.parametrize("kernel", ["event", "compiled"])
+    @pytest.mark.parametrize("kernel", ["event", "compiled", "trace"])
     @pytest.mark.parametrize("config", ["baseline", "allopts"])
     @pytest.mark.parametrize("name", FAST_MATRIX)
     def test_matches_seed_golden(self, name, config, kernel):
@@ -73,7 +73,7 @@ class TestEventKernelEquivalence:
 
     @pytest.mark.slow
     @full_matrix
-    @pytest.mark.parametrize("kernel", ["event", "compiled"])
+    @pytest.mark.parametrize("kernel", ["event", "compiled", "trace"])
     @pytest.mark.parametrize("config", ["baseline", "allopts"])
     @pytest.mark.parametrize("name", SLOW_MATRIX)
     def test_matches_seed_golden_slow(self, name, config, kernel):
@@ -95,6 +95,25 @@ class TestEventKernelEquivalence:
         assert ev_doc.pop("kernel") == "event"
         assert co_doc.pop("kernel") == "compiled"
         assert ev_doc == co_doc
+
+    @pytest.mark.parametrize("name", ["saxpy", "fib"])
+    def test_trace_stats_identical_to_event(self, name):
+        # The trace tier's contract is stricter than speed: superblock
+        # stepping and time jumps must leave every observable counter
+        # exactly as the event kernel wrote it.  Formation/deopt
+        # telemetry rides SimResult.trace, never SimStats.
+        ev, _ = _run_config(name, "allopts", kernel="event")
+        tr, _ = _run_config(name, "allopts", kernel="trace")
+        ev_doc = ev.stats.to_json()
+        tr_doc = tr.stats.to_json()
+        assert ev_doc.pop("kernel") == "event"
+        assert tr_doc.pop("kernel") == "trace"
+        assert ev_doc == tr_doc
+        assert ev.trace is None
+        assert tr.trace is not None
+        assert set(tr.trace) == {"formed", "warm", "deopts",
+                                 "trace_cycles", "jumped_cycles",
+                                 "coverage", "per_task"}
 
     def test_dense_kernel_still_matches(self):
         # The dense path must stay a faithful oracle.
